@@ -1,0 +1,63 @@
+// Ablation: workload locality (paper App. B): "The better the page locality
+// of the workload, the fewer unique pages appear in update log records, and
+// hence the smaller the DPT size. We use a uniform workload in our
+// experiments, which represents the worst case for redo recovery."
+//
+// We compare uniform against Zipfian key choice at two skew levels.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace deutero;        // NOLINT
+using namespace deutero::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+  const uint64_t cache =
+      scale.cache_sweep[scale.cache_sweep.size() >= 4 ? 3 : 0];
+
+  std::printf("=== Ablation: workload locality (cache %llu pages) ===\n\n",
+              (unsigned long long)cache);
+  std::printf("%-14s %10s %12s %12s %12s %12s\n", "distribution", "dptSize",
+              "dirty@crash", "Log0(ms)", "Log1(ms)", "Log2(ms)");
+
+  struct Point {
+    const char* name;
+    WorkloadConfig::Distribution dist;
+    double theta;
+  };
+  const Point points[] = {
+      {"uniform", WorkloadConfig::Distribution::kUniform, 0.0},
+      {"zipf-0.8", WorkloadConfig::Distribution::kZipfian, 0.8},
+      {"zipf-0.99", WorkloadConfig::Distribution::kZipfian, 0.99},
+  };
+
+  for (const Point& p : points) {
+    SideBySideConfig cfg = MakeConfig(scale, cache);
+    cfg.workload.distribution = p.dist;
+    cfg.workload.zipf_theta = p.theta;
+    cfg.methods = {RecoveryMethod::kLog0, RecoveryMethod::kLog1,
+                   RecoveryMethod::kLog2};
+    SideBySideResult r;
+    const Status st = RunSideBySide(cfg, &r);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %10llu %12llu %12.0f %12.0f %12.0f%s\n", p.name,
+                (unsigned long long)FindMethod(r, RecoveryMethod::kLog1)
+                    ->dpt_size,
+                (unsigned long long)r.scenario.dirty_pages_at_crash,
+                FindMethod(r, RecoveryMethod::kLog0)->redo.ms,
+                FindMethod(r, RecoveryMethod::kLog1)->redo.ms,
+                FindMethod(r, RecoveryMethod::kLog2)->redo.ms,
+                AllVerified(r) ? "" : "  [VERIFY FAILED]");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\npaper App. B: uniform access is the worst case for redo. Under "
+      "skew the win shows up as\ncache hits during redo (hot pages fetched "
+      "once); the DPT itself stays pinned at the lazy-\nwriter watermark "
+      "as long as the skewed working set still exceeds it.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces paper Appendix D: the DPT-construction spectrum. Three points:
+//
+//   reduced  (D.2): Δ-records without FW-LSN/FirstDirty — least logging,
+//                   most conservative DPT (lowest rLSNs, weakest pruning);
+//   standard (§4.1): the paper's chosen point;
+//   perfect  (D.1): Δ-records with per-update DirtyLSNs — most logging,
+//                   a DPT as accurate as SQL Server's.
+//
+// For each mode we report the Δ-record logging cost (bytes per update), the
+// constructed DPT size, and Log1 redo time — the trade-off the appendix
+// describes.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/engine.h"
+
+using namespace deutero;        // NOLINT
+using namespace deutero::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+  // Two cache points: heavy flush churn (smallest cache) is where rLSN
+  // precision and pruning strength differ most; the mid-size point shows
+  // the common case.
+  const std::vector<uint64_t> caches = {
+      scale.cache_sweep[0],
+      scale.cache_sweep[scale.cache_sweep.size() >= 4 ? 3 : 0]};
+
+  struct ModePoint {
+    DptMode mode;
+    const char* name;
+  };
+  const ModePoint points[] = {{DptMode::kReduced, "reduced"},
+                              {DptMode::kStandard, "standard"},
+                              {DptMode::kPerfect, "perfect"}};
+
+  for (uint64_t cache : caches) {
+  std::printf("=== Appendix D: DPT construction spectrum (cache %llu pages) "
+              "===\n\n",
+              (unsigned long long)cache);
+  std::printf("%-9s %12s %10s %12s %12s %12s %10s\n", "mode", "deltaB/upd",
+              "dptSize", "redo(ms)", "dataIO", "skipLSN", "sqlDPT");
+  for (const ModePoint& p : points) {
+    SideBySideConfig cfg = MakeConfig(scale, cache);
+    cfg.engine.dpt_mode = p.mode;
+    cfg.methods = {RecoveryMethod::kLog1, RecoveryMethod::kSql1};
+
+    // Measure Δ logging volume during normal execution directly.
+    std::unique_ptr<Engine> engine;
+    Status st = Engine::Open(cfg.engine, &engine);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    WorkloadDriver driver(engine.get(), cfg.workload);
+    ScenarioOutcome so;
+    st = RunCrashScenario(engine.get(), &driver, cfg.scenario, &so);
+    if (!st.ok()) {
+      std::fprintf(stderr, "scenario failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double delta_bytes_per_update =
+        static_cast<double>(engine->wal().stats().delta_bytes) /
+        static_cast<double>(driver.ops_done());
+
+    Engine::StableSnapshot snap;
+    (void)engine->TakeStableSnapshot(&snap);
+    RecoveryStats log1, sql1;
+    st = engine->Recover(RecoveryMethod::kLog1, &log1);
+    if (!st.ok()) {
+      std::fprintf(stderr, "recover failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    uint64_t checked = 0;
+    st = driver.Verify(500, &checked);
+    if (!st.ok()) {
+      std::fprintf(stderr, "VERIFY failed (%s): %s\n", p.name,
+                   st.ToString().c_str());
+      return 1;
+    }
+    engine->SimulateCrash();
+    (void)engine->RestoreStableSnapshot(snap);
+    (void)engine->Recover(RecoveryMethod::kSql1, &sql1);
+
+    std::printf("%-9s %12.1f %10llu %12.0f %12llu %12llu %10llu\n", p.name,
+                delta_bytes_per_update, (unsigned long long)log1.dpt_size,
+                log1.redo.ms, (unsigned long long)log1.data_page_fetches,
+                (unsigned long long)log1.redo_skipped_rlsn,
+                (unsigned long long)sql1.dpt_size);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  }
+  std::printf("paper: more Δ logging buys a more accurate DPT (closer to "
+              "SQL's) and faster redo;\nthe standard point logs roughly as "
+              "much as SQL Server while matching its DPT accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared configuration for the figure-reproduction benches: the paper's
+// experimental setup (§5.2) at 1/10 linear scale (DESIGN.md §2).
+//
+//   table      : 10^7 rows, 8 KB pages, 229 rows/page, ~46k data pages
+//   index      : ~80 internal pages (in-memory, <0.2% of data)
+//   workload   : update-only, uniform keys, 10-update transactions
+//   checkpoint : every 4,000 updates (ci1)
+//   crash      : after 10 checkpoints + 4,000 updates, 10-update log tail
+//   caches     : {819 .. 26208} pages = the 64MB..2048MB-class sweep
+//
+// Pass "quick" as argv[1] to any bench for a reduced-scale smoke run.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace deutero {
+namespace bench {
+
+struct BenchScale {
+  uint64_t num_rows;
+  uint64_t checkpoint_interval;
+  uint64_t checkpoints;
+  uint64_t tail_updates;
+  std::vector<uint64_t> cache_sweep;
+  std::vector<std::string> cache_labels;
+  uint64_t reference_cache;
+};
+
+inline BenchScale PaperScale() {
+  BenchScale s;
+  s.num_rows = 10'000'000;
+  s.checkpoint_interval = 4000;
+  s.checkpoints = 10;
+  s.tail_updates = 10;
+  s.cache_sweep = PaperCacheSweepPages();
+  for (size_t i = 0; i < s.cache_sweep.size(); i++) {
+    s.cache_labels.push_back(PaperCacheLabel(i));
+  }
+  s.reference_cache = s.cache_sweep.front();
+  return s;
+}
+
+/// ~50x smaller smoke-test scale for CI-style runs.
+inline BenchScale QuickScale() {
+  BenchScale s;
+  s.num_rows = 200'000;  // ~922 data pages
+  s.checkpoint_interval = 400;
+  s.checkpoints = 3;
+  s.tail_updates = 10;
+  s.cache_sweep = {64, 128, 256};
+  s.cache_labels = {"small", "medium", "large"};
+  s.reference_cache = 64;
+  return s;
+}
+
+inline BenchScale ScaleFromArgs(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "quick") == 0) return QuickScale();
+  return PaperScale();
+}
+
+inline SideBySideConfig MakeConfig(const BenchScale& s, uint64_t cache_pages,
+                                   uint64_t interval_multiplier = 1) {
+  SideBySideConfig cfg;
+  cfg.engine.num_rows = s.num_rows;
+  cfg.engine.cache_pages = cache_pages;
+  cfg.engine.checkpoint_interval_updates =
+      s.checkpoint_interval * interval_multiplier;
+  cfg.engine.lazy_writer_reference_cache_pages = s.reference_cache;
+  cfg.engine.lazy_writer_reference_interval = s.checkpoint_interval;
+  cfg.scenario.checkpoints = s.checkpoints;
+  cfg.scenario.tail_updates = s.tail_updates;
+  cfg.verify = true;
+  cfg.verify_sample = 500;
+  return cfg;
+}
+
+inline const RecoveryStats* FindMethod(const SideBySideResult& r,
+                                       RecoveryMethod m) {
+  for (const MethodOutcome& o : r.methods) {
+    if (o.method == m) return &o.stats;
+  }
+  return nullptr;
+}
+
+inline bool AllVerified(const SideBySideResult& r) {
+  for (const MethodOutcome& o : r.methods) {
+    if (!o.verified) return false;
+  }
+  return true;
+}
+
+}  // namespace bench
+}  // namespace deutero

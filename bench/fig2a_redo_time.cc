@@ -1,0 +1,75 @@
+// Reproduces paper Figure 2(a): redo recovery time (simulated msecs) as the
+// database cache size varies, for Log0, Log1, SQL1, Log2, SQL2 — all five
+// replaying the SAME crash image per cache size (§5.1 methodology).
+//
+// Also prints the §5.3 headline statistics: the I/O reduction from the DPT,
+// the index-wait share of logical redo, and the stall reduction from
+// prefetching.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace deutero;        // NOLINT
+using namespace deutero::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+  std::printf("=== Figure 2(a): redo time vs cache size ===\n");
+  std::printf("(update-only uniform workload; crash after %llu checkpoints; "
+              "~%llu redone log records)\n\n",
+              (unsigned long long)scale.checkpoints,
+              (unsigned long long)scale.checkpoint_interval);
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "cache", "Log0", "Log1",
+              "Sql1", "Log2", "Sql2");
+
+  struct Row {
+    SideBySideResult result;
+  };
+  std::vector<Row> rows;
+
+  for (size_t i = 0; i < scale.cache_sweep.size(); i++) {
+    SideBySideConfig cfg = MakeConfig(scale, scale.cache_sweep[i]);
+    SideBySideResult r;
+    const Status st = RunSideBySide(cfg, &r);
+    if (!st.ok()) {
+      std::fprintf(stderr, "FAILED at %s: %s\n", scale.cache_labels[i].c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%-8s %12.0f %12.0f %12.0f %12.0f %12.0f%s\n",
+                scale.cache_labels[i].c_str(),
+                FindMethod(r, RecoveryMethod::kLog0)->redo.ms,
+                FindMethod(r, RecoveryMethod::kLog1)->redo.ms,
+                FindMethod(r, RecoveryMethod::kSql1)->redo.ms,
+                FindMethod(r, RecoveryMethod::kLog2)->redo.ms,
+                FindMethod(r, RecoveryMethod::kSql2)->redo.ms,
+                AllVerified(r) ? "" : "  [VERIFY FAILED]");
+    std::fflush(stdout);
+    rows.push_back({std::move(r)});
+  }
+
+  // §5.3 headline statistics.
+  std::printf("\n--- paper Section 5.3 claims, measured ---\n");
+  std::printf("%-8s %9s %9s %9s %9s %11s %11s\n", "cache", "dpt/L0IO",
+              "L0->L1", "L1->L2", "idxWait", "L1stalls", "L2stalls");
+  for (size_t i = 0; i < rows.size(); i++) {
+    const RecoveryStats* l0 = FindMethod(rows[i].result, RecoveryMethod::kLog0);
+    const RecoveryStats* l1 = FindMethod(rows[i].result, RecoveryMethod::kLog1);
+    const RecoveryStats* l2 = FindMethod(rows[i].result, RecoveryMethod::kLog2);
+    const double io_cut = 100.0 * (1.0 - static_cast<double>(
+                                             l1->data_page_fetches) /
+                                             l0->data_page_fetches);
+    const double t_l1 = 100.0 * (1.0 - l1->redo.ms / l0->redo.ms);
+    const double t_l2 = 100.0 * (1.0 - l2->redo.ms / l1->redo.ms);
+    const double idx_wait = 100.0 * l1->index_stall_ms / l1->redo.ms;
+    std::printf("%-8s %8.0f%% %8.0f%% %8.0f%% %8.1f%% %11llu %11llu\n",
+                scale.cache_labels[i].c_str(), io_cut, t_l1, t_l2, idx_wait,
+                (unsigned long long)l1->stall_count,
+                (unsigned long long)l2->stall_count);
+  }
+  std::printf("\ncolumns: dpt/L0IO = data-page I/O cut by the DPT (Log0 vs "
+              "Log1); L0->L1, L1->L2 = redo-time reductions;\n"
+              "idxWait = index-page wait share of Log1 redo; stalls = demand "
+              "waits during redo (Log1 vs Log2).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Figure 2(b): the dirty part of the database cache at the
+// time of the crash, as a percentage of the cache size. The paper reports
+// this through the DPT the analysis pass constructs; we print both the DPT
+// view (Log1's Δ-record DPT and SQL1's BW-record DPT) and the ground truth
+// (actual dirty frames at the crash instant).
+//
+// Paper shape: ~30% at the 64 MB-class cache falling to ~10% at the
+// 2048 MB-class cache; DPT size grows sub-linearly with cache size.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace deutero;        // NOLINT
+using namespace deutero::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+  std::printf("=== Figure 2(b): dirty percent of cache vs cache size ===\n\n");
+  std::printf("%-8s %10s %12s %12s %12s %12s\n", "cache", "frames",
+              "trueDirty%", "logicalDPT%", "sqlDPT%", "dptEntries");
+
+  double prev_dpt = 0;
+  for (size_t i = 0; i < scale.cache_sweep.size(); i++) {
+    SideBySideConfig cfg = MakeConfig(scale, scale.cache_sweep[i]);
+    cfg.methods = {RecoveryMethod::kLog1, RecoveryMethod::kSql1};
+    SideBySideResult r;
+    const Status st = RunSideBySide(cfg, &r);
+    if (!st.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double cache = static_cast<double>(scale.cache_sweep[i]);
+    const RecoveryStats* log1 = FindMethod(r, RecoveryMethod::kLog1);
+    const RecoveryStats* sql1 = FindMethod(r, RecoveryMethod::kSql1);
+    std::printf("%-8s %10llu %11.1f%% %11.1f%% %11.1f%% %12llu%s\n",
+                scale.cache_labels[i].c_str(),
+                (unsigned long long)scale.cache_sweep[i],
+                100.0 * r.scenario.dirty_pages_at_crash / cache,
+                100.0 * log1->dpt_size / cache, 100.0 * sql1->dpt_size / cache,
+                (unsigned long long)log1->dpt_size,
+                log1->dpt_size + 1 > prev_dpt ? "" : "  [non-monotonic]");
+    prev_dpt = static_cast<double>(log1->dpt_size);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: dirty fraction falls from ~30%% (64MB) to ~10%% "
+              "(2048MB); absolute DPT size grows sub-linearly.\n");
+  return 0;
+}

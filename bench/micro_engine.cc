@@ -1,0 +1,165 @@
+// google-benchmark microbenchmarks for the engine's hot paths: B-tree
+// traversal, buffer pool access, log append, DPT operations, and the
+// analysis passes. These measure real wall-clock cost of the implementation
+// (not simulated time) — useful for tracking implementation regressions.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "recovery/analysis.h"
+#include "recovery/dpt.h"
+#include "workload/driver.h"
+
+namespace deutero {
+namespace {
+
+EngineOptions MicroOptions() {
+  EngineOptions o;
+  o.page_size = 8192;
+  o.value_size = 26;
+  o.num_rows = 200'000;
+  o.cache_pages = 2048;
+  o.lazy_writer_reference_cache_pages = 2048;
+  return o;
+}
+
+void BM_BTreeFind(benchmark::State& state) {
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(MicroOptions(), &e);
+  Random rng(1);
+  for (auto _ : state) {
+    PageId pid;
+    benchmark::DoNotOptimize(
+        e->dc().btree().Find(rng.Uniform(200'000), &pid));
+    benchmark::DoNotOptimize(pid);
+  }
+}
+BENCHMARK(BM_BTreeFind);
+
+void BM_BTreeRead(benchmark::State& state) {
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(MicroOptions(), &e);
+  Random rng(2);
+  std::string v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e->Read(rng.Uniform(200'000), &v));
+  }
+}
+BENCHMARK(BM_BTreeRead);
+
+void BM_TxnUpdate(benchmark::State& state) {
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(MicroOptions(), &e);
+  Random rng(3);
+  const std::string value(26, 'x');
+  TxnId t;
+  (void)e->Begin(&t);
+  uint64_t in_txn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e->Update(t, rng.Uniform(200'000), value));
+    if (++in_txn % 10 == 0) {
+      (void)e->Commit(t);
+      (void)e->Begin(&t);
+    }
+  }
+  (void)e->Abort(t);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnUpdate);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(MicroOptions(), &e);
+  PageHandle warm;
+  (void)e->dc().pool().Get(kRootPageId + 1, PageClass::kData, &warm);
+  warm.Release();
+  for (auto _ : state) {
+    PageHandle h;
+    benchmark::DoNotOptimize(
+        e->dc().pool().Get(kRootPageId + 1, PageClass::kData, &h));
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_LogAppendUpdate(benchmark::State& state) {
+  SimClock clock;
+  LogManager log(&clock, 8192, 0.25);
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = 1;
+  rec.table_id = 1;
+  rec.key = 42;
+  rec.before.assign(26, 'a');
+  rec.after.assign(26, 'b');
+  rec.pid = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.Append(rec));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          (rec.before.size() + rec.after.size()));
+}
+BENCHMARK(BM_LogAppendUpdate);
+
+void BM_DptAddFindRemove(benchmark::State& state) {
+  DirtyPageTable dpt;
+  Random rng(5);
+  for (auto _ : state) {
+    const PageId pid = static_cast<PageId>(rng.Uniform(100'000));
+    dpt.AddOrUpdate(pid, pid + 1);
+    benchmark::DoNotOptimize(dpt.Find(pid));
+    if (pid % 3 == 0) dpt.Remove(pid);
+  }
+}
+BENCHMARK(BM_DptAddFindRemove);
+
+void BM_SqlAnalysisPass(benchmark::State& state) {
+  SimClock clock;
+  LogManager log(&clock, 8192, 0.0);
+  LogRecord b;
+  b.type = LogRecordType::kBeginCheckpoint;
+  const Lsn start = log.Append(b);
+  Random rng(6);
+  for (int i = 0; i < 10'000; i++) {
+    LogRecord r;
+    r.type = LogRecordType::kUpdate;
+    r.txn_id = 1 + i / 10;
+    r.table_id = 1;
+    r.key = rng.Uniform(1'000'000);
+    r.after.assign(26, 'x');
+    r.pid = static_cast<PageId>(rng.Uniform(40'000));
+    log.Append(r);
+    if (i % 500 == 499) {
+      LogRecord bw;
+      bw.type = LogRecordType::kBwRecord;
+      bw.fw_lsn = log.next_lsn() / 2;
+      for (int j = 0; j < 100; j++) {
+        bw.written_set.push_back(static_cast<PageId>(rng.Uniform(40'000)));
+      }
+      log.Append(bw);
+    }
+  }
+  log.Flush();
+  for (auto _ : state) {
+    SqlAnalysisResult out;
+    benchmark::DoNotOptimize(RunSqlAnalysis(&log, start, &out));
+    benchmark::DoNotOptimize(out.dpt.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SqlAnalysisPass);
+
+void BM_ValueSynthesis(benchmark::State& state) {
+  uint8_t buf[26];
+  Random rng(7);
+  for (auto _ : state) {
+    SynthesizeValue(rng.Uniform(1'000'000), 3, sizeof(buf), buf);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_ValueSynthesis);
+
+}  // namespace
+}  // namespace deutero
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Quickstart: open an engine, run transactions, crash it, recover with
+// optimized logical recovery (Log2), and verify the outcome.
+//
+//   $ quickstart
+//
+// Walks through the whole public API surface in ~80 lines.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+
+using namespace deutero;  // NOLINT
+
+int main() {
+  // A small database: 100k rows of (key, 26-byte data), 8 KB pages.
+  EngineOptions options;
+  options.num_rows = 100'000;
+  options.cache_pages = 512;
+  options.lazy_writer_reference_cache_pages = 512;
+  options.checkpoint_interval_updates = 1000;
+
+  std::unique_ptr<Engine> db;
+  Status st = Engine::Open(options, &db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("opened: %llu rows, B-tree height %u\n",
+              (unsigned long long)options.num_rows,
+              db->dc().btree().height());
+
+  // A committed transaction...
+  const std::string committed_value(options.value_size, 'C');
+  TxnId txn;
+  (void)db->Begin(&txn);
+  for (Key k = 100; k < 110; k++) {
+    (void)db->Update(txn, k, committed_value);
+  }
+  (void)db->Commit(txn);
+
+  (void)db->Checkpoint();
+
+  // ...more committed work after the checkpoint...
+  (void)db->Begin(&txn);
+  for (Key k = 200; k < 210; k++) {
+    (void)db->Update(txn, k, committed_value);
+  }
+  (void)db->Commit(txn);
+
+  // ...and a loser: updates on the log, but never committed.
+  const std::string uncommitted_value(options.value_size, 'U');
+  TxnId loser;
+  (void)db->Begin(&loser);
+  (void)db->Update(loser, 300, uncommitted_value);
+  db->tc().ForceLog();  // the loser's records reach the stable log
+
+  std::printf("crashing with one in-flight transaction...\n");
+  db->SimulateCrash();
+
+  RecoveryStats stats;
+  st = db->Recover(RecoveryMethod::kLog2, &stats);
+  if (!st.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered with Log2 in %.1f simulated ms "
+      "(redo %.1f ms, %llu ops reapplied, %llu txns undone)\n",
+      stats.total_ms, stats.redo.ms, (unsigned long long)stats.redo_applied,
+      (unsigned long long)stats.txns_undone);
+
+  // Committed survives; the loser was rolled back.
+  std::string v;
+  (void)db->Read(205, &v);
+  std::printf("key 205: %s\n",
+              v == committed_value ? "committed value (correct)" : "WRONG");
+  (void)db->Read(300, &v);
+  std::printf("key 300: %s\n",
+              v == uncommitted_value ? "UNCOMMITTED VALUE LEAKED"
+                                     : "rolled back (correct)");
+
+  // The engine is open for business again.
+  (void)db->Begin(&txn);
+  (void)db->Update(txn, 1, committed_value);
+  (void)db->Commit(txn);
+  std::printf("post-recovery update committed; done.\n");
+  return 0;
+}

@@ -1,0 +1,534 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "btree/node.h"
+#include "storage/page.h"
+
+namespace deutero {
+
+Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
+                          PageAllocator* allocator, uint32_t page_size,
+                          const LogRecord& rec) {
+  allocator->EnsureAtLeast(rec.alloc_hwm);
+  for (const SmoPageImage& img : rec.smo_pages) {
+    if (img.image.size() != page_size) {
+      return Status::Corruption("physical image size mismatch");
+    }
+    if (img.pid >= disk->num_pages()) disk->EnsurePages(img.pid + 1);
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool->Get(img.pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.plsn() >= rec.lsn) continue;  // effects already durable
+    std::memcpy(page.data(), img.image.data(), page_size);
+    h.MarkDirty(rec.lsn);
+  }
+  return Status::OK();
+}
+
+BTree::BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
+             PageAllocator* allocator, LogManager* log, PageId root_pid,
+             uint32_t page_size, uint32_t value_size, double leaf_fill,
+             double cpu_per_level_us)
+    : clock_(clock),
+      disk_(disk),
+      pool_(pool),
+      allocator_(allocator),
+      log_(log),
+      root_pid_(root_pid),
+      page_size_(page_size),
+      value_size_(value_size),
+      leaf_fill_(leaf_fill),
+      cpu_per_level_us_(cpu_per_level_us) {}
+
+Status BTree::CreateEmpty() {
+  disk_->EnsurePages(root_pid_ + 1);
+  std::vector<uint8_t> buf(page_size_, 0);
+  PageView root(buf.data(), page_size_);
+  root.Format(root_pid_, PageType::kLeaf, 0);
+  disk_->WriteImageDirect(root_pid_, buf.data());
+  height_ = 1;
+  num_rows_ = 0;
+  return Status::OK();
+}
+
+Status BTree::BulkLoad(uint64_t num_rows,
+                       const std::function<void(Key, uint8_t*)>& value_gen) {
+  if (num_rows == 0) return CreateEmpty();
+
+  const uint32_t leaf_cap = LeafNodeView::Capacity(page_size_, value_size_);
+  const uint32_t internal_cap = InternalNodeView::Capacity(page_size_);
+  const uint32_t rows_per_leaf = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::floor(leaf_cap * leaf_fill_)));
+  const uint32_t children_per_node = std::max<uint32_t>(
+      2, static_cast<uint32_t>(std::floor(internal_cap * leaf_fill_)));
+
+  disk_->EnsurePages(root_pid_ + 1);
+  std::vector<uint8_t> buf(page_size_);
+  std::vector<uint8_t> value(value_size_);
+
+  // Level 0: leaves. Collect (first key, pid) fences for the level above.
+  std::vector<std::pair<Key, PageId>> fences;
+  const uint64_t num_leaves = (num_rows + rows_per_leaf - 1) / rows_per_leaf;
+  const bool root_is_leaf = num_leaves == 1;
+  Key key = 0;
+  PageId prev_leaf = kInvalidPageId;
+  for (uint64_t leaf = 0; leaf < num_leaves; leaf++) {
+    const PageId pid = root_is_leaf ? root_pid_ : allocator_->Allocate();
+    PageView page(buf.data(), page_size_);
+    page.Format(pid, PageType::kLeaf, 0);
+    LeafNodeView node(page, value_size_);
+    const uint64_t n = std::min<uint64_t>(rows_per_leaf, num_rows - key);
+    for (uint64_t i = 0; i < n; i++, key++) {
+      value_gen(key, value.data());
+      node.InsertAt(static_cast<uint32_t>(i), key, value.data());
+    }
+    fences.emplace_back(node.KeyAt(0), pid);
+    // Chain leaf siblings: patch the previous leaf's image.
+    if (prev_leaf != kInvalidPageId) {
+      std::vector<uint8_t> prev(page_size_);
+      disk_->ReadImage(prev_leaf, prev.data());
+      PageView(prev.data(), page_size_).set_right_sibling(pid);
+      disk_->WriteImageDirect(prev_leaf, prev.data());
+    }
+    disk_->EnsurePages(pid + 1);
+    disk_->WriteImageDirect(pid, buf.data());
+    prev_leaf = pid;
+  }
+
+  // Internal levels.
+  uint8_t level = 1;
+  while (fences.size() > 1) {
+    std::vector<std::pair<Key, PageId>> next_fences;
+    const bool is_root_level = fences.size() <= children_per_node;
+    for (size_t i = 0; i < fences.size(); i += children_per_node) {
+      const PageId pid = is_root_level ? root_pid_ : allocator_->Allocate();
+      PageView page(buf.data(), page_size_);
+      page.Format(pid, PageType::kInternal, level);
+      InternalNodeView node(page);
+      const size_t n = std::min<size_t>(children_per_node, fences.size() - i);
+      for (size_t j = 0; j < n; j++) {
+        node.Append(fences[i + j].first, fences[i + j].second);
+      }
+      // Leftmost node of the level: entry 0 is the -infinity fence.
+      if (i == 0) node.SetKeyAt(0, 0);
+      next_fences.emplace_back(node.KeyAt(0), pid);
+      disk_->EnsurePages(pid + 1);
+      disk_->WriteImageDirect(pid, buf.data());
+    }
+    fences = std::move(next_fences);
+    level++;
+  }
+
+  height_ = root_is_leaf ? 1 : level;
+  num_rows_ = num_rows;
+  return Status::OK();
+}
+
+Status BTree::Find(Key key, PageId* leaf_pid) {
+  stats_.traversals++;
+  PageId pid = root_pid_;
+  while (true) {
+    clock_->AdvanceUs(cpu_per_level_us_);
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.type() == PageType::kLeaf) {
+      // Only possible when the root itself is a leaf.
+      *leaf_pid = pid;
+      return Status::OK();
+    }
+    InternalNodeView node(page);
+    const PageId child = node.FindChild(key);
+    if (page.level() == 1) {
+      // The child is the leaf. Traversal ends here WITHOUT touching it:
+      // whether the data page is fetched at all is the redo test's decision
+      // (Algorithm 5 skips it when the DPT says no redo is possible).
+      *leaf_pid = child;
+      return Status::OK();
+    }
+    pid = child;
+  }
+}
+
+Status BTree::Read(Key key, std::string* value) {
+  PageId pid = kInvalidPageId;
+  DEUTERO_RETURN_NOT_OK(Find(key, &pid));
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  LeafNodeView leaf(h.view(), value_size_);
+  const uint32_t i = leaf.Find(key);
+  if (i == leaf.count()) return Status::NotFound("key not found");
+  value->assign(reinterpret_cast<const char*>(leaf.ValueAt(i)), value_size_);
+  return Status::OK();
+}
+
+Status BTree::ApplyUpdate(PageId pid, Key key, Slice value, Lsn lsn) {
+  if (value.size() != value_size_) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("update target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size_);
+  const uint32_t i = leaf.Find(key);
+  if (i == leaf.count()) return Status::NotFound("key not on page");
+  leaf.SetValueAt(i, reinterpret_cast<const uint8_t*>(value.data()));
+  h.MarkDirty(lsn);
+  return Status::OK();
+}
+
+Status BTree::ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn) {
+  if (value.size() != value_size_) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("insert target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size_);
+  const uint32_t i = leaf.LowerBound(key);
+  if (i < leaf.count() && leaf.KeyAt(i) == key) {
+    return Status::InvalidArgument("duplicate key");
+  }
+  if (leaf.full()) return Status::Corruption("insert into full leaf");
+  leaf.InsertAt(i, key, reinterpret_cast<const uint8_t*>(value.data()));
+  h.MarkDirty(lsn);
+  num_rows_++;
+  return Status::OK();
+}
+
+Status BTree::ApplyDelete(PageId pid, Key key, Lsn lsn) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("delete target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size_);
+  const uint32_t i = leaf.Find(key);
+  if (i == leaf.count()) return Status::NotFound("key not on page");
+  leaf.RemoveAt(i);
+  h.MarkDirty(lsn);
+  if (num_rows_ > 0) num_rows_--;
+  return Status::OK();
+}
+
+Status BTree::PrepareInsert(Key key, PageId* leaf_pid) {
+  stats_.traversals++;
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
+  clock_->AdvanceUs(cpu_per_level_us_);
+  // Preventive top-down splitting: split any full node before descending,
+  // so a child split always finds room in its parent.
+  {
+    PageView page = h.view();
+    const bool root_full =
+        page.type() == PageType::kLeaf
+            ? LeafNodeView(page, value_size_).full()
+            : InternalNodeView(page).full();
+    if (root_full) DEUTERO_RETURN_NOT_OK(SplitRoot(&h));
+  }
+  PageId pid = root_pid_;
+  while (true) {
+    PageView page = h.view();
+    if (page.type() == PageType::kLeaf) {
+      *leaf_pid = pid;
+      return Status::OK();
+    }
+    InternalNodeView node(page);
+    uint32_t ci = node.FindChildIndex(key);
+    PageId child = node.ChildAt(ci);
+    PageHandle ch;
+    DEUTERO_RETURN_NOT_OK(
+        pool_->Get(child, ClassForLevel(page.level() - 1), &ch));
+    clock_->AdvanceUs(cpu_per_level_us_);
+    PageView child_page = ch.view();
+    const bool child_full =
+        child_page.type() == PageType::kLeaf
+            ? LeafNodeView(child_page, value_size_).full()
+            : InternalNodeView(child_page).full();
+    if (child_full) {
+      DEUTERO_RETURN_NOT_OK(SplitChild(&h, &ch, ci));
+      // The split may have shifted the key's home to the new sibling.
+      ci = node.FindChildIndex(key);
+      if (node.ChildAt(ci) != child) {
+        child = node.ChildAt(ci);
+        ch.Release();
+        DEUTERO_RETURN_NOT_OK(
+            pool_->Get(child, ClassForLevel(page.level() - 1), &ch));
+      }
+    }
+    h = std::move(ch);
+    pid = child;
+  }
+}
+
+namespace {
+
+std::string PageImage(const PageView& page) {
+  return std::string(reinterpret_cast<const char*>(page.data()),
+                     page.page_size());
+}
+
+}  // namespace
+
+Status BTree::SplitChild(PageHandle* parent_h, PageHandle* child_h,
+                         uint32_t child_idx) {
+  stats_.splits++;
+  PageView parent = parent_h->view();
+  PageView child = child_h->view();
+  InternalNodeView pnode(parent);
+  assert(!pnode.full());
+
+  const PageId sibling_pid = allocator_->Allocate();
+  PageHandle sh;
+  DEUTERO_RETURN_NOT_OK(
+      pool_->Create(sibling_pid, ClassForLevel(child.level()), &sh));
+  PageView sibling = sh.view();
+  sibling.Format(sibling_pid, child.type(), child.level());
+
+  Key sep = 0;
+  if (child.type() == PageType::kLeaf) {
+    LeafNodeView cnode(child, value_size_);
+    const uint32_t half = cnode.count() / 2;
+    sep = cnode.KeyAt(half);
+    LeafNodeView snode(sibling, value_size_);
+    cnode.SpillUpperHalfInto(&snode, half);
+  } else {
+    InternalNodeView cnode(child);
+    const uint32_t half = cnode.count() / 2;
+    sep = cnode.KeyAt(half);
+    InternalNodeView snode(sibling);
+    cnode.SpillUpperHalfInto(&snode, half);
+  }
+  sibling.set_right_sibling(child.right_sibling());
+  child.set_right_sibling(sibling_pid);
+  pnode.InsertAt(child_idx + 1, sep, sibling_pid);
+
+  // System transaction commit: one atomic SMO record with the after-images.
+  const Lsn lsn = log_->next_lsn();
+  parent_h->MarkDirty(lsn);
+  child_h->MarkDirty(lsn);
+  sh.MarkDirty(lsn);
+  LogRecord rec;
+  rec.type = LogRecordType::kSmo;
+  rec.alloc_hwm = allocator_->next_page_id();
+  rec.smo_pages.push_back({parent_h->pid(), PageImage(parent)});
+  rec.smo_pages.push_back({child_h->pid(), PageImage(child)});
+  rec.smo_pages.push_back({sibling_pid, PageImage(sibling)});
+  const Lsn got = log_->Append(rec);
+  assert(got == lsn);
+  (void)got;
+  return Status::OK();
+}
+
+Status BTree::SplitRoot(PageHandle* root_h) {
+  stats_.splits++;
+  stats_.root_splits++;
+  PageView root = root_h->view();
+  const PageId left_pid = allocator_->Allocate();
+  const PageId right_pid = allocator_->Allocate();
+  PageHandle lh, rh;
+  DEUTERO_RETURN_NOT_OK(
+      pool_->Create(left_pid, ClassForLevel(root.level()), &lh));
+  DEUTERO_RETURN_NOT_OK(
+      pool_->Create(right_pid, ClassForLevel(root.level()), &rh));
+  PageView left = lh.view();
+  PageView right = rh.view();
+  left.Format(left_pid, root.type(), root.level());
+  right.Format(right_pid, root.type(), root.level());
+
+  Key sep = 0;
+  if (root.type() == PageType::kLeaf) {
+    LeafNodeView rnode(root, value_size_);
+    const uint32_t half = rnode.count() / 2;
+    sep = rnode.KeyAt(half);
+    LeafNodeView right_node(right, value_size_);
+    rnode.SpillUpperHalfInto(&right_node, half);
+    LeafNodeView left_node(left, value_size_);
+    rnode.SpillUpperHalfInto(&left_node, 0);
+  } else {
+    InternalNodeView rnode(root);
+    const uint32_t half = rnode.count() / 2;
+    sep = rnode.KeyAt(half);
+    InternalNodeView right_node(right);
+    rnode.SpillUpperHalfInto(&right_node, half);
+    InternalNodeView left_node(left);
+    rnode.SpillUpperHalfInto(&left_node, 0);
+  }
+  left.set_right_sibling(right_pid);
+
+  // Rewrite the root page in place as an internal node one level up. The
+  // leftmost entry's key is semantically -infinity (stored as 0): lookups
+  // clamp to entry 0, and later splits of the leftmost child must be able
+  // to insert separators below any key the left subtree ever held.
+  const uint8_t new_level = root.level() + 1;
+  root.Format(root_pid_, PageType::kInternal, new_level);
+  InternalNodeView new_root(root);
+  new_root.Append(0, left_pid);
+  new_root.Append(sep, right_pid);
+  height_++;
+
+  const Lsn lsn = log_->next_lsn();
+  root_h->MarkDirty(lsn);
+  lh.MarkDirty(lsn);
+  rh.MarkDirty(lsn);
+  LogRecord rec;
+  rec.type = LogRecordType::kSmo;
+  rec.alloc_hwm = allocator_->next_page_id();
+  rec.smo_pages.push_back({root_pid_, PageImage(root)});
+  rec.smo_pages.push_back({left_pid, PageImage(left)});
+  rec.smo_pages.push_back({right_pid, PageImage(right)});
+  const Lsn got = log_->Append(rec);
+  assert(got == lsn);
+  (void)got;
+  return Status::OK();
+}
+
+Status BTree::RefreshHeight() {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
+  height_ = h.view().level() + 1;
+  return Status::OK();
+}
+
+Status BTree::PreloadIndex() {
+  PageHandle root_h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &root_h));
+  PageView root = root_h.view();
+  if (root.type() == PageType::kLeaf || root.level() < 2) {
+    return Status::OK();  // no internal pages below the root
+  }
+  std::vector<PageId> frontier = {root_pid_};
+  uint8_t level = root.level();
+  root_h.Release();
+  while (level >= 2) {
+    std::vector<PageId> children;
+    for (PageId pid : frontier) {
+      PageHandle h;
+      DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+      InternalNodeView node(h.view());
+      for (uint32_t i = 0; i < node.count(); i++) {
+        children.push_back(node.ChildAt(i));
+      }
+    }
+    pool_->Prefetch(children, PageClass::kIndex);
+    for (PageId pid : children) {
+      PageHandle h;
+      DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+    }
+    frontier = std::move(children);
+    level--;
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckSubtree(PageId pid, int expected_level, Key lower_fence,
+                           bool has_upper, Key upper_fence, uint64_t* rows) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(
+      pid, expected_level > 0 ? PageClass::kIndex : PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.level() != expected_level) {
+    return Status::Corruption("level mismatch: pid " + std::to_string(pid) +
+                              " level " + std::to_string(page.level()) +
+                              " expected " + std::to_string(expected_level));
+  }
+  if (page.type() == PageType::kLeaf) {
+    if (expected_level != 0) return Status::Corruption("leaf above level 0");
+    LeafNodeView leaf(page, value_size_);
+    if (leaf.count() > leaf.capacity()) {
+      return Status::Corruption("leaf overflow");
+    }
+    for (uint32_t i = 0; i < leaf.count(); i++) {
+      const Key k = leaf.KeyAt(i);
+      if (i > 0 && leaf.KeyAt(i - 1) >= k) {
+        return Status::Corruption("leaf keys out of order");
+      }
+      if (k < lower_fence || (has_upper && k >= upper_fence)) {
+        return Status::Corruption("leaf key outside fences");
+      }
+    }
+    *rows += leaf.count();
+    return Status::OK();
+  }
+  if (page.type() != PageType::kInternal) {
+    return Status::Corruption("unexpected page type in tree");
+  }
+  InternalNodeView node(page);
+  if (node.count() == 0) return Status::Corruption("empty internal node");
+  if (node.count() > node.capacity()) {
+    return Status::Corruption("internal overflow");
+  }
+  for (uint32_t i = 0; i < node.count(); i++) {
+    if (i > 0 && node.KeyAt(i - 1) >= node.KeyAt(i)) {
+      return Status::Corruption("internal keys out of order");
+    }
+  }
+  const uint16_t n = node.count();
+  h.Release();
+  for (uint32_t i = 0; i < n; i++) {
+    // Re-pin for each child to bound pin depth: the deep recursion below
+    // must not hold this frame, or a small pool could not evict it.
+    PageHandle h2;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h2));
+    InternalNodeView node2(h2.view());
+    if (node2.count() != n) return Status::Corruption("node changed underfoot");
+    const Key lo = i == 0 ? lower_fence : node2.KeyAt(i);
+    const bool child_has_upper = (i + 1 < n) || has_upper;
+    const Key hi = (i + 1 < n) ? node2.KeyAt(i + 1) : upper_fence;
+    const PageId child = node2.ChildAt(i);
+    const int child_level = expected_level - 1;
+    h2.Release();
+    DEUTERO_RETURN_NOT_OK(
+        CheckSubtree(child, child_level, lo, child_has_upper, hi, rows));
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckWellFormed(uint64_t* row_count) {
+  uint64_t rows = 0;
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
+  const int root_level = h.view().level();
+  h.Release();
+  DEUTERO_RETURN_NOT_OK(
+      CheckSubtree(root_pid_, root_level, 0, false, 0, &rows));
+  if (row_count != nullptr) *row_count = rows;
+  return Status::OK();
+}
+
+Status BTree::ScanAll(const std::function<void(Key, Slice)>& fn) {
+  // Descend to the leftmost leaf, then follow the sibling chain.
+  PageId pid = root_pid_;
+  while (true) {
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.type() == PageType::kLeaf) break;
+    pid = InternalNodeView(page).ChildAt(0);
+  }
+  while (pid != kInvalidPageId) {
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+    PageView page = h.view();
+    LeafNodeView leaf(page, value_size_);
+    for (uint32_t i = 0; i < leaf.count(); i++) {
+      fn(leaf.KeyAt(i),
+         Slice(reinterpret_cast<const char*>(leaf.ValueAt(i)), value_size_));
+    }
+    pid = page.right_sibling();
+  }
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,147 @@
+// Clustered B+tree over the buffer pool — one per table, the DC's data
+// placement structure. Logical operations are identified by (table, key);
+// the tree maps them to pages, which is exactly the knowledge the TC's
+// logical log lacks and logical redo must rediscover by re-traversal
+// (paper §1.3).
+//
+// Structure modification operations (page splits) run as DC system
+// transactions: each split appends ONE kSmo log record carrying the full
+// after-images of every page it touched. The record is atomic — either it
+// is on the stable log and DC recovery reinstalls the images (idempotently,
+// via the per-page pLSN test), or it is not and the WAL rule guarantees
+// none of the touched pages reached the disk. DC recovery replays SMOs
+// BEFORE the TC redo pass so the tree is well-formed when logical redo
+// traverses it (paper §2.1, §4).
+//
+// Each tree's root lives at a page id fixed at creation: a root split
+// rewrites the root page in place and pushes its old content into two
+// freshly allocated children, so the catalog never changes on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/allocator.h"
+#include "storage/buffer_pool.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+/// Root page id of the default table, allocated first at database creation
+/// (page 0 is the catalog page).
+inline constexpr PageId kRootPageId = 1;
+
+/// Install the full page images of an SMO or create-table record whose
+/// on-device pLSN predates the record (idempotent physical redo), and raise
+/// the allocator high-water mark. Tree-agnostic: images name their pages.
+Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
+                          PageAllocator* allocator, uint32_t page_size,
+                          const LogRecord& rec);
+
+class BTree {
+ public:
+  struct Stats {
+    uint64_t traversals = 0;
+    uint64_t splits = 0;
+    uint64_t root_splits = 0;
+  };
+
+  BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
+        PageAllocator* allocator, LogManager* log, PageId root_pid,
+        uint32_t page_size, uint32_t value_size, double leaf_fill,
+        double cpu_per_level_us);
+
+  /// Initialize an empty tree: format the root page (a leaf) directly on
+  /// the device. Durability of table existence is the catalog's / DDL
+  /// record's concern, not the tree's.
+  Status CreateEmpty();
+
+  /// Build a tree of `num_rows` dense keys [0, num_rows) directly on the
+  /// device (no logging, no cache, no simulated I/O cost — database
+  /// creation precedes the measured epoch).
+  Status BulkLoad(uint64_t num_rows,
+                  const std::function<void(Key, uint8_t*)>& value_gen);
+
+  // ---- normal operation / logical redo ----
+
+  /// Traverse the index to the leaf that owns `key` (the logical->physical
+  /// mapping step of every logical operation). Charges traversal CPU and
+  /// any index-page I/O; does not touch the leaf.
+  Status Find(Key key, PageId* leaf_pid);
+
+  /// Point lookup.
+  Status Read(Key key, std::string* value);
+
+  /// Ensure the leaf for `key` has room for one more entry, performing
+  /// logged preventive splits along the path. Returns the leaf pid.
+  Status PrepareInsert(Key key, PageId* leaf_pid);
+
+  /// Overwrite the payload of `key` in leaf `pid`, stamping pLSN = lsn.
+  Status ApplyUpdate(PageId pid, Key key, Slice value, Lsn lsn);
+
+  /// Insert (key, value) into leaf `pid`, stamping pLSN = lsn.
+  Status ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn);
+
+  /// Remove `key` from leaf `pid` (undo of an insert), stamping pLSN = lsn.
+  Status ApplyDelete(PageId pid, Key key, Lsn lsn);
+
+  // ---- recovery ----
+
+  /// Load every internal index page of this tree into the cache — logical
+  /// recovery's index preload (paper App. A.1).
+  Status PreloadIndex();
+
+  /// Re-derive the height from the root page (after recovery installed
+  /// arbitrary SMO images).
+  Status RefreshHeight();
+
+  // ---- integrity / inspection ----
+
+  /// Verify ordering, fences, levels and slot counts across the tree.
+  Status CheckWellFormed(uint64_t* row_count);
+
+  /// Visit all rows in key order through the leaf sibling chain.
+  Status ScanAll(const std::function<void(Key, Slice)>& fn);
+
+  PageId root_pid() const { return root_pid_; }
+  uint32_t height() const { return height_; }
+  void set_height(uint32_t h) { height_ = h; }
+  uint64_t row_count() const { return num_rows_; }
+  void set_row_count(uint64_t n) { num_rows_ = n; }
+  uint32_t value_size() const { return value_size_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status SplitChild(PageHandle* parent_h, PageHandle* child_h,
+                    uint32_t child_idx);
+  Status SplitRoot(PageHandle* root_h);
+  Status CheckSubtree(PageId pid, int expected_level, Key lower_fence,
+                      bool has_upper, Key upper_fence, uint64_t* rows);
+
+  PageClass ClassForLevel(uint8_t level) const {
+    return level > 0 ? PageClass::kIndex : PageClass::kData;
+  }
+
+  SimClock* clock_;
+  SimDisk* disk_;
+  BufferPool* pool_;
+  PageAllocator* allocator_;
+  LogManager* log_;
+  const PageId root_pid_;
+  const uint32_t page_size_;
+  const uint32_t value_size_;
+  const double leaf_fill_;
+  const double cpu_per_level_us_;
+
+  uint32_t height_ = 1;
+  uint64_t num_rows_ = 0;
+  Stats stats_;
+};
+
+}  // namespace deutero

@@ -1,0 +1,87 @@
+// Little-endian fixed-width and varint encoding helpers for log records and
+// page headers. All multi-byte on-disk integers in the engine go through
+// these helpers so the format is platform independent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace deutero {
+
+inline void EncodeFixed16(char* dst, uint16_t v) { std::memcpy(dst, &v, 2); }
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  std::memcpy(&v, src, 2);
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  char buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(buf, 2);
+}
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(buf, 4);
+}
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(buf, 8);
+}
+
+/// Append a varint32 (LEB128) to dst.
+void PutVarint32(std::string* dst, uint32_t v);
+
+/// Append a varint64 (LEB128) to dst.
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Append a length-prefixed byte string.
+inline void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+/// Parse a varint32 from *input, advancing it. Returns false on truncation.
+bool GetVarint32(Slice* input, uint32_t* value);
+
+/// Parse a varint64 from *input, advancing it. Returns false on truncation.
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Parse a fixed32 from *input, advancing it. Returns false on truncation.
+inline bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->RemovePrefix(4);
+  return true;
+}
+
+/// Parse a fixed64 from *input, advancing it. Returns false on truncation.
+inline bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->RemovePrefix(8);
+  return true;
+}
+
+/// Parse a length-prefixed byte string; result points into the input buffer.
+bool GetLengthPrefixed(Slice* input, Slice* result);
+
+}  // namespace deutero

@@ -1,0 +1,15 @@
+// CRC-32C (Castagnoli) for log-record integrity. Software table-driven
+// implementation; the WAL stamps every record so torn or corrupted stable
+// bytes are detected instead of mis-parsed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deutero {
+
+/// CRC-32C of `data[0..n)`, seeded with `init` (chain calls by passing the
+/// previous result).
+uint32_t Crc32c(const void* data, size_t n, uint32_t init = 0);
+
+}  // namespace deutero

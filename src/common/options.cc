@@ -1,0 +1,37 @@
+#include "common/options.h"
+
+#include <cmath>
+
+#include "storage/page.h"
+
+namespace deutero {
+
+const char* RecoveryMethodName(RecoveryMethod m) {
+  switch (m) {
+    case RecoveryMethod::kLog0:
+      return "Log0";
+    case RecoveryMethod::kLog1:
+      return "Log1";
+    case RecoveryMethod::kLog2:
+      return "Log2";
+    case RecoveryMethod::kSql1:
+      return "Sql1";
+    case RecoveryMethod::kSql2:
+      return "Sql2";
+  }
+  return "Unknown";
+}
+
+uint64_t EngineOptions::RowsPerLeaf() const {
+  const uint64_t entry = 8 + value_size;  // key + fixed payload
+  return (page_size - kPageHeaderSize) / entry;
+}
+
+uint64_t EngineOptions::ExpectedLeafPages() const {
+  const uint64_t per_leaf = static_cast<uint64_t>(
+      std::floor(static_cast<double>(RowsPerLeaf()) * leaf_fill_fraction));
+  const uint64_t fill = per_leaf == 0 ? 1 : per_leaf;
+  return (num_rows + fill - 1) / fill;
+}
+
+}  // namespace deutero

@@ -1,0 +1,147 @@
+// Engine configuration. Defaults correspond to the paper's experimental setup
+// at 1/10 linear scale (DESIGN.md §2): 43,600 data pages of 8 KB (229 rows
+// per page, 10^7 rows), checkpoint every 4,000 updates, a ~10-record tail of
+// the log, and caches from 819 (64 MB-class) to 26,214 (2 GB-class) pages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace deutero {
+
+/// Which DPT-construction spectrum point the DC uses (paper §4.2, App. D).
+enum class DptMode : uint8_t {
+  /// Δ-records carry (DirtySet, WrittenSet, FW-LSN, FirstDirty, TC-LSN) —
+  /// the paper's chosen point (§4.1/§4.2).
+  kStandard = 0,
+  /// Δ-records additionally carry per-update LSNs (DirtyLSNs), letting the DC
+  /// rebuild exactly the SQL-Server DPT (App. D.1) at higher logging cost.
+  kPerfect = 1,
+  /// Δ-records without FW-LSN and FirstDirty (App. D.2): less logging, more
+  /// conservative rLSNs, flush pruning only across Δ-record boundaries.
+  kReduced = 2,
+};
+
+/// How checkpoints prepare for recovery (paper §3).
+enum class CheckpointScheme : uint8_t {
+  /// SQL Server's penultimate scheme (§3.2): bCkpt, flush everything
+  /// dirtied before it (RSSP), eCkpt. The redo scan starts at the last
+  /// completed bCkpt with an empty DPT. Required by the logical family,
+  /// whose Δ-record DPT construction assumes the RSSP flush contract.
+  kPenultimate = 0,
+  /// Classic ARIES (§3.1): the checkpoint record captures the runtime DPT
+  /// and flushes nothing. Cheap checkpoints; the redo scan starts at the
+  /// oldest rLSN in the captured DPT. SQL-family recovery only.
+  kAries = 1,
+};
+
+/// Recovery method under test (paper §5.2).
+enum class RecoveryMethod : uint8_t {
+  kLog0 = 0,  ///< Basic logical redo (Algorithm 2), no DPT, no prefetch.
+  kLog1 = 1,  ///< Logical redo with the Δ-record DPT (Algorithms 4+5).
+  kLog2 = 2,  ///< Log1 plus index preload and PF-list data prefetch (App. A).
+  kSql1 = 3,  ///< Physiological redo with the BW-record DPT (Algorithms 1+3).
+  kSql2 = 4,  ///< SQL1 plus log-driven data prefetch (App. A.2).
+};
+
+/// Returns a stable display name ("Log0", "Sql2", ...).
+const char* RecoveryMethodName(RecoveryMethod m);
+
+/// Cost model for the simulated disk and CPU. Recovery time in the paper is
+/// gated by data-page I/O (Appendix B); these constants control the simulated
+/// milliseconds charged per event. Absolute values are era-plausible for a
+/// 2011 server drive; only relative shapes matter for reproduction.
+struct IoModelOptions {
+  /// Positioning cost of a random synchronous single-page read (ms).
+  double random_seek_ms = 5.0;
+  /// Per-page transfer cost (ms).
+  double transfer_ms_per_page = 0.12;
+  /// Positioning cost factor for asynchronous reads issued through the
+  /// prefetcher: pending requests are elevator-sorted by the drive, which
+  /// shortens seeks. Applied to random_seek_ms.
+  double sorted_seek_factor = 0.75;
+  /// Positioning cost of a page write (ms). Writes are buffered and
+  /// elevator-scheduled by the controller, hence cheaper than reads.
+  double write_seek_ms = 2.0;
+  /// Max contiguous pages coalesced into one read I/O (paper App. A: 8).
+  double log_page_read_ms = 0.25;  ///< Sequential log read, per log page.
+  uint32_t max_batch_pages = 8;
+  /// Number of I/Os the device can service concurrently (queue parallelism).
+  uint32_t io_channels = 1;
+
+  /// CPU charged per log record examined during a recovery scan (µs).
+  double cpu_per_log_record_us = 5.0;
+  /// CPU charged per B-tree level traversed on a cached path (µs).
+  double cpu_per_btree_level_us = 2.0;
+  /// CPU charged per redo operation actually applied (µs).
+  double cpu_per_redo_apply_us = 5.0;
+};
+
+/// Test-only fault injection points (used by crash tests).
+struct CrashPoints {
+  bool after_begin_checkpoint = false;  ///< Crash between bCkpt and RSSP.
+  bool after_rssp = false;              ///< Crash between RSSP and eCkpt.
+};
+
+struct EngineOptions {
+  // ---- geometry ----
+  uint32_t page_size = 8192;  ///< Data page size in bytes.
+  uint32_t value_size = 26;   ///< Fixed record payload size ("data" column).
+  uint64_t num_rows = 10'000'000;  ///< Rows bulk-loaded at creation.
+  double leaf_fill_fraction = 0.95;  ///< Bulk-load leaf fill factor.
+
+  // ---- cache ----
+  uint64_t cache_pages = 819;  ///< Buffer pool capacity (64 MB-class default).
+
+  /// Lazy-writer dirty watermark: the background writer flushes the
+  /// oldest-dirtied pages whenever the dirty count exceeds
+  ///   watermark_base_fraction * reference_cache_pages
+  ///       * (cache_pages / reference_cache_pages)^watermark_exponent.
+  /// This is the SQL-Server lazy-writer/recovery-interval analog; the curve
+  /// is calibrated so the dirty fraction of the cache falls from ~30 % at the
+  /// 64 MB-class cache to ~10 % at the 2 GB-class cache (paper Fig. 2(b)).
+  double lazy_writer_base_fraction = 0.30;
+  double lazy_writer_exponent = 0.67;
+  uint64_t lazy_writer_reference_cache_pages = 819;
+  /// When non-zero, the watermark additionally scales with
+  /// sqrt(checkpoint_interval / this): with rarer checkpoints the dirty pool
+  /// grows until flush pressure balances (paper App. C: the DPT roughly
+  /// doubles when the interval grows 5x). Zero disables interval scaling.
+  uint64_t lazy_writer_reference_interval = 0;
+
+  // ---- transactions / logging ----
+  uint32_t updates_per_txn = 10;  ///< Paper §5.2: small 10-update txns.
+  uint32_t log_page_size = 8192;
+  /// Checkpoint cadence in updates (ci1 at 1/10 scale). Appendix C scales
+  /// this by 5x and 10x.
+  uint64_t checkpoint_interval_updates = 4000;
+
+  // ---- DC monitoring (Δ- and BW-record cadence, §3.3/§4.1) ----
+  /// WrittenSet capacity: a Δ-record followed by a BW-record is emitted when
+  /// this many flushes have been captured.
+  uint32_t bw_written_capacity = 100;
+  /// DirtySet capacity: an extra Δ-record (dirty pages only) is emitted when
+  /// this many dirty-page entries accumulate between BW emissions.
+  uint32_t delta_dirty_capacity = 250;
+
+  DptMode dpt_mode = DptMode::kStandard;
+  CheckpointScheme checkpoint_scheme = CheckpointScheme::kPenultimate;
+
+  // ---- prefetch (App. A) ----
+  uint32_t prefetch_window = 32;  ///< Max outstanding prefetched pages.
+
+  // ---- misc ----
+  uint64_t seed = 42;            ///< Workload / layout determinism.
+  TableId table_id = kDefaultTableId;
+
+  IoModelOptions io;
+  CrashPoints crash_points;
+
+  /// Rows per leaf page under this geometry (helper used by sizing code).
+  uint64_t RowsPerLeaf() const;
+  /// Number of leaf pages num_rows will occupy at leaf_fill_fraction.
+  uint64_t ExpectedLeafPages() const;
+};
+
+}  // namespace deutero

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random generators for workloads and property tests.
+// The engine must be bit-reproducible given a seed (DESIGN.md §5), so all
+// randomness flows through these classes rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace deutero {
+
+/// xorshift128+ generator: fast, deterministic, good enough for workload
+/// generation (not cryptographic).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed so that nearby seeds diverge.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    auto mix = [](uint64_t v) {
+      v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+      return v ^ (v >> 31);
+    };
+    s0_ = mix(z);
+    z += 0x9e3779b97f4a7c15ULL;
+    s1_ = mix(z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipfian key distribution over [0, n). Used by skewed-workload tests; the
+/// paper's headline experiments are uniform (its stated worst case).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace deutero

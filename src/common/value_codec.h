@@ -1,0 +1,35 @@
+// Deterministic synthetic record payloads. The paper's table has two
+// attributes, "key" and fixed-size "data" (§5.2); workloads overwrite the
+// data attribute. Values are a pure function of (key, version) so an oracle
+// can predict any committed row without storing it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace deutero {
+
+/// Fill `out[0..size)` with the canonical payload of `key` at `version`.
+/// Version 0 is the bulk-loaded value.
+inline void SynthesizeValue(Key key, uint32_t version, uint32_t size,
+                            uint8_t* out) {
+  uint64_t state = key * 0x9e3779b97f4a7c15ULL + version + 1;
+  for (uint32_t i = 0; i < size; i++) {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    out[i] = static_cast<uint8_t>((state * 0x2545f4914f6cdd1dULL) >> 56);
+  }
+}
+
+/// String-returning convenience form.
+inline std::string SynthesizeValueString(Key key, uint32_t version,
+                                         uint32_t size) {
+  std::string s(size, '\0');
+  SynthesizeValue(key, version, size, reinterpret_cast<uint8_t*>(s.data()));
+  return s;
+}
+
+}  // namespace deutero

@@ -1,0 +1,112 @@
+#include "core/engine.h"
+
+#include "common/value_codec.h"
+#include "recovery/recovery_manager.h"
+
+namespace deutero {
+
+Engine::Engine(const EngineOptions& options) : options_(options) {
+  log_ = std::make_unique<LogManager>(&clock_, options_.log_page_size,
+                                      options_.io.log_page_read_ms);
+  dc_ = std::make_unique<DataComponent>(&clock_, log_.get(), options_);
+  tc_ = std::make_unique<TransactionComponent>(&clock_, log_.get(), dc_.get(),
+                                               options_);
+  dc_->set_wal_force([this](Lsn lsn) { tc_->ForceLogUpTo(lsn); });
+}
+
+Status Engine::Open(const EngineOptions& options,
+                    std::unique_ptr<Engine>* out) {
+  std::unique_ptr<Engine> e(new Engine(options));
+  const uint32_t vsize = options.value_size;
+  DEUTERO_RETURN_NOT_OK(e->dc_->CreateDatabase(
+      [vsize](Key key, uint8_t* dst) { SynthesizeValue(key, 0, vsize, dst); }));
+  e->running_ = true;
+  DEUTERO_RETURN_NOT_OK(e->tc_->Checkpoint());
+  *out = std::move(e);
+  return Status::OK();
+}
+
+Status Engine::Begin(TxnId* txn) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Begin(txn);
+}
+
+Status Engine::CreateTable(TableId table, uint32_t value_size) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return dc_->CreateTable(table, value_size);
+}
+
+Status Engine::Update(TxnId txn, Key key, Slice value) {
+  return Update(txn, options_.table_id, key, value);
+}
+
+Status Engine::Insert(TxnId txn, Key key, Slice value) {
+  return Insert(txn, options_.table_id, key, value);
+}
+
+Status Engine::Read(Key key, std::string* value) {
+  return Read(options_.table_id, key, value);
+}
+
+Status Engine::Update(TxnId txn, TableId table, Key key, Slice value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Update(txn, table, key, value);
+}
+
+Status Engine::Insert(TxnId txn, TableId table, Key key, Slice value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Insert(txn, table, key, value);
+}
+
+Status Engine::Read(TableId table, Key key, std::string* value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Read(kInvalidTxnId, table, key, value);
+}
+
+Status Engine::Commit(TxnId txn) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Commit(txn);
+}
+
+Status Engine::Abort(TxnId txn) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Abort(txn);
+}
+
+Status Engine::Checkpoint(uint64_t* pages_flushed) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Checkpoint(pages_flushed);
+}
+
+void Engine::SimulateCrash() {
+  log_->Crash();
+  dc_->SimulateCrash();
+  tc_->SimulateCrash();
+  clock_.Reset();
+  dc_->disk().ResetTime();
+  running_ = false;
+}
+
+Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
+  if (running_) return Status::InvalidArgument("engine is not crashed");
+  RecoveryManager rm(&clock_, log_.get(), dc_.get(), tc_.get(), options_);
+  DEUTERO_RETURN_NOT_OK(rm.Recover(method, stats));
+  running_ = true;
+  return Status::OK();
+}
+
+Status Engine::TakeStableSnapshot(StableSnapshot* out) const {
+  if (running_) return Status::InvalidArgument("snapshot requires a crash");
+  out->disk_image = dc_->disk().SnapshotImage();
+  out->log = log_->TakeSnapshot();
+  return Status::OK();
+}
+
+Status Engine::RestoreStableSnapshot(const StableSnapshot& snap) {
+  if (running_) return Status::InvalidArgument("restore requires a crash");
+  dc_->disk().RestoreImage(snap.disk_image);
+  log_->RestoreSnapshot(snap.log);
+  return Status::OK();
+}
+
+}  // namespace deutero

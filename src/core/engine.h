@@ -1,0 +1,102 @@
+// Public facade: a single-node storage engine with a Deuteronomy-style
+// TC/DC split and pluggable crash recovery. Typical lifecycle:
+//
+//   std::unique_ptr<Engine> db;
+//   Engine::Open(options, &db);                 // bulk-loads num_rows rows
+//   TxnId t; db->Begin(&t);
+//   db->Update(t, key, value); ... db->Commit(t);
+//   db->Checkpoint();
+//   db->SimulateCrash();                        // drop volatile state
+//   RecoveryStats st;
+//   db->Recover(RecoveryMethod::kLog2, &st);    // logical recovery, optimized
+//
+// All time is simulated (see sim/clock.h); experiments snapshot/restore the
+// stable state to replay one crash under every recovery method side by side
+// (paper §5.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/data_component.h"
+#include "recovery/stats.h"
+#include "sim/clock.h"
+#include "tc/transaction_component.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+class Engine {
+ public:
+  /// Create a fresh database per `options` (bulk-loads options.num_rows
+  /// rows with version-0 payloads) and take the initial checkpoint.
+  static Status Open(const EngineOptions& options,
+                     std::unique_ptr<Engine>* out);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- DDL ----
+
+  /// Create an additional table (the default table exists from Open).
+  /// Logged as a DC system transaction and replayed by crash recovery.
+  Status CreateTable(TableId table, uint32_t value_size);
+
+  // ---- transactions ----
+  Status Begin(TxnId* txn);
+  /// Operations on the default table (the paper's single-table workloads).
+  Status Update(TxnId txn, Key key, Slice value);
+  Status Insert(TxnId txn, Key key, Slice value);
+  Status Read(Key key, std::string* value);  ///< Lock-free snapshot read.
+  /// Table-addressed variants.
+  Status Update(TxnId txn, TableId table, Key key, Slice value);
+  Status Insert(TxnId txn, TableId table, Key key, Slice value);
+  Status Read(TableId table, Key key, std::string* value);
+  Status Commit(TxnId txn);
+  Status Abort(TxnId txn);
+
+  // ---- checkpointing / crash / recovery ----
+  Status Checkpoint(uint64_t* pages_flushed = nullptr);
+
+  /// Drop every piece of volatile state (cache, monitors, live txns, the
+  /// unflushed log tail) and reset the measurement clock.
+  void SimulateCrash();
+
+  /// Recover with the given method; the engine must be crashed.
+  Status Recover(RecoveryMethod method, RecoveryStats* stats);
+
+  bool running() const { return running_; }
+
+  // ---- stable-state snapshots (side-by-side experiments) ----
+  struct StableSnapshot {
+    std::vector<uint8_t> disk_image;
+    LogManager::Snapshot log;
+  };
+  /// Capture the crash image. Engine must be crashed.
+  Status TakeStableSnapshot(StableSnapshot* out) const;
+  /// Reinstall a crash image. Engine must be crashed.
+  Status RestoreStableSnapshot(const StableSnapshot& snap);
+
+  // ---- component access (tests, experiments, examples) ----
+  TransactionComponent& tc() { return *tc_; }
+  DataComponent& dc() { return *dc_; }
+  LogManager& wal() { return *log_; }
+  SimClock& clock() { return clock_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  explicit Engine(const EngineOptions& options);
+
+  EngineOptions options_;
+  SimClock clock_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<DataComponent> dc_;
+  std::unique_ptr<TransactionComponent> tc_;
+  bool running_ = false;
+};
+
+}  // namespace deutero

@@ -1,0 +1,76 @@
+#include "core/replica.h"
+
+namespace deutero {
+
+Status LogicalReplica::Open(const EngineOptions& options,
+                            std::unique_ptr<LogicalReplica>* out) {
+  std::unique_ptr<LogicalReplica> r(new LogicalReplica());
+  DEUTERO_RETURN_NOT_OK(Engine::Open(options, &r->engine_));
+  *out = std::move(r);
+  return Status::OK();
+}
+
+Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
+  Lsn resume = from < kFirstLsn ? kFirstLsn : from;
+  for (auto it = primary_log.NewIterator(resume, /*charge_io=*/false);
+       it.Valid(); it.Next()) {
+    const LogRecord& rec = it.record();
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+        in_flight_[rec.txn_id].push_back(
+            {false, rec.table_id, rec.key, rec.after});
+        break;
+      case LogRecordType::kInsert:
+        in_flight_[rec.txn_id].push_back(
+            {true, rec.table_id, rec.key, rec.after});
+        break;
+      case LogRecordType::kCreateTable:
+        // DDL replicates logically: same table id and schema, the replica's
+        // own physical geometry. Idempotent across overlapping syncs.
+        if (engine_->dc().FindTable(rec.table_id) == nullptr) {
+          DEUTERO_RETURN_NOT_OK(
+              engine_->CreateTable(rec.table_id, rec.ddl_value_size));
+        }
+        break;
+      case LogRecordType::kTxnCommit: {
+        auto ops = in_flight_.find(rec.txn_id);
+        TxnId local = kInvalidTxnId;
+        DEUTERO_RETURN_NOT_OK(engine_->Begin(&local));
+        if (ops != in_flight_.end()) {
+          for (const BufferedOp& op : ops->second) {
+            if (op.is_insert) {
+              DEUTERO_RETURN_NOT_OK(
+                  engine_->Insert(local, op.table, op.key, op.after));
+            } else {
+              DEUTERO_RETURN_NOT_OK(
+                  engine_->Update(local, op.table, op.key, op.after));
+            }
+            ops_applied_++;
+          }
+          in_flight_.erase(ops);
+        }
+        DEUTERO_RETURN_NOT_OK(engine_->Commit(local));
+        txns_applied_++;
+        break;
+      }
+      case LogRecordType::kTxnAbort:
+        // The primary rolled it back (possibly via CLRs we ignored): the
+        // replica simply never applies the buffered operations.
+        in_flight_.erase(rec.txn_id);
+        break;
+      case LogRecordType::kClr:
+        // A CLR belongs to a transaction that will end in kTxnAbort; the
+        // whole transaction is dropped then, so nothing to do here.
+        break;
+      default:
+        // Physical/physiological primary records (SMO, Δ, BW, checkpoints)
+        // are meaningless under the replica's geometry.
+        break;
+    }
+    resume = rec.lsn;
+  }
+  if (next != nullptr) *next = primary_log.stable_end();
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,61 @@
+// Logical log shipping — the paper's second motivation for logical recovery
+// (§1.1): "the data can be replicated in a database using a different kind
+// of stable storage, e.g. a disk with different page size ... Because the
+// log records shipped to the replica are logical, they can be applied to
+// disparate physical system configurations."
+//
+// LogicalReplica is a full engine with its own (possibly different) page
+// geometry that consumes a primary's log stream, applying exactly the
+// logical content of committed transactions: (table, key, after-image).
+// PIDs, Δ/BW-records and SMOs in the primary log are meaningless on the
+// replica and are ignored; the replica forms its own pages and logs its own
+// SMOs.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+class LogicalReplica {
+ public:
+  /// Build a replica with its own geometry. `options.num_rows` must match
+  /// the primary's initial load (the base snapshot the log stream extends).
+  static Status Open(const EngineOptions& options,
+                     std::unique_ptr<LogicalReplica>* out);
+
+  /// Consume the primary's stable log from `from`, applying committed
+  /// transactions. Returns the resume point for the next call in *next.
+  /// In-flight (uncommitted) transactions are buffered across calls.
+  Status SyncFrom(LogManager& primary_log, Lsn from, Lsn* next);
+
+  Status Read(Key key, std::string* value) { return engine_->Read(key, value); }
+
+  Engine& engine() { return *engine_; }
+
+  uint64_t txns_applied() const { return txns_applied_; }
+  uint64_t ops_applied() const { return ops_applied_; }
+
+ private:
+  struct BufferedOp {
+    bool is_insert = false;
+    TableId table = kInvalidTableId;
+    Key key = 0;
+    std::string after;
+  };
+
+  LogicalReplica() = default;
+
+  std::unique_ptr<Engine> engine_;
+  std::unordered_map<TxnId, std::vector<BufferedOp>> in_flight_;
+  uint64_t txns_applied_ = 0;
+  uint64_t ops_applied_ = 0;
+};
+
+}  // namespace deutero

@@ -1,0 +1,152 @@
+// Deuteronomy data component (DC): owns data placement (the table catalog
+// and one B-tree per table), the database cache, and the dirty/flush
+// monitoring that makes optimized logical recovery possible. The TC talks
+// to it through a logical interface — (table, key, value) operations plus
+// the two control operations of paper §4.1:
+//
+//   EOSL: the TC's end-of-stable-log notification; gates page flushes (the
+//         write-ahead-log contract) and supplies FW-LSN / TC-LSN values.
+//   RSSP: the TC's checkpoint: the DC flushes every page dirtied by
+//         operations at or before the redo-scan start point and records the
+//         rsspLSN on the log (kRsspAck) so DC recovery knows where its own
+//         log scan starts.
+//
+// DDL is a DC system transaction: CreateTable appends a kCreateTable record
+// (root page image + catalog facts + allocator mark) that DC recovery
+// replays exactly like an SMO, so tables created after the last checkpoint
+// survive a crash.
+//
+// The DC never sees transaction semantics; it applies single-record
+// operations identified by key and stamps pages with the TC-supplied LSN.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/dirty_monitor.h"
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/allocator.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+class DataComponent {
+ public:
+  DataComponent(SimClock* clock, LogManager* log, const EngineOptions& opts);
+
+  /// Create the database: catalog + the default table bulk-loaded with
+  /// `num_rows` dense keys (paper §5.2 table: "key", fixed-size "data").
+  Status CreateDatabase(const std::function<void(Key, uint8_t*)>& value_gen);
+
+  /// Attach to an existing database (after a crash): read the catalog and
+  /// rebuild the per-table B-tree objects.
+  Status OpenDatabase();
+
+  /// DDL: create an empty table (logged; replayed by recovery).
+  Status CreateTable(TableId table, uint32_t value_size);
+
+  /// The table's tree; nullptr if unknown.
+  BTree* FindTable(TableId table);
+
+  /// Schema check: does `table` exist and accept values of this size?
+  /// The TC calls this BEFORE logging an operation — a record must never
+  /// reach the log if the DC would refuse to apply it.
+  Status ValidateValue(TableId table, size_t value_size);
+
+  // ---- logical data operations (TC-facing) ----
+
+  /// Map (table, key) to the owning leaf WITHOUT touching it (index
+  /// traversal only — the logical recovery primitive).
+  Status FindLeaf(TableId table, Key key, PageId* pid);
+
+  /// Map (table, key) to the owning leaf and return the current value
+  /// (before-image for the TC's undo logging).
+  Status LocateForUpdate(TableId table, Key key, PageId* pid,
+                         std::string* before);
+
+  /// Ensure leaf space for an insert (may run logged SMOs); returns the pid.
+  Status PrepareInsert(TableId table, Key key, PageId* pid);
+
+  Status ApplyUpdate(TableId table, PageId pid, Key key, Slice value,
+                     Lsn lsn);
+  Status ApplyInsert(TableId table, PageId pid, Key key, Slice value,
+                     Lsn lsn);
+  Status ApplyDelete(TableId table, PageId pid, Key key, Lsn lsn);
+  Status Read(TableId table, Key key, std::string* value);
+
+  /// Background work performed after each operation (lazy writer).
+  void Tick() { pool_->LazyWriterTick(); }
+
+  // ---- control operations (paper §4.1) ----
+
+  /// EOSL: operations with LSN <= elsn are on the TC's stable log.
+  void Eosl(Lsn elsn) { elsn_ = elsn < elsn_ ? elsn_ : elsn; }
+  Lsn elsn() const { return elsn_; }
+
+  /// RSSP: flush all pages dirtied by operations with LSN <= rssp_lsn
+  /// (penultimate-checkpoint bit-flip flush), then log the RSSP ack.
+  Status Rssp(Lsn rssp_lsn, uint64_t* pages_flushed);
+
+  // ---- crash / recovery plumbing ----
+
+  /// Drop all volatile DC state (cache, monitor arrays, eLSN, catalog).
+  void SimulateCrash();
+
+  /// Physical redo of an SMO record's page images (idempotent).
+  Status RedoSmo(const LogRecord& rec) {
+    return RedoPhysicalImages(pool_.get(), disk_.get(), &allocator_,
+                              options_.page_size, rec);
+  }
+
+  /// Replay a kCreateTable record: register the table (if unknown) and
+  /// install its root image (idempotent).
+  Status RedoCreateTable(const LogRecord& rec);
+
+  /// Load every internal index page of every table (paper App. A.1).
+  Status PreloadIndex();
+
+  /// Persist the catalog (roots, heights, allocator high-water mark);
+  /// called at checkpoint completion and end of recovery.
+  void PersistCatalog();
+
+  /// Default table's tree (single-table convenience used by most tests and
+  /// the paper's experiments).
+  BTree& btree() { return *tables_.at(options_.table_id); }
+  BufferPool& pool() { return *pool_; }
+  DirtyPageMonitor& monitor() { return *monitor_; }
+  SimDisk& disk() { return *disk_; }
+  SimClock& clock() { return *clock_; }
+  PageAllocator& allocator() { return allocator_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Wire the WAL-force path (engine glue): must make the integrated log
+  /// stable at least up to the given LSN and send EOSL back.
+  void set_wal_force(std::function<void(Lsn)> f);
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  std::unique_ptr<BTree> MakeTree(const TableInfo& info) const;
+
+  EngineOptions options_;
+  SimClock* clock_;
+  LogManager* log_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  PageAllocator allocator_;
+  Catalog catalog_;
+  std::map<TableId, std::unique_ptr<BTree>> tables_;
+  std::unique_ptr<DirtyPageMonitor> monitor_;
+  Lsn elsn_ = kInvalidLsn;
+};
+
+}  // namespace deutero

@@ -1,0 +1,97 @@
+#include "dc/dirty_monitor.h"
+
+#include <cassert>
+
+namespace deutero {
+
+void DirtyPageMonitor::OnPageDirtied(PageId pid, Lsn lsn) {
+  if (!enabled_) return;
+  dirty_set_.push_back(pid);
+  if (dpt_mode_ == DptMode::kPerfect) dirty_lsns_.push_back(lsn);
+  stats_.dirty_entries++;
+  if (dirty_set_.size() >= dirty_capacity_) EmitDelta();
+}
+
+void DirtyPageMonitor::OnPageFlushed(PageId pid, Lsn plsn) {
+  (void)plsn;
+  if (!enabled_) return;
+  const Lsn elsn = elsn_ ? elsn_() : kInvalidLsn;
+
+  // Δ side (§4.1): capture FW-LSN and FirstDirty at the interval's first
+  // flush.
+  if (!fw_seen_) {
+    fw_seen_ = true;
+    delta_fw_lsn_ = elsn;
+    first_dirty_ = static_cast<uint32_t>(dirty_set_.size());
+  }
+  delta_written_set_.push_back(pid);
+
+  // BW side (§3.3).
+  if (bw_written_set_.empty()) bw_fw_lsn_ = elsn;
+  bw_written_set_.push_back(pid);
+  stats_.written_entries++;
+  if (bw_written_set_.size() >= written_capacity_) {
+    // Paper §5.2: Δ-records are written exactly before BW-records.
+    EmitDelta();
+    EmitBw();
+  }
+}
+
+void DirtyPageMonitor::ForceEmit() {
+  if (!enabled_) return;
+  if (!dirty_set_.empty() || !delta_written_set_.empty()) EmitDelta();
+  if (!bw_written_set_.empty()) EmitBw();
+}
+
+void DirtyPageMonitor::EmitDelta() {
+  LogRecord rec;
+  rec.type = LogRecordType::kDeltaRecord;
+  rec.dirty_set = std::move(dirty_set_);
+  rec.written_set = std::move(delta_written_set_);
+  rec.tc_lsn = elsn_ ? elsn_() : kInvalidLsn;
+  if (dpt_mode_ == DptMode::kReduced) {
+    rec.has_fw_fields = false;
+  } else {
+    rec.has_fw_fields = true;
+    rec.fw_lsn = delta_fw_lsn_;
+    rec.first_dirty =
+        fw_seen_ ? first_dirty_ : static_cast<uint32_t>(rec.dirty_set.size());
+  }
+  if (dpt_mode_ == DptMode::kPerfect) {
+    rec.dirty_lsns = std::move(dirty_lsns_);
+    assert(rec.dirty_lsns.size() == rec.dirty_set.size());
+  }
+  log_->Append(rec);
+  stats_.delta_records++;
+
+  dirty_set_.clear();
+  dirty_lsns_.clear();
+  delta_written_set_.clear();
+  delta_fw_lsn_ = kInvalidLsn;
+  first_dirty_ = 0;
+  fw_seen_ = false;
+}
+
+void DirtyPageMonitor::EmitBw() {
+  LogRecord rec;
+  rec.type = LogRecordType::kBwRecord;
+  rec.written_set = std::move(bw_written_set_);
+  rec.fw_lsn = bw_fw_lsn_;
+  log_->Append(rec);
+  stats_.bw_records++;
+  bw_written_set_.clear();
+  bw_fw_lsn_ = kInvalidLsn;
+}
+
+void DirtyPageMonitor::Reset() {
+  dirty_set_.clear();
+  dirty_lsns_.clear();
+  delta_written_set_.clear();
+  delta_fw_lsn_ = kInvalidLsn;
+  first_dirty_ = 0;
+  fw_seen_ = false;
+  bw_written_set_.clear();
+  bw_fw_lsn_ = kInvalidLsn;
+}
+
+}  // namespace deutero

@@ -1,0 +1,93 @@
+// Normal-operation monitoring that prepares recovery optimization state:
+//
+//  * Δ-record machinery (paper §4.1): DirtySet (every page update appends a
+//    PID — duplicates allowed, App. D.2), WrittenSet (flush completions),
+//    FW-LSN (TC end-of-stable-log at the interval's first flush), FirstDirty
+//    (DirtySet index of the first entry after that flush), TC-LSN (eLSN when
+//    the record is written). Correctness requires EVERY dirtied page to be
+//    captured; only the tail after the last Δ-record escapes, and redo
+//    handles it with the basic algorithm (§4.3).
+//  * BW-record machinery (§3.3): the SQL-Server flushed-PID batches with
+//    their FW-LSN. Missing a flush is harmless (conservative DPT).
+//
+// Emission policy (§5.2 fairness): a Δ-record is written immediately before
+// every BW-record (when WrittenSet reaches capacity), and additionally
+// whenever DirtySet alone reaches capacity ("Δ-records that contain only
+// dirty pages", §5.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/options.h"
+#include "common/types.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+class DirtyPageMonitor {
+ public:
+  struct Stats {
+    uint64_t delta_records = 0;
+    uint64_t bw_records = 0;
+    uint64_t dirty_entries = 0;    ///< DirtySet appends observed.
+    uint64_t written_entries = 0;  ///< WrittenSet appends observed.
+  };
+
+  DirtyPageMonitor(LogManager* log, const EngineOptions& options)
+      : log_(log),
+        dpt_mode_(options.dpt_mode),
+        dirty_capacity_(options.delta_dirty_capacity),
+        written_capacity_(options.bw_written_capacity) {}
+
+  /// Provider of the DC's current eLSN (TC end-of-stable-log, §4.1 EOSL).
+  void set_elsn_provider(std::function<Lsn()> p) { elsn_ = std::move(p); }
+
+  /// Buffer pool dirty hook: called on every page update.
+  void OnPageDirtied(PageId pid, Lsn lsn);
+
+  /// Buffer pool flush-completion hook.
+  void OnPageFlushed(PageId pid, Lsn plsn);
+
+  /// Emit pending Δ- and BW-records regardless of fill (checkpoint, crash
+  /// protocol control). Emits nothing if both sets are empty.
+  void ForceEmit();
+
+  /// Drop volatile state (crash).
+  void Reset();
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  const Stats& stats() const { return stats_; }
+  size_t pending_dirty() const { return dirty_set_.size(); }
+  size_t pending_written_bw() const { return bw_written_set_.size(); }
+
+ private:
+  void EmitDelta();
+  void EmitBw();
+
+  LogManager* log_;
+  const DptMode dpt_mode_;
+  const uint32_t dirty_capacity_;
+  const uint32_t written_capacity_;
+  std::function<Lsn()> elsn_;
+  bool enabled_ = true;
+
+  // Δ interval state.
+  std::vector<PageId> dirty_set_;
+  std::vector<Lsn> dirty_lsns_;  // perfect mode only
+  std::vector<PageId> delta_written_set_;
+  Lsn delta_fw_lsn_ = kInvalidLsn;
+  uint32_t first_dirty_ = 0;
+  bool fw_seen_ = false;
+
+  // BW interval state.
+  std::vector<PageId> bw_written_set_;
+  Lsn bw_fw_lsn_ = kInvalidLsn;
+
+  Stats stats_;
+};
+
+}  // namespace deutero

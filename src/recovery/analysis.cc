@@ -1,0 +1,215 @@
+#include "recovery/analysis.h"
+
+#include <cassert>
+
+namespace deutero {
+
+void ObserveForAtt(const LogRecord& rec, ActiveTxnTable* att,
+                   TxnId* max_txn_id) {
+  switch (rec.type) {
+    case LogRecordType::kTxnBegin:
+    case LogRecordType::kUpdate:
+    case LogRecordType::kInsert:
+    case LogRecordType::kClr:
+      (*att)[rec.txn_id] = rec.lsn;
+      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
+        *max_txn_id = rec.txn_id;
+      }
+      break;
+    case LogRecordType::kTxnCommit:
+    case LogRecordType::kTxnAbort:
+      att->erase(rec.txn_id);
+      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
+        *max_txn_id = rec.txn_id;
+      }
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      // The checkpoint's captured ATT seeds transactions whose records all
+      // precede the redo scan start point (idle losers).
+      for (size_t i = 0; i < rec.att_txn_ids.size(); i++) {
+        const TxnId txn = rec.att_txn_ids[i];
+        auto [it, inserted] =
+            att->try_emplace(txn, rec.att_last_lsns[i]);
+        if (!inserted && it->second < rec.att_last_lsns[i]) {
+          it->second = rec.att_last_lsns[i];
+        }
+        if (max_txn_id != nullptr && txn > *max_txn_id) *max_txn_id = txn;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
+  *out = SqlAnalysisResult();
+  out->redo_start_lsn = bckpt_lsn;
+  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
+       it.Next()) {
+    const LogRecord& rec = it.record();
+    out->records_scanned++;
+    ObserveForAtt(rec, &out->att, &out->max_txn_id);
+    switch (rec.type) {
+      case LogRecordType::kBeginCheckpoint:
+        // ARIES checkpointing (§3.1): seed the DPT from the captured table;
+        // the redo scan must reach back to its oldest rLSN.
+        for (size_t i = 0; i < rec.ckpt_dpt_pids.size(); i++) {
+          const PageId pid = rec.ckpt_dpt_pids[i];
+          const Lsn rlsn = rec.ckpt_dpt_rlsns[i];
+          if (out->dpt.Find(pid) == nullptr) {
+            out->dpt.AddExact(pid, rlsn, rlsn);
+          }
+          if (rlsn != kInvalidLsn && rlsn < out->redo_start_lsn) {
+            out->redo_start_lsn = rlsn;
+          }
+        }
+        break;
+      case LogRecordType::kUpdate:
+      case LogRecordType::kInsert:
+      case LogRecordType::kClr:
+        // Algorithm 3 lines 5-10: first mention adds (PID, rLSN = LSN);
+        // later mentions advance lastLSN.
+        out->dpt.AddOrUpdate(rec.pid, rec.lsn);
+        break;
+      case LogRecordType::kSmo:
+      case LogRecordType::kCreateTable:
+        // SMO system transactions (and DDL) are page updates too; their
+        // pages need redo consideration exactly like data updates.
+        for (const SmoPageImage& p : rec.smo_pages) {
+          out->dpt.AddOrUpdate(p.pid, rec.lsn);
+        }
+        break;
+      case LogRecordType::kBwRecord: {
+        // Algorithm 3 lines 11-18: prune by the flushed set.
+        out->bw_records_seen++;
+        for (PageId pid : rec.written_set) {
+          DirtyPageTable::Entry* e = out->dpt.Find(pid);
+          if (e == nullptr) continue;
+          if (e->last_lsn <= rec.fw_lsn) {
+            out->dpt.Remove(pid);
+          } else if (e->rlsn < rec.fw_lsn) {
+            e->rlsn = rec.fw_lsn;
+          }
+        }
+        break;
+      }
+      case LogRecordType::kDeltaRecord:
+        out->delta_records_seen++;  // common-log artifact; SQL ignores it
+        break;
+      default:
+        break;
+    }
+    out->log_pages = it.pages_read();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Algorithm 4's DC-DPT-UPDATE plus the App. D variants.
+void ApplyDeltaToDpt(const LogRecord& rec, Lsn prev_delta_lsn, DptMode mode,
+                     DirtyPageTable* dpt, std::vector<PageId>* pf_list) {
+  // Dirty set: assign conservative rLSN proxies.
+  for (size_t i = 0; i < rec.dirty_set.size(); i++) {
+    const PageId pid = rec.dirty_set[i];
+    if (pf_list != nullptr && dpt->Find(pid) == nullptr) {
+      pf_list->push_back(pid);  // first mention (App. A.2)
+    }
+    switch (mode) {
+      case DptMode::kPerfect:
+        // App. D.1: the Δ-record carries the exact update LSNs.
+        dpt->AddOrUpdate(pid, rec.dirty_lsns.at(i));
+        break;
+      case DptMode::kStandard:
+        // Algorithm 4 lines 10-15.
+        if (rec.has_fw_fields && i >= rec.first_dirty) {
+          dpt->AddOrUpdate(pid, rec.fw_lsn);
+        } else {
+          dpt->AddOrUpdate(pid, prev_delta_lsn);
+        }
+        break;
+      case DptMode::kReduced:
+        // App. D.2: no FW-LSN/FirstDirty; everything gets the previous
+        // Δ-record's TC-LSN.
+        dpt->AddOrUpdate(pid, prev_delta_lsn);
+        break;
+    }
+  }
+
+  // Written set: prune.
+  switch (mode) {
+    case DptMode::kStandard:
+    case DptMode::kPerfect:
+      if (!rec.has_fw_fields) break;
+      // Algorithm 4 lines 16-22.
+      for (PageId pid : rec.written_set) {
+        DirtyPageTable::Entry* e = dpt->Find(pid);
+        if (e == nullptr) continue;
+        if (e->last_lsn < rec.fw_lsn) {
+          dpt->Remove(pid);
+        } else if (e->rlsn < rec.fw_lsn) {
+          e->rlsn = rec.fw_lsn;
+        }
+      }
+      break;
+    case DptMode::kReduced:
+      // App. D.2: the flushed set may prune pages added by PRIOR Δ-records
+      // only. Entries added by this record carry lastLSN == prev_delta_lsn;
+      // strictly older proxies identify prior-record entries.
+      for (PageId pid : rec.written_set) {
+        DirtyPageTable::Entry* e = dpt->Find(pid);
+        if (e != nullptr && e->last_lsn < prev_delta_lsn) dpt->Remove(pid);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                     DptMode mode, bool build_dpt, bool preload_index,
+                     DcRecoveryResult* out) {
+  *out = DcRecoveryResult();
+  // "For the first Δ-log record encountered after the RSSP, we use rsspLSN"
+  // as the previous record's TC-LSN (§4.2).
+  Lsn prev_delta_lsn = bckpt_lsn;
+  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
+       it.Next()) {
+    const LogRecord& rec = it.record();
+    out->records_scanned++;
+    switch (rec.type) {
+      case LogRecordType::kSmo:
+        // Make the B-tree well-formed before any logical redo traverses it.
+        DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
+        out->smo_redone++;
+        break;
+      case LogRecordType::kCreateTable:
+        // DDL is a DC system transaction: re-register the table and its
+        // root before logical redo routes operations to it.
+        DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
+        out->smo_redone++;
+        break;
+      case LogRecordType::kDeltaRecord:
+        out->delta_records_seen++;
+        if (build_dpt) {
+          ApplyDeltaToDpt(rec, prev_delta_lsn, mode, &out->dpt,
+                          &out->pf_list);
+        }
+        prev_delta_lsn = rec.tc_lsn;
+        out->last_delta_tc_lsn = rec.tc_lsn;
+        break;
+      case LogRecordType::kBwRecord:
+        out->bw_records_seen++;  // SQL-Server artifact; the DC ignores it
+        break;
+      default:
+        break;  // TC records are not the DC's concern in this pass
+    }
+    out->log_pages = it.pages_read();
+  }
+  if (preload_index) {
+    DEUTERO_RETURN_NOT_OK(dc->PreloadIndex());
+  }
+  return Status::OK();
+}
+
+}  // namespace deutero

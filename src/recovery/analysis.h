@@ -1,0 +1,68 @@
+// Analysis passes that build the DPT:
+//
+//  * RunSqlAnalysis — Algorithm 3: SQL Server's integrated analysis, driven
+//    by update-record PIDs and pruned by BW-records. Also builds the active
+//    transaction table for undo.
+//  * RunDcRecovery — the DC redo/analysis pass of logical recovery (§4.2,
+//    Algorithm 4): redoes SMOs so the B-tree is well-formed, then constructs
+//    the DPT purely from Δ-records (standard / perfect / reduced modes,
+//    App. D), builds the PF-list (App. A.2) and optionally preloads the
+//    index (App. A.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/data_component.h"
+#include "recovery/dpt.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+/// Loser-candidate table: txn id -> LSN of its last logged record.
+using ActiveTxnTable = std::unordered_map<TxnId, Lsn>;
+
+/// Maintain the ATT incrementally from a scanned record.
+void ObserveForAtt(const LogRecord& rec, ActiveTxnTable* att,
+                   TxnId* max_txn_id);
+
+struct SqlAnalysisResult {
+  DirtyPageTable dpt;
+  ActiveTxnTable att;
+  TxnId max_txn_id = 0;
+  uint64_t bw_records_seen = 0;
+  uint64_t delta_records_seen = 0;  ///< Present on the common log; ignored.
+  uint64_t records_scanned = 0;
+  uint64_t log_pages = 0;
+  /// Where redo must start. Equal to the analysis start under penultimate
+  /// checkpointing; under ARIES checkpointing (§3.1) it reaches back to the
+  /// oldest rLSN of the DPT captured in the checkpoint record.
+  Lsn redo_start_lsn = kInvalidLsn;
+};
+
+/// Algorithm 3 over [bckpt_lsn, stable end).
+Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out);
+
+struct DcRecoveryResult {
+  DirtyPageTable dpt;
+  std::vector<PageId> pf_list;  ///< First-mention DirtySet order (App. A.2).
+  Lsn last_delta_tc_lsn = kInvalidLsn;  ///< Tail-mode boundary (§4.3).
+  uint64_t delta_records_seen = 0;
+  uint64_t bw_records_seen = 0;  ///< Seen on the common log; ignored.
+  uint64_t smo_redone = 0;
+  uint64_t records_scanned = 0;
+  uint64_t log_pages = 0;
+};
+
+/// DC recovery over [bckpt_lsn, stable end). `build_dpt` is false for Log0
+/// (which still needs SMO redo for a well-formed tree); `preload_index`
+/// corresponds to Log2.
+Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                     DptMode mode, bool build_dpt, bool preload_index,
+                     DcRecoveryResult* out);
+
+}  // namespace deutero

@@ -1,0 +1,69 @@
+// Dirty page table (paper §3): entries (PID, rLSN, lastLSN). rLSN is a
+// conservative lower bound on the LSN of the operation that first dirtied
+// the page; lastLSN is the LSN (or LSN proxy, in logical DPT construction)
+// of the last observed update and is only used while building the table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deutero {
+
+class DirtyPageTable {
+ public:
+  struct Entry {
+    Lsn rlsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+  };
+
+  /// Lookup; nullptr if absent (Algorithm 1 line 4 / Algorithm 5 line 6).
+  const Entry* Find(PageId pid) const {
+    auto it = map_.find(pid);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  Entry* Find(PageId pid) {
+    auto it = map_.find(pid);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// ADDENTRY semantics of Algorithms 3 and 4: first mention sets rLSN and
+  /// lastLSN to `lsn`; later mentions only advance lastLSN.
+  void AddOrUpdate(PageId pid, Lsn lsn) {
+    auto [it, inserted] = map_.try_emplace(pid, Entry{lsn, lsn});
+    if (!inserted) it->second.last_lsn = lsn;
+  }
+
+  /// Direct insert with distinct rLSN/lastLSN (perfect-DPT construction).
+  void AddExact(PageId pid, Lsn rlsn, Lsn last_lsn) {
+    auto [it, inserted] = map_.try_emplace(pid, Entry{rlsn, last_lsn});
+    if (!inserted) {
+      it->second.last_lsn = last_lsn;
+      if (it->second.rlsn == kInvalidLsn) it->second.rlsn = rlsn;
+    }
+  }
+
+  bool Remove(PageId pid) { return map_.erase(pid) > 0; }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.clear(); }
+
+  /// All PIDs, unsorted (prefetch planning sorts as needed).
+  std::vector<PageId> Pids() const {
+    std::vector<PageId> out;
+    out.reserve(map_.size());
+    for (const auto& [pid, e] : map_) out.push_back(pid);
+    return out;
+  }
+
+  const std::unordered_map<PageId, Entry>& entries() const { return map_; }
+
+ private:
+  std::unordered_map<PageId, Entry> map_;
+};
+
+}  // namespace deutero

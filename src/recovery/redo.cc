@@ -1,0 +1,177 @@
+#include "recovery/redo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "recovery/prefetch.h"
+#include "storage/page.h"
+
+namespace deutero {
+
+namespace {
+
+/// Re-execute one data operation on a pinned page (the operation's effects
+/// are known to be missing: the pLSN test already passed).
+Status ApplyDataOp(DataComponent* dc, const LogRecord& rec, PageId pid) {
+  switch (rec.type) {
+    case LogRecordType::kUpdate:
+      return dc->ApplyUpdate(rec.table_id, pid, rec.key, rec.after, rec.lsn);
+    case LogRecordType::kInsert:
+      return dc->ApplyInsert(rec.table_id, pid, rec.key, rec.after, rec.lsn);
+    case LogRecordType::kClr:
+      // A CLR with an empty restored image compensates an insert (delete);
+      // otherwise it restores the before-image of an update.
+      if (rec.after.empty()) {
+        return dc->ApplyDelete(rec.table_id, pid, rec.key, rec.lsn);
+      }
+      return dc->ApplyUpdate(rec.table_id, pid, rec.key, rec.after, rec.lsn);
+    default:
+      return Status::InvalidArgument("not a data op");
+  }
+}
+
+/// The pLSN idempotence test (paper §2.2): fetch the page and compare.
+/// Returns true if the operation must be re-executed.
+Status PlsnTestAndMaybeApply(DataComponent* dc, const LogRecord& rec,
+                             PageId pid, const EngineOptions& options,
+                             RedoResult* out) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(dc->pool().Get(pid, PageClass::kData, &h));
+  if (rec.lsn <= h.view().plsn()) {
+    out->skipped_plsn++;
+    return Status::OK();
+  }
+  h.Release();
+  DEUTERO_RETURN_NOT_OK(ApplyDataOp(dc, rec, pid));
+  dc->clock().AdvanceUs(options.io.cpu_per_redo_apply_us);
+  out->applied++;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                      bool use_dpt, const DirtyPageTable* dpt,
+                      Lsn last_delta_tc_lsn,
+                      const std::vector<PageId>* pf_list,
+                      const EngineOptions& options, RedoResult* out) {
+  *out = RedoResult();
+  std::unique_ptr<PfListPrefetcher> prefetcher;
+  if (pf_list != nullptr && dpt != nullptr) {
+    // Throttle the read-ahead window by cache size: prefetching that fills
+    // the cache faster than redo consumes it evicts pages before their use
+    // (the paper's "prefetching proceeds too quickly" hazard, App. A.2).
+    const uint32_t window = std::min<uint32_t>(
+        options.prefetch_window,
+        std::max<uint32_t>(4, static_cast<uint32_t>(
+                                  dc->pool().capacity() / 8)));
+    prefetcher = std::make_unique<PfListPrefetcher>(&dc->pool(), dpt,
+                                                    pf_list, window);
+  }
+
+  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
+       it.Next()) {
+    const LogRecord& rec = it.record();
+    out->records_scanned++;
+    out->log_pages = it.pages_read();
+    dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
+    ObserveForAtt(rec, &out->att, &out->max_txn_id);
+    if (!rec.IsRedoableDataOp()) continue;  // SMOs were redone by the DC pass
+
+    if (prefetcher != nullptr) prefetcher->Pump();
+    out->examined++;
+
+    // The TC re-submits the operation; the DC traverses the index with the
+    // record's key to discover the page (Algorithm 2 line 8 / Alg. 5 line 4).
+    PageId pid = kInvalidPageId;
+    DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+
+    if (use_dpt && rec.lsn < last_delta_tc_lsn) {
+      // Algorithm 5 lines 5-8: optimized redo test.
+      const DirtyPageTable::Entry* e = dpt->Find(pid);
+      if (e == nullptr) {
+        out->skipped_dpt++;
+        continue;
+      }
+      if (rec.lsn < e->rlsn) {
+        out->skipped_rlsn++;
+        continue;
+      }
+    } else if (use_dpt) {
+      // Tail of the log (§4.3): the DPT cannot vouch for these operations;
+      // fall back to the basic algorithm.
+      out->tail_ops++;
+    }
+    DEUTERO_RETURN_NOT_OK(PlsnTestAndMaybeApply(dc, rec, pid, options, out));
+  }
+  return Status::OK();
+}
+
+Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                  const DirtyPageTable* dpt, bool prefetch,
+                  const EngineOptions& options, RedoResult* out) {
+  *out = RedoResult();
+  std::unique_ptr<LogDrivenPrefetcher> prefetcher;
+  if (prefetch) {
+    const uint32_t window = std::min<uint32_t>(
+        options.prefetch_window,
+        std::max<uint32_t>(4, static_cast<uint32_t>(
+                                  dc->pool().capacity() / 8)));
+    prefetcher = std::make_unique<LogDrivenPrefetcher>(
+        &dc->pool(), dpt, log, bckpt_lsn, window,
+        /*lookahead_records=*/window * 8);
+  }
+
+  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
+       it.Next()) {
+    const LogRecord& rec = it.record();
+    out->records_scanned++;
+    out->log_pages = it.pages_read();
+    dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
+    if (prefetcher != nullptr) prefetcher->Pump(out->records_scanned);
+
+    if (rec.type == LogRecordType::kSmo) {
+      // Physiological replay in LSN order; skip without any fetch when the
+      // DPT proves no touched page can need redo (Algorithm 1 lines 4-8
+      // applied per page).
+      bool any = false;
+      for (const SmoPageImage& p : rec.smo_pages) {
+        const DirtyPageTable::Entry* e = dpt->Find(p.pid);
+        if (e != nullptr && rec.lsn >= e->rlsn) {
+          any = true;
+          break;
+        }
+      }
+      if (any) {
+        DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
+        out->smo_redone++;
+      }
+      continue;
+    }
+    if (rec.type == LogRecordType::kCreateTable) {
+      // DDL must re-register the table even when its root image is already
+      // durable (RedoCreateTable is idempotent on both fronts).
+      DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
+      continue;
+    }
+    if (!rec.IsRedoableDataOp()) continue;
+    out->examined++;
+
+    // Algorithm 1: the log record names the page — no index traversal.
+    const DirtyPageTable::Entry* e = dpt->Find(rec.pid);
+    if (e == nullptr) {
+      out->skipped_dpt++;
+      continue;
+    }
+    if (rec.lsn < e->rlsn) {
+      out->skipped_rlsn++;
+      continue;
+    }
+    DEUTERO_RETURN_NOT_OK(
+        PlsnTestAndMaybeApply(dc, rec, rec.pid, options, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,59 @@
+// The five redo engines of the paper's evaluation (§5.2):
+//
+//   RunLogicalRedo covers Log0 (Algorithm 2: basic logical redo), Log1
+//   (Algorithm 5: DPT-assisted with the tail-of-log fallback) and Log2
+//   (Algorithm 5 + PF-list prefetch; the index preload already happened in
+//   the DC pass).
+//
+//   RunSqlRedo covers SQL1 (Algorithm 1: physiological redo with DPT and
+//   rLSN test) and SQL2 (+ log-driven prefetch).
+//
+// Both also maintain the active-transaction table for the logical families
+// (the SQL family gets it from analysis) and replay CLRs (redo-only, ARIES).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/data_component.h"
+#include "recovery/analysis.h"
+#include "recovery/dpt.h"
+#include "recovery/stats.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+struct RedoResult {
+  uint64_t records_scanned = 0;
+  uint64_t log_pages = 0;
+  uint64_t examined = 0;
+  uint64_t applied = 0;
+  uint64_t skipped_dpt = 0;
+  uint64_t skipped_rlsn = 0;
+  uint64_t skipped_plsn = 0;
+  uint64_t tail_ops = 0;
+  uint64_t smo_redone = 0;  ///< SQL family only (logical did them earlier).
+  ActiveTxnTable att;       ///< Filled by the logical families.
+  TxnId max_txn_id = 0;
+};
+
+/// TC redo pass for the logical family.
+///   use_dpt=false  -> Log0 semantics (every op fetches its page).
+///   use_dpt=true   -> Algorithm 5; `dpt` and `last_delta_tc_lsn` required.
+///   pf_list != nullptr -> Log2 prefetching.
+Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                      bool use_dpt, const DirtyPageTable* dpt,
+                      Lsn last_delta_tc_lsn,
+                      const std::vector<PageId>* pf_list,
+                      const EngineOptions& options, RedoResult* out);
+
+/// Redo pass for the SQL family (Algorithm 1), optionally with log-driven
+/// prefetch (SQL2).
+Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                  const DirtyPageTable* dpt, bool prefetch,
+                  const EngineOptions& options, RedoResult* out);
+
+}  // namespace deutero

@@ -1,0 +1,110 @@
+#include "recovery/undo.h"
+
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace deutero {
+
+namespace {
+
+struct UndoCursor {
+  Lsn next = kInvalidLsn;  ///< Next record of this loser to examine.
+  TxnId txn = kInvalidTxnId;
+  Lsn last_lsn = kInvalidLsn;  ///< Tail of the txn's chain (CLRs included).
+  bool operator<(const UndoCursor& other) const {
+    return next < other.next;  // max-heap: highest LSN first
+  }
+};
+
+}  // namespace
+
+Status RunUndo(LogManager* log, DataComponent* dc, const ActiveTxnTable& att,
+               UndoResult* out, uint64_t max_ops_for_test) {
+  *out = UndoResult();
+  std::priority_queue<UndoCursor> heap;
+  for (const auto& [txn, last] : att) {
+    heap.push(UndoCursor{last, txn, last});
+  }
+
+  auto finish_txn = [&](const UndoCursor& cur) {
+    LogRecord abort;
+    abort.type = LogRecordType::kTxnAbort;
+    abort.txn_id = cur.txn;
+    abort.prev_lsn = cur.last_lsn;
+    log->Append(abort);
+    out->txns_undone++;
+  };
+
+  while (!heap.empty()) {
+    if (max_ops_for_test != 0 && out->ops_undone >= max_ops_for_test) {
+      log->Flush();  // simulate a crash mid-undo: CLRs durable, no aborts
+      return Status::OK();
+    }
+    UndoCursor cur = heap.top();
+    heap.pop();
+    if (cur.next == kInvalidLsn) {
+      finish_txn(cur);
+      continue;
+    }
+    LogRecord rec;
+    DEUTERO_RETURN_NOT_OK(log->ReadRecordAt(cur.next, &rec, true));
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+      case LogRecordType::kInsert: {
+        // Logical undo (§1.2): rediscover the record's page by key.
+        PageId pid = kInvalidPageId;
+        DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn_id = cur.txn;
+        clr.table_id = rec.table_id;
+        clr.key = rec.key;
+        clr.after = rec.type == LogRecordType::kUpdate ? rec.before
+                                                       : std::string();
+        clr.pid = pid;
+        clr.undo_next_lsn = rec.prev_lsn;
+        const Lsn clr_lsn = log->Append(clr);
+        if (rec.type == LogRecordType::kUpdate) {
+          DEUTERO_RETURN_NOT_OK(dc->ApplyUpdate(rec.table_id, pid, rec.key,
+                                              rec.before, clr_lsn));
+        } else {
+          DEUTERO_RETURN_NOT_OK(
+              dc->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+        }
+        out->ops_undone++;
+        out->clrs_written++;
+        cur.last_lsn = clr_lsn;
+        cur.next = rec.prev_lsn;
+        if (cur.next == kInvalidLsn) {
+          finish_txn(cur);
+        } else {
+          heap.push(cur);
+        }
+        break;
+      }
+      case LogRecordType::kClr:
+        // Already-compensated prefix: jump over it.
+        cur.next = rec.undo_next_lsn;
+        if (cur.next == kInvalidLsn) {
+          finish_txn(cur);
+        } else {
+          heap.push(cur);
+        }
+        break;
+      case LogRecordType::kTxnBegin:
+        finish_txn(cur);
+        break;
+      default:
+        // Commit/abort records cannot appear for losers; anything else in
+        // the chain is skipped through its backchain.
+        cur.next = rec.prev_lsn;
+        heap.push(cur);
+        break;
+    }
+  }
+  log->Flush();
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,32 @@
+// Transactional undo pass — the last pass of every recovery variant, and
+// deliberately identical across them ("all variants also perform logical
+// undo as the last pass of recovery, and hence this performance is constant
+// in all methods", paper §2.1). Losers are rolled back logically: each
+// update is compensated by locating the record through the B-tree (it may
+// have moved) and restoring the before-image under a CLR.
+#pragma once
+
+#include "common/status.h"
+#include "dc/data_component.h"
+#include "recovery/analysis.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+struct UndoResult {
+  uint64_t txns_undone = 0;
+  uint64_t ops_undone = 0;
+  uint64_t clrs_written = 0;
+};
+
+/// Roll back every transaction in `att` (losers), interleaved in descending
+/// LSN order as ARIES prescribes. Appends CLRs and final abort records,
+/// then forces the log.
+///
+/// `max_ops_for_test` (tests only): stop after that many undo operations,
+/// mimicking a crash in the middle of the undo pass; the CLRs written so
+/// far are flushed, abort records are not. 0 = run to completion.
+Status RunUndo(LogManager* log, DataComponent* dc, const ActiveTxnTable& att,
+               UndoResult* out, uint64_t max_ops_for_test = 0);
+
+}  // namespace deutero

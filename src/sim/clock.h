@@ -1,0 +1,46 @@
+// Virtual clock shared by every component. All "time" in the engine —
+// I/O latencies, CPU charges, recovery pass durations — is simulated
+// milliseconds on this clock, which makes experiments deterministic and
+// hardware independent (DESIGN.md §2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace deutero {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time in milliseconds.
+  double NowMs() const { return now_ms_; }
+
+  /// Advance the clock by `ms` (must be >= 0).
+  void AdvanceMs(double ms) {
+    if (ms > 0) now_ms_ += ms;
+  }
+
+  /// Advance the clock by `us` microseconds.
+  void AdvanceUs(double us) { AdvanceMs(us * 1e-3); }
+
+  /// Move the clock forward to `t_ms` if it is in the future; no-op if the
+  /// clock is already past it. Returns the wait incurred (>= 0).
+  double AdvanceToMs(double t_ms) {
+    const double wait = t_ms - now_ms_;
+    if (wait > 0) {
+      now_ms_ = t_ms;
+      return wait;
+    }
+    return 0.0;
+  }
+
+  /// Reset to time zero. Used when a crash ends an epoch: recovery time is
+  /// measured from a fresh origin.
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace deutero

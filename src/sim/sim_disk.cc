@@ -1,0 +1,101 @@
+#include "sim/sim_disk.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace deutero {
+
+SimDisk::SimDisk(SimClock* clock, uint32_t page_size, const IoModelOptions& io)
+    : clock_(clock), page_size_(page_size), io_(io) {
+  assert(page_size_ > 0);
+  const uint32_t channels = std::max<uint32_t>(1, io_.io_channels);
+  channel_busy_until_.assign(channels, 0.0);
+}
+
+void SimDisk::EnsurePages(uint64_t n) {
+  if (n <= num_pages_) return;
+  image_.resize(n * static_cast<uint64_t>(page_size_), 0);
+  num_pages_ = n;
+}
+
+double SimDisk::Schedule(double service_ms, bool is_write) {
+  // Earliest-free channel.
+  auto it = std::min_element(channel_busy_until_.begin(),
+                             channel_busy_until_.end());
+  const double start = std::max(clock_->NowMs(), *it);
+  const double completion = start + service_ms;
+  *it = completion;
+  if (is_write) {
+    stats_.write_service_ms += service_ms;
+  } else {
+    stats_.read_service_ms += service_ms;
+  }
+  return completion;
+}
+
+double SimDisk::ScheduleRead(PageId pid, bool sorted) {
+  assert(pid < num_pages_);
+  (void)pid;
+  const double seek =
+      io_.random_seek_ms * (sorted ? io_.sorted_seek_factor : 1.0);
+  stats_.read_ios++;
+  stats_.pages_read++;
+  return Schedule(seek + io_.transfer_ms_per_page, /*is_write=*/false);
+}
+
+double SimDisk::ScheduleReadRun(PageId first, uint32_t count, bool sorted) {
+  assert(count >= 1);
+  assert(first + count <= num_pages_);
+  (void)first;
+  const double seek =
+      io_.random_seek_ms * (sorted ? io_.sorted_seek_factor : 1.0);
+  stats_.read_ios++;
+  stats_.pages_read += count;
+  if (count > 1) stats_.batched_reads++;
+  return Schedule(seek + count * io_.transfer_ms_per_page, /*is_write=*/false);
+}
+
+double SimDisk::ScheduleWrite(PageId pid, const void* data) {
+  assert(pid < num_pages_);
+  std::memcpy(&image_[static_cast<uint64_t>(pid) * page_size_], data,
+              page_size_);
+  stats_.write_ios++;
+  stats_.pages_written++;
+  return Schedule(io_.write_seek_ms + io_.transfer_ms_per_page,
+                  /*is_write=*/true);
+}
+
+void SimDisk::ReadImage(PageId pid, void* out) const {
+  assert(pid < num_pages_);
+  std::memcpy(out, &image_[static_cast<uint64_t>(pid) * page_size_],
+              page_size_);
+}
+
+void SimDisk::WriteImageDirect(PageId pid, const void* data) {
+  assert(pid < num_pages_);
+  std::memcpy(&image_[static_cast<uint64_t>(pid) * page_size_], data,
+              page_size_);
+}
+
+const uint8_t* SimDisk::ImageData(PageId pid) const {
+  assert(pid < num_pages_);
+  return &image_[static_cast<uint64_t>(pid) * page_size_];
+}
+
+double SimDisk::IdleAtMs() const {
+  return *std::max_element(channel_busy_until_.begin(),
+                           channel_busy_until_.end());
+}
+
+void SimDisk::ResetTime() {
+  std::fill(channel_busy_until_.begin(), channel_busy_until_.end(), 0.0);
+}
+
+void SimDisk::RestoreImage(std::vector<uint8_t> image) {
+  assert(image.size() % page_size_ == 0);
+  image_ = std::move(image);
+  num_pages_ = image_.size() / page_size_;
+}
+
+}  // namespace deutero

@@ -1,0 +1,97 @@
+// Deterministic simulated disk. Stores the stable page images and charges
+// simulated time per I/O using a seek + transfer model:
+//
+//   single read (demand)   : random_seek_ms + transfer_ms_per_page
+//   single read (prefetch) : random_seek_ms * sorted_seek_factor + transfer
+//                            (pending asynchronous requests are elevator-
+//                             sorted by the drive, shortening seeks)
+//   contiguous run of n    : one positioning cost + n * transfer
+//   write                  : write_seek_ms + transfer
+//
+// The device has `io_channels` independent service channels; a request is
+// assigned to the earliest-free channel. Completion times are returned to the
+// caller (the buffer pool), which either waits (synchronous miss) or records
+// the pending completion (prefetch).
+//
+// Crash model: page images are updated at schedule time; the experiment
+// harness only crashes the engine at operation boundaries after in-flight
+// writes have been accounted, so scheduled writes are stable (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/options.h"
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace deutero {
+
+class SimDisk {
+ public:
+  struct Stats {
+    uint64_t read_ios = 0;        ///< Read operations issued (a run counts 1).
+    uint64_t pages_read = 0;      ///< Pages transferred by reads.
+    uint64_t batched_reads = 0;   ///< Read runs covering more than one page.
+    uint64_t write_ios = 0;
+    uint64_t pages_written = 0;
+    double read_service_ms = 0;   ///< Device time spent servicing reads.
+    double write_service_ms = 0;
+  };
+
+  SimDisk(SimClock* clock, uint32_t page_size, const IoModelOptions& io);
+
+  uint32_t page_size() const { return page_size_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+  /// Grow the device to at least n pages (new pages are zero-filled).
+  void EnsurePages(uint64_t n);
+
+  /// Schedule a single-page read; returns its completion time (ms).
+  double ScheduleRead(PageId pid, bool sorted);
+
+  /// Schedule a read of `count` contiguous pages starting at `first` as one
+  /// I/O; returns its completion time (ms).
+  double ScheduleReadRun(PageId first, uint32_t count, bool sorted);
+
+  /// Schedule a page write. The stable image is updated immediately; the
+  /// returned completion time is used for stall accounting.
+  double ScheduleWrite(PageId pid, const void* data);
+
+  /// Copy the stable image of `pid` into `out` (no simulated cost; data
+  /// delivery happens when the caller decides the read completed).
+  void ReadImage(PageId pid, void* out) const;
+
+  /// Write the stable image directly with no simulated cost (bulk load).
+  void WriteImageDirect(PageId pid, const void* data);
+
+  /// Raw pointer into the stable image of `pid` (asserts bounds).
+  const uint8_t* ImageData(PageId pid) const;
+
+  /// Earliest time all channels are idle (used by tests and crash drain).
+  double IdleAtMs() const;
+
+  /// Forget device queue state; the device is idle at the current clock.
+  /// Called when a crash starts a new measurement epoch.
+  void ResetTime();
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Snapshot / restore of the full stable image (side-by-side experiments).
+  std::vector<uint8_t> SnapshotImage() const { return image_; }
+  void RestoreImage(std::vector<uint8_t> image);
+
+ private:
+  double Schedule(double service_ms, bool is_write);
+
+  SimClock* clock_;
+  const uint32_t page_size_;
+  IoModelOptions io_;
+  uint64_t num_pages_ = 0;
+  std::vector<uint8_t> image_;
+  std::vector<double> channel_busy_until_;
+  Stats stats_;
+};
+
+}  // namespace deutero

@@ -1,0 +1,43 @@
+// Shared page allocator: one dense page-id space per device, used by every
+// table's B-tree. The high-water mark is persisted in the catalog at
+// checkpoints and re-raised during recovery by SMO / create-table records
+// (which carry the mark at their append time).
+#pragma once
+
+#include "common/types.h"
+#include "sim/sim_disk.h"
+
+namespace deutero {
+
+class PageAllocator {
+ public:
+  explicit PageAllocator(SimDisk* disk, PageId next = 1)
+      : disk_(disk), next_(next) {}
+
+  /// Allocate one page, growing the device.
+  PageId Allocate() {
+    const PageId pid = next_++;
+    disk_->EnsurePages(next_);
+    return pid;
+  }
+
+  /// Raise the high-water mark (recovery: SMO/DDL records carry it).
+  void EnsureAtLeast(PageId hwm) {
+    if (hwm != kInvalidPageId && hwm > next_) {
+      next_ = hwm;
+      disk_->EnsurePages(next_);
+    }
+  }
+
+  PageId next_page_id() const { return next_; }
+  void Reset(PageId next) {
+    next_ = next;
+    disk_->EnsurePages(next_);
+  }
+
+ private:
+  SimDisk* disk_;
+  PageId next_;
+};
+
+}  // namespace deutero

@@ -1,0 +1,429 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace deutero {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+// ---------------------------------------------------------------------------
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    pid_ = other.pid_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageView PageHandle::view() {
+  assert(valid());
+  return PageView(pool_->FrameData(frame_), pool_->page_size_);
+}
+
+const PageView PageHandle::view() const {
+  assert(valid());
+  return PageView(const_cast<uint8_t*>(pool_->FrameData(frame_)),
+                  pool_->page_size_);
+}
+
+void PageHandle::MarkDirty(Lsn lsn) {
+  assert(valid());
+  pool_->MarkDirtyInternal(frame_, lsn);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
+                       uint32_t page_size, uint32_t max_batch_pages)
+    : clock_(clock),
+      disk_(disk),
+      capacity_(capacity_pages),
+      page_size_(page_size),
+      max_batch_pages_(max_batch_pages) {
+  assert(capacity_ > 0);
+  arena_.resize(capacity_ * static_cast<uint64_t>(page_size_));
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (uint64_t i = 0; i < capacity_; i++) {
+    free_frames_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
+  }
+  table_.reserve(capacity_ * 2);
+}
+
+Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
+  stats_.gets++;
+  auto it = table_.find(pid);
+  if (it != table_.end()) {
+    const uint32_t fi = it->second;
+    Frame& f = frames_[fi];
+    if (f.state == FrameState::kLoaded) {
+      stats_.hits++;
+    } else {
+      // Pending prefetch: wait for its I/O completion, then deliver.
+      assert(f.state == FrameState::kPending);
+      const double wait = clock_->AdvanceToMs(f.ready_at_ms);
+      if (wait > 0) {
+        stats_.stall_count++;
+        stats_.stall_ms += wait;
+        if (f.cls == PageClass::kIndex) {
+          stats_.index_stall_ms += wait;
+        } else {
+          stats_.data_stall_ms += wait;
+        }
+      }
+      disk_->ReadImage(pid, FrameData(fi));
+      f.state = FrameState::kLoaded;
+      loaded_count_++;
+      if (f.prefetched) {
+        stats_.prefetch_used++;
+        f.prefetched = false;
+      }
+    }
+    f.ref = true;
+    f.cls = cls;
+    if (f.pins == 0) pinned_count_++;
+    f.pins++;
+    *handle = PageHandle(this, fi, pid);
+    return Status::OK();
+  }
+
+  // Miss: demand fetch.
+  stats_.misses++;
+  uint32_t fi = 0;
+  if (!AllocFrame(&fi)) {
+    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
+  }
+  Frame& f = frames_[fi];
+  f.pid = pid;
+  f.cls = cls;
+  f.prefetched = false;
+  table_[pid] = fi;
+
+  const double completion = disk_->ScheduleRead(pid, /*sorted=*/false);
+  const double wait = clock_->AdvanceToMs(completion);
+  stats_.stall_count++;
+  stats_.stall_ms += wait;
+  if (cls == PageClass::kIndex) {
+    stats_.index_fetches++;
+    stats_.index_stall_ms += wait;
+  } else {
+    stats_.data_fetches++;
+    stats_.data_stall_ms += wait;
+  }
+  disk_->ReadImage(pid, FrameData(fi));
+  f.state = FrameState::kLoaded;
+  loaded_count_++;
+  f.ref = true;
+  f.dirty = false;
+  if (f.pins == 0) pinned_count_++;
+  f.pins++;
+  *handle = PageHandle(this, fi, pid);
+  return Status::OK();
+}
+
+Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
+  assert(table_.find(pid) == table_.end());
+  uint32_t fi = 0;
+  if (!AllocFrame(&fi)) {
+    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
+  }
+  Frame& f = frames_[fi];
+  f.pid = pid;
+  f.cls = cls;
+  f.state = FrameState::kLoaded;
+  f.ref = true;
+  std::memset(FrameData(fi), 0, page_size_);
+  table_[pid] = fi;
+  loaded_count_++;
+  if (f.pins == 0) pinned_count_++;
+  f.pins++;
+  *handle = PageHandle(this, fi, pid);
+  return Status::OK();
+}
+
+bool BufferPool::IsResidentOrPending(PageId pid) const {
+  return table_.find(pid) != table_.end();
+}
+
+bool BufferPool::IsLoaded(PageId pid) const {
+  auto it = table_.find(pid);
+  return it != table_.end() &&
+         frames_[it->second].state == FrameState::kLoaded;
+}
+
+bool BufferPool::HasArrived(PageId pid) const {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return false;
+  const Frame& f = frames_[it->second];
+  if (f.state == FrameState::kLoaded) return true;
+  return f.state == FrameState::kPending &&
+         f.ready_at_ms <= clock_->NowMs();
+}
+
+uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
+  // Deduplicate and drop already-cached pages.
+  std::vector<PageId> want;
+  want.reserve(pids.size());
+  for (PageId pid : pids) {
+    if (!IsResidentOrPending(pid)) want.push_back(pid);
+  }
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  if (want.empty()) return 0;
+
+  const uint32_t max_batch = std::max<uint32_t>(1, max_batch_pages_);
+  uint32_t issued = 0;
+  size_t i = 0;
+  while (i < want.size()) {
+    // Maximal contiguous run starting at want[i], capped at max_batch.
+    size_t j = i + 1;
+    while (j < want.size() && j - i < max_batch &&
+           want[j] == want[j - 1] + 1) {
+      j++;
+    }
+    const uint32_t run = static_cast<uint32_t>(j - i);
+
+    // Reserve frames for the whole run first; bail out if the pool cannot
+    // supply frames (prefetch is best effort).
+    std::vector<uint32_t> fidx(run);
+    uint32_t got = 0;
+    for (; got < run; got++) {
+      if (!AllocFrame(&fidx[got])) break;
+    }
+    if (got < run) {
+      for (uint32_t k = 0; k < got; k++) free_frames_.push_back(fidx[k]);
+      break;
+    }
+
+    const double completion =
+        disk_->ScheduleReadRun(want[i], run, /*sorted=*/true);
+    for (uint32_t k = 0; k < run; k++) {
+      Frame& f = frames_[fidx[k]];
+      f.pid = want[i + k];
+      f.state = FrameState::kPending;
+      f.ready_at_ms = completion;
+      f.prefetched = true;
+      f.dirty = false;
+      f.ref = false;
+      f.cls = cls;
+      table_[f.pid] = fidx[k];
+    }
+    issued += run;
+    stats_.prefetch_issued += run;
+    if (cls == PageClass::kIndex) {
+      stats_.index_fetches += run;
+    } else {
+      stats_.data_fetches += run;
+    }
+    i = j;
+  }
+  return issued;
+}
+
+Status BufferPool::FlushPage(PageId pid) {
+  auto it = table_.find(pid);
+  if (it == table_.end()) return Status::NotFound("page not resident");
+  Frame& f = frames_[it->second];
+  if (f.state != FrameState::kLoaded) return Status::Busy("page pending");
+  if (!f.dirty) return Status::OK();
+  FlushFrame(it->second, nullptr);
+  return Status::OK();
+}
+
+void BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
+  Frame& f = frames_[frame];
+  assert(f.state == FrameState::kLoaded && f.dirty);
+  PageView view(FrameData(frame), page_size_);
+  const Lsn plsn = view.plsn();
+
+  // WAL rule: the page's last update must be on the stable log first.
+  if (stable_lsn_ && plsn > stable_lsn_()) {
+    stats_.wal_forces++;
+    if (wal_force_cb_) wal_force_cb_(plsn);
+    assert(!stable_lsn_ || plsn <= stable_lsn_());
+  }
+
+  const double completion = disk_->ScheduleWrite(f.pid, FrameData(frame));
+  clock_->AdvanceToMs(completion);
+  f.dirty = false;
+  dirty_count_--;
+  stats_.flushes++;
+  if (counter != nullptr) (*counter)++;
+  if (callbacks_enabled_ && flush_cb_) flush_cb_(f.pid, plsn);
+}
+
+uint64_t BufferPool::FlushPhasePages() {
+  const bool old_phase = !current_phase_;
+  // Ascending pid order: approximates the elevator order a real checkpoint
+  // writer would produce, and keeps the run deterministic.
+  std::vector<std::pair<PageId, uint32_t>> victims;
+  for (uint32_t i = 0; i < frames_.size(); i++) {
+    const Frame& f = frames_[i];
+    if (f.state == FrameState::kLoaded && f.dirty && f.phase == old_phase) {
+      victims.emplace_back(f.pid, i);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [pid, fi] : victims) {
+    (void)pid;
+    FlushFrame(fi, &stats_.checkpoint_flushes);
+  }
+  return victims.size();
+}
+
+uint64_t BufferPool::FlushAllDirty() {
+  std::vector<std::pair<PageId, uint32_t>> victims;
+  for (uint32_t i = 0; i < frames_.size(); i++) {
+    const Frame& f = frames_[i];
+    if (f.state == FrameState::kLoaded && f.dirty) {
+      victims.emplace_back(f.pid, i);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (const auto& [pid, fi] : victims) {
+    (void)pid;
+    FlushFrame(fi, nullptr);
+  }
+  return victims.size();
+}
+
+void BufferPool::CollectDirtyPages(
+    std::vector<std::pair<PageId, Lsn>>* out) const {
+  out->clear();
+  for (const Frame& f : frames_) {
+    if (f.state == FrameState::kLoaded && f.dirty) {
+      out->emplace_back(f.pid, f.first_dirty_lsn);
+    }
+  }
+  std::sort(out->begin(), out->end());
+}
+
+void BufferPool::LazyWriterTick() {
+  if (dirty_watermark_ == 0) return;
+  while (dirty_count_ > dirty_watermark_ && !dirty_fifo_.empty()) {
+    const auto [pid, seq] = dirty_fifo_.front();
+    dirty_fifo_.pop_front();
+    auto it = table_.find(pid);
+    if (it == table_.end()) continue;  // evicted since
+    Frame& f = frames_[it->second];
+    if (f.state != FrameState::kLoaded || !f.dirty || f.dirty_seq != seq) {
+      continue;  // stale entry (flushed and possibly re-dirtied since)
+    }
+    if (f.pins > 0) continue;  // skip pinned; rare, retried next tick
+    FlushFrame(it->second, &stats_.lazy_flushes);
+  }
+}
+
+bool BufferPool::AllocFrame(uint32_t* out) {
+  if (!free_frames_.empty()) {
+    *out = free_frames_.back();
+    free_frames_.pop_back();
+    frames_[*out] = Frame();
+    return true;
+  }
+  return EvictSomeFrame(out);
+}
+
+bool BufferPool::EvictSomeFrame(uint32_t* out) {
+  const uint32_t n = static_cast<uint32_t>(frames_.size());
+  uint32_t dirty_candidate = n;  // first evictable dirty frame seen
+  // Clock sweep, up to two full turns: prefer a clean unreferenced victim.
+  for (uint32_t step = 0; step < 2 * n; step++) {
+    Frame& f = frames_[clock_hand_];
+    const uint32_t cur = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.state == FrameState::kPending &&
+        f.ready_at_ms <= clock_->NowMs()) {
+      // The prefetch I/O completed but nobody claimed the page yet:
+      // materialize it so the frame becomes a normal (clean, evictable)
+      // resident page.
+      disk_->ReadImage(f.pid, FrameData(cur));
+      f.state = FrameState::kLoaded;
+      loaded_count_++;
+    }
+    if (f.state != FrameState::kLoaded || f.pins > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    if (!f.dirty) {
+      EvictFrame(cur);
+      *out = cur;
+      return true;
+    }
+    if (dirty_candidate == n) dirty_candidate = cur;
+  }
+  if (dirty_candidate == n) return false;  // everything pinned or pending
+  FlushFrame(dirty_candidate, nullptr);
+  stats_.dirty_evictions++;
+  EvictFrame(dirty_candidate);
+  *out = dirty_candidate;
+  return true;
+}
+
+void BufferPool::EvictFrame(uint32_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.state == FrameState::kLoaded && f.pins == 0 && !f.dirty);
+  if (f.prefetched) stats_.prefetch_wasted++;
+  table_.erase(f.pid);
+  loaded_count_--;
+  stats_.evictions++;
+  f = Frame();
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  Frame& f = frames_[frame];
+  assert(f.pins > 0);
+  f.pins--;
+  if (f.pins == 0) pinned_count_--;
+}
+
+void BufferPool::MarkDirtyInternal(uint32_t frame, Lsn lsn) {
+  Frame& f = frames_[frame];
+  assert(f.state == FrameState::kLoaded);
+  PageView view(FrameData(frame), page_size_);
+  view.set_plsn(lsn);
+  const bool was_clean = !f.dirty;
+  if (was_clean) {
+    f.dirty = true;
+    f.phase = current_phase_;
+    f.dirty_seq = next_dirty_seq_++;
+    f.first_dirty_lsn = lsn;
+    dirty_count_++;
+    dirty_fifo_.emplace_back(f.pid, f.dirty_seq);
+  }
+  if (callbacks_enabled_ && dirty_cb_) dirty_cb_(f.pid, lsn, was_clean);
+}
+
+void BufferPool::Reset() {
+  assert(pinned_count_ == 0);
+  table_.clear();
+  dirty_fifo_.clear();
+  free_frames_.clear();
+  for (uint64_t i = 0; i < capacity_; i++) {
+    frames_[i] = Frame();
+    free_frames_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
+  }
+  loaded_count_ = 0;
+  dirty_count_ = 0;
+  next_dirty_seq_ = 1;
+  clock_hand_ = 0;
+  current_phase_ = false;
+}
+
+}  // namespace deutero

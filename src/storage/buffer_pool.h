@@ -1,0 +1,253 @@
+// Database cache. Responsibilities beyond pin/unpin caching:
+//
+//  * pLSN maintenance: every logged modification stamps the page header
+//    through PageHandle::MarkDirty (paper §2.2 idempotence test).
+//  * Dirty monitoring hooks: a callback fires on every dirtying so the DC can
+//    append to the Δ-record DirtySet (paper §4.1), and on every flush
+//    completion so it can append to the WrittenSet (§3.3).
+//  * WAL rule (EOSL contract, §4.1): a dirty page may be flushed only when
+//    its pLSN is covered by the TC's stable log; otherwise the pool first
+//    invokes the WAL-force callback.
+//  * SQL-Server penultimate checkpointing (§3.2): a per-frame phase bit is
+//    captured at dirtying time; the checkpoint flushes exactly the frames
+//    dirtied before the begin-checkpoint record (bit flip).
+//  * Lazy writer: flushes the oldest-dirtied pages whenever the dirty count
+//    exceeds a watermark — the background cleaning that shapes the dirty
+//    fraction of the cache (Fig. 2(b)).
+//  * Prefetch: asynchronous reads; contiguous runs are coalesced into single
+//    batched I/Os (paper App. A); a demand Get on a pending page stalls only
+//    until that I/O's completion time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/page.h"
+
+namespace deutero {
+
+/// Why a page is being requested; used to split stall accounting between
+/// index and data pages (paper §5.3 reports index wait separately).
+enum class PageClass : uint8_t { kData = 0, kIndex = 1 };
+
+class BufferPool;
+
+/// RAII pin on a cached page. Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId pid() const { return pid_; }
+
+  /// Mutable view of the page bytes.
+  PageView view();
+  /// Read-only view of the page bytes.
+  const PageView view() const;
+
+  /// Record that a logged operation with LSN `lsn` modified this page:
+  /// stamps the pLSN and performs dirty bookkeeping + callbacks.
+  void MarkDirty(Lsn lsn);
+
+  /// Drop the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, uint32_t frame, PageId pid)
+      : pool_(pool), frame_(frame), pid_(pid) {}
+
+  BufferPool* pool_ = nullptr;
+  uint32_t frame_ = 0;
+  PageId pid_ = kInvalidPageId;
+};
+
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;           ///< Demand fetches (sync reads issued).
+    uint64_t data_fetches = 0;     ///< Pages read from disk, data class.
+    uint64_t index_fetches = 0;    ///< Pages read from disk, index class.
+    uint64_t prefetch_issued = 0;  ///< Pages submitted via Prefetch().
+    uint64_t prefetch_used = 0;    ///< Prefetched pages later demanded.
+    uint64_t prefetch_wasted = 0;  ///< Prefetched pages evicted unused.
+    uint64_t stall_count = 0;      ///< Demand waits (sync or pending).
+    double stall_ms = 0;           ///< Total demand wait time.
+    double data_stall_ms = 0;
+    double index_stall_ms = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_evictions = 0;  ///< Evictions that had to flush first.
+    uint64_t flushes = 0;          ///< Page writes (all causes).
+    uint64_t lazy_flushes = 0;     ///< Writes issued by the lazy writer.
+    uint64_t checkpoint_flushes = 0;
+    uint64_t wal_forces = 0;       ///< Log forces triggered by the WAL rule.
+  };
+
+  using FlushCallback = std::function<void(PageId, Lsn plsn)>;
+  using DirtyCallback = std::function<void(PageId, Lsn lsn, bool was_clean)>;
+  using WalForceCallback = std::function<void(Lsn required)>;
+  using StableLsnProvider = std::function<Lsn()>;
+
+  BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
+             uint32_t page_size, uint32_t max_batch_pages = 8);
+
+  // Hook registration (engine wiring).
+  void set_flush_callback(FlushCallback cb) { flush_cb_ = std::move(cb); }
+  void set_dirty_callback(DirtyCallback cb) { dirty_cb_ = std::move(cb); }
+  void set_wal_force_callback(WalForceCallback cb) {
+    wal_force_cb_ = std::move(cb);
+  }
+  void set_stable_lsn_provider(StableLsnProvider p) {
+    stable_lsn_ = std::move(p);
+  }
+
+  /// Pin `pid`, fetching it (and possibly waiting on a pending prefetch).
+  Status Get(PageId pid, PageClass cls, PageHandle* handle);
+
+  /// Materialize a brand-new page in the cache without reading the device
+  /// (page allocation during an SMO). The frame is zero-filled; the caller
+  /// formats it and stamps it dirty with the SMO's LSN.
+  Status Create(PageId pid, PageClass cls, PageHandle* handle);
+
+  /// True if the page is loaded or has a pending read.
+  bool IsResidentOrPending(PageId pid) const;
+  /// True if the page is loaded (usable without a wait).
+  bool IsLoaded(PageId pid) const;
+  /// True if the page is loaded OR its pending read's completion time has
+  /// passed — i.e. it no longer occupies the device queue. Prefetch windows
+  /// use this to bound outstanding I/O, not unclaimed buffers.
+  bool HasArrived(PageId pid) const;
+
+  /// Best-effort asynchronous reads. Duplicates and resident pages are
+  /// skipped; contiguous runs are coalesced into batched I/Os. Returns the
+  /// number of page reads actually issued.
+  uint32_t Prefetch(std::span<const PageId> pids, PageClass cls);
+
+  /// Synchronously flush one resident dirty page (respects the WAL rule).
+  Status FlushPage(PageId pid);
+
+  /// Flush every dirty frame whose checkpoint phase bit equals the phase
+  /// before the most recent FlipCheckpointPhase(). Returns pages flushed.
+  uint64_t FlushPhasePages();
+
+  /// Capture the begin-checkpoint instant: frames dirtied from now on belong
+  /// to the new phase and are exempt from the in-progress checkpoint flush.
+  void FlipCheckpointPhase() { current_phase_ = !current_phase_; }
+
+  /// Flush all dirty pages regardless of phase (shutdown / tests).
+  uint64_t FlushAllDirty();
+
+  /// Runtime DPT capture (ARIES checkpointing, paper §3.1): every dirty
+  /// frame's (pid, first-dirty LSN).
+  void CollectDirtyPages(
+      std::vector<std::pair<PageId, Lsn>>* out) const;
+
+  /// Lazy writer: flush oldest-dirtied pages while dirty count exceeds the
+  /// watermark. No-op when the watermark is 0 (disabled).
+  void LazyWriterTick();
+
+  void set_dirty_watermark(uint64_t pages) { dirty_watermark_ = pages; }
+  uint64_t dirty_watermark() const { return dirty_watermark_; }
+
+  /// Enable/disable monitor callbacks (disabled during recovery passes).
+  void set_callbacks_enabled(bool on) { callbacks_enabled_ = on; }
+
+  /// Drop all cached state (crash): frames, pins must be zero.
+  void Reset();
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t resident_pages() const { return loaded_count_; }
+  uint64_t dirty_pages() const { return dirty_count_; }
+  uint64_t pinned_pages() const { return pinned_count_; }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  friend class PageHandle;
+
+  enum class FrameState : uint8_t { kEmpty, kPending, kLoaded };
+
+  struct Frame {
+    PageId pid = kInvalidPageId;
+    FrameState state = FrameState::kEmpty;
+    double ready_at_ms = 0;
+    bool dirty = false;
+    bool phase = false;
+    bool ref = false;
+    bool prefetched = false;
+    PageClass cls = PageClass::kData;
+    uint16_t pins = 0;
+    uint64_t dirty_seq = 0;
+    Lsn first_dirty_lsn = kInvalidLsn;
+  };
+
+  uint8_t* FrameData(uint32_t frame) {
+    return arena_.data() + static_cast<uint64_t>(frame) * page_size_;
+  }
+  const uint8_t* FrameData(uint32_t frame) const {
+    return arena_.data() + static_cast<uint64_t>(frame) * page_size_;
+  }
+
+  /// Find a frame to (re)use; evicts if necessary. Returns false only if
+  /// every frame is pinned or pending.
+  bool AllocFrame(uint32_t* out);
+
+  /// Evict the loaded, unpinned frame chosen by the clock sweep, flushing it
+  /// first if dirty. Clean frames are preferred.
+  bool EvictSomeFrame(uint32_t* out);
+
+  /// Remove a clean, unpinned, loaded frame from the mapping table.
+  void EvictFrame(uint32_t frame);
+
+  void FlushFrame(uint32_t frame, uint64_t* counter);
+
+  void Unpin(uint32_t frame);
+  void MarkDirtyInternal(uint32_t frame, Lsn lsn);
+
+  SimClock* clock_;
+  SimDisk* disk_;
+  const uint64_t capacity_;
+  const uint32_t page_size_;
+  const uint32_t max_batch_pages_;
+
+  std::vector<uint8_t> arena_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> table_;
+  std::deque<std::pair<PageId, uint64_t>> dirty_fifo_;  ///< (pid, dirty_seq).
+
+  uint64_t loaded_count_ = 0;
+  uint64_t dirty_count_ = 0;
+  uint64_t pinned_count_ = 0;
+  uint64_t next_dirty_seq_ = 1;
+  uint64_t dirty_watermark_ = 0;
+  uint32_t clock_hand_ = 0;
+  bool current_phase_ = false;
+  bool callbacks_enabled_ = true;
+
+  FlushCallback flush_cb_;
+  DirtyCallback dirty_cb_;
+  WalForceCallback wal_force_cb_;
+  StableLsnProvider stable_lsn_;
+
+  Stats stats_;
+};
+
+}  // namespace deutero

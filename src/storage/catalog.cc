@@ -1,0 +1,87 @@
+#include "storage/catalog.h"
+
+#include <vector>
+
+#include "common/coding.h"
+#include "storage/page.h"
+
+namespace deutero {
+
+const TableInfo* Catalog::Find(TableId id) const {
+  for (const TableInfo& t : tables_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+TableInfo* Catalog::Find(TableId id) {
+  for (TableInfo& t : tables_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+Status Catalog::Add(const TableInfo& info) {
+  if (info.id == kInvalidTableId) {
+    return Status::InvalidArgument("invalid table id");
+  }
+  if (Find(info.id) != nullptr) {
+    return Status::InvalidArgument("table id already exists");
+  }
+  if (tables_.size() >= kMaxTables) {
+    return Status::InvalidArgument("catalog full");
+  }
+  tables_.push_back(info);
+  return Status::OK();
+}
+
+void Catalog::WriteTo(SimDisk* disk, uint32_t page_size) const {
+  std::vector<uint8_t> buf(page_size, 0);
+  PageView page(buf.data(), page_size);
+  page.Format(kMetaPageId, PageType::kMeta, 0);
+  char* p = reinterpret_cast<char*>(page.payload());
+  EncodeFixed32(p, kMetaMagic);
+  EncodeFixed32(p + 4, next_page_id_);
+  EncodeFixed32(p + 8, static_cast<uint32_t>(tables_.size()));
+  char* entry = p + 12;
+  for (const TableInfo& t : tables_) {
+    EncodeFixed32(entry, t.id);
+    EncodeFixed32(entry + 4, t.root_pid);
+    EncodeFixed32(entry + 8, t.height);
+    EncodeFixed32(entry + 12, t.value_size);
+    EncodeFixed64(entry + 16, t.num_rows);
+    entry += 24;
+  }
+  disk->EnsurePages(1);
+  disk->WriteImageDirect(kMetaPageId, buf.data());
+}
+
+Status Catalog::ReadFrom(const SimDisk& disk, uint32_t page_size,
+                         Catalog* out) {
+  out->Clear();
+  if (disk.num_pages() == 0) return Status::Corruption("empty device");
+  std::vector<uint8_t> buf(page_size);
+  disk.ReadImage(kMetaPageId, buf.data());
+  PageView page(buf.data(), page_size);
+  const char* p = reinterpret_cast<const char*>(page.payload());
+  if (DecodeFixed32(p) != kMetaMagic) {
+    return Status::Corruption("bad catalog magic");
+  }
+  out->next_page_id_ = DecodeFixed32(p + 4);
+  const uint32_t n = DecodeFixed32(p + 8);
+  if (n > kMaxTables) return Status::Corruption("catalog entry count");
+  const char* entry = p + 12;
+  for (uint32_t i = 0; i < n; i++) {
+    TableInfo t;
+    t.id = DecodeFixed32(entry);
+    t.root_pid = DecodeFixed32(entry + 4);
+    t.height = DecodeFixed32(entry + 8);
+    t.value_size = DecodeFixed32(entry + 12);
+    t.num_rows = DecodeFixed64(entry + 16);
+    out->tables_.push_back(t);
+    entry += 24;
+  }
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,66 @@
+// Table catalog, persisted in the meta page (page 0). Each table owns a
+// B-tree whose root page id is FIXED at creation (root splits rewrite the
+// root in place), so the catalog entry never changes on the hot path; it is
+// rewritten only at checkpoints and after recovery.
+//
+// Meta page payload layout (after the standard page header):
+//   [0]  u32 magic
+//   [4]  u32 next_page_id      (allocator high-water mark)
+//   [8]  u32 num_tables
+//   [12] per table, 24 bytes:
+//        u32 table_id, u32 root_pid, u32 height, u32 value_size,
+//        u64 num_rows
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/sim_disk.h"
+
+namespace deutero {
+
+struct TableInfo {
+  TableId id = kInvalidTableId;
+  PageId root_pid = kInvalidPageId;
+  uint32_t height = 1;
+  uint32_t value_size = 0;
+  uint64_t num_rows = 0;
+};
+
+class Catalog {
+ public:
+  /// Maximum tables an 8 KB meta page can hold with margin.
+  static constexpr size_t kMaxTables = 64;
+
+  const TableInfo* Find(TableId id) const;
+  TableInfo* Find(TableId id);
+
+  /// Register a table; fails on duplicate id or overflow.
+  Status Add(const TableInfo& info);
+
+  const std::vector<TableInfo>& tables() const { return tables_; }
+  std::vector<TableInfo>& tables() { return tables_; }
+
+  PageId next_page_id() const { return next_page_id_; }
+  void set_next_page_id(PageId pid) { next_page_id_ = pid; }
+
+  /// Serialize into / parse from the meta page of `disk` (no simulated I/O
+  /// cost: the meta page is a boot block, read once at restart and written
+  /// at checkpoints).
+  void WriteTo(SimDisk* disk, uint32_t page_size) const;
+  static Status ReadFrom(const SimDisk& disk, uint32_t page_size,
+                         Catalog* out);
+
+  void Clear() {
+    tables_.clear();
+    next_page_id_ = 1;
+  }
+
+ private:
+  std::vector<TableInfo> tables_;
+  PageId next_page_id_ = 1;
+};
+
+}  // namespace deutero

@@ -1,0 +1,17 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace deutero {
+
+void PageView::Format(PageId pid, PageType type, uint8_t level) {
+  std::memset(data_, 0, page_size_);
+  set_page_id(pid);
+  set_plsn(kInvalidLsn);
+  set_type(type);
+  set_level(level);
+  set_num_slots(0);
+  set_right_sibling(kInvalidPageId);
+}
+
+}  // namespace deutero

@@ -1,0 +1,142 @@
+// On-page format. Every data page starts with a fixed 32-byte header that
+// carries the page LSN (pLSN) used by the redo idempotence test (paper §2.2).
+// B-tree node payloads are laid out after the header (see btree/node.h);
+// the meta page (page 0) stores the catalog (see MetaView below).
+//
+// All multi-byte fields are little-endian via common/coding.h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/coding.h"
+#include "common/types.h"
+
+namespace deutero {
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kMeta = 1,
+  kInternal = 2,
+  kLeaf = 3,
+};
+
+// Header layout (byte offsets):
+//   [0]  u32  page_id
+//   [4]  u64  plsn
+//   [12] u8   page_type
+//   [13] u8   level          (0 = leaf; internal nodes are >= 1)
+//   [14] u16  num_slots
+//   [16] u32  right_sibling  (kInvalidPageId if none)
+//   [20] u32  reserved0
+//   [24] u64  reserved1
+inline constexpr uint32_t kPageHeaderSize = 32;
+
+/// A typed, non-owning view over one page worth of bytes. The frame memory is
+/// owned by the buffer pool (or a stack buffer in tests).
+class PageView {
+ public:
+  PageView(uint8_t* data, uint32_t page_size)
+      : data_(data), page_size_(page_size) {}
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  uint32_t page_size() const { return page_size_; }
+
+  PageId page_id() const {
+    return DecodeFixed32(reinterpret_cast<const char*>(data_));
+  }
+  void set_page_id(PageId pid) {
+    EncodeFixed32(reinterpret_cast<char*>(data_), pid);
+  }
+
+  Lsn plsn() const {
+    return DecodeFixed64(reinterpret_cast<const char*>(data_ + 4));
+  }
+  void set_plsn(Lsn lsn) {
+    EncodeFixed64(reinterpret_cast<char*>(data_ + 4), lsn);
+  }
+
+  PageType type() const { return static_cast<PageType>(data_[12]); }
+  void set_type(PageType t) { data_[12] = static_cast<uint8_t>(t); }
+
+  uint8_t level() const { return data_[13]; }
+  void set_level(uint8_t lvl) { data_[13] = lvl; }
+
+  uint16_t num_slots() const {
+    return DecodeFixed16(reinterpret_cast<const char*>(data_ + 14));
+  }
+  void set_num_slots(uint16_t n) {
+    EncodeFixed16(reinterpret_cast<char*>(data_ + 14), n);
+  }
+
+  PageId right_sibling() const {
+    return DecodeFixed32(reinterpret_cast<const char*>(data_ + 16));
+  }
+  void set_right_sibling(PageId pid) {
+    EncodeFixed32(reinterpret_cast<char*>(data_ + 16), pid);
+  }
+
+  /// Zero the page and initialize the header.
+  void Format(PageId pid, PageType type, uint8_t level);
+
+  uint8_t* payload() { return data_ + kPageHeaderSize; }
+  const uint8_t* payload() const { return data_ + kPageHeaderSize; }
+  uint32_t payload_size() const { return page_size_ - kPageHeaderSize; }
+
+ private:
+  uint8_t* data_;
+  uint32_t page_size_;
+};
+
+// Meta page payload layout (offsets relative to payload()):
+//   [0]  u32 magic
+//   [4]  u32 root_pid
+//   [8]  u32 tree_height     (number of levels including the leaf level)
+//   [12] u32 next_page_id    (allocator high-water mark)
+//   [16] u64 num_rows
+//   [24] u32 value_size
+//   [28] u32 table_id
+inline constexpr uint32_t kMetaMagic = 0xDE07E401;
+
+/// Typed accessors over the meta page (page 0) payload.
+class MetaView {
+ public:
+  explicit MetaView(PageView page) : page_(page) {}
+
+  uint32_t magic() const { return Get32(0); }
+  void set_magic(uint32_t v) { Put32(0, v); }
+
+  PageId root_pid() const { return Get32(4); }
+  void set_root_pid(PageId v) { Put32(4, v); }
+
+  uint32_t tree_height() const { return Get32(8); }
+  void set_tree_height(uint32_t v) { Put32(8, v); }
+
+  PageId next_page_id() const { return Get32(12); }
+  void set_next_page_id(PageId v) { Put32(12, v); }
+
+  uint64_t num_rows() const {
+    return DecodeFixed64(reinterpret_cast<const char*>(page_.payload() + 16));
+  }
+  void set_num_rows(uint64_t v) {
+    EncodeFixed64(reinterpret_cast<char*>(page_.payload() + 16), v);
+  }
+
+  uint32_t value_size() const { return Get32(24); }
+  void set_value_size(uint32_t v) { Put32(24, v); }
+
+  TableId table_id() const { return Get32(28); }
+  void set_table_id(TableId v) { Put32(28, v); }
+
+ private:
+  uint32_t Get32(uint32_t off) const {
+    return DecodeFixed32(reinterpret_cast<const char*>(page_.payload() + off));
+  }
+  void Put32(uint32_t off, uint32_t v) {
+    EncodeFixed32(reinterpret_cast<char*>(page_.payload() + off), v);
+  }
+
+  PageView page_;
+};
+
+}  // namespace deutero

@@ -1,0 +1,69 @@
+#include "tc/lock_manager.h"
+
+#include <algorithm>
+
+namespace deutero {
+
+Status LockManager::Acquire(TxnId txn, TableId table, Key key,
+                            LockMode mode) {
+  const LockId id{table, key};
+  auto it = locks_.find(id);
+  if (it == locks_.end()) {
+    locks_.emplace(id, LockState{mode, {txn}});
+    by_txn_[txn].push_back(id);
+    return Status::OK();
+  }
+  LockState& st = it->second;
+  const bool already =
+      std::find(st.holders.begin(), st.holders.end(), txn) !=
+      st.holders.end();
+  if (already) {
+    if (st.mode == LockMode::kShared && mode == LockMode::kExclusive) {
+      if (st.holders.size() == 1) {
+        st.mode = LockMode::kExclusive;  // upgrade, sole holder
+        return Status::OK();
+      }
+      return Status::Busy("lock upgrade conflict");
+    }
+    return Status::OK();  // re-acquire
+  }
+  if (st.mode == LockMode::kShared && mode == LockMode::kShared) {
+    st.holders.push_back(txn);
+    by_txn_[txn].push_back(id);
+    return Status::OK();
+  }
+  return Status::Busy("lock conflict");
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = by_txn_.find(txn);
+  if (it == by_txn_.end()) return;
+  for (const LockId& id : it->second) {
+    auto lit = locks_.find(id);
+    if (lit == locks_.end()) continue;
+    auto& holders = lit->second.holders;
+    holders.erase(std::remove(holders.begin(), holders.end(), txn),
+                  holders.end());
+    if (holders.empty()) locks_.erase(lit);
+  }
+  by_txn_.erase(it);
+}
+
+void LockManager::Reset() {
+  locks_.clear();
+  by_txn_.clear();
+}
+
+bool LockManager::Holds(TxnId txn, TableId table, Key key) const {
+  auto it = locks_.find(LockId{table, key});
+  if (it == locks_.end()) return false;
+  const auto& holders = it->second.holders;
+  return std::find(holders.begin(), holders.end(), txn) != holders.end();
+}
+
+size_t LockManager::held_by(TxnId txn) const {
+  auto it = by_txn_.find(txn);
+  return it == by_txn_.end() ? 0 : it->second.size();
+}
+
+}  // namespace deutero

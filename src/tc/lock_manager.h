@@ -1,0 +1,59 @@
+// Logical lock manager (paper §1.1 cites [13]: locking without location
+// information). Locks are on (table, key) — never on pages, which the TC
+// cannot name. Exclusive-only: the paper's workloads are update-only; shared
+// locks exist for reads.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace deutero {
+
+class LockManager {
+ public:
+  enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+  /// Acquire a lock; returns Busy on conflict with another transaction
+  /// (no blocking — the engine is single-threaded, so a conflict is a
+  /// programming error or an intentional test).
+  Status Acquire(TxnId txn, TableId table, Key key, LockMode mode);
+
+  /// Release everything held by `txn` (commit/abort).
+  void ReleaseAll(TxnId txn);
+
+  /// Drop all state (crash — logical locks are volatile).
+  void Reset();
+
+  bool Holds(TxnId txn, TableId table, Key key) const;
+  size_t held_by(TxnId txn) const;
+  size_t total_locks() const { return locks_.size(); }
+
+ private:
+  struct LockId {
+    TableId table;
+    Key key;
+    bool operator==(const LockId&) const = default;
+  };
+  struct LockIdHash {
+    size_t operator()(const LockId& id) const {
+      // 64-bit mix of table and key.
+      uint64_t h = id.key * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(id.table) << 32) + id.table;
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct LockState {
+    LockMode mode;
+    std::vector<TxnId> holders;  ///< 1 holder if exclusive; >=1 if shared.
+  };
+
+  std::unordered_map<LockId, LockState, LockIdHash> locks_;
+  std::unordered_map<TxnId, std::vector<LockId>> by_txn_;
+};
+
+}  // namespace deutero

@@ -1,0 +1,255 @@
+#include "tc/transaction_component.h"
+
+#include <cassert>
+
+namespace deutero {
+
+TransactionComponent::TransactionComponent(SimClock* clock, LogManager* log,
+                                           DataComponent* dc,
+                                           const EngineOptions& options)
+    : clock_(clock), log_(log), dc_(dc), options_(options) {}
+
+Status TransactionComponent::Begin(TxnId* txn) {
+  const TxnId id = next_txn_++;
+  LogRecord rec;
+  rec.type = LogRecordType::kTxnBegin;
+  rec.txn_id = id;
+  rec.prev_lsn = kInvalidLsn;
+  const Lsn lsn = log_->Append(rec);
+  active_[id] = ActiveTxn{id, lsn, lsn, 0};
+  stats_.begun++;
+  *txn = id;
+  return Status::OK();
+}
+
+Status TransactionComponent::Update(TxnId txn, TableId table, Key key,
+                                    Slice value) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
+  DEUTERO_RETURN_NOT_OK(
+      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+
+  PageId pid = kInvalidPageId;
+  std::string before;
+  DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(table, key, &pid, &before));
+
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = key;
+  rec.before = std::move(before);
+  rec.after = value.ToString();
+  rec.pid = pid;  // physiological hint; ignored by logical recovery
+  rec.prev_lsn = it->second.last_lsn;
+  const Lsn lsn = log_->Append(rec);
+  it->second.last_lsn = lsn;
+  it->second.ops++;
+
+  DEUTERO_RETURN_NOT_OK(dc_->ApplyUpdate(table, pid, key, value, lsn));
+  dc_->Tick();
+  stats_.updates++;
+  return Status::OK();
+}
+
+Status TransactionComponent::Insert(TxnId txn, TableId table, Key key,
+                                    Slice value) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
+  DEUTERO_RETURN_NOT_OK(
+      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+
+  // PrepareInsert may run (and log) SMO system transactions; their records
+  // precede this insert's record, preserving LSN order for physiological
+  // replay.
+  PageId pid = kInvalidPageId;
+  DEUTERO_RETURN_NOT_OK(dc_->PrepareInsert(table, key, &pid));
+
+  LogRecord rec;
+  rec.type = LogRecordType::kInsert;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = key;
+  rec.after = value.ToString();
+  rec.pid = pid;
+  rec.prev_lsn = it->second.last_lsn;
+  const Lsn lsn = log_->Append(rec);
+  it->second.last_lsn = lsn;
+  it->second.ops++;
+
+  DEUTERO_RETURN_NOT_OK(dc_->ApplyInsert(table, pid, key, value, lsn));
+  dc_->Tick();
+  stats_.inserts++;
+  return Status::OK();
+}
+
+Status TransactionComponent::Read(TxnId txn, TableId table, Key key,
+                                  std::string* value) {
+  if (txn != kInvalidTxnId) {
+    DEUTERO_RETURN_NOT_OK(
+        locks_.Acquire(txn, table, key, LockManager::LockMode::kShared));
+  }
+  return dc_->Read(table, key, value);
+}
+
+Status TransactionComponent::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  LogRecord rec;
+  rec.type = LogRecordType::kTxnCommit;
+  rec.txn_id = txn;
+  rec.prev_lsn = it->second.last_lsn;
+  log_->Append(rec);
+  ForceLog();  // group commit boundary: commit is durable
+  locks_.ReleaseAll(txn);
+  active_.erase(it);
+  stats_.committed++;
+  return Status::OK();
+}
+
+Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
+  Lsn cursor = txn->last_lsn;
+  while (cursor != kInvalidLsn && cursor > stop_after) {
+    LogRecord rec;
+    DEUTERO_RETURN_NOT_OK(log_->ReadRecordAt(cursor, &rec, false));
+    switch (rec.type) {
+      case LogRecordType::kUpdate: {
+        // Logical undo: the record may live on a different page by now.
+        PageId pid = kInvalidPageId;
+        DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(rec.table_id, rec.key,
+                                                   &pid, nullptr));
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn_id = txn->id;
+        clr.table_id = rec.table_id;
+        clr.key = rec.key;
+        clr.after = rec.before;  // restored image
+        clr.pid = pid;
+        clr.undo_next_lsn = rec.prev_lsn;
+        const Lsn clr_lsn = log_->Append(clr);
+        txn->last_lsn = clr_lsn;
+        DEUTERO_RETURN_NOT_OK(dc_->ApplyUpdate(rec.table_id, pid, rec.key,
+                                                rec.before, clr_lsn));
+        cursor = rec.prev_lsn;
+        break;
+      }
+      case LogRecordType::kInsert: {
+        PageId pid = kInvalidPageId;
+        DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(rec.table_id, rec.key,
+                                                   &pid, nullptr));
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn_id = txn->id;
+        clr.table_id = rec.table_id;
+        clr.key = rec.key;
+        clr.after.clear();  // empty restored image == delete the record
+        clr.pid = pid;
+        clr.undo_next_lsn = rec.prev_lsn;
+        const Lsn clr_lsn = log_->Append(clr);
+        txn->last_lsn = clr_lsn;
+        DEUTERO_RETURN_NOT_OK(
+            dc_->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+        cursor = rec.prev_lsn;
+        break;
+      }
+      case LogRecordType::kClr:
+        cursor = rec.undo_next_lsn;  // skip the already-undone prefix
+        break;
+      case LogRecordType::kTxnBegin:
+        cursor = kInvalidLsn;
+        break;
+      default:
+        cursor = rec.prev_lsn;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionComponent::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  DEUTERO_RETURN_NOT_OK(UndoToLsn(&it->second, kInvalidLsn));
+  LogRecord rec;
+  rec.type = LogRecordType::kTxnAbort;
+  rec.txn_id = txn;
+  rec.prev_lsn = it->second.last_lsn;
+  log_->Append(rec);
+  ForceLog();
+  locks_.ReleaseAll(txn);
+  active_.erase(it);
+  stats_.aborted++;
+  return Status::OK();
+}
+
+void TransactionComponent::ForceLog() {
+  log_->Flush();
+  dc_->Eosl(log_->stable_end());
+}
+
+void TransactionComponent::ForceLogUpTo(Lsn lsn) {
+  if (log_->stable_end() <= lsn) {
+    stats_.log_forces++;
+    ForceLog();
+  }
+}
+
+Status TransactionComponent::Checkpoint(uint64_t* pages_flushed) {
+  LogRecord bckpt;
+  bckpt.type = LogRecordType::kBeginCheckpoint;
+  // Capture the active transaction table: a loser idle across this
+  // checkpoint must still reach the undo pass (classic ARIES; both
+  // checkpoint schemes need it).
+  for (const auto& [txn, state] : active_) {
+    bckpt.att_txn_ids.push_back(txn);
+    bckpt.att_last_lsns.push_back(state.last_lsn);
+  }
+  if (options_.checkpoint_scheme == CheckpointScheme::kAries) {
+    // §3.1: capture the runtime DPT in the checkpoint record; flush nothing.
+    std::vector<std::pair<PageId, Lsn>> dirty;
+    dc_->pool().CollectDirtyPages(&dirty);
+    for (const auto& [pid, rlsn] : dirty) {
+      bckpt.ckpt_dpt_pids.push_back(pid);
+      bckpt.ckpt_dpt_rlsns.push_back(rlsn);
+    }
+  }
+  const Lsn bckpt_lsn = log_->Append(bckpt);
+  ForceLog();
+  if (options_.crash_points.after_begin_checkpoint) {
+    return Status::Aborted("crash injected after bCkpt");
+  }
+
+  uint64_t flushed = 0;
+  if (options_.checkpoint_scheme == CheckpointScheme::kPenultimate) {
+    // RSSP: DC flushes everything dirtied at or before the bCkpt (§3.2).
+    DEUTERO_RETURN_NOT_OK(dc_->Rssp(bckpt_lsn, &flushed));
+  }
+  if (pages_flushed != nullptr) *pages_flushed = flushed;
+  if (options_.crash_points.after_rssp) {
+    return Status::Aborted("crash injected after RSSP");
+  }
+
+  LogRecord eckpt;
+  eckpt.type = LogRecordType::kEndCheckpoint;
+  eckpt.bckpt_lsn = bckpt_lsn;
+  const Lsn eckpt_lsn = log_->Append(eckpt);
+  ForceLog();
+
+  MasterRecord master = log_->master();
+  master.bckpt_lsn = bckpt_lsn;
+  master.eckpt_lsn = eckpt_lsn;
+  master.checkpoint_count++;
+  log_->WriteMaster(master);
+  dc_->PersistCatalog();
+  stats_.checkpoints++;
+  return Status::OK();
+}
+
+void TransactionComponent::SimulateCrash() {
+  active_.clear();
+  locks_.Reset();
+}
+
+}  // namespace deutero

@@ -1,0 +1,99 @@
+// Deuteronomy transactional component (TC): transactions, logical locking,
+// logical logging, and the checkpoint protocol. The TC never names pages in
+// its own records — updates are logged as (table, key, before, after). The
+// page id present in update records exists solely because the experiments
+// run both recovery families from one common log (paper §5.1); logical
+// recovery ignores it.
+//
+// Checkpointing (§3.2 / §4.2, penultimate scheme):
+//   1. append bCkpt, force the log, EOSL;
+//   2. RSSP(bCkpt LSN) to the DC — it flushes everything dirtied by
+//      operations at or before that point and logs an RSSP ack;
+//   3. append eCkpt naming the bCkpt, force, update the master record.
+// The redo scan start point of the NEXT recovery is this bCkpt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "dc/data_component.h"
+#include "sim/clock.h"
+#include "tc/lock_manager.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+
+class TransactionComponent {
+ public:
+  struct ActiveTxn {
+    TxnId id = kInvalidTxnId;
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+    uint32_t ops = 0;
+  };
+
+  struct Stats {
+    uint64_t begun = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t updates = 0;
+    uint64_t inserts = 0;
+    uint64_t checkpoints = 0;
+    uint64_t log_forces = 0;
+  };
+
+  TransactionComponent(SimClock* clock, LogManager* log, DataComponent* dc,
+                       const EngineOptions& options);
+
+  Status Begin(TxnId* txn);
+  Status Update(TxnId txn, TableId table, Key key, Slice value);
+  Status Insert(TxnId txn, TableId table, Key key, Slice value);
+  Status Read(TxnId txn, TableId table, Key key, std::string* value);
+  Status Commit(TxnId txn);
+
+  /// Runtime rollback: logical undo through the backchain, writing CLRs.
+  Status Abort(TxnId txn);
+
+  /// Penultimate checkpoint. Reports pages flushed by the DC's RSSP.
+  Status Checkpoint(uint64_t* pages_flushed = nullptr);
+
+  /// WAL-force hook for the DC's buffer pool: ensure the log is stable at
+  /// least through `lsn` and refresh the DC's eLSN.
+  void ForceLogUpTo(Lsn lsn);
+
+  /// Force the log and send EOSL (group commit boundary).
+  void ForceLog();
+
+  /// Drop volatile TC state (active transactions, locks).
+  void SimulateCrash();
+
+  /// Recovery hands back the transaction-id high-water mark it observed.
+  void SetNextTxnId(TxnId next) { next_txn_ = next > next_txn_ ? next : next_txn_; }
+
+  /// Test-only fault injection: make Checkpoint() stop at a protocol point.
+  void set_crash_points(const CrashPoints& cp) { options_.crash_points = cp; }
+
+  const std::unordered_map<TxnId, ActiveTxn>& active_txns() const {
+    return active_;
+  }
+  LockManager& locks() { return locks_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status UndoToLsn(ActiveTxn* txn, Lsn stop_after);
+
+  SimClock* clock_;
+  LogManager* log_;
+  DataComponent* dc_;
+  EngineOptions options_;
+  LockManager locks_;
+  std::unordered_map<TxnId, ActiveTxn> active_;
+  TxnId next_txn_ = 1;
+  Stats stats_;
+};
+
+}  // namespace deutero

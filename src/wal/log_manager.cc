@@ -1,0 +1,146 @@
+#include "wal/log_manager.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace deutero {
+
+LogManager::LogManager(SimClock* clock, uint32_t log_page_size,
+                       double log_page_read_ms)
+    : clock_(clock),
+      log_page_size_(log_page_size),
+      log_page_read_ms_(log_page_read_ms) {
+  buffer_.assign(1, '\0');  // offset 0 pad
+}
+
+Lsn LogManager::Append(const LogRecord& rec) {
+  assert(rec.type != LogRecordType::kInvalid);
+  const Lsn lsn = next_lsn();
+  const std::string payload = rec.EncodePayload();
+  char frame[kFrameSize];
+  EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
+  frame[4] = static_cast<char>(rec.type);
+  const uint32_t crc =
+      Crc32c(payload.data(), payload.size(),
+             Crc32c(&frame[4], 1));  // covers type byte + payload
+  EncodeFixed32(frame + 5, crc);
+  buffer_.append(frame, kFrameSize);
+  buffer_.append(payload);
+
+  stats_.records_appended++;
+  stats_.bytes_appended += kFrameSize + payload.size();
+  stats_.by_type[static_cast<size_t>(rec.type)]++;
+  if (rec.type == LogRecordType::kDeltaRecord) {
+    stats_.delta_bytes += payload.size();
+  } else if (rec.type == LogRecordType::kBwRecord) {
+    stats_.bw_bytes += payload.size();
+  }
+  return lsn;
+}
+
+void LogManager::Flush() {
+  if (stable_end_ != buffer_.size()) {
+    stable_end_ = buffer_.size();
+    stats_.flushes++;
+  }
+}
+
+void LogManager::Crash() {
+  buffer_.resize(stable_end_);
+}
+
+bool LogManager::ParseFrame(Lsn lsn, Lsn limit, LogRecordType* type,
+                            uint32_t* payload_len) const {
+  if (lsn < kFirstLsn || lsn + kFrameSize > limit) return false;
+  const uint32_t len = DecodeFixed32(buffer_.data() + lsn);
+  if (lsn + kFrameSize + len > limit) return false;
+  const uint32_t stored_crc = DecodeFixed32(buffer_.data() + lsn + 5);
+  const uint32_t actual =
+      Crc32c(buffer_.data() + lsn + kFrameSize, len,
+             Crc32c(buffer_.data() + lsn + 4, 1));
+  if (stored_crc != actual) return false;
+  *type = static_cast<LogRecordType>(
+      static_cast<unsigned char>(buffer_[lsn + 4]));
+  *payload_len = len;
+  return true;
+}
+
+Status LogManager::ReadRecordAt(Lsn lsn, LogRecord* out, bool charge_io) {
+  // Reads may target the volatile tail: runtime rollback follows backchains
+  // into not-yet-flushed records. After a Crash() the tail is gone, so
+  // recovery-time reads are implicitly limited to stable bytes.
+  LogRecordType type = LogRecordType::kInvalid;
+  uint32_t len = 0;
+  if (!ParseFrame(lsn, buffer_.size(), &type, &len)) {
+    return Status::InvalidArgument("no valid record at lsn");
+  }
+  if (charge_io) clock_->AdvanceMs(log_page_read_ms_);
+  Slice payload(buffer_.data() + lsn + kFrameSize, len);
+  DEUTERO_RETURN_NOT_OK(LogRecord::DecodePayload(type, payload, out));
+  out->lsn = lsn;
+  return Status::OK();
+}
+
+LogManager::Snapshot LogManager::TakeSnapshot() const {
+  Snapshot snap;
+  snap.stable_log = buffer_.substr(0, stable_end_);
+  snap.master = master_;
+  return snap;
+}
+
+void LogManager::RestoreSnapshot(const Snapshot& snap) {
+  buffer_ = snap.stable_log;
+  stable_end_ = buffer_.size();
+  master_ = snap.master;
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+LogManager::Iterator::Iterator(LogManager* log, Lsn start, bool charge_io)
+    : log_(log), lsn_(start < kFirstLsn ? kFirstLsn : start),
+      charge_io_(charge_io) {
+  ParseCurrent();
+}
+
+void LogManager::Iterator::ChargePagesThrough(Lsn end_offset) {
+  if (!charge_io_) return;
+  const int64_t last_page =
+      static_cast<int64_t>((end_offset - 1) / log_->log_page_size_);
+  while (last_charged_page_ < last_page) {
+    last_charged_page_++;
+    pages_read_++;
+    log_->clock_->AdvanceMs(log_->log_page_read_ms_);
+  }
+}
+
+void LogManager::Iterator::ParseCurrent() {
+  valid_ = false;
+  LogRecordType type = LogRecordType::kInvalid;
+  uint32_t len = 0;
+  // A frame that does not verify (truncated or corrupted) ends the scan:
+  // the write-ahead discipline guarantees nothing after it is needed.
+  if (!log_->ParseFrame(lsn_, log_->stable_end_, &type, &len)) return;
+  const Lsn end = lsn_ + kFrameSize + len;
+  if (last_charged_page_ < 0) {
+    last_charged_page_ = static_cast<int64_t>(lsn_ / log_->log_page_size_) - 1;
+  }
+  ChargePagesThrough(end);
+  Slice payload(log_->buffer_.data() + lsn_ + kFrameSize, len);
+  const Status st = LogRecord::DecodePayload(type, payload, &rec_);
+  if (!st.ok()) return;
+  rec_.lsn = lsn_;
+  valid_ = true;
+}
+
+void LogManager::Iterator::Next() {
+  assert(valid_);
+  const uint32_t len = DecodeFixed32(log_->buffer_.data() + lsn_);
+  lsn_ += kFrameSize + len;
+  ParseCurrent();
+}
+
+}  // namespace deutero

@@ -1,0 +1,144 @@
+// The integrated common log (paper §5.1): one append-only stream holding TC
+// records (updates, txn control, checkpoints) and DC records (Δ, BW, SMO,
+// RSSP-ack). LSNs are byte offsets. The manager also owns the master record
+// — the boot block that names the last completed checkpoint, which recovery
+// reads to find its redo scan start point (§3.2).
+//
+// Crash model: Crash() truncates the volatile tail back to the last flushed
+// byte; the master record is only updated synchronously at checkpoint end
+// and therefore survives.
+//
+// Framing: [u32 payload_len][u8 type][u32 crc32c(type + payload)][payload].
+// Readers verify the CRC: a torn or corrupted stable record terminates the
+// scan (treated as end of log) instead of being mis-parsed.
+//
+// Reading costs: recovery iterators charge log_page_read_ms per 8 KB log
+// page touched — the sequential log read cost all methods share (App. B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "wal/log_record.h"
+
+namespace deutero {
+
+/// Boot block naming the last completed checkpoint.
+struct MasterRecord {
+  Lsn bckpt_lsn = kInvalidLsn;  ///< bCkpt of the last completed checkpoint.
+  Lsn eckpt_lsn = kInvalidLsn;  ///< Matching eCkpt.
+  uint64_t checkpoint_count = 0;
+};
+
+class LogManager {
+ public:
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t flushes = 0;
+    /// Appended record counts by LogRecordType value.
+    std::array<uint64_t, static_cast<size_t>(LogRecordType::kMaxType)>
+        by_type{};
+    uint64_t delta_bytes = 0;  ///< Payload bytes of Δ-records (App. D cost).
+    uint64_t bw_bytes = 0;     ///< Payload bytes of BW-records.
+  };
+
+  LogManager(SimClock* clock, uint32_t log_page_size, double log_page_read_ms);
+
+  /// Append a record to the volatile tail; returns its LSN.
+  Lsn Append(const LogRecord& rec);
+
+  /// Make everything appended so far stable.
+  void Flush();
+
+  /// End of the stable log: the first offset NOT covered by stable storage.
+  /// A record is stable iff lsn + frame < stable_end.
+  Lsn stable_end() const { return stable_end_; }
+
+  /// LSN the next append will receive.
+  Lsn next_lsn() const { return static_cast<Lsn>(buffer_.size()); }
+
+  /// Discard the unflushed tail (crash).
+  void Crash();
+
+  /// Random-access read of the record at `lsn` (undo backchains). Charges
+  /// one log page read when charge_io is set.
+  Status ReadRecordAt(Lsn lsn, LogRecord* out, bool charge_io);
+
+  /// Sequential scanner over stable records, charging sequential read I/O.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    Lsn lsn() const { return lsn_; }
+    const LogRecord& record() const { return rec_; }
+    void Next();
+    /// Log pages charged so far by this iterator.
+    uint64_t pages_read() const { return pages_read_; }
+
+   private:
+    friend class LogManager;
+    Iterator(LogManager* log, Lsn start, bool charge_io);
+    void ParseCurrent();
+    void ChargePagesThrough(Lsn end_offset);
+
+    LogManager* log_ = nullptr;
+    Lsn lsn_ = kInvalidLsn;
+    LogRecord rec_;
+    bool valid_ = false;
+    bool charge_io_ = false;
+    int64_t last_charged_page_ = -1;
+    uint64_t pages_read_ = 0;
+  };
+
+  /// Iterate stable records with lsn >= start.
+  Iterator NewIterator(Lsn start, bool charge_io) {
+    return Iterator(this, start, charge_io);
+  }
+
+  // ---- master record ----
+  void WriteMaster(const MasterRecord& m) { master_ = m; }
+  const MasterRecord& master() const { return master_; }
+
+  // ---- snapshot/restore for side-by-side experiments ----
+  struct Snapshot {
+    std::string stable_log;
+    MasterRecord master;
+  };
+  Snapshot TakeSnapshot() const;
+  void RestoreSnapshot(const Snapshot& snap);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  uint32_t log_page_size() const { return log_page_size_; }
+
+  /// Test-only: flip one bit of the stable log (corruption injection).
+  void CorruptByteForTest(Lsn offset) {
+    if (offset < buffer_.size()) buffer_[offset] ^= 0x40;
+  }
+
+ private:
+  static constexpr uint32_t kFrameSize = 9;  // u32 len + u8 type + u32 crc
+
+  /// Parse and verify the frame at `lsn`; returns false if it does not lie
+  /// fully within [kFirstLsn, limit) or fails the CRC.
+  bool ParseFrame(Lsn lsn, Lsn limit, LogRecordType* type,
+                  uint32_t* payload_len) const;
+
+  SimClock* clock_;
+  const uint32_t log_page_size_;
+  const double log_page_read_ms_;
+
+  /// buffer_[offset] is the log byte at LSN == offset; offset 0 is a pad so
+  /// that kInvalidLsn (0) can never address a record.
+  std::string buffer_;
+  Lsn stable_end_ = kFirstLsn;
+  MasterRecord master_;
+  Stats stats_;
+};
+
+}  // namespace deutero

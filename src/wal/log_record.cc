@@ -1,0 +1,289 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+
+namespace deutero {
+
+const char* LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kInvalid:
+      return "Invalid";
+    case LogRecordType::kUpdate:
+      return "Update";
+    case LogRecordType::kInsert:
+      return "Insert";
+    case LogRecordType::kClr:
+      return "Clr";
+    case LogRecordType::kTxnBegin:
+      return "TxnBegin";
+    case LogRecordType::kTxnCommit:
+      return "TxnCommit";
+    case LogRecordType::kTxnAbort:
+      return "TxnAbort";
+    case LogRecordType::kBeginCheckpoint:
+      return "BeginCheckpoint";
+    case LogRecordType::kEndCheckpoint:
+      return "EndCheckpoint";
+    case LogRecordType::kBwRecord:
+      return "BwRecord";
+    case LogRecordType::kDeltaRecord:
+      return "DeltaRecord";
+    case LogRecordType::kRsspAck:
+      return "RsspAck";
+    case LogRecordType::kSmo:
+      return "Smo";
+    case LogRecordType::kCreateTable:
+      return "CreateTable";
+    case LogRecordType::kMaxType:
+      break;
+  }
+  return "Unknown";
+}
+
+namespace {
+
+void EncodePidVector(std::string* dst, const std::vector<PageId>& pids) {
+  PutVarint32(dst, static_cast<uint32_t>(pids.size()));
+  for (PageId pid : pids) PutFixed32(dst, pid);
+}
+
+bool DecodePidVector(Slice* in, std::vector<PageId>* pids) {
+  uint32_t n = 0;
+  if (!GetVarint32(in, &n)) return false;
+  pids->clear();
+  pids->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    uint32_t pid = 0;
+    if (!GetFixed32(in, &pid)) return false;
+    pids->push_back(pid);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string LogRecord::EncodePayload() const {
+  std::string out;
+  switch (type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kInsert:
+      PutVarint64(&out, txn_id);
+      PutVarint32(&out, table_id);
+      PutFixed64(&out, key);
+      PutFixed64(&out, prev_lsn);
+      PutFixed32(&out, pid);
+      PutLengthPrefixed(&out, before);
+      PutLengthPrefixed(&out, after);
+      break;
+    case LogRecordType::kClr:
+      PutVarint64(&out, txn_id);
+      PutVarint32(&out, table_id);
+      PutFixed64(&out, key);
+      PutFixed64(&out, undo_next_lsn);
+      PutFixed32(&out, pid);
+      PutLengthPrefixed(&out, after);
+      break;
+    case LogRecordType::kTxnBegin:
+    case LogRecordType::kTxnCommit:
+    case LogRecordType::kTxnAbort:
+      PutVarint64(&out, txn_id);
+      PutFixed64(&out, prev_lsn);
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      PutVarint32(&out, static_cast<uint32_t>(att_txn_ids.size()));
+      for (size_t i = 0; i < att_txn_ids.size(); i++) {
+        PutVarint64(&out, att_txn_ids[i]);
+        PutFixed64(&out, att_last_lsns[i]);
+      }
+      PutVarint32(&out, static_cast<uint32_t>(ckpt_dpt_pids.size()));
+      for (size_t i = 0; i < ckpt_dpt_pids.size(); i++) {
+        PutFixed32(&out, ckpt_dpt_pids[i]);
+        PutFixed64(&out, ckpt_dpt_rlsns[i]);
+      }
+      break;
+    case LogRecordType::kEndCheckpoint:
+    case LogRecordType::kRsspAck:
+      PutFixed64(&out, bckpt_lsn);
+      break;
+    case LogRecordType::kBwRecord:
+      PutFixed64(&out, fw_lsn);
+      EncodePidVector(&out, written_set);
+      break;
+    case LogRecordType::kDeltaRecord: {
+      uint8_t flags = 0;
+      if (has_fw_fields) flags |= 0x1;
+      if (!dirty_lsns.empty()) flags |= 0x2;
+      out.push_back(static_cast<char>(flags));
+      PutFixed64(&out, tc_lsn);
+      if (has_fw_fields) {
+        PutFixed64(&out, fw_lsn);
+        PutVarint32(&out, first_dirty);
+      }
+      EncodePidVector(&out, dirty_set);
+      if (!dirty_lsns.empty()) {
+        for (Lsn l : dirty_lsns) PutFixed64(&out, l);
+      }
+      EncodePidVector(&out, written_set);
+      break;
+    }
+    case LogRecordType::kSmo:
+      PutFixed32(&out, alloc_hwm);
+      PutVarint32(&out, static_cast<uint32_t>(smo_pages.size()));
+      for (const SmoPageImage& p : smo_pages) {
+        PutFixed32(&out, p.pid);
+        PutLengthPrefixed(&out, p.image);
+      }
+      break;
+    case LogRecordType::kCreateTable:
+      PutVarint32(&out, table_id);
+      PutFixed32(&out, pid);  // the new table's root page id
+      PutFixed32(&out, ddl_value_size);
+      PutFixed32(&out, alloc_hwm);
+      PutVarint32(&out, static_cast<uint32_t>(smo_pages.size()));
+      for (const SmoPageImage& p : smo_pages) {
+        PutFixed32(&out, p.pid);
+        PutLengthPrefixed(&out, p.image);
+      }
+      break;
+    case LogRecordType::kInvalid:
+    case LogRecordType::kMaxType:
+      break;
+  }
+  return out;
+}
+
+Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
+  *out = LogRecord();
+  out->type = type;
+  bool ok = true;
+  switch (type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kInsert: {
+      Slice before, after;
+      ok = GetVarint64(&in, &out->txn_id) &&
+           GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
+           GetFixed64(&in, &out->prev_lsn) && GetFixed32(&in, &out->pid) &&
+           GetLengthPrefixed(&in, &before) && GetLengthPrefixed(&in, &after);
+      if (ok) {
+        out->before = before.ToString();
+        out->after = after.ToString();
+      }
+      break;
+    }
+    case LogRecordType::kClr: {
+      Slice restored;
+      ok = GetVarint64(&in, &out->txn_id) &&
+           GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
+           GetFixed64(&in, &out->undo_next_lsn) &&
+           GetFixed32(&in, &out->pid) && GetLengthPrefixed(&in, &restored);
+      if (ok) out->after = restored.ToString();
+      break;
+    }
+    case LogRecordType::kTxnBegin:
+    case LogRecordType::kTxnCommit:
+    case LogRecordType::kTxnAbort:
+      ok = GetVarint64(&in, &out->txn_id) && GetFixed64(&in, &out->prev_lsn);
+      break;
+    case LogRecordType::kBeginCheckpoint: {
+      uint32_t natt = 0;
+      ok = GetVarint32(&in, &natt);
+      if (ok) {
+        out->att_txn_ids.resize(natt);
+        out->att_last_lsns.resize(natt);
+        for (uint32_t i = 0; i < natt && ok; i++) {
+          ok = GetVarint64(&in, &out->att_txn_ids[i]) &&
+               GetFixed64(&in, &out->att_last_lsns[i]);
+        }
+      }
+      uint32_t ndpt = 0;
+      if (ok) ok = GetVarint32(&in, &ndpt);
+      if (ok) {
+        out->ckpt_dpt_pids.resize(ndpt);
+        out->ckpt_dpt_rlsns.resize(ndpt);
+        for (uint32_t i = 0; i < ndpt && ok; i++) {
+          ok = GetFixed32(&in, &out->ckpt_dpt_pids[i]) &&
+               GetFixed64(&in, &out->ckpt_dpt_rlsns[i]);
+        }
+      }
+      break;
+    }
+    case LogRecordType::kEndCheckpoint:
+    case LogRecordType::kRsspAck:
+      ok = GetFixed64(&in, &out->bckpt_lsn);
+      break;
+    case LogRecordType::kBwRecord:
+      ok = GetFixed64(&in, &out->fw_lsn) &&
+           DecodePidVector(&in, &out->written_set);
+      break;
+    case LogRecordType::kDeltaRecord: {
+      if (in.empty()) {
+        ok = false;
+        break;
+      }
+      const uint8_t flags = static_cast<uint8_t>(in[0]);
+      in.RemovePrefix(1);
+      out->has_fw_fields = (flags & 0x1) != 0;
+      const bool has_lsns = (flags & 0x2) != 0;
+      ok = GetFixed64(&in, &out->tc_lsn);
+      if (ok && out->has_fw_fields) {
+        ok = GetFixed64(&in, &out->fw_lsn) &&
+             GetVarint32(&in, &out->first_dirty);
+      }
+      if (ok) ok = DecodePidVector(&in, &out->dirty_set);
+      if (ok && has_lsns) {
+        out->dirty_lsns.resize(out->dirty_set.size());
+        for (Lsn& l : out->dirty_lsns) {
+          if (!GetFixed64(&in, &l)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) ok = DecodePidVector(&in, &out->written_set);
+      break;
+    }
+    case LogRecordType::kSmo: {
+      uint32_t n = 0;
+      ok = GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
+      if (ok) {
+        out->smo_pages.resize(n);
+        for (SmoPageImage& p : out->smo_pages) {
+          Slice img;
+          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &img)) {
+            ok = false;
+            break;
+          }
+          p.image = img.ToString();
+        }
+      }
+      break;
+    }
+    case LogRecordType::kCreateTable: {
+      uint32_t n = 0;
+      ok = GetVarint32(&in, &out->table_id) && GetFixed32(&in, &out->pid) &&
+           GetFixed32(&in, &out->ddl_value_size) &&
+           GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
+      if (ok) {
+        out->smo_pages.resize(n);
+        for (SmoPageImage& p : out->smo_pages) {
+          Slice img;
+          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &img)) {
+            ok = false;
+            break;
+          }
+          p.image = img.ToString();
+        }
+      }
+      break;
+    }
+    case LogRecordType::kInvalid:
+    case LogRecordType::kMaxType:
+      ok = false;
+      break;
+  }
+  if (!ok) return Status::Corruption("bad log record payload");
+  if (!in.empty()) return Status::Corruption("trailing bytes in log record");
+  return Status::OK();
+}
+
+}  // namespace deutero

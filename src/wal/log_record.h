@@ -1,0 +1,117 @@
+// Log record model for the integrated common log (paper §5.1). One log
+// serves both recovery families:
+//
+//  * Update records carry BOTH the logical identification (table, key) used
+//    by logical recovery AND the page id (PID) used by physiological
+//    recovery; logical recovery simply ignores the PID.
+//  * BW-records (§3.3) carry the SQL-Server flushed-page batches.
+//  * Δ-records (§4.1) carry (DirtySet, WrittenSet, FW-LSN, FirstDirty,
+//    TC-LSN); the App. D variants add DirtyLSNs (perfect) or drop the
+//    FW-LSN/FirstDirty fields (reduced).
+//  * SMO records are DC system transactions with physical page images,
+//    redone by DC recovery before logical redo so the B-tree is well-formed
+//    (paper §2.1, §4).
+//
+// On-log framing (LSN = byte offset of the record):
+//   [u32 payload_len][u8 type][payload...]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace deutero {
+
+enum class LogRecordType : uint8_t {
+  kInvalid = 0,
+  kUpdate = 1,           ///< TC logical+physiological data update.
+  kInsert = 2,           ///< TC record insert.
+  kClr = 3,              ///< Compensation record written during undo.
+  kTxnBegin = 4,
+  kTxnCommit = 5,
+  kTxnAbort = 6,
+  kBeginCheckpoint = 7,  ///< bCkpt (§3.2).
+  kEndCheckpoint = 8,    ///< eCkpt; carries the matching bCkpt LSN.
+  kBwRecord = 9,         ///< SQL-Server buffer-write record (§3.3).
+  kDeltaRecord = 10,     ///< DC Δ-record (§4.1).
+  kRsspAck = 11,         ///< DC acknowledgment of RSSP; records rsspLSN.
+  kSmo = 12,             ///< DC structure modification (page split).
+  kCreateTable = 13,     ///< DDL: new table (id, schema, root page image).
+  kMaxType = 14,
+};
+
+/// Returns a stable display name for a record type.
+const char* LogRecordTypeName(LogRecordType t);
+
+/// One physical page image inside an SMO record.
+struct SmoPageImage {
+  PageId pid = kInvalidPageId;
+  std::string image;  ///< Full page image (page_size bytes).
+};
+
+/// Union-style record: `type` selects which fields are meaningful. Encoding
+/// is per type; fields not used by a type are ignored by Encode().
+struct LogRecord {
+  LogRecordType type = LogRecordType::kInvalid;
+
+  /// Filled in by the appender / reader; never serialized (it IS the offset).
+  Lsn lsn = kInvalidLsn;
+
+  // --- transaction records (kUpdate/kInsert/kClr/kTxnBegin/Commit/Abort) ---
+  TxnId txn_id = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;  ///< Same-transaction backchain.
+  TableId table_id = kInvalidTableId;
+  Key key = 0;
+  std::string before;  ///< Before-image (undo); empty for inserts.
+  std::string after;   ///< After-image (redo) / restored image for CLRs.
+  PageId pid = kInvalidPageId;  ///< Physiological hint; logical redo ignores.
+  Lsn undo_next_lsn = kInvalidLsn;  ///< CLR: next record to undo.
+
+  // --- checkpoint records ---
+  Lsn bckpt_lsn = kInvalidLsn;  ///< kEndCheckpoint / kRsspAck payload.
+  /// kBeginCheckpoint: the active transaction table at checkpoint time
+  /// (txn id + LSN of its latest record). Without it, a transaction idle
+  /// across the checkpoint would be invisible to analysis and escape undo.
+  std::vector<TxnId> att_txn_ids;
+  std::vector<Lsn> att_last_lsns;
+  /// kBeginCheckpoint, ARIES checkpoint scheme (§3.1) only: the runtime DPT
+  /// (dirty PID + its first-dirty LSN). Empty under penultimate (§3.2).
+  std::vector<PageId> ckpt_dpt_pids;
+  std::vector<Lsn> ckpt_dpt_rlsns;
+
+  // --- BW-record (§3.3) ---
+  std::vector<PageId> written_set;
+  Lsn fw_lsn = kInvalidLsn;  ///< End of stable log at first captured write.
+
+  // --- Δ-record extras (§4.1, App. D) ---
+  std::vector<PageId> dirty_set;
+  std::vector<Lsn> dirty_lsns;  ///< Per-entry LSNs (perfect DPT, App. D.1).
+  uint32_t first_dirty = 0;  ///< DirtySet index of first dirty after FW-LSN.
+  Lsn tc_lsn = kInvalidLsn;  ///< TC end-of-stable-log when Δ was written.
+  bool has_fw_fields = true;  ///< False under reduced logging (App. D.2).
+
+  // --- SMO / DDL records ---
+  std::vector<SmoPageImage> smo_pages;
+  PageId alloc_hwm = kInvalidPageId;  ///< Page allocator high-water mark.
+  uint32_t ddl_value_size = 0;  ///< kCreateTable: the table's value size.
+
+  /// Serialize the payload (excluding the [len][type] frame).
+  std::string EncodePayload() const;
+
+  /// Decode a payload previously produced by EncodePayload() for `type`.
+  static Status DecodePayload(LogRecordType type, Slice payload,
+                              LogRecord* out);
+
+  /// True for record types that the TC redo pass treats as redoable data
+  /// operations (kUpdate/kInsert/kClr).
+  bool IsRedoableDataOp() const {
+    return type == LogRecordType::kUpdate || type == LogRecordType::kInsert ||
+           type == LogRecordType::kClr;
+  }
+};
+
+}  // namespace deutero

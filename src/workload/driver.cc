@@ -1,0 +1,165 @@
+#include "workload/driver.h"
+
+#include <cassert>
+
+namespace deutero {
+
+WorkloadDriver::WorkloadDriver(Engine* engine, const WorkloadConfig& config)
+    : engine_(engine),
+      config_(config),
+      rng_(config.seed),
+      loaded_rows_(engine->options().num_rows),
+      next_fresh_key_(engine->options().num_rows),
+      value_size_(engine->options().value_size),
+      updates_per_txn_(engine->options().updates_per_txn) {
+  if (config_.distribution == WorkloadConfig::Distribution::kZipfian) {
+    zipf_ = std::make_unique<ZipfianGenerator>(loaded_rows_,
+                                               config_.zipf_theta,
+                                               config_.seed ^ 0x5a5a5a5a);
+  }
+}
+
+Key WorkloadDriver::NextKey() {
+  if (zipf_ != nullptr) return zipf_->Next();
+  return rng_.Uniform(loaded_rows_);
+}
+
+Status WorkloadDriver::OpenTxnIfNeeded() {
+  if (open_txn_ == kInvalidTxnId) {
+    DEUTERO_RETURN_NOT_OK(engine_->Begin(&open_txn_));
+    open_ops_ = 0;
+    pending_.clear();
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::CommitIfFull() {
+  if (open_txn_ != kInvalidTxnId && open_ops_ >= updates_per_txn_) {
+    return CommitOpen();
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::CommitOpen() {
+  if (open_txn_ == kInvalidTxnId) return Status::OK();
+  DEUTERO_RETURN_NOT_OK(engine_->Commit(open_txn_));
+  for (const auto& [key, version] : pending_) {
+    committed_[key] = version;
+    auto ins = inserted_.find(key);
+    if (ins != inserted_.end()) ins->second = true;
+  }
+  pending_.clear();
+  open_txn_ = kInvalidTxnId;
+  open_ops_ = 0;
+  txns_committed_++;
+  return Status::OK();
+}
+
+Status WorkloadDriver::DoOneOp() {
+  DEUTERO_RETURN_NOT_OK(OpenTxnIfNeeded());
+  if (config_.read_fraction > 0 && rng_.Bernoulli(config_.read_fraction)) {
+    std::string value;
+    const Status st = engine_->Read(NextKey(), &value);
+    if (!st.ok() && !st.IsNotFound()) return st;
+    open_ops_++;
+    ops_done_++;
+    return Status::OK();
+  }
+  const bool do_insert =
+      config_.insert_fraction > 0 && rng_.Bernoulli(config_.insert_fraction);
+  if (do_insert) {
+    const Key key = next_fresh_key_++;
+    const uint32_t version = 1;
+    counter_[key] = version;
+    const std::string value =
+        SynthesizeValueString(key, version, value_size_);
+    DEUTERO_RETURN_NOT_OK(engine_->Insert(open_txn_, key, value));
+    inserted_[key] = false;  // not yet committed
+    pending_.emplace_back(key, version);
+  } else {
+    const Key key = NextKey();
+    const uint32_t version = ++counter_[key];
+    const std::string value =
+        SynthesizeValueString(key, version, value_size_);
+    DEUTERO_RETURN_NOT_OK(engine_->Update(open_txn_, key, value));
+    pending_.emplace_back(key, version);
+  }
+  open_ops_++;
+  ops_done_++;
+  return Status::OK();
+}
+
+Status WorkloadDriver::RunOps(uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    DEUTERO_RETURN_NOT_OK(DoOneOp());
+    DEUTERO_RETURN_NOT_OK(CommitIfFull());
+  }
+  return Status::OK();
+}
+
+Status WorkloadDriver::RunOpsNoCommit(uint64_t n) {
+  for (uint64_t i = 0; i < n; i++) {
+    DEUTERO_RETURN_NOT_OK(DoOneOp());
+    if (open_ops_ >= updates_per_txn_ && i + 1 < n) {
+      DEUTERO_RETURN_NOT_OK(CommitOpen());
+    }
+  }
+  return Status::OK();
+}
+
+void WorkloadDriver::OnCrash() {
+  open_txn_ = kInvalidTxnId;
+  open_ops_ = 0;
+  pending_.clear();
+}
+
+std::string WorkloadDriver::ExpectedValue(Key key) const {
+  auto ins = inserted_.find(key);
+  if (ins != inserted_.end() && !ins->second) {
+    return std::string();  // uncommitted insert: must not exist
+  }
+  auto it = committed_.find(key);
+  const uint32_t version = it == committed_.end() ? 0 : it->second;
+  return SynthesizeValueString(key, version, value_size_);
+}
+
+Status WorkloadDriver::Verify(uint64_t sample_count, uint64_t* checked) {
+  uint64_t n = 0;
+  Random vrng(config_.seed ^ 0xfeedbeef);
+  auto check_key = [&](Key key) -> Status {
+    const std::string expected = ExpectedValue(key);
+    std::string got;
+    const Status st = engine_->Read(key, &got);
+    if (expected.empty()) {
+      if (!st.IsNotFound()) {
+        return Status::Corruption("rolled-back insert still present");
+      }
+      n++;
+      return Status::OK();
+    }
+    DEUTERO_RETURN_NOT_OK(st);
+    if (got != expected) {
+      return Status::Corruption("value mismatch at key " +
+                                std::to_string(key));
+    }
+    n++;
+    return Status::OK();
+  };
+
+  if (sample_count == 0) {
+    for (const auto& [key, version] : committed_) {
+      DEUTERO_RETURN_NOT_OK(check_key(key));
+    }
+    for (const auto& [key, committed] : inserted_) {
+      DEUTERO_RETURN_NOT_OK(check_key(key));
+    }
+  } else {
+    for (uint64_t i = 0; i < sample_count; i++) {
+      DEUTERO_RETURN_NOT_OK(check_key(vrng.Uniform(loaded_rows_)));
+    }
+  }
+  if (checked != nullptr) *checked = n;
+  return Status::OK();
+}
+
+}  // namespace deutero

@@ -1,0 +1,99 @@
+// Workload driver implementing the paper's update workload (§5.2): small
+// transactions (10 updates each by default) that overwrite the data
+// attribute of a record chosen by an equality search on the key attribute.
+// Uniform key choice is the paper's default ("worst case for redo");
+// Zipfian is available for the locality experiments.
+//
+// The driver maintains the oracle: the committed version of every updated
+// key. Values are the deterministic function of (key, version) from
+// common/value_codec.h, so the oracle is tiny and can predict the payload
+// of any key — including never-updated keys (version 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/value_codec.h"
+#include "core/engine.h"
+
+namespace deutero {
+
+struct WorkloadConfig {
+  enum class Distribution { kUniform, kZipfian };
+  Distribution distribution = Distribution::kUniform;
+  double zipf_theta = 0.99;
+  /// Fraction of operations that insert fresh keys past the loaded range
+  /// (exercises SMOs); 0 for the paper's pure-update workload.
+  double insert_fraction = 0.0;
+  /// Fraction of operations that are reads. The paper's workloads are
+  /// update-only — its stated worst case, since "reads dilute the cache
+  /// update density" (App. B) — but mixed workloads are supported.
+  double read_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Engine* engine, const WorkloadConfig& config);
+
+  /// Run exactly `n` operations, opening/committing transactions of
+  /// options().updates_per_txn operations. A transaction left open by a
+  /// previous call is continued first.
+  Status RunOps(uint64_t n);
+
+  /// Run `n` operations and leave the transaction open (crash-mid-txn
+  /// scenarios).
+  Status RunOpsNoCommit(uint64_t n);
+
+  /// Commit a transaction left open by RunOpsNoCommit.
+  Status CommitOpen();
+
+  /// Called when the engine crashes: discard in-flight expectations.
+  void OnCrash();
+
+  /// Expected committed value of `key` (version 0 if never updated).
+  std::string ExpectedValue(Key key) const;
+
+  /// Compare `sample_count` deterministically chosen keys (plus every key
+  /// ever updated if `sample_count` == 0) against the engine.
+  Status Verify(uint64_t sample_count, uint64_t* checked);
+
+  uint64_t ops_done() const { return ops_done_; }
+  uint64_t txns_committed() const { return txns_committed_; }
+  const std::unordered_map<Key, uint32_t>& committed_versions() const {
+    return committed_;
+  }
+
+ private:
+  Key NextKey();
+  Status DoOneOp();
+  Status OpenTxnIfNeeded();
+  Status CommitIfFull();
+
+  Engine* engine_;
+  WorkloadConfig config_;
+  Random rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t loaded_rows_;
+  uint64_t next_fresh_key_;
+  uint32_t value_size_;
+  uint32_t updates_per_txn_;
+
+  TxnId open_txn_ = kInvalidTxnId;
+  uint32_t open_ops_ = 0;
+  std::vector<std::pair<Key, uint32_t>> pending_;  ///< (key, version).
+
+  std::unordered_map<Key, uint32_t> committed_;  ///< key -> version.
+  std::unordered_map<Key, uint32_t> counter_;    ///< key -> updates issued.
+  std::unordered_map<Key, bool> inserted_;       ///< fresh keys, committed?
+
+  uint64_t ops_done_ = 0;
+  uint64_t txns_committed_ = 0;
+};
+
+}  // namespace deutero

@@ -1,0 +1,48 @@
+#include "workload/experiment.h"
+
+#include "core/engine.h"
+
+namespace deutero {
+
+Status RunSideBySide(const SideBySideConfig& config, SideBySideResult* out) {
+  *out = SideBySideResult();
+
+  std::unique_ptr<Engine> engine;
+  DEUTERO_RETURN_NOT_OK(Engine::Open(config.engine, &engine));
+  WorkloadDriver driver(engine.get(), config.workload);
+
+  DEUTERO_RETURN_NOT_OK(RunCrashScenario(engine.get(), &driver,
+                                         config.scenario, &out->scenario));
+
+  Engine::StableSnapshot snap;
+  DEUTERO_RETURN_NOT_OK(engine->TakeStableSnapshot(&snap));
+
+  for (RecoveryMethod method : config.methods) {
+    DEUTERO_RETURN_NOT_OK(engine->RestoreStableSnapshot(snap));
+    MethodOutcome outcome;
+    outcome.method = method;
+    DEUTERO_RETURN_NOT_OK(engine->Recover(method, &outcome.stats));
+    if (config.verify) {
+      DEUTERO_RETURN_NOT_OK(
+          driver.Verify(config.verify_sample, &outcome.keys_checked));
+      outcome.verified = true;
+    }
+    out->methods.push_back(std::move(outcome));
+    engine->SimulateCrash();  // back to the crashed state for the next method
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> PaperCacheSweepPages() {
+  // Full scale: {8192, 16384, 32768, 65536, 131072, 262144} frames; the
+  // 1/10-scale points double exactly, anchored at 819 (64 MB-class).
+  return {819, 1638, 3276, 6552, 13104, 26208};
+}
+
+std::string PaperCacheLabel(size_t index) {
+  static const char* kLabels[] = {"64MB",  "128MB",  "256MB",
+                                  "512MB", "1024MB", "2048MB"};
+  return index < 6 ? kLabels[index] : "?";
+}
+
+}  // namespace deutero

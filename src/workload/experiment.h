@@ -1,0 +1,54 @@
+// Side-by-side experiment harness (paper §5.1): one crash image, every
+// recovery method. The engine's stable state (device image + stable log +
+// master record) is snapshotted at the crash and reinstalled before each
+// method runs, so all methods replay exactly the same log — the paper's
+// controlled-comparison methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "recovery/stats.h"
+#include "workload/scenario.h"
+
+namespace deutero {
+
+struct SideBySideConfig {
+  EngineOptions engine;
+  WorkloadConfig workload;
+  ScenarioConfig scenario;
+  std::vector<RecoveryMethod> methods = {
+      RecoveryMethod::kLog0, RecoveryMethod::kLog1, RecoveryMethod::kSql1,
+      RecoveryMethod::kLog2, RecoveryMethod::kSql2};
+  /// Post-recovery verification sample size (0 = verify every updated key).
+  uint64_t verify_sample = 500;
+  bool verify = true;
+};
+
+struct MethodOutcome {
+  RecoveryMethod method = RecoveryMethod::kLog0;
+  RecoveryStats stats;
+  bool verified = false;
+  uint64_t keys_checked = 0;
+};
+
+struct SideBySideResult {
+  ScenarioOutcome scenario;
+  std::vector<MethodOutcome> methods;
+};
+
+/// Run the full experiment: load, warm up, crash once, recover under every
+/// requested method against the identical crash image.
+Status RunSideBySide(const SideBySideConfig& config, SideBySideResult* out);
+
+/// Cache sizes of the paper's Fig. 2 sweep, expressed in pages at 1/10
+/// scale: {64, 128, 256, 512, 1024, 2048} MB-class points.
+std::vector<uint64_t> PaperCacheSweepPages();
+
+/// Label ("64MB", ...) for the i-th sweep point.
+std::string PaperCacheLabel(size_t index);
+
+}  // namespace deutero

@@ -1,0 +1,62 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+namespace deutero {
+
+Status RunCrashScenario(Engine* engine, WorkloadDriver* driver,
+                        const ScenarioConfig& config, ScenarioOutcome* out) {
+  *out = ScenarioOutcome();
+  const EngineOptions& opts = engine->options();
+  const uint64_t interval = config.checkpoint_interval != 0
+                                ? config.checkpoint_interval
+                                : opts.checkpoint_interval_updates;
+  const uint64_t txn = opts.updates_per_txn;
+  BufferPool& pool = engine->dc().pool();
+
+  // ---- warmup: fill the cache, then run that long again (§5.2) ----
+  const uint64_t total_pages = engine->dc().allocator().next_page_id();
+  const uint64_t fill_target =
+      std::min<uint64_t>(pool.capacity(), total_pages) * 99 / 100;
+  const uint64_t cap = config.max_warmup_updates != 0
+                           ? config.max_warmup_updates
+                           : 6 * pool.capacity() + 10000;
+  uint64_t fill_updates = 0;
+  while (pool.resident_pages() < fill_target && fill_updates < cap) {
+    DEUTERO_RETURN_NOT_OK(driver->RunOps(txn));
+    fill_updates += txn;
+  }
+  DEUTERO_RETURN_NOT_OK(driver->RunOps(fill_updates));  // double the time
+  out->warmup_updates = 2 * fill_updates;
+
+  // ---- measured phase: `checkpoints` checkpoint intervals ----
+  for (uint64_t c = 0; c < config.checkpoints; c++) {
+    DEUTERO_RETURN_NOT_OK(driver->RunOps(interval));
+    DEUTERO_RETURN_NOT_OK(engine->Checkpoint());
+  }
+
+  // ---- final interval: crash just before checkpoint #checkpoints+1 ----
+  const uint64_t tail = std::min<uint64_t>(config.tail_updates, interval);
+  DEUTERO_RETURN_NOT_OK(driver->RunOps(interval - tail));
+  engine->dc().monitor().ForceEmit();  // last Δ/BW-records before the tail
+  DEUTERO_RETURN_NOT_OK(driver->RunOps(tail));
+  if (config.uncommitted_tail_ops > 0) {
+    DEUTERO_RETURN_NOT_OK(driver->RunOpsNoCommit(config.uncommitted_tail_ops));
+    // Force the log so the loser's records survive the crash and must be
+    // undone (otherwise truncation would silently erase them).
+    engine->tc().ForceLog();
+  }
+  out->measured_updates = config.checkpoints * interval + interval;
+
+  out->resident_at_crash = pool.resident_pages();
+  out->dirty_pages_at_crash = pool.dirty_pages();
+  out->delta_records_total = engine->dc().monitor().stats().delta_records;
+  out->bw_records_total = engine->dc().monitor().stats().bw_records;
+  out->stable_end_at_crash = engine->wal().stable_end();
+
+  driver->OnCrash();
+  engine->SimulateCrash();
+  return Status::OK();
+}
+
+}  // namespace deutero

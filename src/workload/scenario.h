@@ -1,0 +1,49 @@
+// The controlled crash protocol of paper §5.2:
+//
+//   1. Warm up until the cache is in steady state ("a workload runs for
+//      double the time needed to fill the cache").
+//   2. Take `checkpoints` checkpoints, `checkpoint_interval` updates apart.
+//   3. Run one more interval, forcing the final Δ/BW-records `tail_updates`
+//      before the end, then crash — "shortly before a checkpoint is taken,
+//      which is the worst case for redo recovery".
+//
+// The redone log thus holds ~checkpoint_interval update records, with a
+// ~tail_updates-record tail after the last Δ/BW-record.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "workload/driver.h"
+
+namespace deutero {
+
+struct ScenarioConfig {
+  uint64_t checkpoints = 10;
+  /// Updates between checkpoints; 0 = engine options value (ci1).
+  uint64_t checkpoint_interval = 0;
+  uint64_t tail_updates = 10;
+  /// Extra operations run inside an uncommitted transaction right before
+  /// the crash (exercises the undo pass).
+  uint64_t uncommitted_tail_ops = 0;
+  /// Warmup safety cap (0 = auto: 6x cache capacity worth of updates).
+  uint64_t max_warmup_updates = 0;
+};
+
+struct ScenarioOutcome {
+  uint64_t warmup_updates = 0;
+  uint64_t measured_updates = 0;
+  uint64_t resident_at_crash = 0;
+  uint64_t dirty_pages_at_crash = 0;  ///< Ground truth for Fig. 2(b).
+  uint64_t delta_records_total = 0;   ///< Written over the whole run.
+  uint64_t bw_records_total = 0;
+  Lsn stable_end_at_crash = kInvalidLsn;
+};
+
+/// Drive `engine` through the crash protocol; on return the engine is in
+/// the crashed state and `driver`'s oracle reflects committed-at-crash.
+Status RunCrashScenario(Engine* engine, WorkloadDriver* driver,
+                        const ScenarioConfig& config, ScenarioOutcome* out);
+
+}  // namespace deutero

@@ -1,0 +1,96 @@
+// Cross-family equivalence of loser detection: the SQL analysis pass and
+// the logical family's redo-scan ATT tracking must identify exactly the
+// same loser transactions with the same chain tails, from any crash image.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "recovery/analysis.h"
+#include "recovery/redo.h"
+#include "test_util.h"
+#include "workload/driver.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+class AttEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttEquivalenceTest, ::testing::Range(1, 6),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST_P(AttEquivalenceTest, SqlAnalysisAndLogicalScanAgreeOnLosers) {
+  const int seed = GetParam();
+  EngineOptions o = SmallOptions();
+  o.seed = seed;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.seed = seed * 17;
+  WorkloadDriver driver(e.get(), wc);
+  Random rng(seed * 31);
+
+  // Random mixture of commits, runtime aborts, idle losers across
+  // checkpoints, and in-flight tail losers.
+  ASSERT_OK(driver.RunOps(100 + rng.Uniform(200)));
+  std::vector<TxnId> idle_losers;
+  for (int i = 0; i < static_cast<int>(1 + rng.Uniform(3)); i++) {
+    TxnId t;
+    ASSERT_OK(e->Begin(&t));
+    ASSERT_OK(e->Update(
+        t, 1000 + i, SynthesizeValueString(1000 + i, 5, o.value_size)));
+    idle_losers.push_back(t);
+  }
+  e->tc().ForceLog();
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(100 + rng.Uniform(200)));
+  if (rng.Bernoulli(0.7)) {
+    TxnId t;
+    ASSERT_OK(e->Begin(&t));
+    ASSERT_OK(e->Update(t, 7, SynthesizeValueString(7, 9, o.value_size)));
+    ASSERT_OK(e->Abort(t));  // runtime abort: NOT a loser
+  }
+  ASSERT_OK(driver.RunOpsNoCommit(1 + rng.Uniform(8)));
+  e->tc().ForceLog();
+
+  driver.OnCrash();
+  e->SimulateCrash();
+  ASSERT_OK(e->dc().OpenDatabase());
+  e->dc().monitor().set_enabled(false);
+  e->dc().pool().set_callbacks_enabled(false);
+  const Lsn start = e->wal().master().bckpt_lsn;
+
+  // SQL family: losers from the analysis pass.
+  SqlAnalysisResult ar;
+  ASSERT_OK(RunSqlAnalysis(&e->wal(), start, &ar));
+
+  // Logical family: losers from the redo-scan's ATT tracking.
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+  DcRecoveryResult dcr;
+  ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), start, DptMode::kStandard,
+                          true, false, &dcr));
+  RedoResult rr;
+  ASSERT_OK(RunLogicalRedo(&e->wal(), &e->dc(), start, true, &dcr.dpt,
+                           dcr.last_delta_tc_lsn, nullptr, e->options(),
+                           &rr));
+
+  EXPECT_EQ(ar.att.size(), rr.att.size());
+  for (const auto& [txn, last_lsn] : ar.att) {
+    auto it = rr.att.find(txn);
+    ASSERT_NE(it, rr.att.end()) << "txn " << txn << " missed by logical scan";
+    EXPECT_EQ(it->second, last_lsn) << "chain tail differs for txn " << txn;
+  }
+  // Every idle loser is present in both.
+  for (TxnId t : idle_losers) {
+    EXPECT_TRUE(ar.att.count(t)) << "idle loser " << t;
+  }
+  EXPECT_EQ(ar.max_txn_id, rr.max_txn_id);
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,353 @@
+// Unit + property tests for the B+tree: bulk load geometry, point ops,
+// logged SMO splits (leaf, internal, root), crash-redo of SMOs, preload,
+// and a randomized differential test against std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "btree/node.h"
+#include "common/random.h"
+#include "common/value_codec.h"
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/allocator.h"
+#include "storage/buffer_pool.h"
+#include "wal/log_manager.h"
+
+namespace deutero {
+namespace {
+
+constexpr uint32_t kPageSize = 512;
+constexpr uint32_t kValueSize = 20;
+// Leaf capacity: (512-32)/28 = 17; internal: (512-32)/12 = 40.
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() { Reset(256); }
+
+  void Reset(uint64_t cache_pages) {
+    options_ = EngineOptions();
+    options_.page_size = kPageSize;
+    options_.value_size = kValueSize;
+    options_.cache_pages = cache_pages;
+    clock_ = std::make_unique<SimClock>();
+    disk_ = std::make_unique<SimDisk>(clock_.get(), kPageSize, options_.io);
+    pool_ = std::make_unique<BufferPool>(clock_.get(), disk_.get(),
+                                         cache_pages, kPageSize);
+    log_ = std::make_unique<LogManager>(clock_.get(), 8192, 0.25);
+    // Page 0 is the (unused here) catalog page; the root gets page 1.
+    allocator_ = std::make_unique<PageAllocator>(disk_.get(), 2);
+    tree_ = std::make_unique<BTree>(
+        clock_.get(), disk_.get(), pool_.get(), allocator_.get(), log_.get(),
+        kRootPageId, kPageSize, kValueSize, options_.leaf_fill_fraction,
+        options_.io.cpu_per_btree_level_us);
+  }
+
+  std::string Val(Key k, uint32_t version = 0) {
+    return SynthesizeValueString(k, version, kValueSize);
+  }
+
+  Status Insert(Key k, uint32_t version = 1) {
+    PageId pid = kInvalidPageId;
+    DEUTERO_RETURN_NOT_OK(tree_->PrepareInsert(k, &pid));
+    return tree_->ApplyInsert(pid, k, Val(k, version), log_->next_lsn() + 1);
+  }
+
+  EngineOptions options_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<PageAllocator> allocator_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, CreateEmptyHasLeafRoot) {
+  ASSERT_TRUE(tree_->CreateEmpty().ok());
+  EXPECT_EQ(tree_->height(), 1u);
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, 0u);
+}
+
+TEST_F(BTreeTest, BulkLoadSingleLeaf) {
+  ASSERT_TRUE(tree_->BulkLoad(10, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  EXPECT_EQ(tree_->height(), 1u);
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, 10u);
+  std::string v;
+  ASSERT_TRUE(tree_->Read(7, &v).ok());
+  EXPECT_EQ(v, Val(7));
+}
+
+TEST_F(BTreeTest, BulkLoadMultiLevel) {
+  ASSERT_TRUE(tree_->BulkLoad(5000, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  EXPECT_GE(tree_->height(), 3u);
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, 5000u);
+  // Spot-check reads across the key space.
+  for (Key k : {0ull, 1ull, 2499ull, 4999ull}) {
+    std::string v;
+    ASSERT_TRUE(tree_->Read(k, &v).ok()) << k;
+    EXPECT_EQ(v, Val(k));
+  }
+  std::string v;
+  EXPECT_TRUE(tree_->Read(5000, &v).IsNotFound());
+}
+
+TEST_F(BTreeTest, BulkLoadLeafSiblingChainIsComplete) {
+  ASSERT_TRUE(tree_->BulkLoad(1000, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  uint64_t seen = 0;
+  Key expected = 0;
+  ASSERT_TRUE(tree_->ScanAll([&](Key k, Slice v) {
+                       EXPECT_EQ(k, expected++);
+                       EXPECT_EQ(v.size(), kValueSize);
+                       seen++;
+                     }).ok());
+  EXPECT_EQ(seen, 1000u);
+}
+
+TEST_F(BTreeTest, FindDoesNotTouchLeaves) {
+  ASSERT_TRUE(tree_->BulkLoad(2000, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  pool_->ResetStats();
+  PageId pid = kInvalidPageId;
+  ASSERT_TRUE(tree_->Find(1234, &pid).ok());
+  EXPECT_EQ(pool_->stats().data_fetches, 0u);
+  EXPECT_GT(pool_->stats().index_fetches, 0u);
+  // The returned pid really owns the key.
+  std::string v;
+  ASSERT_TRUE(tree_->Read(1234, &v).ok());
+}
+
+TEST_F(BTreeTest, UpdateOverwritesInPlaceAndStampsPlsn) {
+  ASSERT_TRUE(tree_->BulkLoad(100, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  PageId pid = kInvalidPageId;
+  ASSERT_TRUE(tree_->Find(42, &pid).ok());
+  ASSERT_TRUE(tree_->ApplyUpdate(pid, 42, Val(42, 5), 9000).ok());
+  std::string v;
+  ASSERT_TRUE(tree_->Read(42, &v).ok());
+  EXPECT_EQ(v, Val(42, 5));
+  PageHandle h;
+  ASSERT_TRUE(pool_->Get(pid, PageClass::kData, &h).ok());
+  EXPECT_EQ(h.view().plsn(), 9000u);
+}
+
+TEST_F(BTreeTest, UpdateMissingKeyIsNotFound) {
+  ASSERT_TRUE(tree_->BulkLoad(100, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  PageId pid = kInvalidPageId;
+  ASSERT_TRUE(tree_->Find(40, &pid).ok());
+  EXPECT_TRUE(tree_->ApplyUpdate(pid, 100000, Val(1), 1).IsNotFound());
+}
+
+TEST_F(BTreeTest, InsertsSplitLeavesAndLogSmos) {
+  ASSERT_TRUE(tree_->CreateEmpty().ok());
+  const uint64_t before =
+      log_->stats().by_type[static_cast<size_t>(LogRecordType::kSmo)];
+  for (Key k = 0; k < 200; k++) ASSERT_TRUE(Insert(k).ok());
+  const uint64_t smos =
+      log_->stats().by_type[static_cast<size_t>(LogRecordType::kSmo)] - before;
+  EXPECT_GT(smos, 5u);  // 200 rows / 17 per leaf forces many splits
+  EXPECT_GT(tree_->stats().root_splits, 0u);
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, 200u);
+}
+
+TEST_F(BTreeTest, ReverseAndRandomInsertOrdersStayWellFormed) {
+  for (int mode = 0; mode < 2; mode++) {
+    Reset(256);
+    ASSERT_TRUE(tree_->CreateEmpty().ok());
+    Random rng(mode + 1);
+    std::map<Key, bool> present;
+    for (int i = 0; i < 500; i++) {
+      Key k;
+      if (mode == 0) {
+        k = 100000 - i;  // descending
+      } else {
+        do {
+          k = rng.Uniform(1000000);
+        } while (present.count(k));
+      }
+      present[k] = true;
+      ASSERT_TRUE(Insert(k).ok());
+    }
+    uint64_t rows = 0;
+    ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+    EXPECT_EQ(rows, 500u);
+    Key prev = 0;
+    bool first = true;
+    uint64_t seen = 0;
+    ASSERT_TRUE(tree_->ScanAll([&](Key k, Slice) {
+                         if (!first) {
+                           EXPECT_GT(k, prev);
+                         }
+                         prev = k;
+                         first = false;
+                         seen++;
+                       }).ok());
+    EXPECT_EQ(seen, 500u);
+  }
+}
+
+TEST_F(BTreeTest, DeleteRemovesRow) {
+  ASSERT_TRUE(tree_->BulkLoad(100, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  PageId pid = kInvalidPageId;
+  ASSERT_TRUE(tree_->Find(10, &pid).ok());
+  ASSERT_TRUE(tree_->ApplyDelete(pid, 10, 500).ok());
+  std::string v;
+  EXPECT_TRUE(tree_->Read(10, &v).IsNotFound());
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, 99u);
+}
+
+TEST_F(BTreeTest, SmoRedoReinstallsImagesIdempotently) {
+  ASSERT_TRUE(tree_->CreateEmpty().ok());
+  for (Key k = 0; k < 60; k++) ASSERT_TRUE(Insert(k).ok());
+  log_->Flush();
+
+  // Collect the SMO records, then simulate a crash where NOTHING was
+  // flushed: the device still has only the empty tree.
+  std::vector<LogRecord> smos;
+  for (auto it = log_->NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    if (it.record().type == LogRecordType::kSmo) smos.push_back(it.record());
+  }
+  ASSERT_GT(smos.size(), 0u);
+
+  pool_->Reset();
+  // Redo all SMOs twice — idempotence via the per-page pLSN test.
+  for (int round = 0; round < 2; round++) {
+    for (const LogRecord& rec : smos) {
+      ASSERT_TRUE(RedoPhysicalImages(pool_.get(), disk_.get(),
+                                     allocator_.get(), kPageSize, rec)
+                      .ok());
+    }
+  }
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  // The tree structure is restored; rows reflect whatever leaf images the
+  // SMO records captured (a well-formed prefix of history).
+}
+
+TEST_F(BTreeTest, PreloadIndexLoadsAllInternalPages) {
+  ASSERT_TRUE(tree_->BulkLoad(5000, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  ASSERT_GE(tree_->height(), 3u);
+  pool_->Reset();
+  pool_->ResetStats();
+  ASSERT_TRUE(tree_->PreloadIndex().ok());
+  const uint64_t index_pages_loaded =
+      pool_->stats().index_fetches + pool_->stats().misses;
+  EXPECT_GT(index_pages_loaded, 2u);
+  EXPECT_EQ(pool_->stats().data_fetches, 0u);  // never touches leaves
+  // Subsequent traversals hit only cached index pages.
+  pool_->ResetStats();
+  PageId pid = kInvalidPageId;
+  ASSERT_TRUE(tree_->Find(4321, &pid).ok());
+  EXPECT_EQ(pool_->stats().misses, 0u);
+}
+
+TEST_F(BTreeTest, RefreshHeightMatchesRootLevel) {
+  ASSERT_TRUE(tree_->BulkLoad(3000, [this](Key k, uint8_t* dst) {
+                       SynthesizeValue(k, 0, kValueSize, dst);
+                     }).ok());
+  const uint32_t height = tree_->height();
+  tree_->set_height(1);  // stale, as after arbitrary SMO redo
+  ASSERT_TRUE(tree_->RefreshHeight().ok());
+  EXPECT_EQ(tree_->height(), height);
+}
+
+TEST_F(BTreeTest, TwoTreesShareAllocatorWithoutCollisions) {
+  ASSERT_TRUE(tree_->CreateEmpty().ok());
+  const PageId other_root = allocator_->Allocate();
+  BTree other(clock_.get(), disk_.get(), pool_.get(), allocator_.get(),
+              log_.get(), other_root, kPageSize, kValueSize,
+              options_.leaf_fill_fraction,
+              options_.io.cpu_per_btree_level_us);
+  ASSERT_TRUE(other.CreateEmpty().ok());
+  for (Key k = 0; k < 120; k++) {
+    ASSERT_TRUE(Insert(k).ok());
+    PageId pid;
+    ASSERT_TRUE(other.PrepareInsert(k + 1000, &pid).ok());
+    ASSERT_TRUE(other
+                    .ApplyInsert(pid, k + 1000, Val(k + 1000, 1),
+                                 log_->next_lsn() + 1)
+                    .ok());
+  }
+  uint64_t rows_a = 0, rows_b = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows_a).ok());
+  ASSERT_TRUE(other.CheckWellFormed(&rows_b).ok());
+  EXPECT_EQ(rows_a, 120u);
+  EXPECT_EQ(rows_b, 120u);
+}
+
+// Differential test: random interleaving of inserts and updates vs std::map.
+TEST_F(BTreeTest, RandomOpsMatchStdMap) {
+  Reset(64);  // small cache: force eviction traffic through the tree
+  ASSERT_TRUE(tree_->CreateEmpty().ok());
+  Random rng(99);
+  std::map<Key, std::string> oracle;
+  for (int i = 0; i < 3000; i++) {
+    const int op = static_cast<int>(rng.Uniform(100));
+    if (op < 55 || oracle.empty()) {
+      Key k;
+      do {
+        k = rng.Uniform(100000);
+      } while (oracle.count(k));
+      const std::string v = Val(k, static_cast<uint32_t>(i));
+      PageId pid;
+      ASSERT_TRUE(tree_->PrepareInsert(k, &pid).ok());
+      ASSERT_TRUE(tree_->ApplyInsert(pid, k, v, i + 10).ok());
+      oracle[k] = v;
+    } else if (op < 90) {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      const std::string v = Val(it->first, static_cast<uint32_t>(i + 7));
+      PageId pid;
+      ASSERT_TRUE(tree_->Find(it->first, &pid).ok());
+      ASSERT_TRUE(tree_->ApplyUpdate(pid, it->first, v, i + 10).ok());
+      it->second = v;
+    } else {
+      auto it = oracle.begin();
+      std::advance(it, rng.Uniform(oracle.size()));
+      std::string v;
+      ASSERT_TRUE(tree_->Read(it->first, &v).ok());
+      ASSERT_EQ(v, it->second);
+    }
+  }
+  uint64_t rows = 0;
+  ASSERT_TRUE(tree_->CheckWellFormed(&rows).ok());
+  EXPECT_EQ(rows, oracle.size());
+  // Full scan equivalence.
+  auto expect = oracle.begin();
+  ASSERT_TRUE(tree_->ScanAll([&](Key k, Slice v) {
+                       ASSERT_NE(expect, oracle.end());
+                       EXPECT_EQ(k, expect->first);
+                       EXPECT_EQ(v.ToString(), expect->second);
+                       ++expect;
+                     }).ok());
+  EXPECT_EQ(expect, oracle.end());
+}
+
+}  // namespace
+}  // namespace deutero

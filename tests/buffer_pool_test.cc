@@ -1,0 +1,325 @@
+// Unit tests for the buffer pool: caching, eviction, dirty bookkeeping,
+// checkpoint phase flipping, the WAL rule, the lazy writer, and prefetch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace deutero {
+namespace {
+
+constexpr uint32_t kPageSize = 256;
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest()
+      : disk_(&clock_, kPageSize, IoModelOptions{}),
+        pool_(&clock_, &disk_, /*capacity=*/8, kPageSize,
+              /*max_batch=*/4) {
+    disk_.EnsurePages(64);
+    // Give every disk page a recognizable first payload byte.
+    std::vector<uint8_t> buf(kPageSize, 0);
+    for (PageId pid = 0; pid < 64; pid++) {
+      PageView p(buf.data(), kPageSize);
+      p.Format(pid, PageType::kLeaf, 0);
+      p.payload()[0] = static_cast<uint8_t>(pid);
+      disk_.WriteImageDirect(pid, buf.data());
+    }
+  }
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(3, PageClass::kData, &h).ok());
+  EXPECT_EQ(h.view().payload()[0], 3);
+  h.Release();
+  EXPECT_EQ(pool_.stats().misses, 1u);
+  PageHandle h2;
+  ASSERT_TRUE(pool_.Get(3, PageClass::kData, &h2).ok());
+  EXPECT_EQ(pool_.stats().hits, 1u);
+  EXPECT_EQ(pool_.stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, MissChargesIoTime) {
+  PageHandle h;
+  const double before = clock_.NowMs();
+  ASSERT_TRUE(pool_.Get(5, PageClass::kData, &h).ok());
+  EXPECT_GT(clock_.NowMs(), before);
+  EXPECT_EQ(pool_.stats().stall_count, 1u);
+  EXPECT_GT(pool_.stats().data_stall_ms, 0.0);
+  EXPECT_DOUBLE_EQ(pool_.stats().index_stall_ms, 0.0);
+}
+
+TEST_F(BufferPoolTest, IndexClassAccountsSeparately) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(5, PageClass::kIndex, &h).ok());
+  EXPECT_EQ(pool_.stats().index_fetches, 1u);
+  EXPECT_EQ(pool_.stats().data_fetches, 0u);
+  EXPECT_GT(pool_.stats().index_stall_ms, 0.0);
+}
+
+TEST_F(BufferPoolTest, EvictionAtCapacityPrefersUnreferenced) {
+  // Fill capacity (8 frames), touching pages 0..7.
+  for (PageId pid = 0; pid < 8; pid++) {
+    PageHandle h;
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &h).ok());
+  }
+  EXPECT_EQ(pool_.resident_pages(), 8u);
+  // One more page forces an eviction.
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(20, PageClass::kData, &h).ok());
+  EXPECT_EQ(pool_.resident_pages(), 8u);
+  EXPECT_EQ(pool_.stats().evictions, 1u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  std::vector<PageHandle> pins(7);
+  for (PageId pid = 0; pid < 7; pid++) {
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &pins[pid]).ok());
+  }
+  // Frame 8 gets used and evicted repeatedly; pinned pages survive.
+  for (PageId pid = 20; pid < 30; pid++) {
+    PageHandle h;
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &h).ok());
+  }
+  for (PageId pid = 0; pid < 7; pid++) {
+    EXPECT_TRUE(pool_.IsLoaded(pid)) << pid;
+  }
+}
+
+TEST_F(BufferPoolTest, AllPinnedReturnsBusy) {
+  std::vector<PageHandle> pins(8);
+  for (PageId pid = 0; pid < 8; pid++) {
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &pins[pid]).ok());
+  }
+  PageHandle h;
+  EXPECT_TRUE(pool_.Get(30, PageClass::kData, &h).IsBusy());
+}
+
+TEST_F(BufferPoolTest, MarkDirtyStampsPlsnAndCounts) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.MarkDirty(777);
+  EXPECT_EQ(h.view().plsn(), 777u);
+  EXPECT_EQ(pool_.dirty_pages(), 1u);
+  h.MarkDirty(778);  // same page again: still one dirty page
+  EXPECT_EQ(pool_.dirty_pages(), 1u);
+  EXPECT_EQ(h.view().plsn(), 778u);
+}
+
+TEST_F(BufferPoolTest, DirtyCallbackFiresPerUpdate) {
+  int calls = 0;
+  int clean_transitions = 0;
+  pool_.set_dirty_callback([&](PageId, Lsn, bool was_clean) {
+    calls++;
+    if (was_clean) clean_transitions++;
+  });
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.MarkDirty(1);
+  h.MarkDirty(2);
+  h.MarkDirty(3);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clean_transitions, 1);
+}
+
+TEST_F(BufferPoolTest, FlushPageWritesAndCleans) {
+  PageId flushed = kInvalidPageId;
+  pool_.set_flush_callback([&](PageId pid, Lsn) { flushed = pid; });
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.view().payload()[1] = 0xEE;
+  h.MarkDirty(10);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(4).ok());
+  EXPECT_EQ(pool_.dirty_pages(), 0u);
+  EXPECT_EQ(flushed, 4u);
+  EXPECT_EQ(disk_.ImageData(4)[kPageHeaderSize + 1], 0xEE);
+}
+
+TEST_F(BufferPoolTest, WalRuleForcesLogBeforeFlush) {
+  Lsn stable = 5;
+  Lsn forced_to = 0;
+  pool_.set_stable_lsn_provider([&] { return stable; });
+  pool_.set_wal_force_callback([&](Lsn lsn) {
+    forced_to = lsn;
+    stable = lsn;  // the TC flushes its log
+  });
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.MarkDirty(42);  // beyond the stable log
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(4).ok());
+  EXPECT_EQ(forced_to, 42u);
+  EXPECT_EQ(pool_.stats().wal_forces, 1u);
+}
+
+TEST_F(BufferPoolTest, CheckpointPhaseFlushesOnlyOldPhase) {
+  PageHandle a, b;
+  ASSERT_TRUE(pool_.Get(1, PageClass::kData, &a).ok());
+  a.MarkDirty(10);
+  a.Release();
+  pool_.FlipCheckpointPhase();  // bCkpt instant
+  ASSERT_TRUE(pool_.Get(2, PageClass::kData, &b).ok());
+  b.MarkDirty(11);  // dirtied during the checkpoint: exempt
+  b.Release();
+  EXPECT_EQ(pool_.FlushPhasePages(), 1u);
+  EXPECT_EQ(pool_.dirty_pages(), 1u);  // page 2 still dirty
+  EXPECT_FALSE(pool_.IsLoaded(1) && false);  // page 1 still resident, clean
+}
+
+TEST_F(BufferPoolTest, PageDirtyBeforeBckptKeepsOldPhaseDespiteLaterUpdate) {
+  PageHandle a;
+  ASSERT_TRUE(pool_.Get(1, PageClass::kData, &a).ok());
+  a.MarkDirty(10);
+  pool_.FlipCheckpointPhase();
+  a.MarkDirty(12);  // updated again during the checkpoint
+  a.Release();
+  // SQL semantics (§3.2): first-dirtied before bCkpt => flushed.
+  EXPECT_EQ(pool_.FlushPhasePages(), 1u);
+  EXPECT_EQ(pool_.dirty_pages(), 0u);
+}
+
+TEST_F(BufferPoolTest, LazyWriterFlushesOldestFirst) {
+  pool_.set_dirty_watermark(2);
+  std::vector<PageId> flush_order;
+  pool_.set_flush_callback([&](PageId pid, Lsn) { flush_order.push_back(pid); });
+  for (PageId pid = 1; pid <= 4; pid++) {
+    PageHandle h;
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &h).ok());
+    h.MarkDirty(pid * 10);
+  }
+  EXPECT_EQ(pool_.dirty_pages(), 4u);
+  pool_.LazyWriterTick();
+  EXPECT_EQ(pool_.dirty_pages(), 2u);
+  ASSERT_EQ(flush_order.size(), 2u);
+  EXPECT_EQ(flush_order[0], 1u);  // oldest-dirtied first
+  EXPECT_EQ(flush_order[1], 2u);
+}
+
+TEST_F(BufferPoolTest, LazyWriterSkipsStaleFifoEntries) {
+  pool_.set_dirty_watermark(1);
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(1, PageClass::kData, &h).ok());
+  h.MarkDirty(5);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(1).ok());  // manual flush: FIFO entry now stale
+  PageHandle h2, h3;
+  ASSERT_TRUE(pool_.Get(2, PageClass::kData, &h2).ok());
+  h2.MarkDirty(6);
+  ASSERT_TRUE(pool_.Get(3, PageClass::kData, &h3).ok());
+  h3.MarkDirty(7);
+  h2.Release();
+  h3.Release();
+  pool_.LazyWriterTick();
+  EXPECT_EQ(pool_.dirty_pages(), 1u);
+  EXPECT_FALSE(pool_.IsLoaded(2) && pool_.dirty_pages() == 2);
+}
+
+TEST_F(BufferPoolTest, PrefetchBatchesContiguousRuns) {
+  const std::vector<PageId> pids = {10, 11, 12, 13, 30, 31, 50};
+  const uint32_t issued = pool_.Prefetch(pids, PageClass::kData);
+  EXPECT_EQ(issued, 7u);
+  // 10..13 is one run (max_batch=4), 30..31 one, 50 one => 3 read I/Os.
+  EXPECT_EQ(disk_.stats().read_ios, 3u);
+  EXPECT_EQ(disk_.stats().batched_reads, 2u);
+  EXPECT_EQ(pool_.stats().prefetch_issued, 7u);
+}
+
+TEST_F(BufferPoolTest, PrefetchedPageServedWithoutNewIo) {
+  pool_.Prefetch(std::vector<PageId>{9}, PageClass::kData);
+  EXPECT_TRUE(pool_.IsResidentOrPending(9));
+  EXPECT_FALSE(pool_.IsLoaded(9));
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(9, PageClass::kData, &h).ok());
+  EXPECT_EQ(h.view().payload()[0], 9);
+  EXPECT_EQ(disk_.stats().read_ios, 1u);  // only the prefetch I/O
+  EXPECT_EQ(pool_.stats().prefetch_used, 1u);
+  EXPECT_EQ(pool_.stats().misses, 0u);
+}
+
+TEST_F(BufferPoolTest, GetOnPendingPageWaitsOnlyUntilCompletion) {
+  pool_.Prefetch(std::vector<PageId>{9}, PageClass::kData);
+  const double completion = disk_.IdleAtMs();
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(9, PageClass::kData, &h).ok());
+  EXPECT_DOUBLE_EQ(clock_.NowMs(), completion);
+}
+
+TEST_F(BufferPoolTest, PrefetchSkipsResidentPages) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(9, PageClass::kData, &h).ok());
+  h.Release();
+  const uint32_t issued =
+      pool_.Prefetch(std::vector<PageId>{9, 10}, PageClass::kData);
+  EXPECT_EQ(issued, 1u);
+}
+
+TEST_F(BufferPoolTest, CreateMaterializesZeroedPage) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Create(60, PageClass::kData, &h).ok());
+  EXPECT_EQ(h.view().plsn(), 0u);
+  EXPECT_EQ(pool_.stats().misses, 0u);
+  EXPECT_EQ(disk_.stats().read_ios, 0u);
+  EXPECT_TRUE(pool_.IsLoaded(60));
+}
+
+TEST_F(BufferPoolTest, ResetDropsEverything) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.MarkDirty(10);
+  h.Release();
+  pool_.Reset();
+  EXPECT_EQ(pool_.resident_pages(), 0u);
+  EXPECT_EQ(pool_.dirty_pages(), 0u);
+  EXPECT_FALSE(pool_.IsResidentOrPending(4));
+  // And it still works afterwards.
+  PageHandle h2;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h2).ok());
+  EXPECT_EQ(h2.view().payload()[0], 4);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionFlushesFirst) {
+  // Dirty all 8 frames, then demand a 9th page.
+  for (PageId pid = 0; pid < 8; pid++) {
+    PageHandle h;
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &h).ok());
+    h.view().payload()[2] = 0x77;
+    h.MarkDirty(100 + pid);
+  }
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(40, PageClass::kData, &h).ok());
+  EXPECT_EQ(pool_.stats().dirty_evictions, 1u);
+  EXPECT_EQ(pool_.stats().flushes, 1u);
+  // The victim's content reached the device.
+  uint64_t written = 0;
+  for (PageId pid = 0; pid < 8; pid++) {
+    if (disk_.ImageData(pid)[kPageHeaderSize + 2] == 0x77) written++;
+  }
+  EXPECT_EQ(written, 1u);
+}
+
+TEST_F(BufferPoolTest, CallbacksCanBeDisabled) {
+  int dirty_calls = 0, flush_calls = 0;
+  pool_.set_dirty_callback([&](PageId, Lsn, bool) { dirty_calls++; });
+  pool_.set_flush_callback([&](PageId, Lsn) { flush_calls++; });
+  pool_.set_callbacks_enabled(false);
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.MarkDirty(9);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(4).ok());
+  EXPECT_EQ(dirty_calls, 0);
+  EXPECT_EQ(flush_calls, 0);
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,90 @@
+// Catalog tests: meta-page round trip, validation, and capacity limits.
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+#include "storage/catalog.h"
+#include "storage/page.h"
+
+namespace deutero {
+namespace {
+
+constexpr uint32_t kPageSize = 1024;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : disk_(&clock_, kPageSize, IoModelOptions{}) {
+    disk_.EnsurePages(1);
+  }
+  SimClock clock_;
+  SimDisk disk_;
+};
+
+TEST_F(CatalogTest, WriteReadRoundTrip) {
+  Catalog cat;
+  cat.set_next_page_id(77);
+  ASSERT_TRUE(cat.Add({1, 1, 3, 26, 1000}).ok());
+  ASSERT_TRUE(cat.Add({9, 40, 1, 12, 0}).ok());
+  cat.WriteTo(&disk_, kPageSize);
+
+  Catalog read;
+  ASSERT_TRUE(Catalog::ReadFrom(disk_, kPageSize, &read).ok());
+  EXPECT_EQ(read.next_page_id(), 77u);
+  ASSERT_EQ(read.tables().size(), 2u);
+  const TableInfo* t = read.Find(9);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->root_pid, 40u);
+  EXPECT_EQ(t->height, 1u);
+  EXPECT_EQ(t->value_size, 12u);
+  const TableInfo* d = read.Find(1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->num_rows, 1000u);
+}
+
+TEST_F(CatalogTest, FindUnknownReturnsNull) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Add({1, 1, 1, 26, 0}).ok());
+  EXPECT_EQ(cat.Find(2), nullptr);
+}
+
+TEST_F(CatalogTest, DuplicateTableIdRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Add({1, 1, 1, 26, 0}).ok());
+  EXPECT_TRUE(cat.Add({1, 5, 1, 26, 0}).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, InvalidTableIdRejected) {
+  Catalog cat;
+  EXPECT_TRUE(cat.Add({kInvalidTableId, 1, 1, 26, 0}).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, CapacityEnforced) {
+  Catalog cat;
+  for (uint32_t i = 1; i <= Catalog::kMaxTables; i++) {
+    ASSERT_TRUE(cat.Add({i, i, 1, 26, 0}).ok());
+  }
+  EXPECT_TRUE(
+      cat.Add({Catalog::kMaxTables + 1, 999, 1, 26, 0}).IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, BadMagicRejected) {
+  std::vector<uint8_t> zero(kPageSize, 0);
+  disk_.WriteImageDirect(kMetaPageId, zero.data());
+  Catalog read;
+  EXPECT_TRUE(Catalog::ReadFrom(disk_, kPageSize, &read).IsCorruption());
+}
+
+TEST_F(CatalogTest, UpdateEntryInPlaceAndRewrite) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Add({1, 1, 1, 26, 0}).ok());
+  cat.Find(1)->height = 4;
+  cat.Find(1)->num_rows = 42;
+  cat.WriteTo(&disk_, kPageSize);
+  Catalog read;
+  ASSERT_TRUE(Catalog::ReadFrom(disk_, kPageSize, &read).ok());
+  EXPECT_EQ(read.Find(1)->height, 4u);
+  EXPECT_EQ(read.Find(1)->num_rows, 42u);
+}
+
+}  // namespace
+}  // namespace deutero

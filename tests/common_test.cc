@@ -1,0 +1,219 @@
+// Unit tests for common/: Status, coding, Slice, Random, Zipfian, value
+// codec.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/value_codec.h"
+
+namespace deutero {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ConstructorsAndPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  EXPECT_EQ(Status::Corruption("bad page").ToString(), "Corruption: bad page");
+  EXPECT_EQ(Status::NotFound().ToString(), "NotFound");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto f = []() -> Status {
+    DEUTERO_RETURN_NOT_OK(Status::Busy("inner"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(f().IsBusy());
+}
+
+TEST(CodingTest, Fixed1632And64RoundTrip) {
+  std::string buf;
+  PutFixed16(&buf, 0xBEEF);
+  PutFixed32(&buf, 0xDEADBEEF);
+  PutFixed64(&buf, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(buf.size(), 14u);
+  EXPECT_EQ(DecodeFixed16(buf.data()), 0xBEEF);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 2), 0xDEADBEEFu);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 6), 0x0123456789ABCDEFULL);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384, 1u << 21, (1u << 28) - 1, 1ull << 28,
+      1ull << 35, 1ull << 63, std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32RoundTripSweep) {
+  std::string buf;
+  for (uint32_t shift = 0; shift < 32; shift++) {
+    PutVarint32(&buf, (1u << shift) - 1);
+    PutVarint32(&buf, 1u << shift);
+  }
+  Slice in(buf);
+  for (uint32_t shift = 0; shift < 32; shift++) {
+    uint32_t a = 0, b = 0;
+    ASSERT_TRUE(GetVarint32(&in, &a));
+    ASSERT_TRUE(GetVarint32(&in, &b));
+    EXPECT_EQ(a, (1u << shift) - 1);
+    EXPECT_EQ(b, 1u << shift);
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); cut++) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  PutLengthPrefixed(&buf, Slice(std::string(300, 'x')));
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 300u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncationFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("payload"));
+  Slice in(buf.data(), buf.size() - 2);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(SliceTest, CompareAndEquality) {
+  EXPECT_EQ(Slice("abc").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("abb").Compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abd").Compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").Compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.RemovePrefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  EXPECT_EQ(s[0], 'c');
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(99);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(r.Uniform(37), 37u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRangeRoughly) {
+  Random r(5);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 100000; i++) hits[r.Uniform(10)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, 8500);
+    EXPECT_LT(h, 11500);
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(7);
+  for (int i = 0; i < 10000; i++) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfianTest, StaysInRange) {
+  ZipfianGenerator z(1000, 0.99, 42);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(z.Next(), 1000u);
+}
+
+TEST(ZipfianTest, SkewsTowardSmallKeys) {
+  ZipfianGenerator z(100000, 0.99, 42);
+  uint64_t low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++) {
+    if (z.Next() < 1000) low++;  // hottest 1% of the keyspace
+  }
+  // With theta=0.99 the hottest 1% draws far more than 1% of accesses.
+  EXPECT_GT(low, static_cast<uint64_t>(n) / 10);
+}
+
+TEST(ZipfianTest, DeterministicForSameSeed) {
+  ZipfianGenerator a(5000, 0.8, 9), b(5000, 0.8, 9);
+  for (int i = 0; i < 500; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ValueCodecTest, DeterministicAndVersionSensitive) {
+  const std::string v0 = SynthesizeValueString(42, 0, 26);
+  const std::string v0b = SynthesizeValueString(42, 0, 26);
+  const std::string v1 = SynthesizeValueString(42, 1, 26);
+  const std::string other = SynthesizeValueString(43, 0, 26);
+  EXPECT_EQ(v0, v0b);
+  EXPECT_NE(v0, v1);
+  EXPECT_NE(v0, other);
+  EXPECT_EQ(v0.size(), 26u);
+}
+
+TEST(ValueCodecTest, SizeRespected) {
+  for (uint32_t size : {1u, 8u, 26u, 100u}) {
+    EXPECT_EQ(SynthesizeValueString(7, 3, size).size(), size);
+  }
+}
+
+}  // namespace
+}  // namespace deutero

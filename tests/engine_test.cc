@@ -1,0 +1,162 @@
+// Engine facade tests: lifecycle state machine, snapshot/restore, and the
+// crash model (volatile state dropped, stable state kept).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/driver.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+std::string V(const Engine& e, Key k, uint32_t version) {
+  return SynthesizeValueString(k, version, e.options().value_size);
+}
+
+TEST(EngineTest, OpenBulkLoadsAndTakesInitialCheckpoint) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  EXPECT_TRUE(e->running());
+  EXPECT_EQ(e->wal().master().checkpoint_count, 1u);
+  std::string v;
+  ASSERT_OK(e->Read(0, &v));
+  ASSERT_OK(e->Read(SmallOptions().num_rows - 1, &v));
+  EXPECT_TRUE(e->Read(SmallOptions().num_rows, &v).IsNotFound());
+}
+
+TEST(EngineTest, OperationsRejectedWhileCrashed) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  e->SimulateCrash();
+  EXPECT_FALSE(e->running());
+  TxnId t;
+  EXPECT_TRUE(e->Begin(&t).IsInvalidArgument());
+  std::string v;
+  EXPECT_TRUE(e->Read(1, &v).IsInvalidArgument());
+  EXPECT_TRUE(e->Checkpoint().IsInvalidArgument());
+}
+
+TEST(EngineTest, RecoverRejectedWhileRunning) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  RecoveryStats st;
+  EXPECT_TRUE(e->Recover(RecoveryMethod::kLog1, &st).IsInvalidArgument());
+}
+
+TEST(EngineTest, CrashDropsUnflushedLogTail) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  TxnId t;
+  ASSERT_OK(e->Begin(&t));
+  ASSERT_OK(e->Update(t, 3, V(*e, 3, 1)));
+  // No commit, no flush: the update exists only in the volatile tail.
+  const Lsn stable = e->wal().stable_end();
+  EXPECT_GT(e->wal().next_lsn(), stable);
+  e->SimulateCrash();
+  EXPECT_EQ(e->wal().next_lsn(), stable);
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog1, &st));
+  std::string v;
+  ASSERT_OK(e->Read(3, &v));
+  EXPECT_EQ(v, V(*e, 3, 0));  // the unlogged update evaporated
+}
+
+TEST(EngineTest, SnapshotRequiresCrashedState) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  Engine::StableSnapshot snap;
+  EXPECT_TRUE(e->TakeStableSnapshot(&snap).IsInvalidArgument());
+  e->SimulateCrash();
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+  EXPECT_TRUE(e->RestoreStableSnapshot(snap).ok());
+}
+
+TEST(EngineTest, SnapshotRestoreReplaysIdentically) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(300));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(300));
+  driver.OnCrash();
+  e->SimulateCrash();
+
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  RecoveryStats first, second;
+  ASSERT_OK(e->Recover(RecoveryMethod::kSql1, &first));
+  e->SimulateCrash();
+  ASSERT_OK(e->RestoreStableSnapshot(snap));
+  ASSERT_OK(e->Recover(RecoveryMethod::kSql1, &second));
+  EXPECT_DOUBLE_EQ(first.total_ms, second.total_ms);
+  EXPECT_EQ(first.data_page_fetches, second.data_page_fetches);
+  EXPECT_EQ(first.dpt_size, second.dpt_size);
+}
+
+TEST(EngineTest, ClockResetsAtCrash) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(100));
+  EXPECT_GT(e->clock().NowMs(), 0.0);
+  driver.OnCrash();
+  e->SimulateCrash();
+  EXPECT_DOUBLE_EQ(e->clock().NowMs(), 0.0);
+}
+
+TEST(EngineTest, NormalOperationResumesAfterRecovery) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(200));
+  driver.OnCrash();
+  e->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog2, &st));
+
+  // Post-recovery: updates, checkpoints and another crash/recover cycle.
+  ASSERT_OK(driver.RunOps(200));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(100));
+  driver.OnCrash();
+  e->SimulateCrash();
+  ASSERT_OK(e->Recover(RecoveryMethod::kSql2, &st));
+  uint64_t checked = 0;
+  ASSERT_OK(driver.Verify(0, &checked));
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(EngineTest, MonitoringResumesAfterRecovery) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(100));
+  driver.OnCrash();
+  e->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog1, &st));
+  const uint64_t deltas_before = e->dc().monitor().stats().delta_records;
+  ASSERT_OK(driver.RunOps(1000));
+  EXPECT_GT(e->dc().monitor().stats().delta_records, deltas_before);
+}
+
+TEST(EngineTest, DirtyWatermarkScalesWithCacheCurve) {
+  EngineOptions small = SmallOptions();
+  EngineOptions big = SmallOptions();
+  big.cache_pages = small.cache_pages * 8;
+  std::unique_ptr<Engine> a, b;
+  ASSERT_OK(Engine::Open(small, &a));
+  ASSERT_OK(Engine::Open(big, &b));
+  const uint64_t wa = a->dc().pool().dirty_watermark();
+  const uint64_t wb = b->dc().pool().dirty_watermark();
+  EXPECT_GT(wb, wa);           // absolute watermark grows
+  EXPECT_LT(wb, wa * 8);       // ...sub-linearly (Fig. 2(b) calibration)
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,94 @@
+// Unit tests for the logical (table, key) lock manager.
+#include <gtest/gtest.h>
+
+#include "tc/lock_manager.h"
+
+namespace deutero {
+namespace {
+
+using Mode = LockManager::LockMode;
+
+TEST(LockManagerTest, ExclusiveAcquireAndConflict) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 42, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, 1, 42));
+  EXPECT_TRUE(lm.Acquire(2, 1, 42, Mode::kExclusive).IsBusy());
+  EXPECT_TRUE(lm.Acquire(2, 1, 42, Mode::kShared).IsBusy());
+}
+
+TEST(LockManagerTest, ReacquireByOwnerIsOk) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 42, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, 42, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, 42, Mode::kShared).ok());
+  EXPECT_EQ(lm.total_locks(), 1u);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, 1, 7));
+  EXPECT_TRUE(lm.Holds(2, 1, 7));
+  EXPECT_TRUE(lm.Acquire(3, 1, 7, Mode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, UpgradeSoleSharedHolder) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kShared).IsBusy());
+}
+
+TEST(LockManagerTest, UpgradeWithOtherSharersFails) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 1, 8, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, 2, 7, Mode::kExclusive).ok());
+  EXPECT_EQ(lm.held_by(1), 3u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.held_by(1), 0u);
+  EXPECT_EQ(lm.total_locks(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseOneSharerKeepsOthers) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kShared).ok());
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.Holds(1, 1, 7));
+  EXPECT_TRUE(lm.Holds(2, 1, 7));
+  EXPECT_TRUE(lm.Acquire(3, 1, 7, Mode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, DifferentTablesSameKeyAreDistinctLocks) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, 2, 7, Mode::kExclusive).ok());
+  EXPECT_EQ(lm.total_locks(), 2u);
+}
+
+TEST(LockManagerTest, ResetDropsAllState) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, 1, 7, Mode::kExclusive).ok());
+  lm.Reset();
+  EXPECT_EQ(lm.total_locks(), 0u);
+  EXPECT_TRUE(lm.Acquire(2, 1, 7, Mode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseUnknownTxnIsNoop) {
+  LockManager lm;
+  lm.ReleaseAll(99);
+  EXPECT_EQ(lm.total_locks(), 0u);
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,432 @@
+// Unit tests for the WAL: record encode/decode for every type, the log
+// manager (append/flush/crash truncation), the costed recovery iterator,
+// random access reads and the master record.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace deutero {
+namespace {
+
+LogRecord RoundTrip(const LogRecord& in) {
+  const std::string payload = in.EncodePayload();
+  LogRecord out;
+  const Status st = LogRecord::DecodePayload(in.type, Slice(payload), &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(LogRecordTest, UpdateRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn_id = 77;
+  r.table_id = 3;
+  r.key = 123456789;
+  r.before = "oldvalue";
+  r.after = "newvalue";
+  r.pid = 42;
+  r.prev_lsn = 999;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.txn_id, 77u);
+  EXPECT_EQ(out.table_id, 3u);
+  EXPECT_EQ(out.key, 123456789u);
+  EXPECT_EQ(out.before, "oldvalue");
+  EXPECT_EQ(out.after, "newvalue");
+  EXPECT_EQ(out.pid, 42u);
+  EXPECT_EQ(out.prev_lsn, 999u);
+}
+
+TEST(LogRecordTest, InsertRoundTripEmptyBefore) {
+  LogRecord r;
+  r.type = LogRecordType::kInsert;
+  r.txn_id = 1;
+  r.table_id = 1;
+  r.key = 5;
+  r.after = "v";
+  r.pid = 9;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_TRUE(out.before.empty());
+  EXPECT_EQ(out.after, "v");
+}
+
+TEST(LogRecordTest, ClrRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kClr;
+  r.txn_id = 8;
+  r.table_id = 1;
+  r.key = 44;
+  r.after = "restored";
+  r.pid = 17;
+  r.undo_next_lsn = 1234;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.undo_next_lsn, 1234u);
+  EXPECT_EQ(out.after, "restored");
+}
+
+TEST(LogRecordTest, TxnControlRoundTrip) {
+  for (LogRecordType t : {LogRecordType::kTxnBegin, LogRecordType::kTxnCommit,
+                          LogRecordType::kTxnAbort}) {
+    LogRecord r;
+    r.type = t;
+    r.txn_id = 500;
+    r.prev_lsn = 600;
+    const LogRecord out = RoundTrip(r);
+    EXPECT_EQ(out.txn_id, 500u);
+    EXPECT_EQ(out.prev_lsn, 600u);
+  }
+}
+
+TEST(LogRecordTest, CheckpointRecordsRoundTrip) {
+  LogRecord b;
+  b.type = LogRecordType::kBeginCheckpoint;
+  EXPECT_TRUE(RoundTrip(b).type == LogRecordType::kBeginCheckpoint);
+
+  LogRecord e;
+  e.type = LogRecordType::kEndCheckpoint;
+  e.bckpt_lsn = 4242;
+  EXPECT_EQ(RoundTrip(e).bckpt_lsn, 4242u);
+
+  LogRecord a;
+  a.type = LogRecordType::kRsspAck;
+  a.bckpt_lsn = 17;
+  EXPECT_EQ(RoundTrip(a).bckpt_lsn, 17u);
+}
+
+TEST(LogRecordTest, BwRecordRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kBwRecord;
+  r.fw_lsn = 7777;
+  r.written_set = {1, 5, 9, 100000};
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.fw_lsn, 7777u);
+  EXPECT_EQ(out.written_set, (std::vector<PageId>{1, 5, 9, 100000}));
+}
+
+TEST(LogRecordTest, DeltaRecordStandardRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kDeltaRecord;
+  r.dirty_set = {4, 8, 15, 16, 23, 42};
+  r.written_set = {4, 8};
+  r.fw_lsn = 300;
+  r.first_dirty = 2;
+  r.tc_lsn = 500;
+  r.has_fw_fields = true;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.dirty_set, r.dirty_set);
+  EXPECT_EQ(out.written_set, r.written_set);
+  EXPECT_EQ(out.fw_lsn, 300u);
+  EXPECT_EQ(out.first_dirty, 2u);
+  EXPECT_EQ(out.tc_lsn, 500u);
+  EXPECT_TRUE(out.has_fw_fields);
+  EXPECT_TRUE(out.dirty_lsns.empty());
+}
+
+TEST(LogRecordTest, DeltaRecordReducedOmitsFwFields) {
+  LogRecord r;
+  r.type = LogRecordType::kDeltaRecord;
+  r.dirty_set = {1, 2};
+  r.written_set = {3};
+  r.tc_lsn = 99;
+  r.has_fw_fields = false;
+  const std::string reduced = r.EncodePayload();
+  r.has_fw_fields = true;
+  const std::string standard = r.EncodePayload();
+  EXPECT_LT(reduced.size(), standard.size());  // App. D.2: less logging
+  LogRecord out;
+  ASSERT_TRUE(LogRecord::DecodePayload(LogRecordType::kDeltaRecord,
+                                       Slice(reduced), &out)
+                  .ok());
+  EXPECT_FALSE(out.has_fw_fields);
+  EXPECT_EQ(out.tc_lsn, 99u);
+}
+
+TEST(LogRecordTest, DeltaRecordPerfectCarriesDirtyLsns) {
+  LogRecord r;
+  r.type = LogRecordType::kDeltaRecord;
+  r.dirty_set = {1, 2, 3};
+  r.dirty_lsns = {10, 20, 30};
+  r.tc_lsn = 40;
+  r.fw_lsn = 15;
+  r.first_dirty = 1;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.dirty_lsns, (std::vector<Lsn>{10, 20, 30}));
+}
+
+TEST(LogRecordTest, SmoRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kSmo;
+  r.alloc_hwm = 1000;
+  r.smo_pages.push_back({5, std::string(64, 'a')});
+  r.smo_pages.push_back({6, std::string(64, 'b')});
+  const LogRecord out = RoundTrip(r);
+  ASSERT_EQ(out.smo_pages.size(), 2u);
+  EXPECT_EQ(out.alloc_hwm, 1000u);
+  EXPECT_EQ(out.smo_pages[0].pid, 5u);
+  EXPECT_EQ(out.smo_pages[1].image, std::string(64, 'b'));
+}
+
+TEST(LogRecordTest, CorruptPayloadRejected) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn_id = 1;
+  r.before = "abc";
+  r.after = "def";
+  std::string payload = r.EncodePayload();
+  payload.resize(payload.size() - 2);  // truncate
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::DecodePayload(LogRecordType::kUpdate, Slice(payload),
+                                       &out)
+                  .IsCorruption());
+}
+
+TEST(LogRecordTest, TrailingBytesRejected) {
+  LogRecord r;
+  r.type = LogRecordType::kTxnBegin;
+  r.txn_id = 1;
+  std::string payload = r.EncodePayload();
+  payload += "garbage";
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::DecodePayload(LogRecordType::kTxnBegin,
+                                       Slice(payload), &out)
+                  .IsCorruption());
+}
+
+// ---------------------------------------------------------------------------
+// LogManager
+// ---------------------------------------------------------------------------
+
+class LogManagerTest : public ::testing::Test {
+ protected:
+  LogManagerTest() : log_(&clock_, /*log_page_size=*/128, 0.25) {}
+
+  Lsn AppendBegin(TxnId txn) {
+    LogRecord r;
+    r.type = LogRecordType::kTxnBegin;
+    r.txn_id = txn;
+    return log_.Append(r);
+  }
+
+  SimClock clock_;
+  LogManager log_;
+};
+
+TEST_F(LogManagerTest, LsnsAreMonotonicByteOffsets) {
+  const Lsn a = AppendBegin(1);
+  const Lsn b = AppendBegin(2);
+  EXPECT_EQ(a, kFirstLsn);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(log_.next_lsn(), b + (b - a));
+}
+
+TEST_F(LogManagerTest, FlushAdvancesStableEnd) {
+  AppendBegin(1);
+  EXPECT_EQ(log_.stable_end(), kFirstLsn);
+  log_.Flush();
+  EXPECT_EQ(log_.stable_end(), log_.next_lsn());
+}
+
+TEST_F(LogManagerTest, CrashDiscardsUnflushedTail) {
+  AppendBegin(1);
+  log_.Flush();
+  const Lsn stable = log_.stable_end();
+  AppendBegin(2);
+  AppendBegin(3);
+  log_.Crash();
+  EXPECT_EQ(log_.next_lsn(), stable);
+  auto it = log_.NewIterator(kFirstLsn, false);
+  int n = 0;
+  for (; it.Valid(); it.Next()) n++;
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(LogManagerTest, IteratorSeesOnlyStableRecords) {
+  AppendBegin(1);
+  AppendBegin(2);
+  log_.Flush();
+  AppendBegin(3);  // volatile
+  int n = 0;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    n++;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(LogManagerTest, IteratorReturnsRecordsInOrderWithLsns) {
+  std::vector<Lsn> lsns;
+  for (TxnId t = 1; t <= 5; t++) lsns.push_back(AppendBegin(t));
+  log_.Flush();
+  size_t i = 0;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid();
+       it.Next(), i++) {
+    ASSERT_LT(i, lsns.size());
+    EXPECT_EQ(it.lsn(), lsns[i]);
+    EXPECT_EQ(it.record().txn_id, i + 1);
+  }
+  EXPECT_EQ(i, 5u);
+}
+
+TEST_F(LogManagerTest, IteratorChargesPerLogPage) {
+  // 128-byte log pages; a txn-begin record is ~15 bytes, so ~9 per page.
+  for (TxnId t = 1; t <= 40; t++) AppendBegin(t);
+  log_.Flush();
+  const double before = clock_.NowMs();
+  auto it = log_.NewIterator(kFirstLsn, /*charge_io=*/true);
+  uint64_t n = 0;
+  for (; it.Valid(); it.Next()) n++;
+  EXPECT_EQ(n, 40u);
+  EXPECT_GT(it.pages_read(), 2u);
+  EXPECT_NEAR(clock_.NowMs() - before, it.pages_read() * 0.25, 1e-9);
+}
+
+TEST_F(LogManagerTest, IteratorWithoutChargingIsFree) {
+  for (TxnId t = 1; t <= 40; t++) AppendBegin(t);
+  log_.Flush();
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+  }
+  EXPECT_DOUBLE_EQ(clock_.NowMs(), 0.0);
+}
+
+TEST_F(LogManagerTest, IteratorFromMidLog) {
+  AppendBegin(1);
+  const Lsn second = AppendBegin(2);
+  AppendBegin(3);
+  log_.Flush();
+  auto it = log_.NewIterator(second, false);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.record().txn_id, 2u);
+}
+
+TEST_F(LogManagerTest, ReadRecordAtRandomAccess) {
+  AppendBegin(1);
+  const Lsn b = AppendBegin(2);
+  log_.Flush();
+  LogRecord rec;
+  ASSERT_TRUE(log_.ReadRecordAt(b, &rec, false).ok());
+  EXPECT_EQ(rec.txn_id, 2u);
+  EXPECT_EQ(rec.lsn, b);
+}
+
+TEST_F(LogManagerTest, ReadRecordAtVolatileTailWorks) {
+  const Lsn a = AppendBegin(1);  // not flushed
+  LogRecord rec;
+  ASSERT_TRUE(log_.ReadRecordAt(a, &rec, false).ok());
+  EXPECT_EQ(rec.txn_id, 1u);
+}
+
+TEST_F(LogManagerTest, ReadRecordAtInvalidLsnFails) {
+  AppendBegin(1);
+  log_.Flush();
+  LogRecord rec;
+  EXPECT_FALSE(log_.ReadRecordAt(0, &rec, false).ok());
+  EXPECT_FALSE(log_.ReadRecordAt(log_.next_lsn() + 100, &rec, false).ok());
+}
+
+TEST_F(LogManagerTest, MasterRecordPersistsAcrossCrash) {
+  MasterRecord m;
+  m.bckpt_lsn = 10;
+  m.eckpt_lsn = 20;
+  m.checkpoint_count = 3;
+  log_.WriteMaster(m);
+  AppendBegin(1);
+  log_.Crash();
+  EXPECT_EQ(log_.master().bckpt_lsn, 10u);
+  EXPECT_EQ(log_.master().checkpoint_count, 3u);
+}
+
+TEST_F(LogManagerTest, SnapshotRestoreRoundTrip) {
+  AppendBegin(1);
+  log_.Flush();
+  MasterRecord m;
+  m.bckpt_lsn = kFirstLsn;
+  log_.WriteMaster(m);
+  auto snap = log_.TakeSnapshot();
+
+  AppendBegin(2);
+  log_.Flush();
+  log_.RestoreSnapshot(snap);
+  int n = 0;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    n++;
+  }
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(log_.master().bckpt_lsn, kFirstLsn);
+}
+
+TEST_F(LogManagerTest, CorruptedRecordTerminatesScan) {
+  const Lsn a = AppendBegin(1);
+  const Lsn b = AppendBegin(2);
+  AppendBegin(3);
+  log_.Flush();
+  // Flip a payload bit of the second record: the scan must deliver the
+  // first record and stop at the corruption instead of mis-parsing.
+  log_.CorruptByteForTest(b + 10);
+  std::vector<Lsn> seen;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    seen.push_back(it.lsn());
+  }
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], a);
+}
+
+TEST_F(LogManagerTest, CorruptedLengthFieldTerminatesScan) {
+  AppendBegin(1);
+  const Lsn b = AppendBegin(2);
+  log_.Flush();
+  log_.CorruptByteForTest(b);  // length field
+  int n = 0;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    n++;
+  }
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(LogManagerTest, ReadRecordAtDetectsCorruption) {
+  const Lsn a = AppendBegin(1);
+  log_.Flush();
+  log_.CorruptByteForTest(a + 5);  // CRC field itself
+  LogRecord rec;
+  EXPECT_FALSE(log_.ReadRecordAt(a, &rec, false).ok());
+}
+
+TEST_F(LogManagerTest, CheckpointRecordAttRoundTripsThroughLog) {
+  LogRecord b;
+  b.type = LogRecordType::kBeginCheckpoint;
+  b.att_txn_ids = {7, 9};
+  b.att_last_lsns = {100, 200};
+  b.ckpt_dpt_pids = {4, 5, 6};
+  b.ckpt_dpt_rlsns = {40, 50, 60};
+  const Lsn lsn = log_.Append(b);
+  log_.Flush();
+  LogRecord out;
+  ASSERT_TRUE(log_.ReadRecordAt(lsn, &out, false).ok());
+  EXPECT_EQ(out.att_txn_ids, (std::vector<TxnId>{7, 9}));
+  EXPECT_EQ(out.att_last_lsns, (std::vector<Lsn>{100, 200}));
+  EXPECT_EQ(out.ckpt_dpt_pids, (std::vector<PageId>{4, 5, 6}));
+  EXPECT_EQ(out.ckpt_dpt_rlsns, (std::vector<Lsn>{40, 50, 60}));
+}
+
+TEST_F(LogManagerTest, StatsCountByTypeAndBytes) {
+  AppendBegin(1);
+  LogRecord d;
+  d.type = LogRecordType::kDeltaRecord;
+  d.dirty_set = {1, 2, 3};
+  d.tc_lsn = 5;
+  log_.Append(d);
+  EXPECT_EQ(log_.stats().records_appended, 2u);
+  EXPECT_EQ(
+      log_.stats().by_type[static_cast<size_t>(LogRecordType::kTxnBegin)],
+      1u);
+  EXPECT_EQ(
+      log_.stats().by_type[static_cast<size_t>(LogRecordType::kDeltaRecord)],
+      1u);
+  EXPECT_GT(log_.stats().delta_bytes, 0u);
+  EXPECT_EQ(log_.stats().bw_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace deutero

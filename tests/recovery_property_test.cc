@@ -1,0 +1,255 @@
+// Property-based recovery tests:
+//  * Correctness under randomized crash points and workloads, for every
+//    method (parameterized sweep).
+//  * DPT safety (§3): the constructed DPT contains every page that truly
+//    needs redo, and every rLSN is a sound lower bound.
+//  * Method equivalence: all five methods produce byte-identical table
+//    content from the same crash image.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/engine.h"
+#include "recovery/analysis.h"
+#include "storage/page.h"
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/experiment.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+// ---------------------------------------------------------------------------
+// Randomized crash-point sweep: (seed, method) matrix.
+// ---------------------------------------------------------------------------
+
+class CrashPointSweep
+    : public ::testing::TestWithParam<std::tuple<int, RecoveryMethod>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrashPointSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(RecoveryMethod::kLog0,
+                                         RecoveryMethod::kLog1,
+                                         RecoveryMethod::kLog2,
+                                         RecoveryMethod::kSql1,
+                                         RecoveryMethod::kSql2)),
+    [](const auto& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             "_" + RecoveryMethodName(std::get<1>(info.param));
+    });
+
+TEST_P(CrashPointSweep, RandomizedCrashRecoversCommittedState) {
+  const int seed = std::get<0>(GetParam());
+  const RecoveryMethod method = std::get<1>(GetParam());
+
+  EngineOptions o = SmallOptions();
+  o.seed = seed;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.seed = seed * 101;
+  wc.insert_fraction = seed % 2 == 0 ? 0.15 : 0.0;  // half the seeds do SMOs
+  WorkloadDriver driver(e.get(), wc);
+
+  Random rng(seed * 7919);
+  // Random activity with random checkpoints, then a random crash point.
+  const int phases = 2 + static_cast<int>(rng.Uniform(3));
+  for (int p = 0; p < phases; p++) {
+    ASSERT_OK(driver.RunOps(100 + rng.Uniform(400)));
+    if (rng.Bernoulli(0.7)) ASSERT_OK(e->Checkpoint());
+  }
+  if (rng.Bernoulli(0.5)) {
+    ASSERT_OK(driver.RunOpsNoCommit(1 + rng.Uniform(9)));
+    e->tc().ForceLog();
+  }
+
+  driver.OnCrash();
+  e->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(method, &st));
+
+  uint64_t checked = 0;
+  ASSERT_OK(driver.Verify(0, &checked));
+  EXPECT_GT(checked, 0u);
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+}
+
+// ---------------------------------------------------------------------------
+// DPT safety property.
+// ---------------------------------------------------------------------------
+
+struct DptSafetyCase {
+  DptMode mode;
+  const char* name;
+};
+
+class DptSafetyTest : public ::testing::TestWithParam<DptMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, DptSafetyTest,
+                         ::testing::Values(DptMode::kStandard,
+                                           DptMode::kPerfect,
+                                           DptMode::kReduced),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case DptMode::kStandard:
+                               return "Standard";
+                             case DptMode::kPerfect:
+                               return "Perfect";
+                             case DptMode::kReduced:
+                               return "Reduced";
+                           }
+                           return "?";
+                         });
+
+// After a crash, replay ground truth from the log: a page truly needs redo
+// iff some data operation targeted it (by its logged PID) with
+// LSN > the page's stable pLSN. Every such page within the Δ-covered prefix
+// must appear in the logical DPT with rlsn <= that LSN.
+TEST_P(DptSafetyTest, DptCoversEveryPageNeedingRedo) {
+  EngineOptions o = SmallOptions();
+  o.dpt_mode = GetParam();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(400));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(500));
+  e->dc().monitor().ForceEmit();
+  ASSERT_OK(driver.RunOps(50));  // tail
+  driver.OnCrash();
+  e->SimulateCrash();
+
+  // Build the logical DPT exactly as Log1 recovery would.
+  ASSERT_OK(e->dc().OpenDatabase());
+  const Lsn start = e->wal().master().bckpt_lsn;
+  DcRecoveryResult dcr;
+  ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                          /*build_dpt=*/true, /*preload=*/false, &dcr));
+  ASSERT_GT(dcr.dpt.size(), 0u);
+  ASSERT_NE(dcr.last_delta_tc_lsn, kInvalidLsn);
+
+  // Ground truth from the stable log + stable page images.
+  uint64_t covered = 0;
+  for (auto it = e->wal().NewIterator(start, false); it.Valid(); it.Next()) {
+    const LogRecord& rec = it.record();
+    if (!rec.IsRedoableDataOp()) continue;
+    if (rec.lsn >= dcr.last_delta_tc_lsn) continue;  // tail: DPT not liable
+    std::vector<uint8_t> img(o.page_size);
+    e->dc().disk().ReadImage(rec.pid, img.data());
+    const Lsn plsn = PageView(img.data(), o.page_size).plsn();
+    if (plsn >= rec.lsn) continue;  // effects already stable: no redo needed
+    const DirtyPageTable::Entry* entry = dcr.dpt.Find(rec.pid);
+    ASSERT_NE(entry, nullptr)
+        << "page " << rec.pid << " needs redo of lsn " << rec.lsn
+        << " but is missing from the DPT (plsn " << plsn << ")";
+    EXPECT_LE(entry->rlsn, rec.lsn)
+        << "rLSN not conservative for page " << rec.pid;
+    covered++;
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+// The SQL DPT obeys the same safety property (Algorithm 3).
+TEST(SqlDptSafety, DptCoversEveryPageNeedingRedo) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(400));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(500));
+  driver.OnCrash();
+  e->SimulateCrash();
+
+  ASSERT_OK(e->dc().OpenDatabase());
+  const Lsn start = e->wal().master().bckpt_lsn;
+  SqlAnalysisResult ar;
+  ASSERT_OK(RunSqlAnalysis(&e->wal(), start, &ar));
+
+  uint64_t covered = 0;
+  for (auto it = e->wal().NewIterator(start, false); it.Valid(); it.Next()) {
+    const LogRecord& rec = it.record();
+    if (!rec.IsRedoableDataOp()) continue;
+    std::vector<uint8_t> img(o.page_size);
+    e->dc().disk().ReadImage(rec.pid, img.data());
+    const Lsn plsn = PageView(img.data(), o.page_size).plsn();
+    if (plsn >= rec.lsn) continue;
+    const DirtyPageTable::Entry* entry = ar.dpt.Find(rec.pid);
+    ASSERT_NE(entry, nullptr) << "page " << rec.pid;
+    EXPECT_LE(entry->rlsn, rec.lsn);
+    covered++;
+  }
+  EXPECT_GT(covered, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-method equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(MethodEquivalence, AllMethodsYieldIdenticalTableContent) {
+  SideBySideConfig cfg;
+  cfg.engine = SmallOptions();
+  cfg.scenario.checkpoints = 2;
+  cfg.scenario.uncommitted_tail_ops = 7;
+  cfg.verify = false;  // we compare contents across methods instead
+
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(cfg.engine, &e));
+  WorkloadDriver driver(e.get(), cfg.workload);
+  ScenarioOutcome so;
+  ASSERT_OK(RunCrashScenario(e.get(), &driver, cfg.scenario, &so));
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  std::vector<std::string> contents;
+  for (RecoveryMethod m : cfg.methods) {
+    ASSERT_OK(e->RestoreStableSnapshot(snap));
+    RecoveryStats st;
+    ASSERT_OK(e->Recover(m, &st));
+    std::string digest;
+    ASSERT_OK(e->dc().btree().ScanAll([&](Key k, Slice v) {
+      digest.append(reinterpret_cast<const char*>(&k), sizeof(k));
+      digest.append(v.data(), v.size());
+    }));
+    contents.push_back(std::move(digest));
+    e->SimulateCrash();
+  }
+  for (size_t i = 1; i < contents.size(); i++) {
+    EXPECT_EQ(contents[0], contents[i])
+        << "method " << RecoveryMethodName(cfg.methods[i])
+        << " diverged from " << RecoveryMethodName(cfg.methods[0]);
+  }
+}
+
+// Determinism: the same seed produces the same recovery timings and stats.
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  auto run = [] {
+    SideBySideConfig cfg;
+    cfg.engine = SmallOptions();
+    cfg.scenario.checkpoints = 2;
+    cfg.verify = false;
+    SideBySideResult r;
+    EXPECT_TRUE(RunSideBySide(cfg, &r).ok());
+    return r;
+  };
+  const SideBySideResult a = run();
+  const SideBySideResult b = run();
+  ASSERT_EQ(a.methods.size(), b.methods.size());
+  for (size_t i = 0; i < a.methods.size(); i++) {
+    EXPECT_DOUBLE_EQ(a.methods[i].stats.total_ms, b.methods[i].stats.total_ms);
+    EXPECT_EQ(a.methods[i].stats.data_page_fetches,
+              b.methods[i].stats.data_page_fetches);
+    EXPECT_EQ(a.methods[i].stats.dpt_size, b.methods[i].stats.dpt_size);
+  }
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,157 @@
+// Tests for the §5.2 crash protocol and the experiment harness, including
+// the qualitative cache-dynamics shapes the benches rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/experiment.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+TEST(ScenarioTest, ProtocolProducesExpectedLogWindow) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ScenarioConfig sc;
+  sc.checkpoints = 4;
+  sc.tail_updates = 10;
+  ScenarioOutcome out;
+  ASSERT_OK(RunCrashScenario(e.get(), &driver, sc, &out));
+
+  EXPECT_FALSE(e->running());
+  EXPECT_GT(out.warmup_updates, 0u);
+  EXPECT_GT(out.dirty_pages_at_crash, 0u);
+  EXPECT_GT(out.delta_records_total, 0u);
+  EXPECT_GT(out.bw_records_total, 0u);
+
+  // The master record points at checkpoint #5 (open + 4 in-protocol).
+  EXPECT_EQ(e->wal().master().checkpoint_count, 5u);
+
+  // The redone window holds ~one checkpoint interval of update records.
+  uint64_t updates_after_bckpt = 0;
+  for (auto it = e->wal().NewIterator(e->wal().master().bckpt_lsn, false);
+       it.Valid(); it.Next()) {
+    if (it.record().type == LogRecordType::kUpdate) updates_after_bckpt++;
+  }
+  EXPECT_NEAR(static_cast<double>(updates_after_bckpt),
+              static_cast<double>(o.checkpoint_interval_updates),
+              o.checkpoint_interval_updates * 0.05);
+}
+
+TEST(ScenarioTest, TailIsBoundedByLastDeltaRecord) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ScenarioConfig sc;
+  sc.checkpoints = 2;
+  sc.tail_updates = 10;
+  ScenarioOutcome out;
+  ASSERT_OK(RunCrashScenario(e.get(), &driver, sc, &out));
+
+  // Count update records after the last Δ-record: the tail (§4.3).
+  Lsn last_delta = kInvalidLsn;
+  for (auto it = e->wal().NewIterator(kFirstLsn, false); it.Valid();
+       it.Next()) {
+    if (it.record().type == LogRecordType::kDeltaRecord) last_delta = it.lsn();
+  }
+  ASSERT_NE(last_delta, kInvalidLsn);
+  uint64_t tail_updates = 0;
+  for (auto it = e->wal().NewIterator(last_delta, false); it.Valid();
+       it.Next()) {
+    if (it.record().type == LogRecordType::kUpdate) tail_updates++;
+  }
+  EXPECT_EQ(tail_updates, sc.tail_updates);
+}
+
+TEST(ScenarioTest, UncommittedTailLeavesLoserOnLog) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ScenarioConfig sc;
+  sc.checkpoints = 1;
+  sc.uncommitted_tail_ops = 6;
+  ScenarioOutcome out;
+  ASSERT_OK(RunCrashScenario(e.get(), &driver, sc, &out));
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog1, &st));
+  EXPECT_GE(st.txns_undone, 1u);
+  EXPECT_GE(st.undo_ops, 6u);
+  uint64_t checked = 0;
+  ASSERT_OK(driver.Verify(0, &checked));
+}
+
+TEST(ScenarioTest, LazyWriterBoundsDirtyPagesNearWatermark) {
+  EngineOptions o = SmallOptions();
+  o.cache_pages = 128;
+  o.lazy_writer_reference_cache_pages = 128;
+  o.lazy_writer_base_fraction = 0.30;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), WorkloadConfig{});
+  ASSERT_OK(driver.RunOps(2000));
+  const uint64_t dirty = e->dc().pool().dirty_pages();
+  const uint64_t watermark = e->dc().pool().dirty_watermark();
+  EXPECT_LE(dirty, watermark + 2);
+  EXPECT_GT(dirty, watermark / 2);
+}
+
+// Fig. 2(b) qualitative shape: the dirty FRACTION of the cache falls as the
+// cache grows (paper: ~30% at the small end, ~10% at the large end).
+TEST(ScenarioTest, DirtyFractionDeclinesWithCacheSize) {
+  double small_frac = 0, large_frac = 0;
+  for (int i = 0; i < 2; i++) {
+    EngineOptions o = SmallOptions();
+    o.num_rows = 40000;  // ~1,452 leaves
+    o.cache_pages = i == 0 ? 96 : 768;
+    o.lazy_writer_reference_cache_pages = 96;
+    o.checkpoint_interval_updates = 600;
+    std::unique_ptr<Engine> e;
+    ASSERT_OK(Engine::Open(o, &e));
+    WorkloadDriver driver(e.get(), WorkloadConfig{});
+    ScenarioConfig sc;
+    sc.checkpoints = 3;
+    ScenarioOutcome out;
+    ASSERT_OK(RunCrashScenario(e.get(), &driver, sc, &out));
+    const double frac = static_cast<double>(out.dirty_pages_at_crash) /
+                        static_cast<double>(o.cache_pages);
+    if (i == 0) {
+      small_frac = frac;
+    } else {
+      large_frac = frac;
+    }
+  }
+  EXPECT_GT(small_frac, large_frac);
+}
+
+TEST(ExperimentTest, PaperSweepHasSixPoints) {
+  const auto pages = PaperCacheSweepPages();
+  ASSERT_EQ(pages.size(), 6u);
+  for (size_t i = 1; i < pages.size(); i++) {
+    EXPECT_EQ(pages[i], pages[i - 1] * 2);
+  }
+  EXPECT_EQ(PaperCacheLabel(0), "64MB");
+  EXPECT_EQ(PaperCacheLabel(5), "2048MB");
+}
+
+TEST(ExperimentTest, SideBySideRunsRequestedMethodsOnly) {
+  SideBySideConfig cfg;
+  cfg.engine = SmallOptions();
+  cfg.scenario.checkpoints = 1;
+  cfg.methods = {RecoveryMethod::kLog1, RecoveryMethod::kSql1};
+  SideBySideResult result;
+  ASSERT_OK(RunSideBySide(cfg, &result));
+  ASSERT_EQ(result.methods.size(), 2u);
+  EXPECT_EQ(result.methods[0].method, RecoveryMethod::kLog1);
+  EXPECT_EQ(result.methods[1].method, RecoveryMethod::kSql1);
+}
+
+}  // namespace
+}  // namespace deutero

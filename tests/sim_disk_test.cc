@@ -1,0 +1,164 @@
+// Unit tests for the simulated clock and disk cost model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/sim_disk.h"
+
+namespace deutero {
+namespace {
+
+IoModelOptions TestIo() {
+  IoModelOptions io;
+  io.random_seek_ms = 5.0;
+  io.transfer_ms_per_page = 0.1;
+  io.sorted_seek_factor = 0.8;
+  io.write_seek_ms = 2.0;
+  io.io_channels = 1;
+  return io;
+}
+
+TEST(SimClockTest, AdvanceAndAdvanceTo) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.NowMs(), 0.0);
+  c.AdvanceMs(5.0);
+  EXPECT_DOUBLE_EQ(c.NowMs(), 5.0);
+  EXPECT_DOUBLE_EQ(c.AdvanceToMs(3.0), 0.0);  // past: no-op
+  EXPECT_DOUBLE_EQ(c.NowMs(), 5.0);
+  EXPECT_DOUBLE_EQ(c.AdvanceToMs(9.0), 4.0);
+  EXPECT_DOUBLE_EQ(c.NowMs(), 9.0);
+  c.AdvanceUs(500);
+  EXPECT_DOUBLE_EQ(c.NowMs(), 9.5);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.NowMs(), 0.0);
+}
+
+TEST(SimClockTest, NegativeAdvanceIgnored) {
+  SimClock c;
+  c.AdvanceMs(-1.0);
+  EXPECT_DOUBLE_EQ(c.NowMs(), 0.0);
+}
+
+TEST(SimDiskTest, SingleReadCost) {
+  SimClock clock;
+  SimDisk disk(&clock, 512, TestIo());
+  disk.EnsurePages(10);
+  const double t = disk.ScheduleRead(3, /*sorted=*/false);
+  EXPECT_DOUBLE_EQ(t, 5.1);
+  EXPECT_EQ(disk.stats().read_ios, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 1u);
+}
+
+TEST(SimDiskTest, SortedReadIsCheaper) {
+  SimClock clock;
+  SimDisk disk(&clock, 512, TestIo());
+  disk.EnsurePages(10);
+  const double t = disk.ScheduleRead(3, /*sorted=*/true);
+  EXPECT_DOUBLE_EQ(t, 5.0 * 0.8 + 0.1);
+}
+
+TEST(SimDiskTest, BatchReadAmortizesSeek) {
+  SimClock clock;
+  SimDisk disk(&clock, 512, TestIo());
+  disk.EnsurePages(20);
+  const double t = disk.ScheduleReadRun(4, 8, /*sorted=*/false);
+  EXPECT_DOUBLE_EQ(t, 5.0 + 8 * 0.1);
+  EXPECT_EQ(disk.stats().read_ios, 1u);
+  EXPECT_EQ(disk.stats().pages_read, 8u);
+  EXPECT_EQ(disk.stats().batched_reads, 1u);
+}
+
+TEST(SimDiskTest, RequestsQueueOnOneChannel) {
+  SimClock clock;
+  SimDisk disk(&clock, 512, TestIo());
+  disk.EnsurePages(10);
+  const double t1 = disk.ScheduleRead(1, false);
+  const double t2 = disk.ScheduleRead(2, false);
+  EXPECT_DOUBLE_EQ(t1, 5.1);
+  EXPECT_DOUBLE_EQ(t2, 10.2);  // waits for the first
+}
+
+TEST(SimDiskTest, MultipleChannelsOverlap) {
+  SimClock clock;
+  IoModelOptions io = TestIo();
+  io.io_channels = 2;
+  SimDisk disk(&clock, 512, io);
+  disk.EnsurePages(10);
+  EXPECT_DOUBLE_EQ(disk.ScheduleRead(1, false), 5.1);
+  EXPECT_DOUBLE_EQ(disk.ScheduleRead(2, false), 5.1);  // second channel
+  EXPECT_DOUBLE_EQ(disk.ScheduleRead(3, false), 10.2);
+}
+
+TEST(SimDiskTest, RequestStartsNoEarlierThanNow) {
+  SimClock clock;
+  SimDisk disk(&clock, 512, TestIo());
+  disk.EnsurePages(4);
+  clock.AdvanceMs(100.0);
+  EXPECT_DOUBLE_EQ(disk.ScheduleRead(1, false), 105.1);
+}
+
+TEST(SimDiskTest, WriteUpdatesImageImmediately) {
+  SimClock clock;
+  SimDisk disk(&clock, 8, TestIo());
+  disk.EnsurePages(2);
+  const uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  disk.ScheduleWrite(1, data);
+  uint8_t out[8] = {};
+  disk.ReadImage(1, out);
+  EXPECT_EQ(0, memcmp(data, out, 8));
+  EXPECT_EQ(disk.stats().write_ios, 1u);
+}
+
+TEST(SimDiskTest, EnsurePagesZeroFillsAndGrows) {
+  SimClock clock;
+  SimDisk disk(&clock, 16, TestIo());
+  disk.EnsurePages(3);
+  EXPECT_EQ(disk.num_pages(), 3u);
+  uint8_t out[16];
+  disk.ReadImage(2, out);
+  for (uint8_t b : out) EXPECT_EQ(b, 0);
+  disk.EnsurePages(2);  // shrink is a no-op
+  EXPECT_EQ(disk.num_pages(), 3u);
+}
+
+TEST(SimDiskTest, ResetTimeClearsQueue) {
+  SimClock clock;
+  SimDisk disk(&clock, 16, TestIo());
+  disk.EnsurePages(4);
+  disk.ScheduleRead(0, false);
+  EXPECT_GT(disk.IdleAtMs(), 0.0);
+  clock.Reset();
+  disk.ResetTime();
+  EXPECT_DOUBLE_EQ(disk.IdleAtMs(), 0.0);
+  EXPECT_DOUBLE_EQ(disk.ScheduleRead(1, false), 5.1);
+}
+
+TEST(SimDiskTest, SnapshotAndRestoreRoundTrip) {
+  SimClock clock;
+  SimDisk disk(&clock, 8, TestIo());
+  disk.EnsurePages(2);
+  const uint8_t data[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+  disk.WriteImageDirect(1, data);
+  auto snap = disk.SnapshotImage();
+
+  const uint8_t other[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  disk.WriteImageDirect(1, other);
+  disk.RestoreImage(snap);
+  uint8_t out[8];
+  disk.ReadImage(1, out);
+  EXPECT_EQ(0, memcmp(data, out, 8));
+}
+
+TEST(SimDiskTest, ServiceTimeAccounting) {
+  SimClock clock;
+  SimDisk disk(&clock, 16, TestIo());
+  disk.EnsurePages(8);
+  disk.ScheduleRead(0, false);
+  disk.ScheduleReadRun(1, 4, true);
+  const double expected = 5.1 + (5.0 * 0.8 + 4 * 0.1);
+  EXPECT_NEAR(disk.stats().read_service_ms, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace deutero

@@ -1,0 +1,59 @@
+// Shared helpers for the test suite: small engine geometries that keep
+// runtimes in milliseconds while exercising multi-level trees and real
+// cache pressure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/options.h"
+#include "common/value_codec.h"
+#include "core/engine.h"
+
+namespace deutero {
+namespace testing_util {
+
+/// Tiny geometry: 1 KB pages (29 rows/leaf), multi-level tree at a few
+/// thousand rows, heavy cache pressure at the default 64-frame cache.
+inline EngineOptions SmallOptions() {
+  EngineOptions o;
+  o.page_size = 1024;
+  o.value_size = 26;
+  o.num_rows = 5000;          // ~181 leaves, 2-level tree
+  o.cache_pages = 64;
+  o.checkpoint_interval_updates = 300;
+  o.updates_per_txn = 10;
+  o.bw_written_capacity = 20;
+  o.delta_dirty_capacity = 50;
+  o.lazy_writer_reference_cache_pages = 64;
+  o.prefetch_window = 8;
+  o.seed = 42;
+  return o;
+}
+
+/// Medium geometry: deeper tree, larger cache; still fast.
+inline EngineOptions MediumOptions() {
+  EngineOptions o = SmallOptions();
+  o.num_rows = 60000;  // ~2,178 leaves, 3-level tree
+  o.cache_pages = 256;
+  o.lazy_writer_reference_cache_pages = 256;
+  o.checkpoint_interval_updates = 1000;
+  return o;
+}
+
+#define ASSERT_OK(expr)                                             \
+  do {                                                              \
+    const ::deutero::Status _st = (expr);                           \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();          \
+  } while (false)
+
+#define EXPECT_OK(expr)                                             \
+  do {                                                              \
+    const ::deutero::Status _st = (expr);                           \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();          \
+  } while (false)
+
+}  // namespace testing_util
+}  // namespace deutero

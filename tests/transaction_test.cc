@@ -1,0 +1,245 @@
+// TC-level tests: transaction lifecycle, runtime rollback with CLRs, the
+// checkpoint protocol (bCkpt/RSSP/eCkpt/master), EOSL and the WAL rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value_codec.h"
+#include "core/engine.h"
+#include "test_util.h"
+#include "wal/log_record.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(Engine::Open(SmallOptions(), &engine_));
+  }
+
+  std::string Val(Key k, uint32_t version) {
+    return SynthesizeValueString(k, version, engine_->options().value_size);
+  }
+
+  std::vector<LogRecordType> StableRecordTypes() {
+    std::vector<LogRecordType> out;
+    for (auto it = engine_->wal().NewIterator(kFirstLsn, false); it.Valid();
+         it.Next()) {
+      out.push_back(it.record().type);
+    }
+    return out;
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(TransactionTest, CommitMakesUpdateVisibleAndDurable) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  std::string v;
+  ASSERT_OK(engine_->Read(5, &v));
+  EXPECT_EQ(v, Val(5, 1));
+  // The commit record is on the stable log (group commit).
+  bool saw_commit = false;
+  for (LogRecordType type : StableRecordTypes()) {
+    if (type == LogRecordType::kTxnCommit) saw_commit = true;
+  }
+  EXPECT_TRUE(saw_commit);
+}
+
+TEST_F(TransactionTest, AbortRestoresBeforeImages) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Update(t, 6, Val(6, 1)));
+  ASSERT_OK(engine_->Abort(t));
+  std::string v;
+  ASSERT_OK(engine_->Read(5, &v));
+  EXPECT_EQ(v, Val(5, 0));  // bulk-load value restored
+  ASSERT_OK(engine_->Read(6, &v));
+  EXPECT_EQ(v, Val(6, 0));
+  EXPECT_EQ(engine_->tc().stats().aborted, 1u);
+}
+
+TEST_F(TransactionTest, AbortWritesClrChainWithUndoNext) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Update(t, 6, Val(6, 1)));
+  ASSERT_OK(engine_->Abort(t));
+  int clrs = 0;
+  bool abort_seen = false;
+  for (auto it = engine_->wal().NewIterator(kFirstLsn, false); it.Valid();
+       it.Next()) {
+    if (it.record().type == LogRecordType::kClr) {
+      clrs++;
+      EXPECT_NE(it.record().undo_next_lsn, kInvalidLsn);
+    }
+    if (it.record().type == LogRecordType::kTxnAbort) abort_seen = true;
+  }
+  EXPECT_EQ(clrs, 2);
+  EXPECT_TRUE(abort_seen);
+}
+
+TEST_F(TransactionTest, AbortOfInsertDeletesRecord) {
+  TxnId t;
+  const Key fresh = engine_->options().num_rows + 10;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Insert(t, fresh, Val(fresh, 1)));
+  std::string v;
+  ASSERT_OK(engine_->Read(fresh, &v));  // visible pre-abort (no isolation)
+  ASSERT_OK(engine_->Abort(t));
+  EXPECT_TRUE(engine_->Read(fresh, &v).IsNotFound());
+}
+
+TEST_F(TransactionTest, UpdateOfUnknownKeyFails) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  EXPECT_TRUE(
+      engine_->Update(t, engine_->options().num_rows + 999, Val(1, 1))
+          .IsNotFound());
+  ASSERT_OK(engine_->Abort(t));
+}
+
+TEST_F(TransactionTest, ConflictingUpdateIsBusy) {
+  TxnId a, b;
+  ASSERT_OK(engine_->Begin(&a));
+  ASSERT_OK(engine_->Begin(&b));
+  ASSERT_OK(engine_->Update(a, 5, Val(5, 1)));
+  EXPECT_TRUE(engine_->Update(b, 5, Val(5, 2)).IsBusy());
+  ASSERT_OK(engine_->Commit(a));
+  ASSERT_OK(engine_->Update(b, 5, Val(5, 2)));
+  ASSERT_OK(engine_->Commit(b));
+  std::string v;
+  ASSERT_OK(engine_->Read(5, &v));
+  EXPECT_EQ(v, Val(5, 2));
+}
+
+TEST_F(TransactionTest, OperationsOnUnknownTxnFail) {
+  EXPECT_TRUE(engine_->Update(999, 1, Val(1, 1)).IsInvalidArgument());
+  EXPECT_TRUE(engine_->Commit(999).IsInvalidArgument());
+  EXPECT_TRUE(engine_->Abort(999).IsInvalidArgument());
+}
+
+TEST_F(TransactionTest, CheckpointWritesProtocolRecordsInOrder) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  ASSERT_OK(engine_->Checkpoint());
+
+  // Find the LAST bCkpt..eCkpt window and check the RSSP ack sits between.
+  Lsn bckpt = 0, ack = 0, eckpt = 0;
+  for (auto it = engine_->wal().NewIterator(kFirstLsn, false); it.Valid();
+       it.Next()) {
+    switch (it.record().type) {
+      case LogRecordType::kBeginCheckpoint:
+        bckpt = it.lsn();
+        break;
+      case LogRecordType::kRsspAck:
+        ack = it.lsn();
+        EXPECT_EQ(it.record().bckpt_lsn, bckpt);
+        break;
+      case LogRecordType::kEndCheckpoint:
+        eckpt = it.lsn();
+        EXPECT_EQ(it.record().bckpt_lsn, bckpt);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_LT(bckpt, ack);
+  EXPECT_LT(ack, eckpt);
+  EXPECT_EQ(engine_->wal().master().bckpt_lsn, bckpt);
+  EXPECT_EQ(engine_->wal().master().eckpt_lsn, eckpt);
+}
+
+TEST_F(TransactionTest, CheckpointFlushesPreBckptDirt) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  for (Key k = 0; k < 30; k++) ASSERT_OK(engine_->Update(t, k * 50, Val(k * 50, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  uint64_t flushed = 0;
+  ASSERT_OK(engine_->Checkpoint(&flushed));
+  EXPECT_GT(flushed, 0u);
+  EXPECT_EQ(engine_->dc().pool().dirty_pages(), 0u);
+}
+
+TEST_F(TransactionTest, EoslAdvancesWithCommits) {
+  const Lsn before = engine_->dc().elsn();
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  EXPECT_GT(engine_->dc().elsn(), before);
+  EXPECT_EQ(engine_->dc().elsn(), engine_->wal().stable_end());
+}
+
+TEST_F(TransactionTest, CrashDuringCheckpointKeepsOldRedoScanStart) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  ASSERT_OK(engine_->Checkpoint());
+  const Lsn old_bckpt = engine_->wal().master().bckpt_lsn;
+
+  // An incomplete checkpoint (crash between bCkpt and eCkpt) must not move
+  // the redo scan start point (§3.2: penultimate checkpointing).
+  CrashPoints cp;
+  cp.after_rssp = true;
+  engine_->tc().set_crash_points(cp);
+  TxnId t2;
+  ASSERT_OK(engine_->Begin(&t2));
+  ASSERT_OK(engine_->Update(t2, 6, Val(6, 1)));
+  ASSERT_OK(engine_->Commit(t2));
+  EXPECT_TRUE(engine_->Checkpoint().IsAborted());
+  EXPECT_EQ(engine_->wal().master().bckpt_lsn, old_bckpt);
+
+  engine_->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(engine_->Recover(RecoveryMethod::kLog1, &st));
+  std::string v;
+  ASSERT_OK(engine_->Read(6, &v));
+  EXPECT_EQ(v, Val(6, 1));
+}
+
+TEST_F(TransactionTest, CrashAfterBeginCheckpointRecovers) {
+  TxnId t;
+  ASSERT_OK(engine_->Begin(&t));
+  ASSERT_OK(engine_->Update(t, 7, Val(7, 1)));
+  ASSERT_OK(engine_->Commit(t));
+  CrashPoints cp;
+  cp.after_begin_checkpoint = true;
+  engine_->tc().set_crash_points(cp);
+  EXPECT_TRUE(engine_->Checkpoint().IsAborted());
+  engine_->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(engine_->Recover(RecoveryMethod::kSql1, &st));
+  std::string v;
+  ASSERT_OK(engine_->Read(7, &v));
+  EXPECT_EQ(v, Val(7, 1));
+}
+
+TEST_F(TransactionTest, TxnIdsResumePastCrash) {
+  TxnId t1;
+  ASSERT_OK(engine_->Begin(&t1));
+  ASSERT_OK(engine_->Update(t1, 5, Val(5, 1)));
+  ASSERT_OK(engine_->Commit(t1));
+  engine_->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(engine_->Recover(RecoveryMethod::kLog1, &st));
+  TxnId t2;
+  ASSERT_OK(engine_->Begin(&t2));
+  EXPECT_GT(t2, t1);
+  ASSERT_OK(engine_->Abort(t2));
+}
+
+}  // namespace
+}  // namespace deutero
