@@ -8,10 +8,12 @@
 //   crash      : after 10 checkpoints + 4,000 updates, 10-update log tail
 //   caches     : {819 .. 26208} pages = the 64MB..2048MB-class sweep
 //
-// Pass "quick" as argv[1] to any bench for a reduced-scale smoke run.
+// Pass "quick" as argv[1] to any bench for a reduced-scale run, or
+// "--smoke" for a tiny CI-oriented geometry (seconds, not minutes).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -58,8 +60,37 @@ inline BenchScale QuickScale() {
   return s;
 }
 
+/// Tiny geometry for ctest/CI smoke runs: exercises load, checkpointing,
+/// crash, and all recovery methods end-to-end in a few seconds. Used by the
+/// `bench_*_smoke` ctest entries so bench binaries cannot silently rot.
+inline BenchScale SmokeScale() {
+  BenchScale s;
+  s.num_rows = 20'000;  // ~92 data pages
+  s.checkpoint_interval = 200;
+  s.checkpoints = 2;
+  s.tail_updates = 10;
+  s.cache_sweep = {32, 64};
+  s.cache_labels = {"small", "large"};
+  s.reference_cache = 32;
+  return s;
+}
+
 inline BenchScale ScaleFromArgs(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "quick") == 0) return QuickScale();
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "--smoke") == 0 ||
+        std::strcmp(argv[1], "smoke") == 0) {
+      return SmokeScale();
+    }
+    if (std::strcmp(argv[1], "quick") == 0 ||
+        std::strcmp(argv[1], "--quick") == 0) {
+      return QuickScale();
+    }
+    // Fail fast: a typo'd scale must not silently run the (minutes-long)
+    // full paper geometry, especially from ctest/CI.
+    std::fprintf(stderr, "unknown scale '%s' (expected --smoke or quick)\n",
+                 argv[1]);
+    std::exit(2);
+  }
   return PaperScale();
 }
 

@@ -1,0 +1,21 @@
+# Warning configuration shared by every deutero target. The sources build
+# clean under this set; DEUTERO_WERROR=ON (used in CI) keeps them that way.
+function(deutero_set_warnings target)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE
+      -Wall
+      -Wextra
+      -Wshadow
+      -Wnon-virtual-dtor
+      -Wimplicit-fallthrough
+      -Wdouble-promotion)
+    if(DEUTERO_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(DEUTERO_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

@@ -1,0 +1,15 @@
+# Third-party dependency discovery. Nothing is downloaded: GoogleTest is
+# required when tests are enabled, google-benchmark is optional (the
+# micro_engine bench is skipped when it is absent).
+include(FindPackageHandleStandardArgs)
+
+if(DEUTERO_BUILD_TESTS)
+  find_package(GTest REQUIRED)
+endif()
+
+if(DEUTERO_BUILD_BENCHES)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND)
+    message(STATUS "deutero: google-benchmark not found; micro_engine bench disabled")
+  endif()
+endif()

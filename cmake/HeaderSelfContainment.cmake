@@ -1,0 +1,24 @@
+# Compiles every public header standalone (one generated TU per header) so a
+# header can never silently depend on its includer's include order. The check
+# is part of the default build: a non-self-contained header is a build break,
+# not a latent landmine for the next #include reshuffle.
+function(deutero_add_header_checks)
+  file(GLOB_RECURSE _headers RELATIVE ${CMAKE_CURRENT_SOURCE_DIR}/src
+       ${CMAKE_CURRENT_SOURCE_DIR}/src/*.h)
+  set(_gen_dir ${CMAKE_CURRENT_BINARY_DIR}/header_checks)
+  set(_sources "")
+  foreach(_h IN LISTS _headers)
+    string(REPLACE "/" "_" _stem ${_h})
+    string(REPLACE ".h" ".cc" _stem ${_stem})
+    set(_cc ${_gen_dir}/${_stem})
+    # Content is a pure function of the header path; skip the write on
+    # reconfigure so mtimes stay stable and ninja doesn't rebuild the world.
+    if(NOT EXISTS ${_cc})
+      file(WRITE ${_cc} "#include \"${_h}\"  // NOLINT(misc-include-cleaner)\n")
+    endif()
+    list(APPEND _sources ${_cc})
+  endforeach()
+  add_library(deutero_header_checks OBJECT ${_sources})
+  target_link_libraries(deutero_header_checks PRIVATE deutero_includes)
+  deutero_set_warnings(deutero_header_checks)
+endfunction()

@@ -1,0 +1,12 @@
+# ASAN/UBSAN toggle: `cmake -DDEUTERO_SANITIZE=ON`. Applied globally so the
+# core library, tests, benches, and examples all agree on the runtime.
+if(DEUTERO_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=address,undefined)
+    message(STATUS "deutero: AddressSanitizer + UBSanitizer enabled")
+  else()
+    message(WARNING "DEUTERO_SANITIZE=ON ignored: unsupported compiler "
+                    "${CMAKE_CXX_COMPILER_ID}")
+  endif()
+endif()

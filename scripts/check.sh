@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as CI runs it: configure, build, test.
+# Usage: scripts/check.sh [--asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+EXTRA_FLAGS=()
+CTEST_FILTER=()
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR=build-asan
+  EXTRA_FLAGS=(-DCMAKE_BUILD_TYPE=Debug -DDEUTERO_SANITIZE=ON)
+  CTEST_FILTER=(-L tier1 -LE smoke)  # fast suites only under sanitizers
+fi
+
+GEN=()
+command -v ninja >/dev/null 2>&1 && GEN=(-G Ninja)
+
+cmake -B "$BUILD_DIR" -S . "${GEN[@]}" -DDEUTERO_WERROR=ON "${EXTRA_FLAGS[@]}"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "${CTEST_FILTER[@]}"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run every figure-reproduction bench. Defaults to --smoke (seconds);
+# pass "quick" or "paper" to run at larger scales.
+# Usage: scripts/run_benches.sh [smoke|quick|paper] [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-smoke}"
+BUILD_DIR="${2:-build}"
+case "$SCALE" in
+  smoke) ARG=--smoke ;;
+  quick) ARG=quick ;;
+  paper) ARG= ;;
+  *) echo "unknown scale '$SCALE' (smoke|quick|paper)" >&2; exit 2 ;;
+esac
+
+BENCHES=(
+  fig2a_redo_time
+  fig2b_dirty_cache
+  fig2c_log_records
+  fig3_checkpoint_interval
+  ablation_delta_cadence
+  ablation_locality
+  ablation_prefetch_window
+  appendix_b_cost_model
+  appendix_d_alternatives
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "==== $b $ARG"
+  "$BUILD_DIR/bench/$b" $ARG
+done

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "btree/node.h"
+#include "dc/dirty_monitor.h"
 #include "storage/page.h"
 
 namespace deutero {
@@ -32,12 +33,13 @@ Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
 BTree::BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
              PageAllocator* allocator, LogManager* log, PageId root_pid,
              uint32_t page_size, uint32_t value_size, double leaf_fill,
-             double cpu_per_level_us)
+             double cpu_per_level_us, DirtyPageMonitor* monitor)
     : clock_(clock),
       disk_(disk),
       pool_(pool),
       allocator_(allocator),
       log_(log),
+      monitor_(monitor),
       root_pid_(root_pid),
       page_size_(page_size),
       value_size_(value_size),
@@ -283,6 +285,7 @@ std::string PageImage(const PageView& page) {
 
 Status BTree::SplitChild(PageHandle* parent_h, PageHandle* child_h,
                          uint32_t child_idx) {
+  DirtyPageMonitor::AtomicScope smo_scope(monitor_);
   stats_.splits++;
   PageView parent = parent_h->view();
   PageView child = child_h->view();
@@ -332,6 +335,7 @@ Status BTree::SplitChild(PageHandle* parent_h, PageHandle* child_h,
 }
 
 Status BTree::SplitRoot(PageHandle* root_h) {
+  DirtyPageMonitor::AtomicScope smo_scope(monitor_);
   stats_.splits++;
   stats_.root_splits++;
   PageView root = root_h->view();

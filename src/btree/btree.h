@@ -33,6 +33,8 @@
 
 namespace deutero {
 
+class DirtyPageMonitor;  // dc/dirty_monitor.h — only btree.cc needs the def
+
 /// Root page id of the default table, allocated first at database creation
 /// (page 0 is the catalog page).
 inline constexpr PageId kRootPageId = 1;
@@ -52,10 +54,13 @@ class BTree {
     uint64_t root_splits = 0;
   };
 
+  /// `monitor` (optional) is held in a DirtyPageMonitor::AtomicScope across
+  /// each system transaction so a capacity-triggered Δ-record cannot
+  /// interleave between the SMO's LSN reservation and its append.
   BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
         PageAllocator* allocator, LogManager* log, PageId root_pid,
         uint32_t page_size, uint32_t value_size, double leaf_fill,
-        double cpu_per_level_us);
+        double cpu_per_level_us, DirtyPageMonitor* monitor = nullptr);
 
   /// Initialize an empty tree: format the root page (a leaf) directly on
   /// the device. Durability of table existence is the catalog's / DDL
@@ -133,6 +138,7 @@ class BTree {
   BufferPool* pool_;
   PageAllocator* allocator_;
   LogManager* log_;
+  DirtyPageMonitor* monitor_;
   const PageId root_pid_;
   const uint32_t page_size_;
   const uint32_t value_size_;

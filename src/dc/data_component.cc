@@ -61,7 +61,7 @@ std::unique_ptr<BTree> DataComponent::MakeTree(const TableInfo& info) const {
       clock_, disk_.get(), pool_.get(),
       const_cast<PageAllocator*>(&allocator_), log_, info.root_pid,
       options_.page_size, info.value_size, options_.leaf_fill_fraction,
-      options_.io.cpu_per_btree_level_us);
+      options_.io.cpu_per_btree_level_us, monitor_.get());
   tree->set_height(info.height);
   tree->set_row_count(info.num_rows);
   return tree;
@@ -121,6 +121,7 @@ Status DataComponent::CreateTable(TableId table, uint32_t value_size) {
   PageView root = h.view();
   root.Format(info.root_pid, PageType::kLeaf, 0);
 
+  DirtyPageMonitor::AtomicScope ddl_scope(monitor_.get());
   const Lsn lsn = log_->next_lsn();
   h.MarkDirty(lsn);
   LogRecord rec;

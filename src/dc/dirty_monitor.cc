@@ -9,7 +9,7 @@ void DirtyPageMonitor::OnPageDirtied(PageId pid, Lsn lsn) {
   dirty_set_.push_back(pid);
   if (dpt_mode_ == DptMode::kPerfect) dirty_lsns_.push_back(lsn);
   stats_.dirty_entries++;
-  if (dirty_set_.size() >= dirty_capacity_) EmitDelta();
+  if (defer_depth_ == 0 && dirty_set_.size() >= dirty_capacity_) EmitDelta();
 }
 
 void DirtyPageMonitor::OnPageFlushed(PageId pid, Lsn plsn) {
@@ -30,10 +30,20 @@ void DirtyPageMonitor::OnPageFlushed(PageId pid, Lsn plsn) {
   if (bw_written_set_.empty()) bw_fw_lsn_ = elsn;
   bw_written_set_.push_back(pid);
   stats_.written_entries++;
-  if (bw_written_set_.size() >= written_capacity_) {
+  if (defer_depth_ == 0 && bw_written_set_.size() >= written_capacity_) {
     // Paper §5.2: Δ-records are written exactly before BW-records.
     EmitDelta();
     EmitBw();
+  }
+}
+
+void DirtyPageMonitor::EmitIfOverCapacity() {
+  if (!enabled_) return;
+  if (bw_written_set_.size() >= written_capacity_) {
+    EmitDelta();
+    EmitBw();
+  } else if (dirty_set_.size() >= dirty_capacity_) {
+    EmitDelta();
   }
 }
 

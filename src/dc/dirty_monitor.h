@@ -54,6 +54,29 @@ class DirtyPageMonitor {
   /// protocol control). Emits nothing if both sets are empty.
   void ForceEmit();
 
+  /// Defers capacity-triggered Δ/BW emission while a DC system transaction
+  /// assembles its single atomic log record. Without this, a MarkDirty
+  /// inside the system transaction can push DirtySet over capacity and
+  /// interleave a Δ-record between the transaction's LSN reservation and
+  /// its append, breaking plsn == record-LSN for the touched pages.
+  /// Deferred emissions fire (in the §5.2 Δ-before-BW order) when the
+  /// outermost scope ends. Tracking itself is NOT deferred — every dirtied
+  /// page is still captured, as §4.1 correctness requires.
+  class AtomicScope {
+   public:
+    explicit AtomicScope(DirtyPageMonitor* m) : m_(m) {
+      if (m_ != nullptr) m_->defer_depth_++;
+    }
+    ~AtomicScope() {
+      if (m_ != nullptr && --m_->defer_depth_ == 0) m_->EmitIfOverCapacity();
+    }
+    AtomicScope(const AtomicScope&) = delete;
+    AtomicScope& operator=(const AtomicScope&) = delete;
+
+   private:
+    DirtyPageMonitor* m_;
+  };
+
   /// Drop volatile state (crash).
   void Reset();
 
@@ -67,6 +90,7 @@ class DirtyPageMonitor {
  private:
   void EmitDelta();
   void EmitBw();
+  void EmitIfOverCapacity();
 
   LogManager* log_;
   const DptMode dpt_mode_;
@@ -86,6 +110,9 @@ class DirtyPageMonitor {
   // BW interval state.
   std::vector<PageId> bw_written_set_;
   Lsn bw_fw_lsn_ = kInvalidLsn;
+
+  // Emission-deferral depth (AtomicScope nesting).
+  uint32_t defer_depth_ = 0;
 
   Stats stats_;
 };

@@ -19,8 +19,8 @@ using testing_util::SmallOptions;
 class AttEquivalenceTest : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AttEquivalenceTest, ::testing::Range(1, 6),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 TEST_P(AttEquivalenceTest, SqlAnalysisAndLogicalScanAgreeOnLosers) {

@@ -25,8 +25,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, IdleLoserTest,
                                            RecoveryMethod::kLog2,
                                            RecoveryMethod::kSql1,
                                            RecoveryMethod::kSql2),
-                         [](const auto& info) {
-                           return RecoveryMethodName(info.param);
+                         [](const auto& param_info) {
+                           return RecoveryMethodName(param_info.param);
                          });
 
 // A transaction whose records all precede the final checkpoint and that

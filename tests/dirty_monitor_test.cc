@@ -40,6 +40,43 @@ class DirtyMonitorTest : public ::testing::Test {
   std::unique_ptr<DirtyPageMonitor> monitor_;
 };
 
+TEST_F(DirtyMonitorTest, AtomicScopeDefersCapacityTriggeredDeltaEmission) {
+  Make(DptMode::kStandard, /*dirty_cap=*/2);
+  {
+    DirtyPageMonitor::AtomicScope scope(monitor_.get());
+    monitor_->OnPageDirtied(1, 101);
+    monitor_->OnPageDirtied(2, 102);  // reaches capacity — must NOT emit yet
+    monitor_->OnPageDirtied(3, 103);  // still captured while deferred
+    EXPECT_EQ(monitor_->stats().delta_records, 0u);
+  }
+  // Outermost scope exit performs the deferred emission with every entry.
+  EXPECT_EQ(monitor_->stats().delta_records, 1u);
+  auto deltas = Records(LogRecordType::kDeltaRecord);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].dirty_set, (std::vector<PageId>{1, 2, 3}));
+}
+
+TEST_F(DirtyMonitorTest, AtomicScopeDefersBwEmissionAndNests) {
+  Make(DptMode::kStandard, /*dirty_cap=*/100, /*written_cap=*/1);
+  {
+    DirtyPageMonitor::AtomicScope outer(monitor_.get());
+    {
+      DirtyPageMonitor::AtomicScope inner(monitor_.get());
+      monitor_->OnPageDirtied(5, 101);
+      monitor_->OnPageFlushed(5, 101);  // reaches BW capacity — deferred
+    }
+    // Inner scope exit must not emit: the outer scope is still open.
+    EXPECT_EQ(monitor_->stats().bw_records, 0u);
+  }
+  // Δ-before-BW order is preserved on the deferred emission (§5.2).
+  EXPECT_EQ(monitor_->stats().delta_records, 1u);
+  EXPECT_EQ(monitor_->stats().bw_records, 1u);
+}
+
+TEST_F(DirtyMonitorTest, AtomicScopeOnNullMonitorIsANoOp) {
+  DirtyPageMonitor::AtomicScope scope(nullptr);  // must not crash
+}
+
 TEST_F(DirtyMonitorTest, DirtySetCapturesEveryUpdateIncludingDuplicates) {
   Make(DptMode::kStandard);
   monitor_->OnPageDirtied(7, 101);

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "core/engine.h"
+#include "storage/page.h"
 #include "test_util.h"
 #include "workload/driver.h"
 
@@ -156,6 +158,49 @@ TEST(EngineTest, DirtyWatermarkScalesWithCacheCurve) {
   const uint64_t wb = b->dc().pool().dirty_watermark();
   EXPECT_GT(wb, wa);           // absolute watermark grows
   EXPECT_LT(wb, wa * 8);       // ...sub-linearly (Fig. 2(b) calibration)
+}
+
+// Every system-transaction record (SMO split, CreateTable) must stamp its
+// own LSN into the pLSN of every page image it carries — the idempotence
+// test during redo depends on it. A tiny Δ-capacity forces the dirty
+// monitor to hit emission pressure inside the system transaction, which
+// without AtomicScope deferral would interleave a Δ-record between the
+// LSN reservation and the append and break the invariant.
+TEST(EngineTest, SmoPageImagesCarryTheirRecordLsn) {
+  EngineOptions o = SmallOptions();
+  o.delta_dirty_capacity = 2;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  // Insert-heavy load: new keys force leaf (and eventually internal/root)
+  // splits while the tiny Δ-capacity keeps the monitor at emission pressure.
+  Key next = o.num_rows;
+  for (int txn = 0; txn < 40; txn++) {
+    TxnId t;
+    ASSERT_OK(e->Begin(&t));
+    for (int i = 0; i < 10; i++, next++) {
+      const std::string v = V(*e, next, 1);
+      ASSERT_OK(e->Insert(t, next, v));
+    }
+    ASSERT_OK(e->Commit(t));
+  }
+  ASSERT_OK(e->CreateTable(/*table=*/7, /*value_size=*/16));
+  e->wal().Flush();
+  size_t images_checked = 0;
+  for (auto it = e->wal().NewIterator(kFirstLsn, /*charge_io=*/false);
+       it.Valid(); it.Next()) {
+    const LogRecord& rec = it.record();
+    if (rec.type != LogRecordType::kSmo &&
+        rec.type != LogRecordType::kCreateTable) {
+      continue;
+    }
+    for (const SmoPageImage& p : rec.smo_pages) {
+      std::vector<uint8_t> img(p.image.begin(), p.image.end());
+      PageView view(img.data(), o.page_size);
+      EXPECT_EQ(view.plsn(), it.lsn()) << "pid " << p.pid;
+      images_checked++;
+    }
+  }
+  EXPECT_GT(images_checked, 0u);  // the bulk load must have split pages
 }
 
 }  // namespace

@@ -29,9 +29,9 @@ INSTANTIATE_TEST_SUITE_P(
     PageByValue, GeometrySweep,
     ::testing::Combine(::testing::Values(512u, 1024u, 4096u, 8192u),
                        ::testing::Values(8u, 26u, 100u)),
-    [](const auto& info) {
-      return "page" + std::to_string(std::get<0>(info.param)) + "_val" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "page" + std::to_string(std::get<0>(param_info.param)) + "_val" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST_P(GeometrySweep, BulkLoadIsWellFormedAndReadable) {

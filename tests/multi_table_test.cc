@@ -37,8 +37,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, MultiTableTest,
                                            RecoveryMethod::kLog2,
                                            RecoveryMethod::kSql1,
                                            RecoveryMethod::kSql2),
-                         [](const auto& info) {
-                           return RecoveryMethodName(info.param);
+                         [](const auto& param_info) {
+                           return RecoveryMethodName(param_info.param);
                          });
 
 TEST_F(MultiTableTest, CreateInsertReadAcrossTables) {

@@ -28,8 +28,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, RecoveryIntegrationTest,
                                            RecoveryMethod::kLog2,
                                            RecoveryMethod::kSql1,
                                            RecoveryMethod::kSql2),
-                         [](const auto& info) {
-                           return RecoveryMethodName(info.param);
+                         [](const auto& param_info) {
+                           return RecoveryMethodName(param_info.param);
                          });
 
 TEST_P(RecoveryIntegrationTest, CommittedUpdatesSurviveCrash) {

@@ -40,9 +40,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          RecoveryMethod::kLog2,
                                          RecoveryMethod::kSql1,
                                          RecoveryMethod::kSql2)),
-    [](const auto& info) {
-      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
-             "_" + RecoveryMethodName(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return std::string("seed") + std::to_string(std::get<0>(param_info.param)) +
+             "_" + RecoveryMethodName(std::get<1>(param_info.param));
     });
 
 TEST_P(CrashPointSweep, RandomizedCrashRecoversCommittedState) {
@@ -97,8 +97,8 @@ INSTANTIATE_TEST_SUITE_P(Modes, DptSafetyTest,
                          ::testing::Values(DptMode::kStandard,
                                            DptMode::kPerfect,
                                            DptMode::kReduced),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case DptMode::kStandard:
                                return "Standard";
                              case DptMode::kPerfect:
