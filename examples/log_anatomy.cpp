@@ -79,7 +79,7 @@ int main() {
   uint64_t count = 0;
   for (auto it = db->wal().NewIterator(kFirstLsn, false); it.Valid();
        it.Next()) {
-    const LogRecord& rec = it.record();
+    const LogRecordView& rec = it.record();
     const uint64_t size = it.lsn() - prev;
     (void)size;
     std::string extra;
@@ -114,7 +114,7 @@ int main() {
     }
     std::printf("%-10llu %-16s %-6llu %s%s\n",
                 (unsigned long long)it.lsn(), LogRecordTypeName(rec.type),
-                (unsigned long long)rec.EncodePayload().size(),
+                (unsigned long long)it.payload_size(),
                 Role(rec.type), extra.c_str());
     prev = it.lsn();
     count++;

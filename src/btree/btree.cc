@@ -11,11 +11,12 @@
 
 namespace deutero {
 
+template <typename RecordT>
 Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
-                          const LogRecord& rec) {
+                          const RecordT& rec) {
   allocator->EnsureAtLeast(rec.alloc_hwm);
-  for (const SmoPageImage& img : rec.smo_pages) {
+  for (const auto& img : rec.smo_pages) {
     if (img.image.size() != page_size) {
       return Status::Corruption("physical image size mismatch");
     }
@@ -29,6 +30,13 @@ Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
   }
   return Status::OK();
 }
+
+template Status RedoPhysicalImages<LogRecord>(BufferPool*, SimDisk*,
+                                              PageAllocator*, uint32_t,
+                                              const LogRecord&);
+template Status RedoPhysicalImages<LogRecordView>(BufferPool*, SimDisk*,
+                                                  PageAllocator*, uint32_t,
+                                                  const LogRecordView&);
 
 BTree::BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
              PageAllocator* allocator, LogManager* log, PageId root_pid,

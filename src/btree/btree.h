@@ -42,9 +42,12 @@ inline constexpr PageId kRootPageId = 1;
 /// Install the full page images of an SMO or create-table record whose
 /// on-device pLSN predates the record (idempotent physical redo), and raise
 /// the allocator high-water mark. Tree-agnostic: images name their pages.
+/// Templated over the record representation (owning LogRecord or zero-copy
+/// LogRecordView); both instantiations live in btree.cc.
+template <typename RecordT>
 Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
-                          const LogRecord& rec);
+                          const RecordT& rec);
 
 class BTree {
  public:

@@ -1,6 +1,14 @@
 #include "common/crc32.h"
 
-#include <array>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <nmmintrin.h>
+#define DEUTERO_CRC32_HW_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define DEUTERO_CRC32_HW_ARM 1
+#endif
 
 namespace deutero {
 
@@ -8,33 +16,117 @@ namespace {
 
 constexpr uint32_t kPoly = 0x82f63b78;  // reflected CRC-32C polynomial
 
-std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 lookup tables, computed at compile time. t[0] is the classic
+// byte-at-a-time table; t[k][b] is the CRC contribution of byte value b seen
+// k positions earlier in an 8-byte block, letting the loop fold 8 input
+// bytes per step with 8 independent table loads.
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables MakeTables() {
+  Tables ts{};
   for (uint32_t i = 0; i < 256; i++) {
     uint32_t crc = i;
     for (int b = 0; b < 8; b++) {
       crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
     }
-    table[i] = crc;
+    ts.t[0][i] = crc;
   }
-  return table;
+  for (int k = 1; k < 8; k++) {
+    for (uint32_t i = 0; i < 256; i++) {
+      ts.t[k][i] = ts.t[0][ts.t[k - 1][i] & 0xff] ^ (ts.t[k - 1][i] >> 8);
+    }
+  }
+  return ts;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = MakeTable();
-  return table;
+constexpr Tables kTables = MakeTables();
+
+/// Raw (pre/post-inversion handled by callers) software CRC update.
+uint32_t SoftwareRaw(uint32_t crc, const uint8_t* p, size_t n) {
+  const auto& t = kTables.t;
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    crc ^= lo;
+    crc = t[7][crc & 0xff] ^ t[6][(crc >> 8) & 0xff] ^
+          t[5][(crc >> 16) & 0xff] ^ t[4][crc >> 24] ^ t[3][hi & 0xff] ^
+          t[2][(hi >> 8) & 0xff] ^ t[1][(hi >> 16) & 0xff] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
 }
+
+#if defined(DEUTERO_CRC32_HW_X86)
+__attribute__((target("sse4.2"))) uint32_t HardwareRaw(uint32_t crc,
+                                                       const uint8_t* p,
+                                                       size_t n) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = _mm_crc32_u8(c32, *p++);
+  }
+  return c32;
+}
+#elif defined(DEUTERO_CRC32_HW_ARM)
+uint32_t HardwareRaw(uint32_t crc, const uint8_t* p, size_t n) {
+  while (n >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc = __crc32cd(crc, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = __crc32cb(crc, *p++);
+  }
+  return crc;
+}
+#endif
 
 }  // namespace
 
+uint32_t Crc32cSoftware(const void* data, size_t n, uint32_t init) {
+  return ~SoftwareRaw(~init, static_cast<const uint8_t*>(data), n);
+}
+
+bool Crc32cHardwareAvailable() {
+#if defined(DEUTERO_CRC32_HW_X86)
+  return __builtin_cpu_supports("sse4.2") != 0;
+#elif defined(DEUTERO_CRC32_HW_ARM)
+  return true;  // __ARM_FEATURE_CRC32: the target baseline guarantees it
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32cHardware(const void* data, size_t n, uint32_t init) {
+#if defined(DEUTERO_CRC32_HW_X86) || defined(DEUTERO_CRC32_HW_ARM)
+  return ~HardwareRaw(~init, static_cast<const uint8_t*>(data), n);
+#else
+  return Crc32cSoftware(data, n, init);
+#endif
+}
+
 uint32_t Crc32c(const void* data, size_t n, uint32_t init) {
-  const auto& table = Table();
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  uint32_t crc = ~init;
-  for (size_t i = 0; i < n; i++) {
-    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
+  static const bool hw = Crc32cHardwareAvailable();
+  return hw ? Crc32cHardware(data, n, init) : Crc32cSoftware(data, n, init);
 }
 
 }  // namespace deutero

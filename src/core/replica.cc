@@ -14,15 +14,17 @@ Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
   Lsn resume = from < kFirstLsn ? kFirstLsn : from;
   for (auto it = primary_log.NewIterator(resume, /*charge_io=*/false);
        it.Valid(); it.Next()) {
-    const LogRecord& rec = it.record();
+    const LogRecordView& rec = it.record();
     switch (rec.type) {
       case LogRecordType::kUpdate:
+        // The view's after-image aliases the primary's log buffer; buffered
+        // ops outlive the scan, so copy it out here.
         in_flight_[rec.txn_id].push_back(
-            {false, rec.table_id, rec.key, rec.after});
+            {false, rec.table_id, rec.key, rec.after.ToString()});
         break;
       case LogRecordType::kInsert:
         in_flight_[rec.txn_id].push_back(
-            {true, rec.table_id, rec.key, rec.after});
+            {true, rec.table_id, rec.key, rec.after.ToString()});
         break;
       case LogRecordType::kCreateTable:
         // DDL replicates logically: same table id and schema, the replica's

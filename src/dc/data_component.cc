@@ -142,7 +142,8 @@ Status DataComponent::CreateTable(TableId table, uint32_t value_size) {
   return Status::OK();
 }
 
-Status DataComponent::RedoCreateTable(const LogRecord& rec) {
+template <typename RecordT>
+Status DataComponent::RedoCreateTable(const RecordT& rec) {
   if (catalog_.Find(rec.table_id) == nullptr) {
     TableInfo info;
     info.id = rec.table_id;
@@ -153,6 +154,10 @@ Status DataComponent::RedoCreateTable(const LogRecord& rec) {
   }
   return RedoSmo(rec);  // installs the root image if it predates the record
 }
+
+template Status DataComponent::RedoCreateTable<LogRecord>(const LogRecord&);
+template Status DataComponent::RedoCreateTable<LogRecordView>(
+    const LogRecordView&);
 
 BTree* DataComponent::FindTable(TableId table) {
   auto it = tables_.find(table);

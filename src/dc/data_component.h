@@ -101,15 +101,19 @@ class DataComponent {
   /// Drop all volatile DC state (cache, monitor arrays, eLSN, catalog).
   void SimulateCrash();
 
-  /// Physical redo of an SMO record's page images (idempotent).
-  Status RedoSmo(const LogRecord& rec) {
+  /// Physical redo of an SMO record's page images (idempotent). Accepts
+  /// either record representation (recovery scans pass zero-copy views).
+  template <typename RecordT>
+  Status RedoSmo(const RecordT& rec) {
     return RedoPhysicalImages(pool_.get(), disk_.get(), &allocator_,
                               options_.page_size, rec);
   }
 
   /// Replay a kCreateTable record: register the table (if unknown) and
-  /// install its root image (idempotent).
-  Status RedoCreateTable(const LogRecord& rec);
+  /// install its root image (idempotent). Instantiated for LogRecord and
+  /// LogRecordView in data_component.cc.
+  template <typename RecordT>
+  Status RedoCreateTable(const RecordT& rec);
 
   /// Load every internal index page of every table (paper App. A.1).
   Status PreloadIndex();

@@ -4,49 +4,12 @@
 
 namespace deutero {
 
-void ObserveForAtt(const LogRecord& rec, ActiveTxnTable* att,
-                   TxnId* max_txn_id) {
-  switch (rec.type) {
-    case LogRecordType::kTxnBegin:
-    case LogRecordType::kUpdate:
-    case LogRecordType::kInsert:
-    case LogRecordType::kClr:
-      (*att)[rec.txn_id] = rec.lsn;
-      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
-        *max_txn_id = rec.txn_id;
-      }
-      break;
-    case LogRecordType::kTxnCommit:
-    case LogRecordType::kTxnAbort:
-      att->erase(rec.txn_id);
-      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
-        *max_txn_id = rec.txn_id;
-      }
-      break;
-    case LogRecordType::kBeginCheckpoint:
-      // The checkpoint's captured ATT seeds transactions whose records all
-      // precede the redo scan start point (idle losers).
-      for (size_t i = 0; i < rec.att_txn_ids.size(); i++) {
-        const TxnId txn = rec.att_txn_ids[i];
-        auto [it, inserted] =
-            att->try_emplace(txn, rec.att_last_lsns[i]);
-        if (!inserted && it->second < rec.att_last_lsns[i]) {
-          it->second = rec.att_last_lsns[i];
-        }
-        if (max_txn_id != nullptr && txn > *max_txn_id) *max_txn_id = txn;
-      }
-      break;
-    default:
-      break;
-  }
-}
-
 Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
   *out = SqlAnalysisResult();
   out->redo_start_lsn = bckpt_lsn;
-  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
-       it.Next()) {
-    const LogRecord& rec = it.record();
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
+  for (; it.Valid(); it.Next()) {
+    const LogRecordView& rec = it.record();
     out->records_scanned++;
     ObserveForAtt(rec, &out->att, &out->max_txn_id);
     switch (rec.type) {
@@ -75,7 +38,7 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
       case LogRecordType::kCreateTable:
         // SMO system transactions (and DDL) are page updates too; their
         // pages need redo consideration exactly like data updates.
-        for (const SmoPageImage& p : rec.smo_pages) {
+        for (const SmoPageImageRef& p : rec.smo_pages) {
           out->dpt.AddOrUpdate(p.pid, rec.lsn);
         }
         break;
@@ -99,16 +62,17 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
       default:
         break;
     }
-    out->log_pages = it.pages_read();
   }
+  out->log_pages = it.pages_read();
   return Status::OK();
 }
 
 namespace {
 
 /// Algorithm 4's DC-DPT-UPDATE plus the App. D variants.
-void ApplyDeltaToDpt(const LogRecord& rec, Lsn prev_delta_lsn, DptMode mode,
-                     DirtyPageTable* dpt, std::vector<PageId>* pf_list) {
+void ApplyDeltaToDpt(const LogRecordView& rec, Lsn prev_delta_lsn,
+                     DptMode mode, DirtyPageTable* dpt,
+                     std::vector<PageId>* pf_list) {
   // Dirty set: assign conservative rLSN proxies.
   for (size_t i = 0; i < rec.dirty_set.size(); i++) {
     const PageId pid = rec.dirty_set[i];
@@ -170,42 +134,48 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                      DptMode mode, bool build_dpt, bool preload_index,
                      DcRecoveryResult* out) {
   *out = DcRecoveryResult();
+  RecoveryPassQuiescence quiesce(dc);
   // "For the first Δ-log record encountered after the RSSP, we use rsspLSN"
   // as the previous record's TC-LSN (§4.2).
   Lsn prev_delta_lsn = bckpt_lsn;
-  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
-       it.Next()) {
-    const LogRecord& rec = it.record();
-    out->records_scanned++;
-    switch (rec.type) {
-      case LogRecordType::kSmo:
-        // Make the B-tree well-formed before any logical redo traverses it.
-        DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
-        out->smo_redone++;
-        break;
-      case LogRecordType::kCreateTable:
-        // DDL is a DC system transaction: re-register the table and its
-        // root before logical redo routes operations to it.
-        DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
-        out->smo_redone++;
-        break;
-      case LogRecordType::kDeltaRecord:
-        out->delta_records_seen++;
-        if (build_dpt) {
-          ApplyDeltaToDpt(rec, prev_delta_lsn, mode, &out->dpt,
-                          &out->pf_list);
-        }
-        prev_delta_lsn = rec.tc_lsn;
-        out->last_delta_tc_lsn = rec.tc_lsn;
-        break;
-      case LogRecordType::kBwRecord:
-        out->bw_records_seen++;  // SQL-Server artifact; the DC ignores it
-        break;
-      default:
-        break;  // TC records are not the DC's concern in this pass
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
+  const Status scan_status = [&]() -> Status {
+    for (; it.Valid(); it.Next()) {
+      const LogRecordView& rec = it.record();
+      out->records_scanned++;
+      switch (rec.type) {
+        case LogRecordType::kSmo:
+          // Make the B-tree well-formed before any logical redo traverses
+          // it.
+          DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
+          out->smo_redone++;
+          break;
+        case LogRecordType::kCreateTable:
+          // DDL is a DC system transaction: re-register the table and its
+          // root before logical redo routes operations to it.
+          DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
+          out->smo_redone++;
+          break;
+        case LogRecordType::kDeltaRecord:
+          out->delta_records_seen++;
+          if (build_dpt) {
+            ApplyDeltaToDpt(rec, prev_delta_lsn, mode, &out->dpt,
+                            &out->pf_list);
+          }
+          prev_delta_lsn = rec.tc_lsn;
+          out->last_delta_tc_lsn = rec.tc_lsn;
+          break;
+        case LogRecordType::kBwRecord:
+          out->bw_records_seen++;  // SQL-Server artifact; the DC ignores it
+          break;
+        default:
+          break;  // TC records are not the DC's concern in this pass
+      }
     }
-    out->log_pages = it.pages_read();
-  }
+    return Status::OK();
+  }();
+  out->log_pages = it.pages_read();  // filled on error exits too
+  DEUTERO_RETURN_NOT_OK(scan_status);
   if (preload_index) {
     DEUTERO_RETURN_NOT_OK(dc->PreloadIndex());
   }

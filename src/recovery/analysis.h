@@ -26,9 +26,75 @@ namespace deutero {
 /// Loser-candidate table: txn id -> LSN of its last logged record.
 using ActiveTxnTable = std::unordered_map<TxnId, Lsn>;
 
-/// Maintain the ATT incrementally from a scanned record.
-void ObserveForAtt(const LogRecord& rec, ActiveTxnTable* att,
-                   TxnId* max_txn_id);
+/// RAII: quiesce normal-operation instrumentation (dirty monitor, pool
+/// callbacks) for the duration of a recovery pass, restoring the previous
+/// state on exit. RecoveryManager already does this globally, but the pass
+/// functions must be safe when driven directly (tests, tools): a live
+/// monitor would react to redo-time MarkDirty by APPENDING Δ/BW records to
+/// the very log being scanned — corrupting the recovery log and, since the
+/// scan holds zero-copy LogRecordViews into the log buffer, potentially
+/// invalidating the view mid-record when the append reallocates it.
+class RecoveryPassQuiescence {
+ public:
+  explicit RecoveryPassQuiescence(DataComponent* dc)
+      : dc_(dc),
+        monitor_was_(dc->monitor().enabled()),
+        callbacks_were_(dc->pool().callbacks_enabled()) {
+    dc_->monitor().set_enabled(false);
+    dc_->pool().set_callbacks_enabled(false);
+  }
+  ~RecoveryPassQuiescence() {
+    dc_->pool().set_callbacks_enabled(callbacks_were_);
+    dc_->monitor().set_enabled(monitor_was_);
+  }
+  RecoveryPassQuiescence(const RecoveryPassQuiescence&) = delete;
+  RecoveryPassQuiescence& operator=(const RecoveryPassQuiescence&) = delete;
+
+ private:
+  DataComponent* dc_;
+  bool monitor_was_;
+  bool callbacks_were_;
+};
+
+/// Maintain the ATT incrementally from a scanned record. Templated over the
+/// record representation so the zero-copy LogRecordView of recovery scans
+/// and the owning LogRecord of tests both work without conversion.
+template <typename RecordT>
+void ObserveForAtt(const RecordT& rec, ActiveTxnTable* att,
+                   TxnId* max_txn_id) {
+  switch (rec.type) {
+    case LogRecordType::kTxnBegin:
+    case LogRecordType::kUpdate:
+    case LogRecordType::kInsert:
+    case LogRecordType::kClr:
+      (*att)[rec.txn_id] = rec.lsn;
+      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
+        *max_txn_id = rec.txn_id;
+      }
+      break;
+    case LogRecordType::kTxnCommit:
+    case LogRecordType::kTxnAbort:
+      att->erase(rec.txn_id);
+      if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {
+        *max_txn_id = rec.txn_id;
+      }
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      // The checkpoint's captured ATT seeds transactions whose records all
+      // precede the redo scan start point (idle losers).
+      for (size_t i = 0; i < rec.att_txn_ids.size(); i++) {
+        const TxnId txn = rec.att_txn_ids[i];
+        auto [it, inserted] = att->try_emplace(txn, rec.att_last_lsns[i]);
+        if (!inserted && it->second < rec.att_last_lsns[i]) {
+          it->second = rec.att_last_lsns[i];
+        }
+        if (max_txn_id != nullptr && txn > *max_txn_id) *max_txn_id = txn;
+      }
+      break;
+    default:
+      break;
+  }
+}
 
 struct SqlAnalysisResult {
   DirtyPageTable dpt;

@@ -69,7 +69,7 @@ void LogDrivenPrefetcher::Pump(uint64_t redo_records_consumed) {
   batch.reserve(budget);
   while (budget > 0 && ahead_.Valid() &&
          ahead_consumed_ < redo_records_consumed + lookahead_records_) {
-    const LogRecord& rec = ahead_.record();
+    const LogRecordView& rec = ahead_.record();
     ahead_consumed_++;
     if (rec.IsRedoableDataOp()) {
       const DirtyPageTable::Entry* e = dpt_->Find(rec.pid);

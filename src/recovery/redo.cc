@@ -13,7 +13,7 @@ namespace {
 
 /// Re-execute one data operation on a pinned page (the operation's effects
 /// are known to be missing: the pLSN test already passed).
-Status ApplyDataOp(DataComponent* dc, const LogRecord& rec, PageId pid) {
+Status ApplyDataOp(DataComponent* dc, const LogRecordView& rec, PageId pid) {
   switch (rec.type) {
     case LogRecordType::kUpdate:
       return dc->ApplyUpdate(rec.table_id, pid, rec.key, rec.after, rec.lsn);
@@ -33,7 +33,7 @@ Status ApplyDataOp(DataComponent* dc, const LogRecord& rec, PageId pid) {
 
 /// The pLSN idempotence test (paper §2.2): fetch the page and compare.
 /// Returns true if the operation must be re-executed.
-Status PlsnTestAndMaybeApply(DataComponent* dc, const LogRecord& rec,
+Status PlsnTestAndMaybeApply(DataComponent* dc, const LogRecordView& rec,
                              PageId pid, const EngineOptions& options,
                              RedoResult* out) {
   PageHandle h;
@@ -70,42 +70,48 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                                                     pf_list, window);
   }
 
-  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
-       it.Next()) {
-    const LogRecord& rec = it.record();
-    out->records_scanned++;
-    out->log_pages = it.pages_read();
-    dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
-    ObserveForAtt(rec, &out->att, &out->max_txn_id);
-    if (!rec.IsRedoableDataOp()) continue;  // SMOs were redone by the DC pass
+  RecoveryPassQuiescence quiesce(dc);
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
+  const Status scan_status = [&]() -> Status {
+    for (; it.Valid(); it.Next()) {
+      const LogRecordView& rec = it.record();
+      out->records_scanned++;
+      dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
+      ObserveForAtt(rec, &out->att, &out->max_txn_id);
+      if (!rec.IsRedoableDataOp()) continue;  // SMOs: done by the DC pass
 
-    if (prefetcher != nullptr) prefetcher->Pump();
-    out->examined++;
+      if (prefetcher != nullptr) prefetcher->Pump();
+      out->examined++;
 
-    // The TC re-submits the operation; the DC traverses the index with the
-    // record's key to discover the page (Algorithm 2 line 8 / Alg. 5 line 4).
-    PageId pid = kInvalidPageId;
-    DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+      // The TC re-submits the operation; the DC traverses the index with
+      // the record's key to discover the page (Algorithm 2 line 8 / Alg. 5
+      // line 4).
+      PageId pid = kInvalidPageId;
+      DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
 
-    if (use_dpt && rec.lsn < last_delta_tc_lsn) {
-      // Algorithm 5 lines 5-8: optimized redo test.
-      const DirtyPageTable::Entry* e = dpt->Find(pid);
-      if (e == nullptr) {
-        out->skipped_dpt++;
-        continue;
+      if (use_dpt && rec.lsn < last_delta_tc_lsn) {
+        // Algorithm 5 lines 5-8: optimized redo test.
+        const DirtyPageTable::Entry* e = dpt->Find(pid);
+        if (e == nullptr) {
+          out->skipped_dpt++;
+          continue;
+        }
+        if (rec.lsn < e->rlsn) {
+          out->skipped_rlsn++;
+          continue;
+        }
+      } else if (use_dpt) {
+        // Tail of the log (§4.3): the DPT cannot vouch for these
+        // operations; fall back to the basic algorithm.
+        out->tail_ops++;
       }
-      if (rec.lsn < e->rlsn) {
-        out->skipped_rlsn++;
-        continue;
-      }
-    } else if (use_dpt) {
-      // Tail of the log (§4.3): the DPT cannot vouch for these operations;
-      // fall back to the basic algorithm.
-      out->tail_ops++;
+      DEUTERO_RETURN_NOT_OK(
+          PlsnTestAndMaybeApply(dc, rec, pid, options, out));
     }
-    DEUTERO_RETURN_NOT_OK(PlsnTestAndMaybeApply(dc, rec, pid, options, out));
-  }
-  return Status::OK();
+    return Status::OK();
+  }();
+  out->log_pages = it.pages_read();  // filled on error exits too
+  return scan_status;
 }
 
 Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
@@ -123,55 +129,59 @@ Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
         /*lookahead_records=*/window * 8);
   }
 
-  for (auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true); it.Valid();
-       it.Next()) {
-    const LogRecord& rec = it.record();
-    out->records_scanned++;
-    out->log_pages = it.pages_read();
-    dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
-    if (prefetcher != nullptr) prefetcher->Pump(out->records_scanned);
+  RecoveryPassQuiescence quiesce(dc);
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
+  const Status scan_status = [&]() -> Status {
+    for (; it.Valid(); it.Next()) {
+      const LogRecordView& rec = it.record();
+      out->records_scanned++;
+      dc->clock().AdvanceUs(options.io.cpu_per_log_record_us);
+      if (prefetcher != nullptr) prefetcher->Pump(out->records_scanned);
 
-    if (rec.type == LogRecordType::kSmo) {
-      // Physiological replay in LSN order; skip without any fetch when the
-      // DPT proves no touched page can need redo (Algorithm 1 lines 4-8
-      // applied per page).
-      bool any = false;
-      for (const SmoPageImage& p : rec.smo_pages) {
-        const DirtyPageTable::Entry* e = dpt->Find(p.pid);
-        if (e != nullptr && rec.lsn >= e->rlsn) {
-          any = true;
-          break;
+      if (rec.type == LogRecordType::kSmo) {
+        // Physiological replay in LSN order; skip without any fetch when
+        // the DPT proves no touched page can need redo (Algorithm 1 lines
+        // 4-8 applied per page).
+        bool any = false;
+        for (const SmoPageImageRef& p : rec.smo_pages) {
+          const DirtyPageTable::Entry* e = dpt->Find(p.pid);
+          if (e != nullptr && rec.lsn >= e->rlsn) {
+            any = true;
+            break;
+          }
         }
+        if (any) {
+          DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
+          out->smo_redone++;
+        }
+        continue;
       }
-      if (any) {
-        DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
-        out->smo_redone++;
+      if (rec.type == LogRecordType::kCreateTable) {
+        // DDL must re-register the table even when its root image is
+        // already durable (RedoCreateTable is idempotent on both fronts).
+        DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
+        continue;
       }
-      continue;
-    }
-    if (rec.type == LogRecordType::kCreateTable) {
-      // DDL must re-register the table even when its root image is already
-      // durable (RedoCreateTable is idempotent on both fronts).
-      DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
-      continue;
-    }
-    if (!rec.IsRedoableDataOp()) continue;
-    out->examined++;
+      if (!rec.IsRedoableDataOp()) continue;
+      out->examined++;
 
-    // Algorithm 1: the log record names the page — no index traversal.
-    const DirtyPageTable::Entry* e = dpt->Find(rec.pid);
-    if (e == nullptr) {
-      out->skipped_dpt++;
-      continue;
+      // Algorithm 1: the log record names the page — no index traversal.
+      const DirtyPageTable::Entry* e = dpt->Find(rec.pid);
+      if (e == nullptr) {
+        out->skipped_dpt++;
+        continue;
+      }
+      if (rec.lsn < e->rlsn) {
+        out->skipped_rlsn++;
+        continue;
+      }
+      DEUTERO_RETURN_NOT_OK(
+          PlsnTestAndMaybeApply(dc, rec, rec.pid, options, out));
     }
-    if (rec.lsn < e->rlsn) {
-      out->skipped_rlsn++;
-      continue;
-    }
-    DEUTERO_RETURN_NOT_OK(
-        PlsnTestAndMaybeApply(dc, rec, rec.pid, options, out));
-  }
-  return Status::OK();
+    return Status::OK();
+  }();
+  out->log_pages = it.pages_read();  // filled on error exits too
+  return scan_status;
 }
 
 }  // namespace deutero

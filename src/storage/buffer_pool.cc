@@ -54,7 +54,8 @@ BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
       disk_(disk),
       capacity_(capacity_pages),
       page_size_(page_size),
-      max_batch_pages_(max_batch_pages) {
+      max_batch_pages_(max_batch_pages),
+      table_(capacity_pages) {
   assert(capacity_ > 0);
   arena_.resize(capacity_ * static_cast<uint64_t>(page_size_));
   frames_.resize(capacity_);
@@ -62,14 +63,12 @@ BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
   for (uint64_t i = 0; i < capacity_; i++) {
     free_frames_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
   }
-  table_.reserve(capacity_ * 2);
 }
 
 Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
   stats_.gets++;
-  auto it = table_.find(pid);
-  if (it != table_.end()) {
-    const uint32_t fi = it->second;
+  if (const uint32_t* entry = table_.Find(pid)) {
+    const uint32_t fi = *entry;
     Frame& f = frames_[fi];
     if (f.state == FrameState::kLoaded) {
       stats_.hits++;
@@ -112,7 +111,7 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
   f.pid = pid;
   f.cls = cls;
   f.prefetched = false;
-  table_[pid] = fi;
+  table_.Put(pid, fi);
 
   const double completion = disk_->ScheduleRead(pid, /*sorted=*/false);
   const double wait = clock_->AdvanceToMs(completion);
@@ -137,7 +136,7 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
-  assert(table_.find(pid) == table_.end());
+  assert(table_.Find(pid) == nullptr);
   uint32_t fi = 0;
   if (!AllocFrame(&fi)) {
     return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
@@ -148,7 +147,7 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
   f.state = FrameState::kLoaded;
   f.ref = true;
   std::memset(FrameData(fi), 0, page_size_);
-  table_[pid] = fi;
+  table_.Put(pid, fi);
   loaded_count_++;
   if (f.pins == 0) pinned_count_++;
   f.pins++;
@@ -157,19 +156,18 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 bool BufferPool::IsResidentOrPending(PageId pid) const {
-  return table_.find(pid) != table_.end();
+  return table_.Find(pid) != nullptr;
 }
 
 bool BufferPool::IsLoaded(PageId pid) const {
-  auto it = table_.find(pid);
-  return it != table_.end() &&
-         frames_[it->second].state == FrameState::kLoaded;
+  const uint32_t* fi = table_.Find(pid);
+  return fi != nullptr && frames_[*fi].state == FrameState::kLoaded;
 }
 
 bool BufferPool::HasArrived(PageId pid) const {
-  auto it = table_.find(pid);
-  if (it == table_.end()) return false;
-  const Frame& f = frames_[it->second];
+  const uint32_t* fi = table_.Find(pid);
+  if (fi == nullptr) return false;
+  const Frame& f = frames_[*fi];
   if (f.state == FrameState::kLoaded) return true;
   return f.state == FrameState::kPending &&
          f.ready_at_ms <= clock_->NowMs();
@@ -221,7 +219,7 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
       f.dirty = false;
       f.ref = false;
       f.cls = cls;
-      table_[f.pid] = fidx[k];
+      table_.Put(f.pid, fidx[k]);
     }
     issued += run;
     stats_.prefetch_issued += run;
@@ -236,12 +234,12 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
 }
 
 Status BufferPool::FlushPage(PageId pid) {
-  auto it = table_.find(pid);
-  if (it == table_.end()) return Status::NotFound("page not resident");
-  Frame& f = frames_[it->second];
+  const uint32_t* fi = table_.Find(pid);
+  if (fi == nullptr) return Status::NotFound("page not resident");
+  Frame& f = frames_[*fi];
   if (f.state != FrameState::kLoaded) return Status::Busy("page pending");
   if (!f.dirty) return Status::OK();
-  FlushFrame(it->second, nullptr);
+  FlushFrame(*fi, nullptr);
   return Status::OK();
 }
 
@@ -318,14 +316,14 @@ void BufferPool::LazyWriterTick() {
   while (dirty_count_ > dirty_watermark_ && !dirty_fifo_.empty()) {
     const auto [pid, seq] = dirty_fifo_.front();
     dirty_fifo_.pop_front();
-    auto it = table_.find(pid);
-    if (it == table_.end()) continue;  // evicted since
-    Frame& f = frames_[it->second];
+    const uint32_t* fi = table_.Find(pid);
+    if (fi == nullptr) continue;  // evicted since
+    Frame& f = frames_[*fi];
     if (f.state != FrameState::kLoaded || !f.dirty || f.dirty_seq != seq) {
       continue;  // stale entry (flushed and possibly re-dirtied since)
     }
     if (f.pins > 0) continue;  // skip pinned; rare, retried next tick
-    FlushFrame(it->second, &stats_.lazy_flushes);
+    FlushFrame(*fi, &stats_.lazy_flushes);
   }
 }
 
@@ -380,7 +378,7 @@ void BufferPool::EvictFrame(uint32_t frame) {
   Frame& f = frames_[frame];
   assert(f.state == FrameState::kLoaded && f.pins == 0 && !f.dirty);
   if (f.prefetched) stats_.prefetch_wasted++;
-  table_.erase(f.pid);
+  table_.Erase(f.pid);
   loaded_count_--;
   stats_.evictions++;
   f = Frame();
@@ -412,7 +410,7 @@ void BufferPool::MarkDirtyInternal(uint32_t frame, Lsn lsn) {
 
 void BufferPool::Reset() {
   assert(pinned_count_ == 0);
-  table_.clear();
+  table_.Clear();
   dirty_fifo_.clear();
   free_frames_.clear();
   for (uint64_t i = 0; i < capacity_; i++) {

@@ -23,7 +23,6 @@
 #include <deque>
 #include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/options.h"
@@ -32,6 +31,7 @@
 #include "sim/clock.h"
 #include "sim/sim_disk.h"
 #include "storage/page.h"
+#include "storage/page_table.h"
 
 namespace deutero {
 
@@ -167,6 +167,7 @@ class BufferPool {
 
   /// Enable/disable monitor callbacks (disabled during recovery passes).
   void set_callbacks_enabled(bool on) { callbacks_enabled_ = on; }
+  bool callbacks_enabled() const { return callbacks_enabled_; }
 
   /// Drop all cached state (crash): frames, pins must be zero.
   void Reset();
@@ -230,7 +231,7 @@ class BufferPool {
   std::vector<uint8_t> arena_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
-  std::unordered_map<PageId, uint32_t> table_;
+  PageTable table_;  ///< Open-addressed pid -> frame map (hot path).
   std::deque<std::pair<PageId, uint64_t>> dirty_fifo_;  ///< (pid, dirty_seq).
 
   uint64_t loaded_count_ = 0;

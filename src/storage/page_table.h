@@ -1,0 +1,160 @@
+// Open-addressed PageId -> frame-index map for the buffer pool: the single
+// structure every Get/IsLoaded/Prefetch/redo-pLSN test goes through.
+//
+// Design, tuned to the pool's access pattern:
+//  * Fixed geometry. The pool can never hold more than `capacity` distinct
+//    pages (one per frame), so the table is sized once at construction to
+//    the next power of two >= 2x capacity and never rehashes: load factor
+//    stays <= 50% and operations are allocation-free for the pool's whole
+//    lifetime.
+//  * Robin-hood linear probing with backward-shift deletion. Probe
+//    distances stay short and lookups scan a contiguous cache-friendly
+//    array of 8-byte slots instead of chasing unordered_map node pointers.
+//  * kInvalidPageId marks an empty slot (it is not a storable key — no
+//    valid page carries it), so no separate occupancy metadata is needed.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace deutero {
+
+class PageTable {
+ public:
+  /// `max_entries` is the most entries ever stored (pool frame count).
+  explicit PageTable(uint64_t max_entries) {
+    uint64_t slots = 8;
+    while (slots < max_entries * 2) slots *= 2;
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+    // Fibonacci hashing: multiply spreads dense PID ranges, the shift keeps
+    // exactly log2(slots) high-quality bits.
+    shift_ = 64;
+    while (slots > 1) {
+      shift_--;
+      slots >>= 1;
+    }
+  }
+
+  /// Pointer to the frame index for `pid`, or nullptr. The pointer is a
+  /// transient lookup result: ANY subsequent Put/Erase may move slots
+  /// (robin-hood displacement, backward-shift deletion) and invalidate it —
+  /// stricter than unordered_map, whose element pointers survive other
+  /// keys' mutations. Use it immediately; never cache it.
+  const uint32_t* Find(PageId pid) const {
+    size_t i = Bucket(pid);
+    size_t dist = 0;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.pid == pid) return &s.frame;
+      // Empty slot, or an element closer to its home than we are to ours:
+      // robin-hood invariant says `pid` cannot be further right.
+      if (s.pid == kInvalidPageId || dist > DistanceFromHome(s.pid, i)) {
+        return nullptr;
+      }
+      i = (i + 1) & mask_;
+      dist++;
+    }
+  }
+  uint32_t* Find(PageId pid) {
+    return const_cast<uint32_t*>(
+        static_cast<const PageTable*>(this)->Find(pid));
+  }
+
+  /// Insert or overwrite the mapping for `pid`.
+  void Put(PageId pid, uint32_t frame) {
+    assert(pid != kInvalidPageId);
+    assert(size_ * 2 <= slots_.size() && "PageTable over capacity");
+    PageId cur_pid = pid;
+    uint32_t cur_frame = frame;
+    size_t i = Bucket(cur_pid);
+    size_t dist = 0;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.pid == kInvalidPageId) {
+        s.pid = cur_pid;
+        s.frame = cur_frame;
+        size_++;
+        return;
+      }
+      if (s.pid == cur_pid) {
+        s.frame = cur_frame;  // overwrite (only possible for the original key)
+        return;
+      }
+      const size_t s_dist = DistanceFromHome(s.pid, i);
+      if (s_dist < dist) {
+        // Rob the rich: displace the closer-to-home resident and continue
+        // inserting it instead.
+        std::swap(s.pid, cur_pid);
+        std::swap(s.frame, cur_frame);
+        dist = s_dist;
+      }
+      i = (i + 1) & mask_;
+      dist++;
+    }
+  }
+
+  /// Remove `pid`; returns whether it was present. Backward-shift deletion
+  /// keeps probe chains dense (no tombstones to scan over later).
+  bool Erase(PageId pid) {
+    size_t i = Bucket(pid);
+    size_t dist = 0;
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.pid == pid) break;
+      if (s.pid == kInvalidPageId || dist > DistanceFromHome(s.pid, i)) {
+        return false;
+      }
+      i = (i + 1) & mask_;
+      dist++;
+    }
+    // Shift the tail of the probe chain left by one until a hole or an
+    // at-home element.
+    size_t next = (i + 1) & mask_;
+    while (slots_[next].pid != kInvalidPageId &&
+           DistanceFromHome(slots_[next].pid, next) > 0) {
+      slots_[i] = slots_[next];
+      i = next;
+      next = (next + 1) & mask_;
+    }
+    slots_[i] = Slot{};
+    size_--;
+    return true;
+  }
+
+  void Clear() {
+    slots_.assign(slots_.size(), Slot{});
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Home bucket of a pid — exposed so tests can construct colliding and
+  /// wrapping key sets deliberately.
+  size_t Bucket(PageId pid) const {
+    return static_cast<size_t>(
+        (static_cast<uint64_t>(pid) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+ private:
+  struct Slot {
+    PageId pid = kInvalidPageId;
+    uint32_t frame = 0;
+  };
+
+  size_t DistanceFromHome(PageId pid, size_t at) const {
+    return (at - Bucket(pid)) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  unsigned shift_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace deutero

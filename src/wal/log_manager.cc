@@ -1,5 +1,6 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/coding.h"
@@ -18,24 +19,34 @@ LogManager::LogManager(SimClock* clock, uint32_t log_page_size,
 Lsn LogManager::Append(const LogRecord& rec) {
   assert(rec.type != LogRecordType::kInvalid);
   const Lsn lsn = next_lsn();
-  const std::string payload = rec.EncodePayload();
-  char frame[kFrameSize];
-  EncodeFixed32(frame, static_cast<uint32_t>(payload.size()));
+  generation_++;  // any outstanding views may now dangle
+
+  // Encode the payload straight into the log buffer behind a placeholder
+  // frame — no intermediate payload string. The reservation keeps buffer_
+  // growth geometric AND guarantees at most one reallocation per append.
+  const size_t needed = buffer_.size() + kFrameSize + rec.PayloadSizeHint();
+  if (needed > buffer_.capacity()) {
+    buffer_.reserve(std::max(needed, buffer_.capacity() * 2));
+  }
+  buffer_.append(kFrameSize, '\0');
+  rec.EncodePayloadTo(&buffer_);
+  const uint32_t payload_len =
+      static_cast<uint32_t>(buffer_.size() - lsn - kFrameSize);
+  char* frame = buffer_.data() + lsn;
+  EncodeFixed32(frame, payload_len);
   frame[4] = static_cast<char>(rec.type);
   const uint32_t crc =
-      Crc32c(payload.data(), payload.size(),
-             Crc32c(&frame[4], 1));  // covers type byte + payload
+      Crc32c(buffer_.data() + lsn + kFrameSize, payload_len,
+             Crc32c(frame + 4, 1));  // covers type byte + payload
   EncodeFixed32(frame + 5, crc);
-  buffer_.append(frame, kFrameSize);
-  buffer_.append(payload);
 
   stats_.records_appended++;
-  stats_.bytes_appended += kFrameSize + payload.size();
+  stats_.bytes_appended += kFrameSize + payload_len;
   stats_.by_type[static_cast<size_t>(rec.type)]++;
   if (rec.type == LogRecordType::kDeltaRecord) {
-    stats_.delta_bytes += payload.size();
+    stats_.delta_bytes += payload_len;
   } else if (rec.type == LogRecordType::kBwRecord) {
-    stats_.bw_bytes += payload.size();
+    stats_.bw_bytes += payload_len;
   }
   return lsn;
 }
@@ -48,6 +59,7 @@ void LogManager::Flush() {
 }
 
 void LogManager::Crash() {
+  generation_++;
   buffer_.resize(stable_end_);
 }
 
@@ -91,6 +103,7 @@ LogManager::Snapshot LogManager::TakeSnapshot() const {
 }
 
 void LogManager::RestoreSnapshot(const Snapshot& snap) {
+  generation_++;
   buffer_ = snap.stable_log;
   stable_end_ = buffer_.size();
   master_ = snap.master;
@@ -130,9 +143,12 @@ void LogManager::Iterator::ParseCurrent() {
   }
   ChargePagesThrough(end);
   Slice payload(log_->buffer_.data() + lsn_ + kFrameSize, len);
-  const Status st = LogRecord::DecodePayload(type, payload, &rec_);
+  // Zero-copy decode: rec_'s slices alias buffer_, its vectors are reused.
+  const Status st = LogRecordView::DecodePayload(type, payload, &rec_);
   if (!st.ok()) return;
   rec_.lsn = lsn_;
+  payload_len_ = len;
+  generation_ = log_->generation_;
   valid_ = true;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -70,12 +71,26 @@ class LogManager {
   Status ReadRecordAt(Lsn lsn, LogRecord* out, bool charge_io);
 
   /// Sequential scanner over stable records, charging sequential read I/O.
+  ///
+  /// record() is a zero-copy view: its Slice fields alias the log buffer and
+  /// its vector scratch is reused across Next(), so a steady-state scan
+  /// performs no per-record heap allocation. The view (and any Slice taken
+  /// from it) is invalidated by Append/Crash/RestoreSnapshot on the owning
+  /// log; debug builds enforce this with a generation check. All recovery
+  /// passes satisfy the rule (they only append during undo, which reads via
+  /// ReadRecordAt's owning records instead).
   class Iterator {
    public:
     bool Valid() const { return valid_; }
     Lsn lsn() const { return lsn_; }
-    const LogRecord& record() const { return rec_; }
+    const LogRecordView& record() const {
+      assert(generation_ == log_->generation_ &&
+             "LogRecordView used across log mutation");
+      return rec_;
+    }
     void Next();
+    /// Payload byte count of the current record (frame length field).
+    uint32_t payload_size() const { return payload_len_; }
     /// Log pages charged so far by this iterator.
     uint64_t pages_read() const { return pages_read_; }
 
@@ -87,7 +102,9 @@ class LogManager {
 
     LogManager* log_ = nullptr;
     Lsn lsn_ = kInvalidLsn;
-    LogRecord rec_;
+    LogRecordView rec_;
+    uint32_t payload_len_ = 0;
+    uint64_t generation_ = 0;  ///< log_->generation_ when rec_ was parsed.
     bool valid_ = false;
     bool charge_io_ = false;
     int64_t last_charged_page_ = -1;
@@ -116,6 +133,11 @@ class LogManager {
 
   uint32_t log_page_size() const { return log_page_size_; }
 
+  /// Bumped by every operation that may invalidate outstanding
+  /// LogRecordViews (Append, Crash, RestoreSnapshot). Iterators capture it
+  /// at parse time; tests and debug asserts compare.
+  uint64_t generation() const { return generation_; }
+
   /// Test-only: flip one bit of the stable log (corruption injection).
   void CorruptByteForTest(Lsn offset) {
     if (offset < buffer_.size()) buffer_[offset] ^= 0x40;
@@ -136,6 +158,7 @@ class LogManager {
   /// buffer_[offset] is the log byte at LSN == offset; offset 0 is a pad so
   /// that kInvalidLsn (0) can never address a record.
   std::string buffer_;
+  uint64_t generation_ = 0;
   Lsn stable_end_ = kFirstLsn;
   MasterRecord master_;
   Stats stats_;

@@ -42,6 +42,9 @@ const char* LogRecordTypeName(LogRecordType t) {
 
 namespace {
 
+constexpr size_t kMaxVarint32 = 5;
+constexpr size_t kMaxVarint64 = 10;
+
 void EncodePidVector(std::string* dst, const std::vector<PageId>& pids) {
   PutVarint32(dst, static_cast<uint32_t>(pids.size()));
   for (PageId pid : pids) PutFixed32(dst, pid);
@@ -62,8 +65,54 @@ bool DecodePidVector(Slice* in, std::vector<PageId>* pids) {
 
 }  // namespace
 
-std::string LogRecord::EncodePayload() const {
-  std::string out;
+size_t LogRecord::PayloadSizeHint() const {
+  switch (type) {
+    case LogRecordType::kUpdate:
+    case LogRecordType::kInsert:
+      return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 +
+             (kMaxVarint32 + before.size()) + (kMaxVarint32 + after.size());
+    case LogRecordType::kClr:
+      return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 +
+             (kMaxVarint32 + after.size());
+    case LogRecordType::kTxnBegin:
+    case LogRecordType::kTxnCommit:
+    case LogRecordType::kTxnAbort:
+      return kMaxVarint64 + 8;
+    case LogRecordType::kBeginCheckpoint:
+      return kMaxVarint32 + att_txn_ids.size() * (kMaxVarint64 + 8) +
+             kMaxVarint32 + ckpt_dpt_pids.size() * (4 + 8);
+    case LogRecordType::kEndCheckpoint:
+    case LogRecordType::kRsspAck:
+      return 8;
+    case LogRecordType::kBwRecord:
+      return 8 + kMaxVarint32 + written_set.size() * 4;
+    case LogRecordType::kDeltaRecord:
+      return 1 + 8 + 8 + kMaxVarint32 +
+             (kMaxVarint32 + dirty_set.size() * 4) + dirty_lsns.size() * 8 +
+             (kMaxVarint32 + written_set.size() * 4);
+    case LogRecordType::kSmo: {
+      size_t n = 4 + kMaxVarint32;
+      for (const SmoPageImage& p : smo_pages) {
+        n += 4 + kMaxVarint32 + p.image.size();
+      }
+      return n;
+    }
+    case LogRecordType::kCreateTable: {
+      size_t n = kMaxVarint32 + 4 + 4 + 4 + kMaxVarint32;
+      for (const SmoPageImage& p : smo_pages) {
+        n += 4 + kMaxVarint32 + p.image.size();
+      }
+      return n;
+    }
+    case LogRecordType::kInvalid:
+    case LogRecordType::kMaxType:
+      break;
+  }
+  return 0;
+}
+
+void LogRecord::EncodePayloadTo(std::string* dst) const {
+  std::string& out = *dst;
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
@@ -149,36 +198,63 @@ std::string LogRecord::EncodePayload() const {
     case LogRecordType::kMaxType:
       break;
   }
+}
+
+std::string LogRecord::EncodePayload() const {
+  std::string out;
+  out.reserve(PayloadSizeHint());
+  EncodePayloadTo(&out);
   return out;
 }
 
-Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
-  *out = LogRecord();
+void LogRecordView::Reset() {
+  type = LogRecordType::kInvalid;
+  lsn = kInvalidLsn;
+  txn_id = kInvalidTxnId;
+  prev_lsn = kInvalidLsn;
+  table_id = kInvalidTableId;
+  key = 0;
+  before = Slice();
+  after = Slice();
+  pid = kInvalidPageId;
+  undo_next_lsn = kInvalidLsn;
+  bckpt_lsn = kInvalidLsn;
+  att_txn_ids.clear();
+  att_last_lsns.clear();
+  ckpt_dpt_pids.clear();
+  ckpt_dpt_rlsns.clear();
+  written_set.clear();
+  fw_lsn = kInvalidLsn;
+  dirty_set.clear();
+  dirty_lsns.clear();
+  first_dirty = 0;
+  tc_lsn = kInvalidLsn;
+  has_fw_fields = true;
+  smo_pages.clear();
+  alloc_hwm = kInvalidPageId;
+  ddl_value_size = 0;
+}
+
+Status LogRecordView::DecodePayload(LogRecordType type, Slice in,
+                                    LogRecordView* out) {
+  out->Reset();
   out->type = type;
   bool ok = true;
   switch (type) {
     case LogRecordType::kUpdate:
-    case LogRecordType::kInsert: {
-      Slice before, after;
+    case LogRecordType::kInsert:
       ok = GetVarint64(&in, &out->txn_id) &&
            GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
            GetFixed64(&in, &out->prev_lsn) && GetFixed32(&in, &out->pid) &&
-           GetLengthPrefixed(&in, &before) && GetLengthPrefixed(&in, &after);
-      if (ok) {
-        out->before = before.ToString();
-        out->after = after.ToString();
-      }
+           GetLengthPrefixed(&in, &out->before) &&
+           GetLengthPrefixed(&in, &out->after);
       break;
-    }
-    case LogRecordType::kClr: {
-      Slice restored;
+    case LogRecordType::kClr:
       ok = GetVarint64(&in, &out->txn_id) &&
            GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
            GetFixed64(&in, &out->undo_next_lsn) &&
-           GetFixed32(&in, &out->pid) && GetLengthPrefixed(&in, &restored);
-      if (ok) out->after = restored.ToString();
+           GetFixed32(&in, &out->pid) && GetLengthPrefixed(&in, &out->after);
       break;
-    }
     case LogRecordType::kTxnBegin:
     case LogRecordType::kTxnCommit:
     case LogRecordType::kTxnAbort:
@@ -247,13 +323,11 @@ Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
       ok = GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
       if (ok) {
         out->smo_pages.resize(n);
-        for (SmoPageImage& p : out->smo_pages) {
-          Slice img;
-          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &img)) {
+        for (SmoPageImageRef& p : out->smo_pages) {
+          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &p.image)) {
             ok = false;
             break;
           }
-          p.image = img.ToString();
         }
       }
       break;
@@ -265,13 +339,11 @@ Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
            GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
       if (ok) {
         out->smo_pages.resize(n);
-        for (SmoPageImage& p : out->smo_pages) {
-          Slice img;
-          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &img)) {
+        for (SmoPageImageRef& p : out->smo_pages) {
+          if (!GetFixed32(&in, &p.pid) || !GetLengthPrefixed(&in, &p.image)) {
             ok = false;
             break;
           }
-          p.image = img.ToString();
         }
       }
       break;
@@ -283,6 +355,49 @@ Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
   }
   if (!ok) return Status::Corruption("bad log record payload");
   if (!in.empty()) return Status::Corruption("trailing bytes in log record");
+  return Status::OK();
+}
+
+LogRecord LogRecordView::ToOwned() const {
+  LogRecord out;
+  out.type = type;
+  out.lsn = lsn;
+  out.txn_id = txn_id;
+  out.prev_lsn = prev_lsn;
+  out.table_id = table_id;
+  out.key = key;
+  out.before = before.ToString();
+  out.after = after.ToString();
+  out.pid = pid;
+  out.undo_next_lsn = undo_next_lsn;
+  out.bckpt_lsn = bckpt_lsn;
+  out.att_txn_ids = att_txn_ids;
+  out.att_last_lsns = att_last_lsns;
+  out.ckpt_dpt_pids = ckpt_dpt_pids;
+  out.ckpt_dpt_rlsns = ckpt_dpt_rlsns;
+  out.written_set = written_set;
+  out.fw_lsn = fw_lsn;
+  out.dirty_set = dirty_set;
+  out.dirty_lsns = dirty_lsns;
+  out.first_dirty = first_dirty;
+  out.tc_lsn = tc_lsn;
+  out.has_fw_fields = has_fw_fields;
+  out.smo_pages.reserve(smo_pages.size());
+  for (const SmoPageImageRef& p : smo_pages) {
+    out.smo_pages.push_back({p.pid, p.image.ToString()});
+  }
+  out.alloc_hwm = alloc_hwm;
+  out.ddl_value_size = ddl_value_size;
+  return out;
+}
+
+Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
+  // One decode implementation serves both representations: decode borrowed,
+  // then materialize. This path is the cold one (backchain reads, tests);
+  // sequential scans use LogRecordView directly.
+  LogRecordView view;
+  DEUTERO_RETURN_NOT_OK(LogRecordView::DecodePayload(type, in, &view));
+  *out = view.ToOwned();
   return Status::OK();
 }
 

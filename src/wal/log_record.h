@@ -14,6 +14,19 @@
 //
 // On-log framing (LSN = byte offset of the record):
 //   [u32 payload_len][u8 type][payload...]
+//
+// Two record representations share one wire format:
+//
+//  * LogRecord owns its variable-length fields (std::string images). It is
+//    the append-side type, and the read type for ReadRecordAt() — undo
+//    interleaves backchain reads with CLR appends, so those reads must not
+//    alias the (reallocatable) log buffer.
+//  * LogRecordView borrows them (Slice fields aliasing the log buffer) and
+//    reuses its vector scratch across decodes. It is what the sequential
+//    scan iterator yields: recovery scans decode millions of records and
+//    copy none of their payload bytes. A view is valid only until the next
+//    Append/Crash/RestoreSnapshot on the owning LogManager (enforced by a
+//    debug-mode generation check in the iterator).
 #pragma once
 
 #include <cstdint>
@@ -47,10 +60,79 @@ enum class LogRecordType : uint8_t {
 /// Returns a stable display name for a record type.
 const char* LogRecordTypeName(LogRecordType t);
 
-/// One physical page image inside an SMO record.
+/// One physical page image inside an SMO record (owning form).
 struct SmoPageImage {
   PageId pid = kInvalidPageId;
   std::string image;  ///< Full page image (page_size bytes).
+};
+
+/// One physical page image inside an SMO record (borrowed form; the slice
+/// aliases the log buffer / payload being decoded).
+struct SmoPageImageRef {
+  PageId pid = kInvalidPageId;
+  Slice image;
+};
+
+struct LogRecord;
+
+/// Borrowed decode of a record payload. Scalar fields mirror LogRecord;
+/// `before`/`after` and the SMO page images alias the decoded payload, and
+/// the vectors are scratch that Reset() clears without releasing capacity —
+/// a steady-state recovery scan performs zero heap allocations per data-op
+/// record. See the file comment for the aliasing validity rule.
+struct LogRecordView {
+  LogRecordType type = LogRecordType::kInvalid;
+  Lsn lsn = kInvalidLsn;  ///< Filled by the reader; never serialized.
+
+  // --- transaction records (kUpdate/kInsert/kClr/kTxnBegin/Commit/Abort) ---
+  TxnId txn_id = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;
+  TableId table_id = kInvalidTableId;
+  Key key = 0;
+  Slice before;  ///< Before-image (undo); empty for inserts.
+  Slice after;   ///< After-image (redo) / restored image for CLRs.
+  PageId pid = kInvalidPageId;
+  Lsn undo_next_lsn = kInvalidLsn;
+
+  // --- checkpoint records ---
+  Lsn bckpt_lsn = kInvalidLsn;
+  std::vector<TxnId> att_txn_ids;
+  std::vector<Lsn> att_last_lsns;
+  std::vector<PageId> ckpt_dpt_pids;
+  std::vector<Lsn> ckpt_dpt_rlsns;
+
+  // --- BW-record (§3.3) ---
+  std::vector<PageId> written_set;
+  Lsn fw_lsn = kInvalidLsn;
+
+  // --- Δ-record extras (§4.1, App. D) ---
+  std::vector<PageId> dirty_set;
+  std::vector<Lsn> dirty_lsns;
+  uint32_t first_dirty = 0;
+  Lsn tc_lsn = kInvalidLsn;
+  bool has_fw_fields = true;
+
+  // --- SMO / DDL records ---
+  std::vector<SmoPageImageRef> smo_pages;
+  PageId alloc_hwm = kInvalidPageId;
+  uint32_t ddl_value_size = 0;
+
+  /// Reset scalars and empty the vectors, KEEPING their capacity (this is
+  /// what makes iterator reuse allocation-free).
+  void Reset();
+
+  /// Decode a payload produced by LogRecord::EncodePayload() for `type`.
+  /// Slice fields alias `payload`; vector scratch in `out` is reused.
+  static Status DecodePayload(LogRecordType type, Slice payload,
+                              LogRecordView* out);
+
+  /// Materialize an owning copy (rare compatibility path: tests, tools).
+  LogRecord ToOwned() const;
+
+  bool IsRedoableDataOp() const {
+    return type == LogRecordType::kUpdate || type == LogRecordType::kInsert ||
+           type == LogRecordType::kClr;
+  }
 };
 
 /// Union-style record: `type` selects which fields are meaningful. Encoding
@@ -101,6 +183,15 @@ struct LogRecord {
 
   /// Serialize the payload (excluding the [len][type] frame).
   std::string EncodePayload() const;
+
+  /// Append the serialized payload to `dst`. The append-side hot path:
+  /// LogManager::Append encodes straight into the log buffer through this,
+  /// with no intermediate payload string.
+  void EncodePayloadTo(std::string* dst) const;
+
+  /// Cheap upper bound on EncodePayloadTo()'s output size, for reserving
+  /// destination capacity before encoding.
+  size_t PayloadSizeHint() const;
 
   /// Decode a payload previously produced by EncodePayload() for `type`.
   static Status DecodePayload(LogRecordType type, Slice payload,

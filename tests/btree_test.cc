@@ -229,7 +229,9 @@ TEST_F(BTreeTest, SmoRedoReinstallsImagesIdempotently) {
   // flushed: the device still has only the empty tree.
   std::vector<LogRecord> smos;
   for (auto it = log_->NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
-    if (it.record().type == LogRecordType::kSmo) smos.push_back(it.record());
+    if (it.record().type == LogRecordType::kSmo) {
+      smos.push_back(it.record().ToOwned());
+    }
   }
   ASSERT_GT(smos.size(), 0u);
 

@@ -2,12 +2,14 @@
 // checkpoint phase flipping, the WAL rule, the lazy writer, and prefetch.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <vector>
 
 #include "sim/clock.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
+#include "storage/page_table.h"
 
 namespace deutero {
 namespace {
@@ -319,6 +321,162 @@ TEST_F(BufferPoolTest, CallbacksCanBeDisabled) {
   ASSERT_TRUE(pool_.FlushPage(4).ok());
   EXPECT_EQ(dirty_calls, 0);
   EXPECT_EQ(flush_calls, 0);
+}
+
+// ---------------------------------------------------------------------------
+// PageTable: the open-addressed pid -> frame map under the pool. Exercised
+// directly at the tiny (32-frame, `--smoke`) geometry where probe chains
+// collide and wrap.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Find `n` distinct pids that all hash to `target_bucket`.
+std::vector<PageId> CollidingPids(const PageTable& t, size_t target_bucket,
+                                  size_t n) {
+  std::vector<PageId> out;
+  for (PageId pid = 0; out.size() < n && pid < 1'000'000; pid++) {
+    if (t.Bucket(pid) == target_bucket) out.push_back(pid);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(PageTableTest, InsertFindEraseBasics) {
+  PageTable t(32);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Find(1), nullptr);
+  t.Put(1, 10);
+  t.Put(2, 20);
+  ASSERT_NE(t.Find(1), nullptr);
+  EXPECT_EQ(*t.Find(1), 10u);
+  EXPECT_EQ(*t.Find(2), 20u);
+  t.Put(1, 11);  // overwrite
+  EXPECT_EQ(*t.Find(1), 11u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_EQ(t.Find(1), nullptr);
+  EXPECT_EQ(*t.Find(2), 20u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PageTableTest, CollidingKeysProbeAndEraseCorrectly) {
+  PageTable t(32);  // 64 slots
+  const std::vector<PageId> pids = CollidingPids(t, /*target_bucket=*/5, 8);
+  ASSERT_EQ(pids.size(), 8u);
+  for (uint32_t i = 0; i < pids.size(); i++) t.Put(pids[i], 100 + i);
+  for (uint32_t i = 0; i < pids.size(); i++) {
+    ASSERT_NE(t.Find(pids[i]), nullptr) << "pid " << pids[i];
+    EXPECT_EQ(*t.Find(pids[i]), 100 + i);
+  }
+  // Erase from the middle of the chain; the backward shift must keep every
+  // other colliding key reachable.
+  EXPECT_TRUE(t.Erase(pids[3]));
+  EXPECT_TRUE(t.Erase(pids[0]));
+  EXPECT_EQ(t.Find(pids[3]), nullptr);
+  EXPECT_EQ(t.Find(pids[0]), nullptr);
+  for (uint32_t i : {1u, 2u, 4u, 5u, 6u, 7u}) {
+    ASSERT_NE(t.Find(pids[i]), nullptr) << "lost pid " << pids[i];
+    EXPECT_EQ(*t.Find(pids[i]), 100 + i);
+  }
+}
+
+TEST(PageTableTest, ProbeChainsWrapAroundTheTableEnd) {
+  PageTable t(32);  // 64 slots
+  const size_t last = t.slot_count() - 1;
+  // Enough keys homed at the LAST bucket that their chain must wrap to 0.
+  const std::vector<PageId> pids = CollidingPids(t, last, 6);
+  ASSERT_EQ(pids.size(), 6u);
+  for (uint32_t i = 0; i < pids.size(); i++) t.Put(pids[i], i);
+  for (uint32_t i = 0; i < pids.size(); i++) {
+    ASSERT_NE(t.Find(pids[i]), nullptr);
+    EXPECT_EQ(*t.Find(pids[i]), i);
+  }
+  // Erase across the wrap boundary, then reinsert.
+  for (PageId pid : pids) EXPECT_TRUE(t.Erase(pid));
+  EXPECT_EQ(t.size(), 0u);
+  for (uint32_t i = 0; i < pids.size(); i++) t.Put(pids[i], 50 + i);
+  for (uint32_t i = 0; i < pids.size(); i++) {
+    ASSERT_NE(t.Find(pids[i]), nullptr);
+    EXPECT_EQ(*t.Find(pids[i]), 50 + i);
+  }
+}
+
+TEST(PageTableTest, EraseReinsertChurnAtFullLoad) {
+  // The `--smoke` bench geometry: a 32-page pool, table permanently at its
+  // maximum load factor while eviction churns the mapping.
+  PageTable t(32);
+  for (PageId pid = 0; pid < 32; pid++) t.Put(pid, pid);
+  for (uint32_t round = 1; round <= 200; round++) {
+    // Evict one pid, admit another (sliding window), like clock eviction.
+    EXPECT_TRUE(t.Erase(round - 1));
+    t.Put(31 + round, round);
+    ASSERT_EQ(t.size(), 32u);
+    EXPECT_EQ(t.Find(round - 1), nullptr);
+    ASSERT_NE(t.Find(31 + round), nullptr);
+    EXPECT_EQ(*t.Find(31 + round), round);
+  }
+  // Window is now [200, 232): every member findable, everything else gone.
+  for (PageId pid = 200; pid < 232; pid++) {
+    ASSERT_NE(t.Find(pid), nullptr) << "pid " << pid;
+  }
+  for (PageId pid = 0; pid < 200; pid++) {
+    EXPECT_EQ(t.Find(pid), nullptr) << "pid " << pid;
+  }
+}
+
+TEST(PageTableTest, MirrorsUnorderedMapUnderRandomChurn) {
+  PageTable t(64);
+  std::unordered_map<PageId, uint32_t> ref;
+  uint32_t x = 123456789;  // xorshift
+  for (int step = 0; step < 20'000; step++) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    const PageId pid = x % 509;  // prime: uneven bucket pressure
+    if (ref.size() >= 64 || (ref.count(pid) != 0 && x % 3 == 0)) {
+      EXPECT_EQ(t.Erase(pid), ref.erase(pid) > 0);
+    } else {
+      const uint32_t frame = x % 64;
+      t.Put(pid, frame);
+      ref[pid] = frame;
+    }
+    if (step % 97 == 0) {
+      for (const auto& [p, f] : ref) {
+        ASSERT_NE(t.Find(p), nullptr) << "pid " << p;
+        ASSERT_EQ(*t.Find(p), f);
+      }
+    }
+  }
+  ASSERT_EQ(t.size(), ref.size());
+}
+
+TEST(PageTableTest, ClearEmptiesWithoutShrinking) {
+  PageTable t(8);
+  const size_t slots = t.slot_count();
+  for (PageId pid = 0; pid < 8; pid++) t.Put(pid, pid);
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.slot_count(), slots);
+  for (PageId pid = 0; pid < 8; pid++) EXPECT_EQ(t.Find(pid), nullptr);
+  t.Put(3, 33);
+  EXPECT_EQ(*t.Find(3), 33u);
+}
+
+// Pool-level integration at the tiny geometry: heavy eviction churn in an
+// 8-frame pool keeps the mapping exact (every resident page served from the
+// right frame).
+TEST_F(BufferPoolTest, TableStaysExactUnderEvictionChurn) {
+  for (int round = 0; round < 400; round++) {
+    const PageId pid = static_cast<PageId>((round * 13) % 64);
+    PageHandle h;
+    ASSERT_TRUE(pool_.Get(pid, PageClass::kData, &h).ok());
+    EXPECT_EQ(h.view().payload()[0], static_cast<uint8_t>(pid));
+  }
+  EXPECT_EQ(pool_.resident_pages(), 8u);
+  EXPECT_GT(pool_.stats().evictions, 300u);
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
-// Unit tests for common/: Status, coding, Slice, Random, Zipfian, value
-// codec.
+// Unit tests for common/: Status, coding, Slice, CRC-32C, Random, Zipfian,
+// value codec.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/coding.h"
+#include "common/crc32.h"
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -85,6 +86,79 @@ TEST(CodingTest, Varint32RoundTripSweep) {
     EXPECT_EQ(a, (1u << shift) - 1);
     EXPECT_EQ(b, 1u << shift);
   }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C: published check vectors (RFC 3720 §B.4) plus implementation
+// cross-checks, so the slicing-by-8 and hardware paths can never drift from
+// the standard Castagnoli polynomial (or from each other).
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, Rfc3720CheckVectors) {
+  // The classic CRC "check" value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::string incrementing;
+  for (int i = 0; i < 32; i++) incrementing.push_back(static_cast<char>(i));
+  EXPECT_EQ(Crc32c(incrementing.data(), incrementing.size()), 0x46DD794Eu);
+
+  std::string decrementing;
+  for (int i = 31; i >= 0; i--) decrementing.push_back(static_cast<char>(i));
+  EXPECT_EQ(Crc32c(decrementing.data(), decrementing.size()), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, SoftwareMatchesCheckVectors) {
+  EXPECT_EQ(Crc32cSoftware("123456789", 9), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32cSoftware(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalChainingEqualsOneShot) {
+  Random rng(99);
+  std::string buf(1021, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.Uniform(256));
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  // Split at every kind of boundary an 8-byte-block implementation cares
+  // about: 0, 1, 7, 8, 9, and mid-buffer.
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       buf.size() / 2, buf.size()}) {
+    const uint32_t a = Crc32c(buf.data(), split);
+    const uint32_t chained = Crc32c(buf.data() + split, buf.size() - split, a);
+    EXPECT_EQ(chained, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32cTest, HardwareAgreesWithSoftwareOnRandomBuffers) {
+  if (!Crc32cHardwareAvailable()) {
+    GTEST_SKIP() << "no hardware CRC32C on this CPU";
+  }
+  Random rng(7);
+  for (int trial = 0; trial < 200; trial++) {
+    const size_t n = rng.Uniform(70);  // covers 0..69: tails of every length
+    const size_t pad = rng.Uniform(8);  // unaligned starts
+    std::string buf(pad + n, '\0');
+    for (char& c : buf) c = static_cast<char>(rng.Uniform(256));
+    const uint32_t init = static_cast<uint32_t>(rng.Next());
+    EXPECT_EQ(Crc32cHardware(buf.data() + pad, n, init),
+              Crc32cSoftware(buf.data() + pad, n, init))
+        << "n=" << n << " pad=" << pad << " init=" << init;
+  }
+  // And a large buffer, to exercise the 8-byte main loops of both.
+  std::string big(64 * 1024 + 3, '\0');
+  for (char& c : big) c = static_cast<char>(rng.Uniform(256));
+  EXPECT_EQ(Crc32cHardware(big.data(), big.size()),
+            Crc32cSoftware(big.data(), big.size()));
+}
+
+TEST(Crc32cTest, InitZeroMatchesUnseeded) {
+  EXPECT_EQ(Crc32c("abc", 3, 0), Crc32c("abc", 3));
+  EXPECT_EQ(Crc32cSoftware("abc", 3, 0), Crc32cSoftware("abc", 3));
 }
 
 TEST(CodingTest, TruncatedVarintFails) {

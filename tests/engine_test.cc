@@ -188,13 +188,14 @@ TEST(EngineTest, SmoPageImagesCarryTheirRecordLsn) {
   size_t images_checked = 0;
   for (auto it = e->wal().NewIterator(kFirstLsn, /*charge_io=*/false);
        it.Valid(); it.Next()) {
-    const LogRecord& rec = it.record();
+    const LogRecordView& rec = it.record();
     if (rec.type != LogRecordType::kSmo &&
         rec.type != LogRecordType::kCreateTable) {
       continue;
     }
-    for (const SmoPageImage& p : rec.smo_pages) {
-      std::vector<uint8_t> img(p.image.begin(), p.image.end());
+    for (const SmoPageImageRef& p : rec.smo_pages) {
+      std::vector<uint8_t> img(p.image.data(),
+                               p.image.data() + p.image.size());
       PageView view(img.data(), o.page_size);
       EXPECT_EQ(view.plsn(), it.lsn()) << "pid " << p.pid;
       images_checked++;

@@ -410,6 +410,137 @@ TEST_F(LogManagerTest, CheckpointRecordAttRoundTripsThroughLog) {
   EXPECT_EQ(out.ckpt_dpt_rlsns, (std::vector<Lsn>{40, 50, 60}));
 }
 
+// ---------------------------------------------------------------------------
+// LogRecordView: zero-copy aliasing rules.
+// ---------------------------------------------------------------------------
+
+TEST(LogRecordViewTest, DecodeAliasesPayloadBuffer) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn_id = 7;
+  r.table_id = 1;
+  r.key = 11;
+  r.before = "oldvalue";
+  r.after = "newvalue";
+  r.pid = 3;
+  const std::string payload = r.EncodePayload();
+  LogRecordView v;
+  ASSERT_TRUE(
+      LogRecordView::DecodePayload(LogRecordType::kUpdate, Slice(payload), &v)
+          .ok());
+  // The slices point INTO the payload — no copies were made.
+  EXPECT_GE(v.before.data(), payload.data());
+  EXPECT_LE(v.before.data() + v.before.size(),
+            payload.data() + payload.size());
+  EXPECT_GE(v.after.data(), payload.data());
+  EXPECT_EQ(v.before.ToString(), "oldvalue");
+  EXPECT_EQ(v.after.ToString(), "newvalue");
+  EXPECT_EQ(v.ToOwned().after, "newvalue");
+}
+
+TEST(LogRecordViewTest, SmoImagesAliasPayloadBuffer) {
+  LogRecord r;
+  r.type = LogRecordType::kSmo;
+  r.alloc_hwm = 9;
+  r.smo_pages.push_back({5, std::string(128, 'a')});
+  const std::string payload = r.EncodePayload();
+  LogRecordView v;
+  ASSERT_TRUE(
+      LogRecordView::DecodePayload(LogRecordType::kSmo, Slice(payload), &v)
+          .ok());
+  ASSERT_EQ(v.smo_pages.size(), 1u);
+  EXPECT_EQ(v.smo_pages[0].pid, 5u);
+  EXPECT_EQ(v.smo_pages[0].image.size(), 128u);
+  EXPECT_GE(v.smo_pages[0].image.data(), payload.data());
+  EXPECT_LE(v.smo_pages[0].image.data() + 128,
+            payload.data() + payload.size());
+}
+
+TEST(LogRecordViewTest, ScratchVectorsKeepCapacityAcrossReset) {
+  LogRecordView v;
+  v.dirty_set.assign(64, 1);
+  v.att_txn_ids.assign(16, 2);
+  const size_t cap = v.dirty_set.capacity();
+  v.Reset();
+  EXPECT_TRUE(v.dirty_set.empty());
+  EXPECT_TRUE(v.att_txn_ids.empty());
+  EXPECT_GE(v.dirty_set.capacity(), cap);  // clear(), not shrink
+}
+
+TEST_F(LogManagerTest, ViewFieldsStayValidAcrossFullRecoveryScan) {
+  // Append a mix of record shapes, then verify every view field against an
+  // owned re-read WHILE other views from the same scan are outstanding —
+  // the recovery-time usage pattern.
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 50; i++) {
+    LogRecord r;
+    r.type = LogRecordType::kUpdate;
+    r.txn_id = static_cast<TxnId>(i + 1);
+    r.table_id = 1;
+    r.key = static_cast<Key>(i * 10);
+    r.before = "before-" + std::to_string(i);
+    r.after = "after-" + std::to_string(i);
+    r.pid = static_cast<PageId>(i);
+    lsns.push_back(log_.Append(r));
+  }
+  log_.Flush();
+  size_t i = 0;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid();
+       it.Next(), i++) {
+    const LogRecordView& v = it.record();
+    ASSERT_LT(i, lsns.size());
+    EXPECT_EQ(v.lsn, lsns[i]);
+    EXPECT_EQ(v.txn_id, i + 1);
+    EXPECT_EQ(v.key, i * 10);
+    EXPECT_EQ(v.before.ToString(), "before-" + std::to_string(i));
+    EXPECT_EQ(v.after.ToString(), "after-" + std::to_string(i));
+    // Cross-check against the owning reader.
+    LogRecord owned;
+    ASSERT_TRUE(log_.ReadRecordAt(v.lsn, &owned, false).ok());
+    EXPECT_EQ(owned.after, v.after.ToString());
+  }
+  EXPECT_EQ(i, 50u);
+}
+
+TEST_F(LogManagerTest, GenerationBumpsOnEveryViewInvalidatingMutation) {
+  const uint64_t g0 = log_.generation();
+  AppendBegin(1);
+  const uint64_t g1 = log_.generation();
+  EXPECT_GT(g1, g0);  // append may reallocate the buffer
+  log_.Flush();
+  EXPECT_EQ(log_.generation(), g1);  // flush moves no bytes
+  AppendBegin(2);
+  log_.Crash();  // discards the unflushed tail
+  const uint64_t g2 = log_.generation();
+  EXPECT_GT(g2, g1 + 1);  // append + crash both bumped
+  const auto snap = log_.TakeSnapshot();
+  EXPECT_EQ(log_.generation(), g2);  // snapshot reads only
+  log_.RestoreSnapshot(snap);
+  EXPECT_GT(log_.generation(), g2);
+}
+
+TEST_F(LogManagerTest, IteratorCapturesGenerationAtParseTime) {
+  AppendBegin(1);
+  AppendBegin(2);
+  log_.Flush();
+  auto it = log_.NewIterator(kFirstLsn, false);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.record().txn_id, 1u);  // valid: no mutation since parse
+  it.Next();
+  EXPECT_EQ(it.record().txn_id, 2u);  // Next() re-parses: valid again
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST_F(LogManagerTest, StaleViewAccessDiesInDebugBuilds) {
+  AppendBegin(1);
+  log_.Flush();
+  auto it = log_.NewIterator(kFirstLsn, false);
+  ASSERT_TRUE(it.Valid());
+  AppendBegin(2);  // invalidates the outstanding view
+  EXPECT_DEATH((void)it.record(), "LogRecordView used across log mutation");
+}
+#endif
+
 TEST_F(LogManagerTest, StatsCountByTypeAndBytes) {
   AppendBegin(1);
   LogRecord d;

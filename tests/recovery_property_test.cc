@@ -26,6 +26,45 @@ namespace {
 using testing_util::SmallOptions;
 
 // ---------------------------------------------------------------------------
+// Recovery passes are self-quiescing: driving one directly (as these tests
+// do) with the dirty monitor and pool callbacks still enabled must not let
+// redo-time MarkDirty emit Δ/BW records into the log being scanned — that
+// would both corrupt the recovery log and invalidate the scan's zero-copy
+// views mid-record.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryPassQuiescenceTest, DcPassWithLiveMonitorAppendsNothing) {
+  EngineOptions o = SmallOptions();
+  o.seed = 7;
+  o.delta_dirty_capacity = 2;  // hair-trigger Δ emission
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.insert_fraction = 0.5;  // force SMOs so the DC pass redoes page images
+  WorkloadDriver driver(e.get(), wc);
+  ASSERT_OK(driver.RunOps(300));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(300));
+  driver.OnCrash();
+  e->SimulateCrash();
+
+  ASSERT_OK(e->dc().OpenDatabase());
+  ASSERT_TRUE(e->dc().monitor().enabled());  // deliberately NOT disabled
+  ASSERT_TRUE(e->dc().pool().callbacks_enabled());
+  const Lsn log_end_before = e->wal().next_lsn();
+  DcRecoveryResult dcr;
+  ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), e->wal().master().bckpt_lsn,
+                          o.dpt_mode, /*build_dpt=*/true, /*preload=*/false,
+                          &dcr));
+  EXPECT_GT(dcr.smo_redone, 0u) << "workload produced no SMOs to redo";
+  EXPECT_EQ(e->wal().next_lsn(), log_end_before)
+      << "the DC pass appended to the log it was scanning";
+  // The guard restores the caller's instrumentation state.
+  EXPECT_TRUE(e->dc().monitor().enabled());
+  EXPECT_TRUE(e->dc().pool().callbacks_enabled());
+}
+
+// ---------------------------------------------------------------------------
 // Randomized crash-point sweep: (seed, method) matrix.
 // ---------------------------------------------------------------------------
 
@@ -139,7 +178,7 @@ TEST_P(DptSafetyTest, DptCoversEveryPageNeedingRedo) {
   // Ground truth from the stable log + stable page images.
   uint64_t covered = 0;
   for (auto it = e->wal().NewIterator(start, false); it.Valid(); it.Next()) {
-    const LogRecord& rec = it.record();
+    const LogRecordView& rec = it.record();
     if (!rec.IsRedoableDataOp()) continue;
     if (rec.lsn >= dcr.last_delta_tc_lsn) continue;  // tail: DPT not liable
     std::vector<uint8_t> img(o.page_size);
@@ -176,7 +215,7 @@ TEST(SqlDptSafety, DptCoversEveryPageNeedingRedo) {
 
   uint64_t covered = 0;
   for (auto it = e->wal().NewIterator(start, false); it.Valid(); it.Next()) {
-    const LogRecord& rec = it.record();
+    const LogRecordView& rec = it.record();
     if (!rec.IsRedoableDataOp()) continue;
     std::vector<uint8_t> img(o.page_size);
     e->dc().disk().ReadImage(rec.pid, img.data());
