@@ -1,0 +1,136 @@
+// CRUD tour of the first-class handle API: Begin an RAII Txn, Insert /
+// Update / Delete through a Table handle, Scan a key range with a cursor,
+// apply an atomic WriteBatch, then crash and recover — every operation kind
+// replayed logically by the Log-family recovery.
+//
+//   $ crud_tour
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+
+using namespace deutero;  // NOLINT
+
+namespace {
+
+bool Check(bool ok, const char* what) {
+  std::printf("  %-46s %s\n", what, ok ? "ok" : "WRONG");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.num_rows = 50'000;
+  options.cache_pages = 512;
+  options.lazy_writer_reference_cache_pages = 512;
+  options.checkpoint_interval_updates = 1000;
+
+  std::unique_ptr<Engine> db;
+  if (!Engine::Open(options, &db).ok()) return 1;
+  Table table;
+  if (!db->OpenDefaultTable(&table).ok()) return 1;
+  std::printf("opened: table %u, %u-byte values\n", table.id(),
+              table.value_size());
+  bool all_ok = true;
+
+  const std::string v1(options.value_size, '1');
+  const std::string v2(options.value_size, '2');
+
+  // --- Txn: insert, update, delete, commit -------------------------------
+  const Key fresh = options.num_rows + 1;  // past the bulk-loaded range
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    (void)txn.Insert(table, fresh, v1);
+    (void)txn.Update(table, 100, v1);
+    (void)txn.Delete(table, 101);
+    (void)txn.Commit();
+  }
+  std::string v;
+  all_ok &= Check(table.Read(fresh, &v).ok() && v == v1, "insert committed");
+  all_ok &= Check(table.Read(101, &v).IsNotFound(), "delete committed");
+
+  // --- RAII: an uncommitted Txn rolls itself back ------------------------
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    (void)txn.Update(table, 102, v2);
+    (void)txn.Delete(table, 103);
+    // No Commit: scope exit aborts, restoring both rows.
+  }
+  all_ok &= Check(table.Read(103, &v).ok(), "scope-exit auto-abort");
+
+  // --- Scan: a snapshot cursor over [98, 105] ----------------------------
+  std::printf("scan [98, 105]:");
+  ScanCursor cursor;
+  (void)table.Scan(98, 105, &cursor);
+  uint64_t rows = 0;
+  while (cursor.Valid()) {
+    std::printf(" %llu", (unsigned long long)cursor.key());
+    rows++;
+    (void)cursor.Next();
+  }
+  std::printf("\n");
+  all_ok &= Check(rows == 7, "scan skips the deleted key (7 of 8)");
+
+  // --- WriteBatch: atomic multi-op, one commit flush ---------------------
+  WriteBatch batch;
+  batch.Update(200, v2);
+  batch.Delete(201);
+  batch.Insert(fresh + 1, v2);
+  (void)db->Apply(table, batch);
+  all_ok &= Check(table.Read(201, &v).IsNotFound(), "batch applied");
+
+  // A batch with a failing op (duplicate insert) rolls back entirely —
+  // and the row it collided with is untouched.
+  batch.Clear();
+  batch.Update(202, v2);
+  batch.Insert(fresh, v2);  // duplicate: fails
+  const bool rejected = !db->Apply(table, batch).ok();
+  (void)table.Read(202, &v);
+  all_ok &= Check(rejected && v != v2, "failed batch fully rolled back");
+  all_ok &= Check(table.Read(fresh, &v).ok() && v == v1,
+                  "collided row untouched by rollback");
+
+  (void)db->Checkpoint();
+
+  // --- more post-checkpoint work, then crash -----------------------------
+  batch.Clear();
+  batch.Update(300, v2);
+  batch.Delete(301);
+  (void)db->Apply(table, batch);
+  Txn loser;
+  (void)db->Begin(&loser);
+  (void)loser.Delete(table, 400);  // uncommitted: must be re-inserted
+  db->tc().ForceLog();
+  loser.Release();
+
+  std::printf("crash + Log2 recovery...\n");
+  db->SimulateCrash();
+  RecoveryStats stats;
+  if (!db->Recover(RecoveryMethod::kLog2, &stats).ok()) return 1;
+  std::printf(
+      "  recovered in %.1f simulated ms (%llu ops reapplied, %llu memo "
+      "hits, %llu txns undone)\n",
+      stats.total_ms, (unsigned long long)stats.redo_applied,
+      (unsigned long long)stats.redo_leaf_memo_hits,
+      (unsigned long long)stats.txns_undone);
+
+  all_ok &= Check(table.Read(300, &v).ok() && v == v2, "batch update redone");
+  all_ok &= Check(table.Read(301, &v).IsNotFound(), "batch delete redone");
+  all_ok &= Check(table.Read(400, &v).ok(), "loser delete undone");
+  all_ok &= Check(table.Read(101, &v).IsNotFound(), "old delete still gone");
+
+  // The handle API works identically post-recovery.
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    (void)txn.Update(table, 1, v1);
+    (void)txn.Commit();
+  }
+  std::printf("%s\n", all_ok ? "crud tour complete." : "FAILURES above!");
+  return all_ok ? 0 : 1;
+}

@@ -17,6 +17,7 @@ const char* Role(LogRecordType t) {
   switch (t) {
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
       return "TC data op     logical key for Log*, PID for SQL*";
     case LogRecordType::kClr:
       return "TC compensation redo-only, skipped by undo";
@@ -61,16 +62,26 @@ int main() {
   (void)db->CreateTable(7, 16);
   WorkloadDriver driver(db.get(), WorkloadConfig{});
   (void)driver.RunOps(40);
-  TxnId t;
-  (void)db->Begin(&t);
-  for (Key k = 0; k < 30; k++) {
-    (void)db->Insert(t, 7, k, std::string(16, 'a'));  // forces a split
+  Table side_table;
+  (void)db->OpenTable(7, &side_table);
+  {
+    Txn t;
+    (void)db->Begin(&t);
+    for (Key k = 0; k < 30; k++) {
+      (void)t.Insert(side_table, k, std::string(16, 'a'));  // forces a split
+    }
+    (void)t.Delete(side_table, 5);  // a kDelete record with a before-image
+    (void)t.Commit();
   }
-  (void)db->Commit(t);
   (void)db->Checkpoint();
-  (void)db->Begin(&t);
-  (void)db->Update(t, 3, std::string(o.value_size, 'z'));
-  (void)db->Abort(t);  // produces a CLR
+  {
+    Table table;
+    (void)db->OpenDefaultTable(&table);
+    Txn t;
+    (void)db->Begin(&t);
+    (void)t.Update(table, 3, std::string(o.value_size, 'z'));
+    (void)t.Abort();  // produces a CLR
+  }
   db->tc().ForceLog();
 
   std::printf("%-10s %-16s %-6s %s\n", "LSN", "type", "bytes", "role");
@@ -86,6 +97,7 @@ int main() {
     switch (rec.type) {
       case LogRecordType::kUpdate:
       case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
         extra = "  table=" + std::to_string(rec.table_id) +
                 " key=" + std::to_string(rec.key) +
                 " pid=" + std::to_string(rec.pid);

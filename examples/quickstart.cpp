@@ -31,31 +31,39 @@ int main() {
               db->dc().btree().height());
 
   // A committed transaction...
+  Table table;
+  (void)db->OpenDefaultTable(&table);
   const std::string committed_value(options.value_size, 'C');
-  TxnId txn;
-  (void)db->Begin(&txn);
-  for (Key k = 100; k < 110; k++) {
-    (void)db->Update(txn, k, committed_value);
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    for (Key k = 100; k < 110; k++) {
+      (void)txn.Update(table, k, committed_value);
+    }
+    (void)txn.Commit();
   }
-  (void)db->Commit(txn);
 
   (void)db->Checkpoint();
 
   // ...more committed work after the checkpoint...
-  (void)db->Begin(&txn);
-  for (Key k = 200; k < 210; k++) {
-    (void)db->Update(txn, k, committed_value);
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    for (Key k = 200; k < 210; k++) {
+      (void)txn.Update(table, k, committed_value);
+    }
+    (void)txn.Commit();
   }
-  (void)db->Commit(txn);
 
   // ...and a loser: updates on the log, but never committed.
   const std::string uncommitted_value(options.value_size, 'U');
-  TxnId loser;
+  Txn loser;
   (void)db->Begin(&loser);
-  (void)db->Update(loser, 300, uncommitted_value);
+  (void)loser.Update(table, 300, uncommitted_value);
   db->tc().ForceLog();  // the loser's records reach the stable log
 
   std::printf("crashing with one in-flight transaction...\n");
+  loser.Release();  // the crash, not the handle, decides its fate
   db->SimulateCrash();
 
   RecoveryStats stats;
@@ -72,18 +80,21 @@ int main() {
 
   // Committed survives; the loser was rolled back.
   std::string v;
-  (void)db->Read(205, &v);
+  (void)table.Read(205, &v);
   std::printf("key 205: %s\n",
               v == committed_value ? "committed value (correct)" : "WRONG");
-  (void)db->Read(300, &v);
+  (void)table.Read(300, &v);
   std::printf("key 300: %s\n",
               v == uncommitted_value ? "UNCOMMITTED VALUE LEAKED"
                                      : "rolled back (correct)");
 
   // The engine is open for business again.
-  (void)db->Begin(&txn);
-  (void)db->Update(txn, 1, committed_value);
-  (void)db->Commit(txn);
+  {
+    Txn txn;
+    (void)db->Begin(&txn);
+    (void)txn.Update(table, 1, committed_value);
+    (void)txn.Commit();
+  }
   std::printf("post-recovery update committed; done.\n");
   return 0;
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Run clang-tidy (checks from .clang-tidy: modernize + bugprone) over every
+# translation unit in src/, using the compile_commands.json exported by the
+# given build directory.
+#
+#   scripts/clang_tidy.sh [build-dir]     # default: build
+#
+# Exits non-zero if clang-tidy reports any error in src/ (broken config,
+# uncompilable TU, check crashes). Warnings are printed but advisory unless
+# STRICT=1 is set — tighten once the check set has been burned in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found (configure first)" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null; then
+  echo "error: $TIDY not found" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find src -name '*.cc' | sort)
+echo "clang-tidy ($("$TIDY" --version | head -n1 | xargs)) over ${#SOURCES[@]} files"
+
+status=0
+: > /tmp/clang-tidy.out
+if command -v run-clang-tidy >/dev/null; then
+  # Parallel runner from the LLVM distribution.
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet \
+    "^$PWD/src/.*\.cc\$" 2>&1 | tee /tmp/clang-tidy.out || status=$?
+else
+  for f in "${SOURCES[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" 2>/dev/null \
+      | tee -a /tmp/clang-tidy.out || status=$?
+  done
+fi
+
+warnings=$(grep -cE "warning:" /tmp/clang-tidy.out || true)
+errors=$(grep -cE "error:" /tmp/clang-tidy.out || true)
+echo "clang-tidy: $warnings warning(s), $errors error(s)"
+if [[ $errors -gt 0 || $status -ne 0 ]]; then
+  echo "clang-tidy failed" >&2
+  exit 1
+fi
+if [[ "${STRICT:-0}" = "1" && $warnings -gt 0 ]]; then
+  echo "clang-tidy warnings present (STRICT=1)" >&2
+  exit 1
+fi
+exit 0

@@ -164,6 +164,47 @@ Status BTree::Find(Key key, PageId* leaf_pid) {
   }
 }
 
+Status BTree::FindRanged(Key key, PageId* leaf_pid, Key* lo, Key* hi,
+                         bool* bounded) {
+  stats_.traversals++;
+  Key cur_lo = 0;
+  Key cur_hi = 0;
+  bool cur_bounded = false;
+  PageId pid = root_pid_;
+  while (true) {
+    clock_->AdvanceUs(cpu_per_level_us_);
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.type() == PageType::kLeaf) {
+      break;  // only possible when the root itself is a leaf
+    }
+    InternalNodeView node(page);
+    const uint32_t ci = node.FindChildIndex(key);
+    // Tighten the fences. Entry 0 of a leftmost node is semantically
+    // -infinity (stored as 0), which never raises cur_lo; separators pushed
+    // up by splits equal the child's first key, so max() is exact.
+    const Key entry_key = node.KeyAt(ci);
+    if (entry_key > cur_lo) cur_lo = entry_key;
+    if (ci + 1u < node.count()) {
+      const Key next_key = node.KeyAt(ci + 1);
+      if (!cur_bounded || next_key < cur_hi) cur_hi = next_key;
+      cur_bounded = true;
+    }
+    const PageId child = node.ChildAt(ci);
+    if (page.level() == 1) {
+      pid = child;  // the leaf; never touched by the traversal
+      break;
+    }
+    pid = child;
+  }
+  *leaf_pid = pid;
+  *lo = cur_lo;
+  *hi = cur_hi;
+  *bounded = cur_bounded;
+  return Status::OK();
+}
+
 Status BTree::Read(Key key, std::string* value) {
   PageId pid = kInvalidPageId;
   DEUTERO_RETURN_NOT_OK(Find(key, &pid));
@@ -230,6 +271,98 @@ Status BTree::ApplyDelete(PageId pid, Key key, Lsn lsn) {
   h.MarkDirty(lsn);
   if (num_rows_ > 0) num_rows_--;
   return Status::OK();
+}
+
+Status BTree::LeafContains(PageId pid, Key key, bool* contains) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("probe target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size_);
+  *contains = leaf.Find(key) != leaf.count();
+  return Status::OK();
+}
+
+Status BTree::ApplyUpsert(PageId pid, Key key, Slice value, Lsn lsn) {
+  if (value.size() != value_size_) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  PageView page = h.view();
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("upsert target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size_);
+  const uint32_t i = leaf.LowerBound(key);
+  if (i < leaf.count() && leaf.KeyAt(i) == key) {
+    leaf.SetValueAt(i, reinterpret_cast<const uint8_t*>(value.data()));
+  } else {
+    if (leaf.full()) return Status::Corruption("upsert into full leaf");
+    leaf.InsertAt(i, key, reinterpret_cast<const uint8_t*>(value.data()));
+    num_rows_++;
+  }
+  h.MarkDirty(lsn);
+  return Status::OK();
+}
+
+Key ScanCursor::key() const {
+  assert(valid_);
+  return LeafNodeView(h_.view(), value_size_).KeyAt(idx_);
+}
+
+Slice ScanCursor::value() const {
+  assert(valid_);
+  LeafNodeView leaf(h_.view(), value_size_);
+  return Slice(reinterpret_cast<const char*>(leaf.ValueAt(idx_)),
+               value_size_);
+}
+
+Status ScanCursor::Normalize() {
+  while (true) {
+    PageView page = h_.view();
+    LeafNodeView leaf(page, value_size_);
+    if (idx_ < leaf.count()) {
+      if (leaf.KeyAt(idx_) > hi_) break;  // past the range's upper bound
+      valid_ = true;
+      return Status::OK();
+    }
+    // Exhausted this leaf (possibly emptied by deletes): follow the chain.
+    const PageId next = page.right_sibling();
+    h_.Release();
+    if (next == kInvalidPageId) break;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(next, PageClass::kData, &h_));
+    idx_ = 0;
+  }
+  valid_ = false;
+  h_.Release();
+  return Status::OK();
+}
+
+Status ScanCursor::Next() {
+  assert(valid_);
+  idx_++;
+  return Normalize();
+}
+
+void ScanCursor::Close() {
+  valid_ = false;
+  h_.Release();
+}
+
+Status BTree::NewScan(Key lo, Key hi, ScanCursor* out) {
+  out->Close();
+  out->pool_ = pool_;
+  out->value_size_ = value_size_;
+  out->hi_ = hi;
+  if (hi < lo) return Status::OK();  // empty range: cursor stays invalid
+  PageId pid = kInvalidPageId;
+  DEUTERO_RETURN_NOT_OK(Find(lo, &pid));
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &out->h_));
+  out->idx_ = LeafNodeView(out->h_.view(), value_size_).LowerBound(lo);
+  return out->Normalize();
 }
 
 Status BTree::PrepareInsert(Key key, PageId* leaf_pid) {

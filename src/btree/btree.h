@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/clock.h"
@@ -48,6 +50,58 @@ template <typename RecordT>
 Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
                           const RecordT& rec);
+
+class BTree;
+
+/// Forward cursor over a key range of one tree, yielded by BTree::NewScan.
+/// The cursor pins the leaf it is positioned on (one pin at a time) and
+/// walks the leaf sibling chain; value() aliases the pinned page and is
+/// valid until the next Next()/Close()/destruction. Reads the current tree
+/// state (lock-free snapshot, like point reads): do not interleave writes
+/// to the same tree with an open cursor.
+class ScanCursor {
+ public:
+  ScanCursor() = default;
+  ScanCursor(ScanCursor&& other) noexcept { *this = std::move(other); }
+  ScanCursor& operator=(ScanCursor&& other) noexcept {
+    if (this != &other) {
+      Close();
+      pool_ = other.pool_;
+      value_size_ = other.value_size_;
+      hi_ = other.hi_;
+      h_ = std::move(other.h_);
+      idx_ = other.idx_;
+      valid_ = other.valid_;
+      // The source must read as exhausted, not as positioned on a row it
+      // no longer pins.
+      other.valid_ = false;
+      other.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// True while positioned on a row with key() <= the scan's `hi` bound.
+  bool Valid() const { return valid_; }
+  Key key() const;
+  /// Borrowed payload bytes of the current row (value_size bytes).
+  Slice value() const;
+  /// Advance to the next row in key order, crossing leaf boundaries.
+  Status Next();
+  /// Drop the leaf pin early (destruction does this too).
+  void Close();
+
+ private:
+  friend class BTree;
+  BufferPool* pool_ = nullptr;
+  uint32_t value_size_ = 0;
+  Key hi_ = 0;
+  PageHandle h_;
+  uint32_t idx_ = 0;
+  bool valid_ = false;
+
+  /// Skip empty leaves / past-the-end slots; invalidate past `hi_`.
+  Status Normalize();
+};
 
 class BTree {
  public:
@@ -83,6 +137,15 @@ class BTree {
   /// any index-page I/O; does not touch the leaf.
   Status Find(Key key, PageId* leaf_pid);
 
+  /// Find() that also reports the leaf's key range: every key in
+  /// [*lo, *hi) maps to the same leaf (*hi is meaningful only when
+  /// *bounded; the rightmost leaf is unbounded above). Logical redo
+  /// memoizes the result to skip re-traversals for consecutive records
+  /// whose keys land on the same leaf. The range is valid until the next
+  /// structure modification of this tree.
+  Status FindRanged(Key key, PageId* leaf_pid, Key* lo, Key* hi,
+                    bool* bounded);
+
   /// Point lookup.
   Status Read(Key key, std::string* value);
 
@@ -90,14 +153,28 @@ class BTree {
   /// logged preventive splits along the path. Returns the leaf pid.
   Status PrepareInsert(Key key, PageId* leaf_pid);
 
+  /// Whether leaf `pid` holds `key` (pre-logging duplicate check: a record
+  /// must never reach the log if its apply would be refused).
+  Status LeafContains(PageId pid, Key key, bool* contains);
+
   /// Overwrite the payload of `key` in leaf `pid`, stamping pLSN = lsn.
   Status ApplyUpdate(PageId pid, Key key, Slice value, Lsn lsn);
 
   /// Insert (key, value) into leaf `pid`, stamping pLSN = lsn.
   Status ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn);
 
-  /// Remove `key` from leaf `pid` (undo of an insert), stamping pLSN = lsn.
+  /// Remove `key` from leaf `pid` (delete, or undo of an insert), stamping
+  /// pLSN = lsn.
   Status ApplyDelete(PageId pid, Key key, Lsn lsn);
+
+  /// Overwrite `key`'s payload in leaf `pid` if present, insert it
+  /// otherwise (CLR replay: a compensated delete may or may not be
+  /// reflected on the stable page image). Stamps pLSN = lsn.
+  Status ApplyUpsert(PageId pid, Key key, Slice value, Lsn lsn);
+
+  /// Open a cursor over keys in [lo, hi] (inclusive bounds). The cursor is
+  /// invalid immediately when the range is empty.
+  Status NewScan(Key lo, Key hi, ScanCursor* out);
 
   // ---- recovery ----
 

@@ -131,6 +131,14 @@ struct EngineOptions {
   // ---- prefetch (App. A) ----
   uint32_t prefetch_window = 32;  ///< Max outstanding prefetched pages.
 
+  // ---- logical redo ----
+  /// Memoize the last (table, leaf) of logical redo's index traversal and
+  /// reuse it while record keys stay inside the leaf's fence range. Safe
+  /// because the tree's structure is frozen during the redo pass (the DC
+  /// pass replayed all SMOs first). Off reproduces the paper's
+  /// every-operation re-traversal cost.
+  bool redo_leaf_memo = true;
+
   // ---- misc ----
   uint64_t seed = 42;            ///< Workload / layout determinism.
   TableId table_id = kDefaultTableId;

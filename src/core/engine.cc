@@ -26,36 +26,45 @@ Status Engine::Open(const EngineOptions& options,
   return Status::OK();
 }
 
-Status Engine::Begin(TxnId* txn) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Begin(txn);
-}
-
 Status Engine::CreateTable(TableId table, uint32_t value_size) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return dc_->CreateTable(table, value_size);
 }
 
-Status Engine::Update(TxnId txn, Key key, Slice value) {
-  return Update(txn, options_.table_id, key, value);
+Status Engine::OpenTable(TableId table, Table* out) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  BTree* tree = dc_->FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  *out = Table(this, table, tree->value_size());
+  return Status::OK();
 }
 
-Status Engine::Insert(TxnId txn, Key key, Slice value) {
-  return Insert(txn, options_.table_id, key, value);
+Status Engine::Begin(Txn* txn) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  TxnId id = kInvalidTxnId;
+  DEUTERO_RETURN_NOT_OK(tc_->Begin(&id));
+  *txn = Txn(this, id);
+  return Status::OK();
+}
+
+Status Engine::Apply(const Table& table, const WriteBatch& batch) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (!table.valid()) return Status::InvalidArgument("invalid table handle");
+  if (table.engine_ != this) {
+    return Status::InvalidArgument("table handle from a different engine");
+  }
+  Txn txn;
+  DEUTERO_RETURN_NOT_OK(Begin(&txn));
+  const Status st = txn.Apply(table, batch);
+  if (!st.ok()) {
+    (void)txn.Abort();  // roll back the partial prefix
+    return st;
+  }
+  return txn.Commit();  // the batch's single log flush
 }
 
 Status Engine::Read(Key key, std::string* value) {
   return Read(options_.table_id, key, value);
-}
-
-Status Engine::Update(TxnId txn, TableId table, Key key, Slice value) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Update(txn, table, key, value);
-}
-
-Status Engine::Insert(TxnId txn, TableId table, Key key, Slice value) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Insert(txn, table, key, value);
 }
 
 Status Engine::Read(TableId table, Key key, std::string* value) {
@@ -63,15 +72,72 @@ Status Engine::Read(TableId table, Key key, std::string* value) {
   return tc_->Read(kInvalidTxnId, table, key, value);
 }
 
-Status Engine::Commit(TxnId txn) {
+Status Engine::Scan(TableId table, Key lo, Key hi, ScanCursor* out) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return dc_->Scan(table, lo, hi, out);
+}
+
+// ---- handle-API backends ----
+
+Status Engine::TxnUpdate(TxnId txn, TableId table, Key key, Slice value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Update(txn, table, key, value);
+}
+
+Status Engine::TxnInsert(TxnId txn, TableId table, Key key, Slice value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Insert(txn, table, key, value);
+}
+
+Status Engine::TxnDelete(TxnId txn, TableId table, Key key) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Delete(txn, table, key);
+}
+
+Status Engine::TxnRead(TxnId txn, TableId table, Key key,
+                       std::string* value) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Read(txn, table, key, value);
+}
+
+Status Engine::TxnCommit(TxnId txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Commit(txn);
 }
 
-Status Engine::Abort(TxnId txn) {
+Status Engine::TxnAbort(TxnId txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Abort(txn);
 }
+
+// ---- deprecated raw-TxnId shims ----
+
+Status Engine::Begin(TxnId* txn) {
+  if (!running_) return Status::InvalidArgument("engine is crashed");
+  return tc_->Begin(txn);
+}
+
+Status Engine::Update(TxnId txn, Key key, Slice value) {
+  return TxnUpdate(txn, options_.table_id, key, value);
+}
+
+Status Engine::Insert(TxnId txn, Key key, Slice value) {
+  return TxnInsert(txn, options_.table_id, key, value);
+}
+
+Status Engine::Update(TxnId txn, TableId table, Key key, Slice value) {
+  return TxnUpdate(txn, table, key, value);
+}
+
+Status Engine::Insert(TxnId txn, TableId table, Key key, Slice value) {
+  return TxnInsert(txn, table, key, value);
+}
+
+Status Engine::Commit(TxnId txn) { return TxnCommit(txn); }
+
+Status Engine::Abort(TxnId txn) { return TxnAbort(txn); }
+
+// ---- checkpoint / crash / recovery ----
 
 Status Engine::Checkpoint(uint64_t* pages_flushed) {
   if (!running_) return Status::InvalidArgument("engine is crashed");

@@ -1,14 +1,26 @@
 // Public facade: a single-node storage engine with a Deuteronomy-style
-// TC/DC split and pluggable crash recovery. Typical lifecycle:
+// TC/DC split and pluggable crash recovery. The API is built around
+// first-class handles (core/txn.h): an RAII Txn from Begin(), a Table
+// resolved once from the catalog, snapshot Scan cursors, and atomic
+// WriteBatch application. Typical lifecycle:
 //
 //   std::unique_ptr<Engine> db;
 //   Engine::Open(options, &db);                 // bulk-loads num_rows rows
-//   TxnId t; db->Begin(&t);
-//   db->Update(t, key, value); ... db->Commit(t);
+//   Table t;
+//   db->OpenTable(kDefaultTableId, &t);
+//   Txn txn;
+//   db->Begin(&txn);
+//   txn.Update(t, key, value); txn.Delete(t, old_key); txn.Commit();
+//   WriteBatch batch;                           // atomic multi-op unit
+//   batch.Insert(k1, v1); batch.Delete(k2);
+//   db->Apply(t, batch);                        // one txn, one commit flush
 //   db->Checkpoint();
 //   db->SimulateCrash();                        // drop volatile state
 //   RecoveryStats st;
 //   db->Recover(RecoveryMethod::kLog2, &st);    // logical recovery, optimized
+//
+// The raw-TxnId methods are deprecated shims kept for source compatibility;
+// new code (and everything under src/) uses the handle API.
 //
 // All time is simulated (see sim/clock.h); experiments snapshot/restore the
 // stable state to replay one crash under every recovery method side by side
@@ -22,6 +34,7 @@
 #include "common/options.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/txn.h"
 #include "dc/data_component.h"
 #include "recovery/stats.h"
 #include "sim/clock.h"
@@ -40,23 +53,50 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // ---- DDL ----
+  // ---- DDL / catalog ----
 
   /// Create an additional table (the default table exists from Open).
   /// Logged as a DC system transaction and replayed by crash recovery.
   Status CreateTable(TableId table, uint32_t value_size);
 
-  // ---- transactions ----
-  Status Begin(TxnId* txn);
-  /// Operations on the default table (the paper's single-table workloads).
-  Status Update(TxnId txn, Key key, Slice value);
-  Status Insert(TxnId txn, Key key, Slice value);
-  Status Read(Key key, std::string* value);  ///< Lock-free snapshot read.
-  /// Table-addressed variants.
-  Status Update(TxnId txn, TableId table, Key key, Slice value);
-  Status Insert(TxnId txn, TableId table, Key key, Slice value);
+  /// Resolve a table handle from the catalog (NotFound if absent).
+  Status OpenTable(TableId table, Table* out);
+  /// Handle for the default table (the paper's single-table workloads).
+  Status OpenDefaultTable(Table* out) {
+    return OpenTable(options_.table_id, out);
+  }
+
+  // ---- transactions (handle API) ----
+
+  /// Start a transaction. The returned handle aborts itself if it leaves
+  /// scope without Commit().
+  Status Begin(Txn* txn);
+
+  /// Apply every batch operation atomically: one transaction, one commit
+  /// record, one log flush. On any failure the partial effects are rolled
+  /// back (logical undo) and the error is returned.
+  Status Apply(const Table& table, const WriteBatch& batch);
+
+  // ---- reads (lock-free snapshot) ----
+  Status Read(Key key, std::string* value);  ///< Default table.
   Status Read(TableId table, Key key, std::string* value);
+  /// Snapshot range scan over [lo, hi] (inclusive) of `table`.
+  Status Scan(TableId table, Key lo, Key hi, ScanCursor* out);
+
+  // ---- deprecated raw-TxnId shims (migration: see README "API") ----
+  [[deprecated("use Engine::Begin(Txn*)")]]
+  Status Begin(TxnId* txn);
+  [[deprecated("use Txn::Update(Table&, ...)")]]
+  Status Update(TxnId txn, Key key, Slice value);
+  [[deprecated("use Txn::Insert(Table&, ...)")]]
+  Status Insert(TxnId txn, Key key, Slice value);
+  [[deprecated("use Txn::Update(Table&, ...)")]]
+  Status Update(TxnId txn, TableId table, Key key, Slice value);
+  [[deprecated("use Txn::Insert(Table&, ...)")]]
+  Status Insert(TxnId txn, TableId table, Key key, Slice value);
+  [[deprecated("use Txn::Commit()")]]
   Status Commit(TxnId txn);
+  [[deprecated("use Txn::Abort() or let the Txn destructor roll back")]]
   Status Abort(TxnId txn);
 
   // ---- checkpointing / crash / recovery ----
@@ -89,7 +129,17 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
  private:
+  friend class Txn;
+
   explicit Engine(const EngineOptions& options);
+
+  // Handle-API backends (non-deprecated so Txn and the shims share them).
+  Status TxnUpdate(TxnId txn, TableId table, Key key, Slice value);
+  Status TxnInsert(TxnId txn, TableId table, Key key, Slice value);
+  Status TxnDelete(TxnId txn, TableId table, Key key);
+  Status TxnRead(TxnId txn, TableId table, Key key, std::string* value);
+  Status TxnCommit(TxnId txn);
+  Status TxnAbort(TxnId txn);
 
   EngineOptions options_;
   SimClock clock_;

@@ -19,12 +19,18 @@ Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
       case LogRecordType::kUpdate:
         // The view's after-image aliases the primary's log buffer; buffered
         // ops outlive the scan, so copy it out here.
-        in_flight_[rec.txn_id].push_back(
-            {false, rec.table_id, rec.key, rec.after.ToString()});
+        in_flight_[rec.txn_id].push_back({BufferedOp::Kind::kUpdate,
+                                          rec.table_id, rec.key,
+                                          rec.after.ToString()});
         break;
       case LogRecordType::kInsert:
+        in_flight_[rec.txn_id].push_back({BufferedOp::Kind::kInsert,
+                                          rec.table_id, rec.key,
+                                          rec.after.ToString()});
+        break;
+      case LogRecordType::kDelete:
         in_flight_[rec.txn_id].push_back(
-            {true, rec.table_id, rec.key, rec.after.ToString()});
+            {BufferedOp::Kind::kDelete, rec.table_id, rec.key, {}});
         break;
       case LogRecordType::kCreateTable:
         // DDL replicates logically: same table id and schema, the replica's
@@ -36,22 +42,28 @@ Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
         break;
       case LogRecordType::kTxnCommit: {
         auto ops = in_flight_.find(rec.txn_id);
-        TxnId local = kInvalidTxnId;
+        Txn local;
         DEUTERO_RETURN_NOT_OK(engine_->Begin(&local));
         if (ops != in_flight_.end()) {
           for (const BufferedOp& op : ops->second) {
-            if (op.is_insert) {
-              DEUTERO_RETURN_NOT_OK(
-                  engine_->Insert(local, op.table, op.key, op.after));
-            } else {
-              DEUTERO_RETURN_NOT_OK(
-                  engine_->Update(local, op.table, op.key, op.after));
+            Table table;
+            DEUTERO_RETURN_NOT_OK(engine_->OpenTable(op.table, &table));
+            switch (op.kind) {
+              case BufferedOp::Kind::kInsert:
+                DEUTERO_RETURN_NOT_OK(local.Insert(table, op.key, op.after));
+                break;
+              case BufferedOp::Kind::kUpdate:
+                DEUTERO_RETURN_NOT_OK(local.Update(table, op.key, op.after));
+                break;
+              case BufferedOp::Kind::kDelete:
+                DEUTERO_RETURN_NOT_OK(local.Delete(table, op.key));
+                break;
             }
             ops_applied_++;
           }
           in_flight_.erase(ops);
         }
-        DEUTERO_RETURN_NOT_OK(engine_->Commit(local));
+        DEUTERO_RETURN_NOT_OK(local.Commit());
         txns_applied_++;
         break;
       }

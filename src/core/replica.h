@@ -44,10 +44,11 @@ class LogicalReplica {
 
  private:
   struct BufferedOp {
-    bool is_insert = false;
+    enum class Kind : uint8_t { kUpdate = 0, kInsert = 1, kDelete = 2 };
+    Kind kind = Kind::kUpdate;
     TableId table = kInvalidTableId;
     Key key = 0;
-    std::string after;
+    std::string after;  ///< Empty for deletes.
   };
 
   LogicalReplica() = default;

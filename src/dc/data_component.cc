@@ -179,6 +179,13 @@ Status DataComponent::FindLeaf(TableId table, Key key, PageId* pid) {
   return tree->Find(key, pid);
 }
 
+Status DataComponent::FindLeafRanged(TableId table, Key key, PageId* pid,
+                                     Key* lo, Key* hi, bool* bounded) {
+  BTree* tree = FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  return tree->FindRanged(key, pid, lo, hi, bounded);
+}
+
 Status DataComponent::LocateForUpdate(TableId table, Key key, PageId* pid,
                                       std::string* before) {
   BTree* tree = FindTable(table);
@@ -202,6 +209,13 @@ Status DataComponent::PrepareInsert(TableId table, Key key, PageId* pid) {
   return tree->PrepareInsert(key, pid);
 }
 
+Status DataComponent::LeafContains(TableId table, PageId pid, Key key,
+                                   bool* contains) {
+  BTree* tree = FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  return tree->LeafContains(pid, key, contains);
+}
+
 Status DataComponent::ApplyUpdate(TableId table, PageId pid, Key key,
                                   Slice value, Lsn lsn) {
   BTree* tree = FindTable(table);
@@ -223,10 +237,23 @@ Status DataComponent::ApplyDelete(TableId table, PageId pid, Key key,
   return tree->ApplyDelete(pid, key, lsn);
 }
 
+Status DataComponent::ApplyUpsert(TableId table, PageId pid, Key key,
+                                  Slice value, Lsn lsn) {
+  BTree* tree = FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  return tree->ApplyUpsert(pid, key, value, lsn);
+}
+
 Status DataComponent::Read(TableId table, Key key, std::string* value) {
   BTree* tree = FindTable(table);
   if (tree == nullptr) return Status::NotFound("unknown table");
   return tree->Read(key, value);
+}
+
+Status DataComponent::Scan(TableId table, Key lo, Key hi, ScanCursor* out) {
+  BTree* tree = FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  return tree->NewScan(lo, hi, out);
 }
 
 Status DataComponent::PreloadIndex() {

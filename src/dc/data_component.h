@@ -68,6 +68,11 @@ class DataComponent {
   /// traversal only — the logical recovery primitive).
   Status FindLeaf(TableId table, Key key, PageId* pid);
 
+  /// FindLeaf that also reports the leaf's key range [*lo, *hi) (*hi valid
+  /// only when *bounded) — the logical-redo memoization primitive.
+  Status FindLeafRanged(TableId table, Key key, PageId* pid, Key* lo,
+                        Key* hi, bool* bounded);
+
   /// Map (table, key) to the owning leaf and return the current value
   /// (before-image for the TC's undo logging).
   Status LocateForUpdate(TableId table, Key key, PageId* pid,
@@ -76,12 +81,22 @@ class DataComponent {
   /// Ensure leaf space for an insert (may run logged SMOs); returns the pid.
   Status PrepareInsert(TableId table, Key key, PageId* pid);
 
+  /// Whether leaf `pid` of `table` holds `key` (the TC's pre-logging
+  /// duplicate check for inserts).
+  Status LeafContains(TableId table, PageId pid, Key key, bool* contains);
+
   Status ApplyUpdate(TableId table, PageId pid, Key key, Slice value,
                      Lsn lsn);
   Status ApplyInsert(TableId table, PageId pid, Key key, Slice value,
                      Lsn lsn);
   Status ApplyDelete(TableId table, PageId pid, Key key, Lsn lsn);
+  /// Update-or-insert (CLR replay of a compensated delete; idempotent under
+  /// partial redo states).
+  Status ApplyUpsert(TableId table, PageId pid, Key key, Slice value,
+                     Lsn lsn);
   Status Read(TableId table, Key key, std::string* value);
+  /// Open a cursor over [lo, hi] (inclusive) of `table`.
+  Status Scan(TableId table, Key lo, Key hi, ScanCursor* out);
 
   /// Background work performed after each operation (lazy writer).
   void Tick() { pool_->LazyWriterTick(); }

@@ -29,6 +29,7 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
         break;
       case LogRecordType::kUpdate:
       case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
       case LogRecordType::kClr:
         // Algorithm 3 lines 5-10: first mention adds (PID, rLSN = LSN);
         // later mentions advance lastLSN.

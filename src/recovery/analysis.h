@@ -66,6 +66,7 @@ void ObserveForAtt(const RecordT& rec, ActiveTxnTable* att,
     case LogRecordType::kTxnBegin:
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
     case LogRecordType::kClr:
       (*att)[rec.txn_id] = rec.lsn;
       if (max_txn_id != nullptr && rec.txn_id > *max_txn_id) {

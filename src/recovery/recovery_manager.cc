@@ -91,6 +91,7 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   stats->redo_skipped_rlsn = redo.skipped_rlsn;
   stats->redo_skipped_plsn = redo.skipped_plsn;
   stats->redo_tail_ops = redo.tail_ops;
+  stats->redo_leaf_memo_hits = redo.leaf_memo_hits;
 
   // Undo pass — identical machinery for every method (§2.1).
   const double t_undo0 = clock_->NowMs();

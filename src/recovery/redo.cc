@@ -19,17 +19,38 @@ Status ApplyDataOp(DataComponent* dc, const LogRecordView& rec, PageId pid) {
       return dc->ApplyUpdate(rec.table_id, pid, rec.key, rec.after, rec.lsn);
     case LogRecordType::kInsert:
       return dc->ApplyInsert(rec.table_id, pid, rec.key, rec.after, rec.lsn);
+    case LogRecordType::kDelete:
+      return dc->ApplyDelete(rec.table_id, pid, rec.key, rec.lsn);
     case LogRecordType::kClr:
       // A CLR with an empty restored image compensates an insert (delete);
-      // otherwise it restores the before-image of an update.
+      // otherwise it restores an image — as an upsert, because a CLR that
+      // compensates a delete must re-insert, and the distinction is not on
+      // the record (the page state decides).
       if (rec.after.empty()) {
         return dc->ApplyDelete(rec.table_id, pid, rec.key, rec.lsn);
       }
-      return dc->ApplyUpdate(rec.table_id, pid, rec.key, rec.after, rec.lsn);
+      return dc->ApplyUpsert(rec.table_id, pid, rec.key, rec.after, rec.lsn);
     default:
       return Status::InvalidArgument("not a data op");
   }
 }
+
+/// Memo of the last logical-redo traversal: consecutive records whose keys
+/// land inside the same leaf's fence range skip the index walk entirely.
+/// Valid for a whole redo pass — the tree's structure is frozen then (all
+/// SMOs were replayed by the DC pass; redo applies record ops only).
+struct LeafMemo {
+  TableId table = kInvalidTableId;
+  PageId pid = kInvalidPageId;
+  Key lo = 0;
+  Key hi = 0;
+  bool bounded = false;
+  bool valid = false;
+
+  bool Hit(TableId t, Key key) const {
+    return valid && t == table && key >= lo && (!bounded || key < hi);
+  }
+};
 
 /// The pLSN idempotence test (paper §2.2): fetch the page and compare.
 /// Returns true if the operation must be re-executed.
@@ -71,6 +92,7 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
   }
 
   RecoveryPassQuiescence quiesce(dc);
+  LeafMemo memo;
   auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
   const Status scan_status = [&]() -> Status {
     for (; it.Valid(); it.Next()) {
@@ -85,9 +107,20 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
 
       // The TC re-submits the operation; the DC traverses the index with
       // the record's key to discover the page (Algorithm 2 line 8 / Alg. 5
-      // line 4).
+      // line 4). The traversal is memoized: log locality makes consecutive
+      // records hit the same leaf far more often than not.
       PageId pid = kInvalidPageId;
-      DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+      if (options.redo_leaf_memo && memo.Hit(rec.table_id, rec.key)) {
+        pid = memo.pid;
+        out->leaf_memo_hits++;
+      } else {
+        DEUTERO_RETURN_NOT_OK(dc->FindLeafRanged(rec.table_id, rec.key, &pid,
+                                                 &memo.lo, &memo.hi,
+                                                 &memo.bounded));
+        memo.table = rec.table_id;
+        memo.pid = pid;
+        memo.valid = true;
+      }
 
       if (use_dpt && rec.lsn < last_delta_tc_lsn) {
         // Algorithm 5 lines 5-8: optimized redo test.

@@ -36,6 +36,8 @@ struct RedoResult {
   uint64_t skipped_plsn = 0;
   uint64_t tail_ops = 0;
   uint64_t smo_redone = 0;  ///< SQL family only (logical did them earlier).
+  /// Logical family: index traversals skipped by the last-leaf memo.
+  uint64_t leaf_memo_hits = 0;
   ActiveTxnTable att;       ///< Filled by the logical families.
   TxnId max_txn_id = 0;
 };

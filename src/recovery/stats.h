@@ -36,6 +36,7 @@ struct RecoveryStats {
   uint64_t redo_skipped_rlsn = 0;   ///< Bypassed: LSN < rLSN (no fetch).
   uint64_t redo_skipped_plsn = 0;   ///< Bypassed: pLSN test after fetch.
   uint64_t redo_tail_ops = 0;       ///< Handled in tail-of-log mode (§4.3).
+  uint64_t redo_leaf_memo_hits = 0; ///< Traversals skipped by the leaf memo.
 
   // I/O behaviour during recovery (buffer pool deltas).
   uint64_t data_page_fetches = 0;

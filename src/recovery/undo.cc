@@ -51,26 +51,42 @@ Status RunUndo(LogManager* log, DataComponent* dc, const ActiveTxnTable& att,
     DEUTERO_RETURN_NOT_OK(log->ReadRecordAt(cur.next, &rec, true));
     switch (rec.type) {
       case LogRecordType::kUpdate:
-      case LogRecordType::kInsert: {
-        // Logical undo (§1.2): rediscover the record's page by key.
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete: {
+        // Logical undo (§1.2): rediscover the record's page by key. The
+        // undo of a delete re-inserts the before-image, so it must ensure
+        // leaf space first (PrepareInsert splits — and logs SMOs — if the
+        // leaf filled up since the delete).
         PageId pid = kInvalidPageId;
-        DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+        if (rec.type == LogRecordType::kDelete) {
+          DEUTERO_RETURN_NOT_OK(
+              dc->PrepareInsert(rec.table_id, rec.key, &pid));
+        } else {
+          DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
+        }
         LogRecord clr;
         clr.type = LogRecordType::kClr;
         clr.txn_id = cur.txn;
         clr.table_id = rec.table_id;
         clr.key = rec.key;
-        clr.after = rec.type == LogRecordType::kUpdate ? rec.before
-                                                       : std::string();
+        clr.after = rec.type == LogRecordType::kInsert ? std::string()
+                                                       : rec.before;
         clr.pid = pid;
         clr.undo_next_lsn = rec.prev_lsn;
         const Lsn clr_lsn = log->Append(clr);
-        if (rec.type == LogRecordType::kUpdate) {
-          DEUTERO_RETURN_NOT_OK(dc->ApplyUpdate(rec.table_id, pid, rec.key,
-                                              rec.before, clr_lsn));
-        } else {
-          DEUTERO_RETURN_NOT_OK(
-              dc->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+        switch (rec.type) {
+          case LogRecordType::kUpdate:
+            DEUTERO_RETURN_NOT_OK(dc->ApplyUpdate(rec.table_id, pid, rec.key,
+                                                  rec.before, clr_lsn));
+            break;
+          case LogRecordType::kInsert:
+            DEUTERO_RETURN_NOT_OK(
+                dc->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+            break;
+          default:  // kDelete: restore the row
+            DEUTERO_RETURN_NOT_OK(dc->ApplyUpsert(rec.table_id, pid, rec.key,
+                                                  rec.before, clr_lsn));
+            break;
         }
         out->ops_undone++;
         out->clrs_written++;

@@ -4,16 +4,42 @@
 
 namespace deutero {
 
+LockManager::TxnLocks* LockManager::FindTxn(TxnId txn) {
+  for (TxnLocks& t : by_txn_) {
+    if (t.txn == txn) return &t;
+  }
+  return nullptr;
+}
+
+const LockManager::TxnLocks* LockManager::FindTxn(TxnId txn) const {
+  for (const TxnLocks& t : by_txn_) {
+    if (t.txn == txn) return &t;
+  }
+  return nullptr;
+}
+
+void LockManager::RecordHeld(TxnId txn, const LockId& id) {
+  TxnLocks* slot = FindTxn(txn);
+  if (slot == nullptr) slot = FindTxn(kInvalidTxnId);  // recycle a free slot
+  if (slot == nullptr) {
+    by_txn_.emplace_back();
+    slot = &by_txn_.back();
+  }
+  slot->txn = txn;
+  slot->ids.push_back(id);
+}
+
 Status LockManager::Acquire(TxnId txn, TableId table, Key key,
                             LockMode mode) {
   const LockId id{table, key};
-  auto it = locks_.find(id);
-  if (it == locks_.end()) {
-    locks_.emplace(id, LockState{mode, {txn}});
-    by_txn_[txn].push_back(id);
+  LockState& st = locks_[id];
+  if (st.holders.empty()) {  // fresh or pooled (released) entry
+    st.mode = mode;
+    st.holders.push_back(txn);
+    held_entries_++;
+    RecordHeld(txn, id);
     return Status::OK();
   }
-  LockState& st = it->second;
   const bool already =
       std::find(st.holders.begin(), st.holders.end(), txn) !=
       st.holders.end();
@@ -29,29 +55,33 @@ Status LockManager::Acquire(TxnId txn, TableId table, Key key,
   }
   if (st.mode == LockMode::kShared && mode == LockMode::kShared) {
     st.holders.push_back(txn);
-    by_txn_[txn].push_back(id);
+    RecordHeld(txn, id);
     return Status::OK();
   }
   return Status::Busy("lock conflict");
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  auto it = by_txn_.find(txn);
-  if (it == by_txn_.end()) return;
-  for (const LockId& id : it->second) {
+  TxnLocks* slot = FindTxn(txn);
+  if (slot == nullptr) return;
+  for (const LockId& id : slot->ids) {
     auto lit = locks_.find(id);
     if (lit == locks_.end()) continue;
     auto& holders = lit->second.holders;
     holders.erase(std::remove(holders.begin(), holders.end(), txn),
                   holders.end());
-    if (holders.empty()) locks_.erase(lit);
+    // Pool the entry: an empty holder list marks it free for reuse without
+    // giving back the node or the vector capacity.
+    if (holders.empty()) held_entries_--;
   }
-  by_txn_.erase(it);
+  slot->txn = kInvalidTxnId;
+  slot->ids.clear();
 }
 
 void LockManager::Reset() {
   locks_.clear();
   by_txn_.clear();
+  held_entries_ = 0;
 }
 
 bool LockManager::Holds(TxnId txn, TableId table, Key key) const {
@@ -62,8 +92,8 @@ bool LockManager::Holds(TxnId txn, TableId table, Key key) const {
 }
 
 size_t LockManager::held_by(TxnId txn) const {
-  auto it = by_txn_.find(txn);
-  return it == by_txn_.end() ? 0 : it->second.size();
+  const TxnLocks* slot = FindTxn(txn);
+  return slot == nullptr ? 0 : slot->ids.size();
 }
 
 }  // namespace deutero

@@ -1,7 +1,14 @@
 // Logical lock manager (paper §1.1 cites [13]: locking without location
 // information). Locks are on (table, key) — never on pages, which the TC
-// cannot name. Exclusive-only: the paper's workloads are update-only; shared
-// locks exist for reads.
+// cannot name. Exclusive for writes, shared for reads.
+//
+// Allocation behaviour: the lock table pools its entries. Releasing a lock
+// empties the entry's holder list (keeping its capacity) instead of erasing
+// the node, and per-transaction lock lists live in reusable slots, so a
+// steady-state Acquire/ReleaseAll cycle over previously-seen keys performs
+// zero heap allocations — a WriteBatch apply stays allocation-free per op.
+// The table grows with the set of distinct keys ever locked (bounded by the
+// working set; dropped wholesale on Reset()).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +37,8 @@ class LockManager {
 
   bool Holds(TxnId txn, TableId table, Key key) const;
   size_t held_by(TxnId txn) const;
-  size_t total_locks() const { return locks_.size(); }
+  /// Number of (table, key) entries currently held by some transaction.
+  size_t total_locks() const { return held_entries_; }
 
  private:
   struct LockId {
@@ -48,12 +56,23 @@ class LockManager {
     }
   };
   struct LockState {
-    LockMode mode;
+    LockMode mode = LockMode::kShared;
     std::vector<TxnId> holders;  ///< 1 holder if exclusive; >=1 if shared.
   };
+  /// Per-transaction lock list. Slots are recycled across transactions
+  /// (txn == kInvalidTxnId marks a free slot with retained capacity).
+  struct TxnLocks {
+    TxnId txn = kInvalidTxnId;
+    std::vector<LockId> ids;
+  };
+
+  TxnLocks* FindTxn(TxnId txn);
+  const TxnLocks* FindTxn(TxnId txn) const;
+  void RecordHeld(TxnId txn, const LockId& id);
 
   std::unordered_map<LockId, LockState, LockIdHash> locks_;
-  std::unordered_map<TxnId, std::vector<LockId>> by_txn_;
+  std::vector<TxnLocks> by_txn_;
+  size_t held_entries_ = 0;
 };
 
 }  // namespace deutero

@@ -9,6 +9,18 @@ TransactionComponent::TransactionComponent(SimClock* clock, LogManager* log,
                                            const EngineOptions& options)
     : clock_(clock), log_(log), dc_(dc), options_(options) {}
 
+TransactionComponent::ActiveTxn* TransactionComponent::FindActive(TxnId txn) {
+  for (ActiveTxn& t : active_) {
+    if (t.id == txn) return &t;
+  }
+  return nullptr;
+}
+
+void TransactionComponent::EraseActive(ActiveTxn* t) {
+  *t = active_.back();
+  active_.pop_back();
+}
+
 Status TransactionComponent::Begin(TxnId* txn) {
   const TxnId id = next_txn_++;
   LogRecord rec;
@@ -16,7 +28,7 @@ Status TransactionComponent::Begin(TxnId* txn) {
   rec.txn_id = id;
   rec.prev_lsn = kInvalidLsn;
   const Lsn lsn = log_->Append(rec);
-  active_[id] = ActiveTxn{id, lsn, lsn, 0};
+  active_.push_back(ActiveTxn{id, lsn, lsn, 0});
   stats_.begun++;
   *txn = id;
   return Status::OK();
@@ -24,28 +36,26 @@ Status TransactionComponent::Begin(TxnId* txn) {
 
 Status TransactionComponent::Update(TxnId txn, TableId table, Key key,
                                     Slice value) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
   DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
   DEUTERO_RETURN_NOT_OK(
       locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
 
   PageId pid = kInvalidPageId;
-  std::string before;
-  DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(table, key, &pid, &before));
+  LogRecord& rec = scratch_;
+  DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(table, key, &pid, &rec.before));
 
-  LogRecord rec;
   rec.type = LogRecordType::kUpdate;
   rec.txn_id = txn;
   rec.table_id = table;
   rec.key = key;
-  rec.before = std::move(before);
-  rec.after = value.ToString();
+  rec.after.assign(value.data(), value.size());
   rec.pid = pid;  // physiological hint; ignored by logical recovery
-  rec.prev_lsn = it->second.last_lsn;
+  rec.prev_lsn = t->last_lsn;
   const Lsn lsn = log_->Append(rec);
-  it->second.last_lsn = lsn;
-  it->second.ops++;
+  t->last_lsn = lsn;
+  t->ops++;
 
   DEUTERO_RETURN_NOT_OK(dc_->ApplyUpdate(table, pid, key, value, lsn));
   dc_->Tick();
@@ -55,33 +65,71 @@ Status TransactionComponent::Update(TxnId txn, TableId table, Key key,
 
 Status TransactionComponent::Insert(TxnId txn, TableId table, Key key,
                                     Slice value) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
   DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
   DEUTERO_RETURN_NOT_OK(
       locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
 
   // PrepareInsert may run (and log) SMO system transactions; their records
   // precede this insert's record, preserving LSN order for physiological
-  // replay.
+  // replay. It never mutates the active list (SMOs are DC-side system
+  // transactions), which is why `t` stays valid across the call.
   PageId pid = kInvalidPageId;
   DEUTERO_RETURN_NOT_OK(dc_->PrepareInsert(table, key, &pid));
 
-  LogRecord rec;
+  // Duplicate check BEFORE logging: if the kInsert record reached the log
+  // and the apply then failed, rollback would "compensate" an operation
+  // that never happened — deleting the committed row — and redo would
+  // replay the orphan record into a permanent recovery failure.
+  bool exists = false;
+  DEUTERO_RETURN_NOT_OK(dc_->LeafContains(table, pid, key, &exists));
+  if (exists) return Status::InvalidArgument("duplicate key");
+
+  LogRecord& rec = scratch_;
   rec.type = LogRecordType::kInsert;
   rec.txn_id = txn;
   rec.table_id = table;
   rec.key = key;
-  rec.after = value.ToString();
+  rec.before.clear();
+  rec.after.assign(value.data(), value.size());
   rec.pid = pid;
-  rec.prev_lsn = it->second.last_lsn;
+  rec.prev_lsn = t->last_lsn;
   const Lsn lsn = log_->Append(rec);
-  it->second.last_lsn = lsn;
-  it->second.ops++;
+  t->last_lsn = lsn;
+  t->ops++;
 
   DEUTERO_RETURN_NOT_OK(dc_->ApplyInsert(table, pid, key, value, lsn));
   dc_->Tick();
   stats_.inserts++;
+  return Status::OK();
+}
+
+Status TransactionComponent::Delete(TxnId txn, TableId table, Key key) {
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
+  DEUTERO_RETURN_NOT_OK(
+      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+
+  // The before-image rides on the record so undo can re-insert the row.
+  PageId pid = kInvalidPageId;
+  LogRecord& rec = scratch_;
+  DEUTERO_RETURN_NOT_OK(dc_->LocateForUpdate(table, key, &pid, &rec.before));
+
+  rec.type = LogRecordType::kDelete;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = key;
+  rec.after.clear();
+  rec.pid = pid;
+  rec.prev_lsn = t->last_lsn;
+  const Lsn lsn = log_->Append(rec);
+  t->last_lsn = lsn;
+  t->ops++;
+
+  DEUTERO_RETURN_NOT_OK(dc_->ApplyDelete(table, pid, key, lsn));
+  dc_->Tick();
+  stats_.deletes++;
   return Status::OK();
 }
 
@@ -95,16 +143,16 @@ Status TransactionComponent::Read(TxnId txn, TableId table, Key key,
 }
 
 Status TransactionComponent::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
   LogRecord rec;
   rec.type = LogRecordType::kTxnCommit;
   rec.txn_id = txn;
-  rec.prev_lsn = it->second.last_lsn;
+  rec.prev_lsn = t->last_lsn;
   log_->Append(rec);
   ForceLog();  // group commit boundary: commit is durable
   locks_.ReleaseAll(txn);
-  active_.erase(it);
+  EraseActive(t);
   stats_.committed++;
   return Status::OK();
 }
@@ -154,6 +202,27 @@ Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
         cursor = rec.prev_lsn;
         break;
       }
+      case LogRecordType::kDelete: {
+        // Undo of a delete re-inserts the before-image. The leaf may have
+        // filled up since; PrepareInsert splits (logging SMOs) if needed.
+        PageId pid = kInvalidPageId;
+        DEUTERO_RETURN_NOT_OK(
+            dc_->PrepareInsert(rec.table_id, rec.key, &pid));
+        LogRecord clr;
+        clr.type = LogRecordType::kClr;
+        clr.txn_id = txn->id;
+        clr.table_id = rec.table_id;
+        clr.key = rec.key;
+        clr.after = rec.before;  // restored image (re-insert)
+        clr.pid = pid;
+        clr.undo_next_lsn = rec.prev_lsn;
+        const Lsn clr_lsn = log_->Append(clr);
+        txn->last_lsn = clr_lsn;
+        DEUTERO_RETURN_NOT_OK(dc_->ApplyUpsert(rec.table_id, pid, rec.key,
+                                               rec.before, clr_lsn));
+        cursor = rec.prev_lsn;
+        break;
+      }
       case LogRecordType::kClr:
         cursor = rec.undo_next_lsn;  // skip the already-undone prefix
         break;
@@ -169,17 +238,17 @@ Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
 }
 
 Status TransactionComponent::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  if (it == active_.end()) return Status::InvalidArgument("unknown txn");
-  DEUTERO_RETURN_NOT_OK(UndoToLsn(&it->second, kInvalidLsn));
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
+  DEUTERO_RETURN_NOT_OK(UndoToLsn(t, kInvalidLsn));
   LogRecord rec;
   rec.type = LogRecordType::kTxnAbort;
   rec.txn_id = txn;
-  rec.prev_lsn = it->second.last_lsn;
+  rec.prev_lsn = t->last_lsn;
   log_->Append(rec);
   ForceLog();
   locks_.ReleaseAll(txn);
-  active_.erase(it);
+  EraseActive(t);
   stats_.aborted++;
   return Status::OK();
 }
@@ -202,9 +271,9 @@ Status TransactionComponent::Checkpoint(uint64_t* pages_flushed) {
   // Capture the active transaction table: a loser idle across this
   // checkpoint must still reach the undo pass (classic ARIES; both
   // checkpoint schemes need it).
-  for (const auto& [txn, state] : active_) {
-    bckpt.att_txn_ids.push_back(txn);
-    bckpt.att_last_lsns.push_back(state.last_lsn);
+  for (const ActiveTxn& t : active_) {
+    bckpt.att_txn_ids.push_back(t.id);
+    bckpt.att_last_lsns.push_back(t.last_lsn);
   }
   if (options_.checkpoint_scheme == CheckpointScheme::kAries) {
     // §3.1: capture the runtime DPT in the checkpoint record; flush nothing.

@@ -11,11 +11,16 @@
 //      operations at or before that point and logs an RSSP ack;
 //   3. append eCkpt naming the bCkpt, force, update the master record.
 // The redo scan start point of the NEXT recovery is this bCkpt.
+//
+// Hot-path allocation behaviour: data operations encode through a scratch
+// LogRecord whose before/after strings keep their capacity across calls,
+// and the active-transaction table is a flat vector with recycled capacity,
+// so a steady-state operation performs no heap allocation in the TC.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/options.h"
 #include "common/status.h"
@@ -42,6 +47,7 @@ class TransactionComponent {
     uint64_t aborted = 0;
     uint64_t updates = 0;
     uint64_t inserts = 0;
+    uint64_t deletes = 0;
     uint64_t checkpoints = 0;
     uint64_t log_forces = 0;
   };
@@ -52,6 +58,7 @@ class TransactionComponent {
   Status Begin(TxnId* txn);
   Status Update(TxnId txn, TableId table, Key key, Slice value);
   Status Insert(TxnId txn, TableId table, Key key, Slice value);
+  Status Delete(TxnId txn, TableId table, Key key);
   Status Read(TxnId txn, TableId table, Key key, std::string* value);
   Status Commit(TxnId txn);
 
@@ -77,13 +84,15 @@ class TransactionComponent {
   /// Test-only fault injection: make Checkpoint() stop at a protocol point.
   void set_crash_points(const CrashPoints& cp) { options_.crash_points = cp; }
 
-  const std::unordered_map<TxnId, ActiveTxn>& active_txns() const {
-    return active_;
-  }
+  /// Live transactions, unordered. Entries are live only (no free slots).
+  const std::vector<ActiveTxn>& active_txns() const { return active_; }
   LockManager& locks() { return locks_; }
   const Stats& stats() const { return stats_; }
 
  private:
+  ActiveTxn* FindActive(TxnId txn);
+  /// Remove `t` from the active list (swap-with-back; capacity retained).
+  void EraseActive(ActiveTxn* t);
   Status UndoToLsn(ActiveTxn* txn, Lsn stop_after);
 
   SimClock* clock_;
@@ -91,8 +100,11 @@ class TransactionComponent {
   DataComponent* dc_;
   EngineOptions options_;
   LockManager locks_;
-  std::unordered_map<TxnId, ActiveTxn> active_;
+  std::vector<ActiveTxn> active_;
   TxnId next_txn_ = 1;
+  /// Scratch for data-op logging: before/after capacity is reused across
+  /// operations so the append path stays allocation-free.
+  LogRecord scratch_;
   Stats stats_;
 };
 

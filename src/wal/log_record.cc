@@ -34,6 +34,8 @@ const char* LogRecordTypeName(LogRecordType t) {
       return "Smo";
     case LogRecordType::kCreateTable:
       return "CreateTable";
+    case LogRecordType::kDelete:
+      return "Delete";
     case LogRecordType::kMaxType:
       break;
   }
@@ -69,6 +71,7 @@ size_t LogRecord::PayloadSizeHint() const {
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
       return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 +
              (kMaxVarint32 + before.size()) + (kMaxVarint32 + after.size());
     case LogRecordType::kClr:
@@ -116,6 +119,7 @@ void LogRecord::EncodePayloadTo(std::string* dst) const {
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
       PutVarint64(&out, txn_id);
       PutVarint32(&out, table_id);
       PutFixed64(&out, key);
@@ -243,6 +247,7 @@ Status LogRecordView::DecodePayload(LogRecordType type, Slice in,
   switch (type) {
     case LogRecordType::kUpdate:
     case LogRecordType::kInsert:
+    case LogRecordType::kDelete:
       ok = GetVarint64(&in, &out->txn_id) &&
            GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
            GetFixed64(&in, &out->prev_lsn) && GetFixed32(&in, &out->pid) &&

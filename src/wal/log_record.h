@@ -54,7 +54,8 @@ enum class LogRecordType : uint8_t {
   kRsspAck = 11,         ///< DC acknowledgment of RSSP; records rsspLSN.
   kSmo = 12,             ///< DC structure modification (page split).
   kCreateTable = 13,     ///< DDL: new table (id, schema, root page image).
-  kMaxType = 14,
+  kDelete = 14,          ///< TC record delete (carries the before-image).
+  kMaxType = 15,
 };
 
 /// Returns a stable display name for a record type.
@@ -84,13 +85,14 @@ struct LogRecordView {
   LogRecordType type = LogRecordType::kInvalid;
   Lsn lsn = kInvalidLsn;  ///< Filled by the reader; never serialized.
 
-  // --- transaction records (kUpdate/kInsert/kClr/kTxnBegin/Commit/Abort) ---
+  // --- transaction records (kUpdate/kInsert/kDelete/kClr/kTxnBegin/
+  //     Commit/Abort) ---
   TxnId txn_id = kInvalidTxnId;
   Lsn prev_lsn = kInvalidLsn;
   TableId table_id = kInvalidTableId;
   Key key = 0;
   Slice before;  ///< Before-image (undo); empty for inserts.
-  Slice after;   ///< After-image (redo) / restored image for CLRs.
+  Slice after;   ///< After-image (redo); empty for deletes; CLR image.
   PageId pid = kInvalidPageId;
   Lsn undo_next_lsn = kInvalidLsn;
 
@@ -131,7 +133,7 @@ struct LogRecordView {
 
   bool IsRedoableDataOp() const {
     return type == LogRecordType::kUpdate || type == LogRecordType::kInsert ||
-           type == LogRecordType::kClr;
+           type == LogRecordType::kDelete || type == LogRecordType::kClr;
   }
 };
 
@@ -143,13 +145,14 @@ struct LogRecord {
   /// Filled in by the appender / reader; never serialized (it IS the offset).
   Lsn lsn = kInvalidLsn;
 
-  // --- transaction records (kUpdate/kInsert/kClr/kTxnBegin/Commit/Abort) ---
+  // --- transaction records (kUpdate/kInsert/kDelete/kClr/kTxnBegin/
+  //     Commit/Abort) ---
   TxnId txn_id = kInvalidTxnId;
   Lsn prev_lsn = kInvalidLsn;  ///< Same-transaction backchain.
   TableId table_id = kInvalidTableId;
   Key key = 0;
   std::string before;  ///< Before-image (undo); empty for inserts.
-  std::string after;   ///< After-image (redo) / restored image for CLRs.
+  std::string after;   ///< After-image (redo); empty for deletes; CLR image.
   PageId pid = kInvalidPageId;  ///< Physiological hint; logical redo ignores.
   Lsn undo_next_lsn = kInvalidLsn;  ///< CLR: next record to undo.
 
@@ -198,10 +201,10 @@ struct LogRecord {
                               LogRecord* out);
 
   /// True for record types that the TC redo pass treats as redoable data
-  /// operations (kUpdate/kInsert/kClr).
+  /// operations (kUpdate/kInsert/kDelete/kClr).
   bool IsRedoableDataOp() const {
     return type == LogRecordType::kUpdate || type == LogRecordType::kInsert ||
-           type == LogRecordType::kClr;
+           type == LogRecordType::kDelete || type == LogRecordType::kClr;
   }
 };
 

@@ -17,6 +17,7 @@ WorkloadDriver::WorkloadDriver(Engine* engine, const WorkloadConfig& config)
                                                config_.zipf_theta,
                                                config_.seed ^ 0x5a5a5a5a);
   }
+  (void)engine_->OpenDefaultTable(&table_);
 }
 
 Key WorkloadDriver::NextKey() {
@@ -25,7 +26,7 @@ Key WorkloadDriver::NextKey() {
 }
 
 Status WorkloadDriver::OpenTxnIfNeeded() {
-  if (open_txn_ == kInvalidTxnId) {
+  if (!open_txn_.active()) {
     DEUTERO_RETURN_NOT_OK(engine_->Begin(&open_txn_));
     open_ops_ = 0;
     pending_.clear();
@@ -34,22 +35,21 @@ Status WorkloadDriver::OpenTxnIfNeeded() {
 }
 
 Status WorkloadDriver::CommitIfFull() {
-  if (open_txn_ != kInvalidTxnId && open_ops_ >= updates_per_txn_) {
+  if (open_txn_.active() && open_ops_ >= updates_per_txn_) {
     return CommitOpen();
   }
   return Status::OK();
 }
 
 Status WorkloadDriver::CommitOpen() {
-  if (open_txn_ == kInvalidTxnId) return Status::OK();
-  DEUTERO_RETURN_NOT_OK(engine_->Commit(open_txn_));
+  if (!open_txn_.active()) return Status::OK();
+  DEUTERO_RETURN_NOT_OK(open_txn_.Commit());
   for (const auto& [key, version] : pending_) {
     committed_[key] = version;
     auto ins = inserted_.find(key);
     if (ins != inserted_.end()) ins->second = true;
   }
   pending_.clear();
-  open_txn_ = kInvalidTxnId;
   open_ops_ = 0;
   txns_committed_++;
   return Status::OK();
@@ -59,8 +59,49 @@ Status WorkloadDriver::DoOneOp() {
   DEUTERO_RETURN_NOT_OK(OpenTxnIfNeeded());
   if (config_.read_fraction > 0 && rng_.Bernoulli(config_.read_fraction)) {
     std::string value;
-    const Status st = engine_->Read(NextKey(), &value);
+    const Status st = table_.Read(NextKey(), &value);
     if (!st.ok() && !st.IsNotFound()) return st;
+    open_ops_++;
+    ops_done_++;
+    return Status::OK();
+  }
+  if (config_.scan_fraction > 0 && rng_.Bernoulli(config_.scan_fraction)) {
+    // Snapshot range scan; sanity-check key ordering while we are here.
+    const Key lo = NextKey();
+    ScanCursor c;
+    DEUTERO_RETURN_NOT_OK(table_.Scan(lo, lo + config_.scan_span - 1, &c));
+    Key prev = 0;
+    bool first = true;
+    while (c.Valid()) {
+      const Key k = c.key();
+      if (!first && k <= prev) {
+        return Status::Corruption("scan keys out of order");
+      }
+      if (c.value().size() != value_size_) {
+        return Status::Corruption("scan value size mismatch");
+      }
+      prev = k;
+      first = false;
+      scan_rows_seen_++;
+      DEUTERO_RETURN_NOT_OK(c.Next());
+    }
+    scans_done_++;
+    open_ops_++;
+    ops_done_++;
+    return Status::OK();
+  }
+  if (config_.delete_fraction > 0 &&
+      rng_.Bernoulli(config_.delete_fraction)) {
+    const Key key = NextKey();
+    const Status st = open_txn_.Delete(table_, key);
+    if (st.IsNotFound()) {
+      // Already deleted (and not yet re-inserted): record nothing.
+    } else if (!st.ok()) {
+      return st;
+    } else {
+      pending_.emplace_back(key, kTombstone);
+      deletes_done_++;
+    }
     open_ops_++;
     ops_done_++;
     return Status::OK();
@@ -73,7 +114,7 @@ Status WorkloadDriver::DoOneOp() {
     counter_[key] = version;
     const std::string value =
         SynthesizeValueString(key, version, value_size_);
-    DEUTERO_RETURN_NOT_OK(engine_->Insert(open_txn_, key, value));
+    DEUTERO_RETURN_NOT_OK(open_txn_.Insert(table_, key, value));
     inserted_[key] = false;  // not yet committed
     pending_.emplace_back(key, version);
   } else {
@@ -81,7 +122,12 @@ Status WorkloadDriver::DoOneOp() {
     const uint32_t version = ++counter_[key];
     const std::string value =
         SynthesizeValueString(key, version, value_size_);
-    DEUTERO_RETURN_NOT_OK(engine_->Update(open_txn_, key, value));
+    Status st = open_txn_.Update(table_, key, value);
+    if (st.IsNotFound()) {
+      // The key was deleted: updating it re-inserts the row.
+      st = open_txn_.Insert(table_, key, value);
+    }
+    DEUTERO_RETURN_NOT_OK(st);
     pending_.emplace_back(key, version);
   }
   open_ops_++;
@@ -108,7 +154,9 @@ Status WorkloadDriver::RunOpsNoCommit(uint64_t n) {
 }
 
 void WorkloadDriver::OnCrash() {
-  open_txn_ = kInvalidTxnId;
+  // The engine dropped the transaction with its volatile state; detach the
+  // handle without attempting an abort.
+  open_txn_.Release();
   open_ops_ = 0;
   pending_.clear();
 }
@@ -119,6 +167,9 @@ std::string WorkloadDriver::ExpectedValue(Key key) const {
     return std::string();  // uncommitted insert: must not exist
   }
   auto it = committed_.find(key);
+  if (it != committed_.end() && it->second == kTombstone) {
+    return std::string();  // committed delete: must not exist
+  }
   const uint32_t version = it == committed_.end() ? 0 : it->second;
   return SynthesizeValueString(key, version, value_size_);
 }
@@ -129,10 +180,10 @@ Status WorkloadDriver::Verify(uint64_t sample_count, uint64_t* checked) {
   auto check_key = [&](Key key) -> Status {
     const std::string expected = ExpectedValue(key);
     std::string got;
-    const Status st = engine_->Read(key, &got);
+    const Status st = table_.Read(key, &got);
     if (expected.empty()) {
       if (!st.IsNotFound()) {
-        return Status::Corruption("rolled-back insert still present");
+        return Status::Corruption("deleted/rolled-back key still present");
       }
       n++;
       return Status::OK();

@@ -2,15 +2,19 @@
 // transactions (10 updates each by default) that overwrite the data
 // attribute of a record chosen by an equality search on the key attribute.
 // Uniform key choice is the paper's default ("worst case for redo");
-// Zipfian is available for the locality experiments.
+// Zipfian is available for the locality experiments. Mixed workloads add
+// inserts of fresh keys (exercising SMOs), deletes of existing keys
+// (exercising the kDelete redo/undo paths), reads, and range scans.
 //
 // The driver maintains the oracle: the committed version of every updated
-// key. Values are the deterministic function of (key, version) from
-// common/value_codec.h, so the oracle is tiny and can predict the payload
-// of any key — including never-updated keys (version 0).
+// key (with a tombstone version for committed deletes). Values are the
+// deterministic function of (key, version) from common/value_codec.h, so
+// the oracle is tiny and can predict the payload of any key — including
+// never-updated keys (version 0).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -34,6 +38,13 @@ struct WorkloadConfig {
   /// update-only — its stated worst case, since "reads dilute the cache
   /// update density" (App. B) — but mixed workloads are supported.
   double read_fraction = 0.0;
+  /// Fraction of operations that delete the chosen key (a later update of
+  /// a deleted key re-inserts it, so the table does not drain).
+  double delete_fraction = 0.0;
+  /// Fraction of operations that run a snapshot range scan of `scan_span`
+  /// keys starting at the chosen key.
+  double scan_fraction = 0.0;
+  uint64_t scan_span = 16;
   uint64_t seed = 7;
 };
 
@@ -56,7 +67,9 @@ class WorkloadDriver {
   /// Called when the engine crashes: discard in-flight expectations.
   void OnCrash();
 
-  /// Expected committed value of `key` (version 0 if never updated).
+  /// Expected committed value of `key` (version 0 if never updated; empty
+  /// means the key must not exist — rolled-back insert or committed
+  /// delete).
   std::string ExpectedValue(Key key) const;
 
   /// Compare `sample_count` deterministically chosen keys (plus every key
@@ -65,9 +78,16 @@ class WorkloadDriver {
 
   uint64_t ops_done() const { return ops_done_; }
   uint64_t txns_committed() const { return txns_committed_; }
+  uint64_t deletes_done() const { return deletes_done_; }
+  uint64_t scans_done() const { return scans_done_; }
+  uint64_t scan_rows_seen() const { return scan_rows_seen_; }
   const std::unordered_map<Key, uint32_t>& committed_versions() const {
     return committed_;
   }
+
+  /// Version value in the oracle meaning "committed delete".
+  static constexpr uint32_t kTombstone =
+      std::numeric_limits<uint32_t>::max();
 
  private:
   Key NextKey();
@@ -84,7 +104,8 @@ class WorkloadDriver {
   uint32_t value_size_;
   uint32_t updates_per_txn_;
 
-  TxnId open_txn_ = kInvalidTxnId;
+  Table table_;
+  Txn open_txn_;
   uint32_t open_ops_ = 0;
   std::vector<std::pair<Key, uint32_t>> pending_;  ///< (key, version).
 
@@ -94,6 +115,9 @@ class WorkloadDriver {
 
   uint64_t ops_done_ = 0;
   uint64_t txns_committed_ = 0;
+  uint64_t deletes_done_ = 0;
+  uint64_t scans_done_ = 0;
+  uint64_t scan_rows_seen_ = 0;
 };
 
 }  // namespace deutero

@@ -303,5 +303,110 @@ TEST(ObserveForAttTest, TracksChainTailAndRemovesOnEnd) {
   EXPECT_EQ(max_txn, 3u);
 }
 
+// ---------------------------------------------------------------------------
+// The open-addressed DirtyPageTable structure itself (robin-hood probing,
+// backward-shift deletion, doubling growth) under churn — the counterpart
+// of the buffer-pool PageTable suite, plus the DPT's ADDENTRY semantics.
+// ---------------------------------------------------------------------------
+
+TEST(DirtyPageTableStructure, AddFindRemoveBasics) {
+  DirtyPageTable dpt;
+  EXPECT_TRUE(dpt.empty());
+  dpt.AddOrUpdate(10, 100);
+  dpt.AddOrUpdate(10, 200);  // later mention: only lastLSN advances
+  ASSERT_NE(dpt.Find(10), nullptr);
+  EXPECT_EQ(dpt.Find(10)->rlsn, 100u);
+  EXPECT_EQ(dpt.Find(10)->last_lsn, 200u);
+  EXPECT_EQ(dpt.Find(11), nullptr);
+  EXPECT_TRUE(dpt.Remove(10));
+  EXPECT_FALSE(dpt.Remove(10));
+  EXPECT_TRUE(dpt.empty());
+}
+
+TEST(DirtyPageTableStructure, GrowthPreservesEntriesAndSemantics) {
+  DirtyPageTable dpt;
+  const size_t initial_slots = dpt.slot_count();
+  // Push far past the initial geometry to force multiple doublings.
+  for (PageId pid = 0; pid < 10'000; pid++) {
+    dpt.AddOrUpdate(pid, pid + 7);
+  }
+  EXPECT_EQ(dpt.size(), 10'000u);
+  EXPECT_GT(dpt.slot_count(), initial_slots);
+  EXPECT_LE(dpt.size() * 2, dpt.slot_count()) << "load factor above 50%";
+  for (PageId pid = 0; pid < 10'000; pid++) {
+    ASSERT_NE(dpt.Find(pid), nullptr) << "pid " << pid << " lost in growth";
+    EXPECT_EQ(dpt.Find(pid)->rlsn, pid + 7);
+  }
+}
+
+TEST(DirtyPageTableStructure, EraseReinsertChurn) {
+  DirtyPageTable dpt;
+  // BW-pruning shape: interleave inserts with removals of an older cohort,
+  // then re-insert removed pids with fresh LSNs. rLSN must reset (a removed
+  // entry is gone; a later mention is a first mention again).
+  for (uint32_t round = 0; round < 50; round++) {
+    for (PageId pid = 0; pid < 64; pid++) {
+      dpt.AddOrUpdate(round * 64 + pid, 1000 + round);
+    }
+    if (round >= 1) {
+      for (PageId pid = 0; pid < 64; pid++) {
+        EXPECT_TRUE(dpt.Remove((round - 1) * 64 + pid));
+      }
+    }
+  }
+  EXPECT_EQ(dpt.size(), 64u);  // only the last round survives
+  const PageId revived = 5;    // removed in round 1's pruning
+  EXPECT_EQ(dpt.Find(revived), nullptr);
+  dpt.AddOrUpdate(revived, 9999);
+  ASSERT_NE(dpt.Find(revived), nullptr);
+  EXPECT_EQ(dpt.Find(revived)->rlsn, 9999u) << "stale rLSN after reinsert";
+}
+
+TEST(DirtyPageTableStructure, CollidingKeysSurviveBackwardShiftDeletion) {
+  DirtyPageTable dpt;
+  // Dense pids cluster after fibonacci hashing into few slots only when the
+  // table is small; force collisions by inserting many, deleting from the
+  // middle of chains, and verifying the remainder stays reachable.
+  std::vector<PageId> pids;
+  for (PageId pid = 1; pid <= 512; pid++) pids.push_back(pid * 3);
+  for (PageId pid : pids) dpt.AddExact(pid, pid, pid + 1);
+  for (size_t i = 0; i < pids.size(); i += 2) EXPECT_TRUE(dpt.Remove(pids[i]));
+  for (size_t i = 0; i < pids.size(); i++) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(dpt.Find(pids[i]), nullptr);
+    } else {
+      ASSERT_NE(dpt.Find(pids[i]), nullptr) << "pid " << pids[i];
+      EXPECT_EQ(dpt.Find(pids[i])->last_lsn, pids[i] + 1);
+    }
+  }
+  EXPECT_EQ(dpt.size(), pids.size() / 2);
+}
+
+TEST(DirtyPageTableStructure, ClearKeepsCapacityAndEmpties) {
+  DirtyPageTable dpt;
+  for (PageId pid = 0; pid < 1000; pid++) dpt.AddOrUpdate(pid, 1);
+  const size_t slots = dpt.slot_count();
+  dpt.Clear();
+  EXPECT_TRUE(dpt.empty());
+  EXPECT_EQ(dpt.slot_count(), slots);
+  EXPECT_EQ(dpt.Find(5), nullptr);
+  dpt.AddOrUpdate(5, 42);
+  EXPECT_EQ(dpt.Find(5)->rlsn, 42u);
+}
+
+TEST(DirtyPageTableStructure, ForEachVisitsEveryEntryOnce) {
+  DirtyPageTable dpt;
+  for (PageId pid = 100; pid < 200; pid++) dpt.AddOrUpdate(pid, pid);
+  uint64_t visits = 0;
+  uint64_t pid_sum = 0;
+  dpt.ForEach([&](PageId pid, const DirtyPageTable::Entry& e) {
+    visits++;
+    pid_sum += pid;
+    EXPECT_EQ(e.rlsn, pid);
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(pid_sum, (100u + 199u) * 100u / 2u);
+}
+
 }  // namespace
 }  // namespace deutero

@@ -15,6 +15,10 @@
 #include <new>
 #include <string>
 
+#include <algorithm>
+#include <memory>
+
+#include "core/engine.h"
 #include "sim/clock.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
@@ -195,6 +199,101 @@ TEST_F(HotPathAllocTest, SteadyStateAppendDoesNotAllocatePerRecord) {
   });
   EXPECT_LE(allocs, 1u) << "Append is allocating per record again "
                            "(payload temporaries?)";
+}
+
+// ---------------------------------------------------------------------------
+// The handle-API hot paths: snapshot Scan and WriteBatch apply.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+deutero::EngineOptions ApiAllocOptions() {
+  deutero::EngineOptions o;
+  o.page_size = 1024;
+  o.value_size = 26;
+  o.num_rows = 3000;
+  o.cache_pages = 512;  // whole tree resident: no evictions/flushes
+  o.lazy_writer_base_fraction = 0;  // background writer off
+  o.lazy_writer_reference_cache_pages = 512;
+  return o;
+}
+
+}  // namespace
+
+TEST(EngineApiAllocTest, ScanCursorIsAllocationFreePerRow) {
+  using namespace deutero;  // NOLINT
+  std::unique_ptr<Engine> e;
+  ASSERT_TRUE(Engine::Open(ApiAllocOptions(), &e).ok());
+  Table table;
+  ASSERT_TRUE(e->OpenDefaultTable(&table).ok());
+  // Warm-up scan loads every leaf into the (large enough) cache.
+  uint64_t warm_rows = 0;
+  {
+    ScanCursor c;
+    ASSERT_TRUE(table.Scan(0, 2999, &c).ok());
+    while (c.Valid()) {
+      warm_rows++;
+      ASSERT_TRUE(c.Next().ok());
+    }
+  }
+  ASSERT_EQ(warm_rows, 3000u);
+  // Steady state: opening the cursor and visiting every row — keys and
+  // borrowed values included — must not allocate at all.
+  uint64_t rows = 0;
+  uint64_t byte_sum = 0;
+  const uint64_t allocs = CountAllocs([&] {
+    ScanCursor c;
+    (void)table.Scan(0, 2999, &c);
+    while (c.Valid()) {
+      byte_sum += static_cast<uint8_t>(c.value().data()[0]) + c.key();
+      rows++;
+      (void)c.Next();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "per-row heap allocations in the Scan cursor";
+  EXPECT_EQ(rows, 3000u);
+  EXPECT_GT(byte_sum, 0u);
+}
+
+TEST(EngineApiAllocTest, WriteBatchApplyIsAllocationFreePerOp) {
+  using namespace deutero;  // NOLINT
+  std::unique_ptr<Engine> e;
+  ASSERT_TRUE(Engine::Open(ApiAllocOptions(), &e).ok());
+  Table table;
+  ASSERT_TRUE(e->OpenDefaultTable(&table).ok());
+  const std::string value(26, 'v');
+  WriteBatch batch;
+  auto build = [&] {
+    batch.Clear();
+    for (Key k = 0; k < 64; k++) batch.Update(k * 11, value);
+    batch.Delete(700);
+    batch.Insert(700, value);  // delete + re-insert exercises both paths
+  };
+  // Warm up: lock-table entries, txn slots, TC scratch capacity, batch
+  // arena, log buffer headroom.
+  for (int round = 0; round < 32; round++) {
+    build();
+    ASSERT_TRUE(e->Apply(table, batch).ok());
+  }
+  // The Δ-record monitor's DirtySet grows (amortized) with every dirtying;
+  // it is an orthogonal subsystem with its own amortization story — quiesce
+  // it to isolate the API path under test.
+  e->dc().monitor().set_enabled(false);
+  // Count two identical applies and take the minimum: the log buffer grows
+  // geometrically, so at most one of two consecutive windows can land on a
+  // doubling. The surviving count is the true per-batch cost: zero, for a
+  // 66-operation batch (Begin + 66 data ops + Commit + flush).
+  uint64_t best = ~0ull;
+  for (int attempt = 0; attempt < 2; attempt++) {
+    const uint64_t allocs = CountAllocs([&] {
+      build();
+      (void)e->Apply(table, batch);
+    });
+    best = std::min(best, allocs);
+  }
+  EXPECT_EQ(best, 0u)
+      << "per-op heap allocations crept into the WriteBatch apply path "
+         "(TC scratch record? lock-table pooling? batch arena?)";
 }
 
 TEST(PageTableAllocTest, PutFindEraseAreAllocationFreeAfterConstruction) {

@@ -54,6 +54,27 @@ TEST(LogRecordTest, InsertRoundTripEmptyBefore) {
   EXPECT_EQ(out.after, "v");
 }
 
+TEST(LogRecordTest, DeleteRoundTripCarriesBeforeImage) {
+  LogRecord r;
+  r.type = LogRecordType::kDelete;
+  r.txn_id = 9;
+  r.table_id = 2;
+  r.key = 77;
+  r.before = "victim";  // undo re-inserts this
+  r.pid = 13;
+  r.prev_lsn = 456;
+  const LogRecord out = RoundTrip(r);
+  EXPECT_EQ(out.type, LogRecordType::kDelete);
+  EXPECT_EQ(out.txn_id, 9u);
+  EXPECT_EQ(out.table_id, 2u);
+  EXPECT_EQ(out.key, 77u);
+  EXPECT_EQ(out.before, "victim");
+  EXPECT_TRUE(out.after.empty());
+  EXPECT_EQ(out.pid, 13u);
+  EXPECT_EQ(out.prev_lsn, 456u);
+  EXPECT_TRUE(out.IsRedoableDataOp());
+}
+
 TEST(LogRecordTest, ClrRoundTrip) {
   LogRecord r;
   r.type = LogRecordType::kClr;

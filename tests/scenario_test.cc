@@ -88,6 +88,45 @@ TEST(ScenarioTest, UncommittedTailLeavesLoserOnLog) {
   ASSERT_OK(driver.Verify(0, &checked));
 }
 
+// Delete/scan-mixed crash scenario: the §5.2 protocol still holds with the
+// widened operation surface, and every recovery method replays it to the
+// oracle's committed state (deletes redone, loser deletes re-inserted).
+TEST(ScenarioTest, DeleteScanMixedScenarioRecoversUnderAllMethods) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.insert_fraction = 0.10;
+  wc.delete_fraction = 0.15;
+  wc.scan_fraction = 0.10;
+  wc.scan_span = 24;
+  WorkloadDriver driver(e.get(), wc);
+  ScenarioConfig sc;
+  sc.checkpoints = 2;
+  sc.uncommitted_tail_ops = 8;  // loser likely holds deletes to undo
+  ScenarioOutcome out;
+  ASSERT_OK(RunCrashScenario(e.get(), &driver, sc, &out));
+  EXPECT_GT(driver.deletes_done(), 0u) << "mix produced no deletes";
+  EXPECT_GT(driver.scans_done(), 0u) << "mix produced no scans";
+  EXPECT_GT(driver.scan_rows_seen(), driver.scans_done());
+
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+  for (RecoveryMethod m :
+       {RecoveryMethod::kLog0, RecoveryMethod::kLog1, RecoveryMethod::kLog2,
+        RecoveryMethod::kSql1, RecoveryMethod::kSql2}) {
+    ASSERT_OK(e->RestoreStableSnapshot(snap));
+    RecoveryStats st;
+    ASSERT_OK(e->Recover(m, &st));
+    uint64_t checked = 0;
+    ASSERT_OK(driver.Verify(0, &checked));
+    EXPECT_GT(checked, 0u);
+    uint64_t rows = 0;
+    ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+    e->SimulateCrash();
+  }
+}
+
 TEST(ScenarioTest, LazyWriterBoundsDirtyPagesNearWatermark) {
   EngineOptions o = SmallOptions();
   o.cache_pages = 128;
