@@ -4,6 +4,7 @@
 // (not simulated time) — useful for tracking implementation regressions.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "core/engine.h"
 #include "recovery/analysis.h"
 #include "recovery/dpt.h"
+#include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
 #include "storage/page_table.h"
 #include "workload/driver.h"
@@ -388,6 +390,97 @@ void BM_LogicalRedo(benchmark::State& state) {
                                 static_cast<double>(examined);
 }
 BENCHMARK(BM_LogicalRedo)->ArgsProduct({{0, 1}, {0, 1, 2}});
+
+// Wall-clock thread-scaling curve of the partitioned parallel redo
+// pipeline (recovery_threads in {1, 2, 4}) over one crash image, under
+// the two workloads whose apply work the pipeline spreads best: an
+// append-heavy stream (arg1 == 0: sequential fresh keys, long same-leaf
+// runs the worker pin caches absorb) and a Zipfian-0.99 mix (arg1 == 1:
+// popularity skew, hot leaves spread across partitions by the pid hash).
+// Unlike BM_LogicalRedo, every iteration RESTORES the crash image so the
+// redo pass re-applies every operation — the measurement includes the
+// parallelizable leaf work, not just scan + traversal. Timing is manual
+// and covers exactly the redo pass (restore/DC-pass setup is untimed).
+// /1 is the serial pass (the pipeline is bypassed entirely); speedup at
+// /2 and /4 is real_time(/1) / real_time(/N) in BENCH_micro.json — note
+// the JSON context records num_cpus: scaling needs physical cores.
+// sim_redo_ms reports the SIMULATED redo time (I/O + dispatcher CPU +
+// slowest partition's CPU), the cost model's view of the same pipeline.
+void BM_ParallelRedo(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  EngineOptions o;
+  o.page_size = 8192;
+  o.value_size = 26;
+  o.num_rows = 100'000;
+  o.cache_pages = 4096;  // tree resident: isolates CPU scaling
+  o.lazy_writer_reference_cache_pages = 4096;
+  o.checkpoint_interval_updates = 100'000;  // explicit checkpoint only
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(o, &e);
+  {
+    WorkloadConfig wc;
+    if (state.range(1) == 1) {
+      wc.distribution = WorkloadConfig::Distribution::kZipfian;
+    } else {
+      wc.insert_fraction = 0.8;  // append-heavy
+    }
+    WorkloadDriver driver(e.get(), wc);
+    (void)driver.RunOps(2000);  // warm
+    (void)e->Checkpoint();
+    (void)driver.RunOps(12000);  // the redone window
+    driver.OnCrash();
+  }
+  e->SimulateCrash();
+  Engine::StableSnapshot snap;
+  (void)e->TakeStableSnapshot(&snap);
+
+  uint64_t records = 0;
+  uint64_t applied = 0;
+  double sim_ms = 0;
+  uint64_t iters = 0;
+  const Lsn start = e->wal().master().bckpt_lsn;
+  for (auto _ : state) {
+    // Untimed: reinstall the crash image and rebuild the DPT so the timed
+    // pass has real apply work to do every iteration.
+    (void)e->RestoreStableSnapshot(snap);
+    (void)e->dc().OpenDatabase();
+    DcRecoveryResult dcr;
+    (void)RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                        /*build_dpt=*/true, /*preload=*/false, &dcr);
+    RedoResult redo;
+    const double sim_t0 = e->clock().NowMs();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+      (void)RunLogicalRedo(&e->wal(), &e->dc(), start, /*use_dpt=*/true,
+                           &dcr.dpt, dcr.last_delta_tc_lsn, nullptr, o,
+                           &redo);
+    } else {
+      (void)RunLogicalRedoParallel(&e->wal(), &e->dc(), start,
+                                   /*use_dpt=*/true, &dcr.dpt,
+                                   dcr.last_delta_tc_lsn, nullptr, o,
+                                   threads, &redo);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(
+        std::chrono::duration<double>(t1 - t0).count());
+    sim_ms += e->clock().NowMs() - sim_t0;
+    records += redo.records_scanned;
+    applied += redo.applied;
+    iters++;
+    e->SimulateCrash();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(records));
+  state.counters["threads"] = threads;
+  state.counters["applied_per_iter"] =
+      iters == 0 ? 0.0 : static_cast<double>(applied) /
+                             static_cast<double>(iters);
+  state.counters["sim_redo_ms"] =
+      iters == 0 ? 0.0 : sim_ms / static_cast<double>(iters);
+}
+BENCHMARK(BM_ParallelRedo)
+    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ValueSynthesis(benchmark::State& state) {
   uint8_t buf[26];

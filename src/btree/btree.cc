@@ -217,59 +217,100 @@ Status BTree::Read(Key key, std::string* value) {
   return Status::OK();
 }
 
-Status BTree::ApplyUpdate(PageId pid, Key key, Slice value, Lsn lsn) {
-  if (value.size() != value_size_) {
+Status LeafApplyUpdate(PageView page, uint32_t value_size, Key key,
+                       Slice value) {
+  if (value.size() != value_size) {
     return Status::InvalidArgument("value size mismatch");
   }
-  PageHandle h;
-  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
-  PageView page = h.view();
   if (page.type() != PageType::kLeaf) {
     return Status::Corruption("update target is not a leaf");
   }
-  LeafNodeView leaf(page, value_size_);
+  LeafNodeView leaf(page, value_size);
   const uint32_t i = leaf.Find(key);
   if (i == leaf.count()) return Status::NotFound("key not on page");
   leaf.SetValueAt(i, reinterpret_cast<const uint8_t*>(value.data()));
-  h.MarkDirty(lsn);
   return Status::OK();
 }
 
-Status BTree::ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn) {
-  if (value.size() != value_size_) {
+Status LeafApplyInsert(PageView page, uint32_t value_size, Key key,
+                       Slice value, int64_t* rows_delta) {
+  if (value.size() != value_size) {
     return Status::InvalidArgument("value size mismatch");
   }
-  PageHandle h;
-  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
-  PageView page = h.view();
   if (page.type() != PageType::kLeaf) {
     return Status::Corruption("insert target is not a leaf");
   }
-  LeafNodeView leaf(page, value_size_);
+  LeafNodeView leaf(page, value_size);
   const uint32_t i = leaf.LowerBound(key);
   if (i < leaf.count() && leaf.KeyAt(i) == key) {
     return Status::InvalidArgument("duplicate key");
   }
   if (leaf.full()) return Status::Corruption("insert into full leaf");
   leaf.InsertAt(i, key, reinterpret_cast<const uint8_t*>(value.data()));
+  (*rows_delta)++;
+  return Status::OK();
+}
+
+Status LeafApplyDelete(PageView page, uint32_t value_size, Key key,
+                       int64_t* rows_delta) {
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("delete target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size);
+  const uint32_t i = leaf.Find(key);
+  if (i == leaf.count()) return Status::NotFound("key not on page");
+  leaf.RemoveAt(i);
+  (*rows_delta)--;
+  return Status::OK();
+}
+
+Status LeafApplyUpsert(PageView page, uint32_t value_size, Key key,
+                       Slice value, int64_t* rows_delta) {
+  if (value.size() != value_size) {
+    return Status::InvalidArgument("value size mismatch");
+  }
+  if (page.type() != PageType::kLeaf) {
+    return Status::Corruption("upsert target is not a leaf");
+  }
+  LeafNodeView leaf(page, value_size);
+  const uint32_t i = leaf.LowerBound(key);
+  if (i < leaf.count() && leaf.KeyAt(i) == key) {
+    leaf.SetValueAt(i, reinterpret_cast<const uint8_t*>(value.data()));
+  } else {
+    if (leaf.full()) return Status::Corruption("upsert into full leaf");
+    leaf.InsertAt(i, key, reinterpret_cast<const uint8_t*>(value.data()));
+    (*rows_delta)++;
+  }
+  return Status::OK();
+}
+
+Status BTree::ApplyUpdate(PageId pid, Key key, Slice value, Lsn lsn) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  DEUTERO_RETURN_NOT_OK(LeafApplyUpdate(h.view(), value_size_, key, value));
   h.MarkDirty(lsn);
-  num_rows_++;
+  return Status::OK();
+}
+
+Status BTree::ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn) {
+  PageHandle h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+  int64_t delta = 0;
+  DEUTERO_RETURN_NOT_OK(
+      LeafApplyInsert(h.view(), value_size_, key, value, &delta));
+  h.MarkDirty(lsn);
+  AdjustRowCount(delta);
   return Status::OK();
 }
 
 Status BTree::ApplyDelete(PageId pid, Key key, Lsn lsn) {
   PageHandle h;
   DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
-  PageView page = h.view();
-  if (page.type() != PageType::kLeaf) {
-    return Status::Corruption("delete target is not a leaf");
-  }
-  LeafNodeView leaf(page, value_size_);
-  const uint32_t i = leaf.Find(key);
-  if (i == leaf.count()) return Status::NotFound("key not on page");
-  leaf.RemoveAt(i);
+  int64_t delta = 0;
+  DEUTERO_RETURN_NOT_OK(
+      LeafApplyDelete(h.view(), value_size_, key, &delta));
   h.MarkDirty(lsn);
-  if (num_rows_ > 0) num_rows_--;
+  AdjustRowCount(delta);
   return Status::OK();
 }
 
@@ -286,25 +327,13 @@ Status BTree::LeafContains(PageId pid, Key key, bool* contains) {
 }
 
 Status BTree::ApplyUpsert(PageId pid, Key key, Slice value, Lsn lsn) {
-  if (value.size() != value_size_) {
-    return Status::InvalidArgument("value size mismatch");
-  }
   PageHandle h;
   DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
-  PageView page = h.view();
-  if (page.type() != PageType::kLeaf) {
-    return Status::Corruption("upsert target is not a leaf");
-  }
-  LeafNodeView leaf(page, value_size_);
-  const uint32_t i = leaf.LowerBound(key);
-  if (i < leaf.count() && leaf.KeyAt(i) == key) {
-    leaf.SetValueAt(i, reinterpret_cast<const uint8_t*>(value.data()));
-  } else {
-    if (leaf.full()) return Status::Corruption("upsert into full leaf");
-    leaf.InsertAt(i, key, reinterpret_cast<const uint8_t*>(value.data()));
-    num_rows_++;
-  }
+  int64_t delta = 0;
+  DEUTERO_RETURN_NOT_OK(
+      LeafApplyUpsert(h.view(), value_size_, key, value, &delta));
   h.MarkDirty(lsn);
+  AdjustRowCount(delta);
   return Status::OK();
 }
 

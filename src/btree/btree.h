@@ -51,6 +51,29 @@ Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
                           const RecordT& rec);
 
+// ---- pinned-leaf apply primitives ----
+//
+// Each applies one already-routed data operation to a PINNED leaf page and
+// accumulates the row-count change into *rows_delta. They perform NO
+// buffer-pool access and do NOT stamp the pLSN: the caller owns the pin
+// and the MarkDirty. BTree::Apply* wrap them for normal operation; the
+// partitioned parallel redo workers call them directly so the leaf work
+// (binary search, shift, copy) runs outside the pool lock, on a page only
+// their partition may touch.
+
+/// Overwrite `key`'s payload; NotFound if the key is not on the page.
+Status LeafApplyUpdate(PageView page, uint32_t value_size, Key key,
+                       Slice value);
+/// Insert (key, value); InvalidArgument on duplicate, Corruption if full.
+Status LeafApplyInsert(PageView page, uint32_t value_size, Key key,
+                       Slice value, int64_t* rows_delta);
+/// Remove `key`; NotFound if the key is not on the page.
+Status LeafApplyDelete(PageView page, uint32_t value_size, Key key,
+                       int64_t* rows_delta);
+/// Update-or-insert (CLR replay; idempotent under partial redo states).
+Status LeafApplyUpsert(PageView page, uint32_t value_size, Key key,
+                       Slice value, int64_t* rows_delta);
+
 class BTree;
 
 /// Forward cursor over a key range of one tree, yielded by BTree::NewScan.
@@ -199,6 +222,16 @@ class BTree {
   void set_height(uint32_t h) { height_ = h; }
   uint64_t row_count() const { return num_rows_; }
   void set_row_count(uint64_t n) { num_rows_ = n; }
+  /// Fold a batch of row-count changes (the per-partition deltas a parallel
+  /// redo pass accumulated) into the tree's counter, clamping at zero.
+  void AdjustRowCount(int64_t delta) {
+    if (delta >= 0) {
+      num_rows_ += static_cast<uint64_t>(delta);
+    } else {
+      const uint64_t dec = static_cast<uint64_t>(-delta);
+      num_rows_ = dec > num_rows_ ? 0 : num_rows_ - dec;
+    }
+  }
   uint32_t value_size() const { return value_size_; }
   const Stats& stats() const { return stats_; }
 

@@ -131,6 +131,16 @@ struct EngineOptions {
   // ---- prefetch (App. A) ----
   uint32_t prefetch_window = 32;  ///< Max outstanding prefetched pages.
 
+  // ---- recovery parallelism ----
+  /// Worker threads for the redo phase (all five methods). 1 (default)
+  /// runs the original serial pipeline bit-exactly; N > 1 runs the
+  /// partitioned dispatcher + worker pipeline: one log-scan/dispatch
+  /// thread routes each decoded record to one of N partitions (hash of the
+  /// owning leaf page), with per-partition FIFO queues, per-partition DPT
+  /// shards and stats, and a drain barrier around SMO/DDL records. Values
+  /// are clamped to [1, 64] at engine open.
+  uint32_t recovery_threads = 1;
+
   // ---- logical redo ----
   /// Memoize the last (table, leaf) of logical redo's index traversal and
   /// reuse it while record keys stay inside the leaf's fence range. Safe

@@ -6,6 +6,12 @@
 namespace deutero {
 
 Engine::Engine(const EngineOptions& options) : options_(options) {
+  // Sanitize the redo parallelism degree once, here, so every downstream
+  // consumer (RecoveryManager, benches, tests driving passes directly
+  // through options()) sees a value in [1, 64]. 0 means "serial", same as
+  // 1; the upper clamp bounds thread/queue footprint on absurd inputs.
+  if (options_.recovery_threads == 0) options_.recovery_threads = 1;
+  if (options_.recovery_threads > 64) options_.recovery_threads = 64;
   log_ = std::make_unique<LogManager>(&clock_, options_.log_page_size,
                                       options_.io.log_page_read_ms);
   dc_ = std::make_unique<DataComponent>(&clock_, log_.get(), options_);

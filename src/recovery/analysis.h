@@ -10,8 +10,10 @@
 //    index (App. A.1).
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/options.h"
@@ -24,7 +26,77 @@
 namespace deutero {
 
 /// Loser-candidate table: txn id -> LSN of its last logged record.
-using ActiveTxnTable = std::unordered_map<TxnId, Lsn>;
+///
+/// Storage: a flat vector of (txn, lsn) pairs with linear probes instead of
+/// unordered_map. Active-transaction counts are small (tens at most — every
+/// live txn holds locks), so a contiguous scan beats hashing: no node
+/// allocations per insert, no pointer chasing per record during analysis and
+/// the logical redo scan, and erase is a swap-with-back. Iteration order is
+/// unspecified (as it was with unordered_map); undo's loser heap orders by
+/// LSN, which is unique, so recovery output does not depend on it.
+class ActiveTxnTable {
+ public:
+  using value_type = std::pair<TxnId, Lsn>;
+  using iterator = std::vector<value_type>::iterator;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  iterator find(TxnId txn) {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == txn) return it;
+    }
+    return entries_.end();
+  }
+  const_iterator find(TxnId txn) const {
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == txn) return it;
+    }
+    return entries_.end();
+  }
+
+  size_t count(TxnId txn) const { return find(txn) == end() ? 0 : 1; }
+
+  /// Mapped LSN of `txn`. Unlike map::at this does not throw on a missing
+  /// key: it asserts in debug builds and returns kInvalidLsn in release.
+  Lsn at(TxnId txn) const {
+    const const_iterator it = find(txn);
+    assert(it != end() && "ActiveTxnTable::at on missing txn");
+    return it == end() ? kInvalidLsn : it->second;
+  }
+
+  Lsn& operator[](TxnId txn) {
+    const iterator it = find(txn);
+    if (it != entries_.end()) return it->second;
+    entries_.emplace_back(txn, kInvalidLsn);
+    return entries_.back().second;
+  }
+
+  std::pair<iterator, bool> try_emplace(TxnId txn, Lsn lsn) {
+    const iterator it = find(txn);
+    if (it != entries_.end()) return {it, false};
+    entries_.emplace_back(txn, lsn);
+    return {entries_.end() - 1, true};
+  }
+
+  size_t erase(TxnId txn) {
+    const iterator it = find(txn);
+    if (it == entries_.end()) return 0;
+    *it = entries_.back();
+    entries_.pop_back();
+    return 1;
+  }
+
+ private:
+  std::vector<value_type> entries_;
+};
 
 /// RAII: quiesce normal-operation instrumentation (dirty monitor, pool
 /// callbacks) for the duration of a recovery pass, restoring the previous

@@ -1,0 +1,812 @@
+#include "recovery/parallel_redo.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "btree/btree.h"
+#include "recovery/analysis.h"
+#include "recovery/prefetch.h"
+#include "storage/page.h"
+
+namespace deutero {
+
+namespace {
+
+/// One routed redo operation. Slices alias the log buffer — valid for the
+/// pass lifetime under the LogManager::AliasGuard the dispatcher holds.
+/// A default-constructed item (type == kInvalid) is the RELEASE-PINS
+/// control token: the worker drops its pin cache when it consumes one
+/// (used before SMO barriers and at end of pass).
+struct RedoWorkItem {
+  LogRecordType type = LogRecordType::kInvalid;
+  TableId table_id = kInvalidTableId;
+  Key key = 0;
+  Lsn lsn = kInvalidLsn;
+  PageId pid = kInvalidPageId;
+  Slice after;
+};
+
+/// Single-producer single-consumer ring. The dispatcher owns the producer
+/// side, one worker the consumer side. Capacity is fixed; the producer
+/// spins (with yields) when full — backpressure, not loss.
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity_pow2) : buf_(capacity_pow2) {
+    assert((capacity_pow2 & (capacity_pow2 - 1)) == 0);
+  }
+
+  bool TryPush(const RedoWorkItem& item) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head - tail_.load(std::memory_order_acquire) == buf_.size()) {
+      return false;
+    }
+    buf_[head & (buf_.size() - 1)] = item;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(RedoWorkItem* out) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (head_.load(std::memory_order_acquire) == tail) return false;
+    *out = buf_[tail & (buf_.size() - 1)];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side: read the i-th not-yet-popped item (0 = next) without
+  /// consuming it. Returns false when fewer than i+1 items are buffered.
+  /// The consumer's ring slice IS its upcoming page-access sequence —
+  /// which is what makes per-partition read-ahead exact (see
+  /// PartitionWorker::TopUpReadAhead).
+  bool Peek(uint64_t i, RedoWorkItem* out) const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (head_.load(std::memory_order_acquire) - tail <= i) return false;
+    *out = buf_[(tail + i) & (buf_.size() - 1)];
+    return true;
+  }
+
+ private:
+  std::vector<RedoWorkItem> buf_;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+/// Table facts a worker needs to apply an op without touching the DC's
+/// catalog structures: the fixed value size per table. Rebuilt by the
+/// dispatcher only while all workers are quiescent (pass start and
+/// CreateTable barriers), and read by workers only for items pushed after
+/// the rebuild — the ring hand-off orders the accesses.
+struct TableRegistry {
+  std::vector<std::pair<TableId, uint32_t>> value_sizes;
+
+  void Refresh(DataComponent* dc) {
+    value_sizes.clear();
+    for (const TableInfo& info : dc->catalog().tables()) {
+      BTree* tree = dc->FindTable(info.id);
+      if (tree != nullptr) value_sizes.emplace_back(info.id, tree->value_size());
+    }
+  }
+  bool Lookup(TableId id, uint32_t* value_size) const {
+    for (const auto& [tid, vs] : value_sizes) {
+      if (tid == id) {
+        *value_size = vs;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// State shared by the dispatcher and all workers for one pass.
+struct PipelineShared {
+  BufferPool* pool = nullptr;
+  std::mutex pool_gate;  ///< Serializes EVERY pool/disk/clock touch.
+  TableRegistry tables;
+  double cpu_per_redo_apply_us = 0;
+  // Logical-family filtering parameters (workers run Algorithm 5's
+  // rLSN/membership tests against their DPT shard).
+  bool use_dpt = false;
+  Lsn last_delta_tc_lsn = kInvalidLsn;
+  // Per-partition read-ahead (Log2 / SQL2). The serial prefetchers pace a
+  // shared window by claims, which assumes pages are claimed in issue
+  // order; partitions reorder claims, so the pipeline prefetches per
+  // consumer instead: each worker peeks its own queue — its exact
+  // upcoming page sequence — and keeps `read_ahead_budget` pages in
+  // flight (see TopUpReadAhead).
+  bool worker_read_ahead = false;
+  uint32_t read_ahead_budget = 0;
+  std::atomic<uint32_t> failed{0};  ///< Count of workers in error state.
+};
+
+/// Progressive wait: spin briefly, then yield, then (when the scheduler is
+/// clearly starving us — oversubscribed cores, sanitizer slowdown) sleep.
+/// Keeps the pipeline from burning a core another pipeline thread needs.
+void SpinWait(uint32_t* spins) {
+  ++*spins;
+  if (*spins < 32) return;
+  if (*spins < 2048) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(50));
+  *spins = 2048;  // stay in the sleep regime until progress resets us
+}
+
+/// One partition: a queue, a consumer thread, a pin cache, and a private
+/// result shard. The dispatcher is the only producer.
+class PartitionWorker {
+ public:
+  PartitionWorker(PipelineShared* shared, DirtyPageTable shard_dpt,
+                  size_t ring_capacity, uint32_t pin_cache_cap)
+      : shared_(shared),
+        dpt_(std::move(shard_dpt)),
+        ring_(ring_capacity),
+        pin_cache_cap_(pin_cache_cap == 0 ? 1 : pin_cache_cap) {}
+
+  void Start() { thread_ = std::thread([this] { Run(); }); }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Producer side: enqueue, spinning on backpressure. Safe against a dead
+  /// consumer: a failed worker keeps draining (and discarding) items.
+  void Push(const RedoWorkItem& item) {
+    uint32_t spins = 0;
+    while (!ring_.TryPush(item)) SpinWait(&spins);
+    pushed_++;
+  }
+
+  void SignalDone() { done_.store(true, std::memory_order_release); }
+
+  /// Barrier support: everything pushed so far has been APPLIED (not just
+  /// popped).
+  bool Drained() const {
+    return applied_.load(std::memory_order_acquire) == pushed_;
+  }
+
+  /// One applied operation's row-count effect, tagged with its LSN so the
+  /// merge at pass end can replay the deltas in LOG order. The serial pass
+  /// clamps the tree counter at zero per operation; reproducing its exact
+  /// result requires applying the same deltas in the same (global) order,
+  /// which partition-local net sums cannot do.
+  struct RowDeltaEvent {
+    Lsn lsn = kInvalidLsn;
+    TableId table = kInvalidTableId;
+    int32_t delta = 0;
+  };
+
+  uint64_t pushed() const { return pushed_; }
+  uint64_t applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  const Status& error() const { return error_; }  ///< Valid after Join().
+  const RedoResult& shard() const { return shard_; }
+  double cpu_us() const { return cpu_us_; }
+  /// LSN-ascending (the queue is FIFO in log order). Valid after Join().
+  const std::vector<RowDeltaEvent>& row_deltas() const {
+    return row_deltas_;
+  }
+
+ private:
+  struct CachedPin {
+    PageId pid = kInvalidPageId;
+    PageHandle handle;
+    bool dirtied = false;  ///< This pass already ran MarkDirty on the pin.
+    uint64_t last_use = 0;
+  };
+
+  void Run() {
+    RedoWorkItem item;
+    uint32_t spins = 0;
+    while (true) {
+      if (ring_.TryPop(&item)) {
+        spins = 0;
+        Process(item);
+        applied_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      if (done_.load(std::memory_order_acquire)) {
+        // Re-check the ring: the dispatcher pushes before signaling done.
+        if (!ring_.TryPop(&item)) break;
+        Process(item);
+        applied_.fetch_add(1, std::memory_order_release);
+        continue;
+      }
+      SpinWait(&spins);
+    }
+    ReleaseAllPins();
+  }
+
+  void Process(const RedoWorkItem& item) {
+    if (item.type == LogRecordType::kInvalid) {  // control: release pins
+      ReleaseAllPins();
+      return;
+    }
+    if (failed_.load(std::memory_order_relaxed)) return;  // drain mode
+    const Status st = Apply(item);
+    if (!st.ok()) {
+      error_ = st;
+      failed_.store(true, std::memory_order_release);
+      shared_->failed.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  /// What the DPT (shard) says about one routed record — the worker half
+  /// of Algorithm 5 lines 5-8 / Algorithm 1 lines 4-8. Shared by the
+  /// apply path (which counts the skips) and the read-ahead (which
+  /// prefetches exactly the pages the apply path will fetch).
+  enum class DptOutcome : uint8_t {
+    kFetch,     ///< Page must be fetched for the pLSN test.
+    kTailFetch, ///< Same, via the tail-of-log fallback (§4.3).
+    kSkipDpt,   ///< Not in the DPT: cannot need redo, no fetch.
+    kSkipRlsn,  ///< LSN < rLSN: effect provably durable, no fetch.
+  };
+
+  DptOutcome Classify(const RedoWorkItem& item) const {
+    if (shared_->use_dpt) {
+      if (item.lsn >= shared_->last_delta_tc_lsn) return DptOutcome::kTailFetch;
+    } else if (!dpt_tests_enabled_) {
+      return DptOutcome::kFetch;  // Log0: every op fetches its page
+    }
+    const DirtyPageTable::Entry* e = dpt_.Find(item.pid);
+    if (e == nullptr) return DptOutcome::kSkipDpt;
+    if (item.lsn < e->rlsn) return DptOutcome::kSkipRlsn;
+    return DptOutcome::kFetch;
+  }
+
+  /// Per-partition read-ahead: peek this worker's own queue — its exact
+  /// upcoming page-access sequence — and issue asynchronous reads for the
+  /// next `read_ahead_budget` pages the apply loop will fetch. Claim
+  /// order equals issue order within a partition (the queue is FIFO), so
+  /// the pacing the serial window gets from the redo cursor is restored
+  /// here per partition, immune to cross-partition reordering.
+  void TopUpReadAhead() {
+    const uint32_t budget = shared_->read_ahead_budget;
+    ra_batch_.clear();
+    RedoWorkItem peeked;
+    for (uint64_t i = 0;
+         i < 8u * budget && ra_batch_.size() < budget && ring_.Peek(i, &peeked);
+         i++) {
+      if (peeked.type == LogRecordType::kInvalid) continue;  // control token
+      const DptOutcome o = Classify(peeked);
+      if (o != DptOutcome::kFetch && o != DptOutcome::kTailFetch) continue;
+      ra_batch_.push_back(peeked.pid);
+    }
+    if (!ra_batch_.empty()) {
+      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      shared_->pool->Prefetch(ra_batch_, PageClass::kData);
+    }
+  }
+
+  /// The worker half of the serial pass's per-record logic: the DPT
+  /// shard tests, then the pLSN idempotence test and the leaf apply.
+  Status Apply(const RedoWorkItem& item) {
+    if (shared_->worker_read_ahead &&
+        ++items_since_read_ahead_ >= shared_->read_ahead_budget) {
+      items_since_read_ahead_ = 0;
+      TopUpReadAhead();
+    }
+    switch (Classify(item)) {
+      case DptOutcome::kSkipDpt:
+        shard_.skipped_dpt++;
+        return Status::OK();
+      case DptOutcome::kSkipRlsn:
+        shard_.skipped_rlsn++;
+        return Status::OK();
+      case DptOutcome::kTailFetch:
+        shard_.tail_ops++;  // tail of the log (§4.3): basic algorithm
+        break;
+      case DptOutcome::kFetch:
+        break;
+    }
+
+    CachedPin* pin = nullptr;
+    DEUTERO_RETURN_NOT_OK(FindOrPin(item.pid, &pin));
+    PageView page = pin->handle.view();
+    if (item.lsn <= page.plsn()) {
+      shard_.skipped_plsn++;
+      return Status::OK();
+    }
+
+    uint32_t value_size = 0;
+    if (!shared_->tables.Lookup(item.table_id, &value_size)) {
+      return Status::NotFound("redo of op on unknown table");
+    }
+    int64_t delta = 0;
+    Status st;
+    switch (item.type) {
+      case LogRecordType::kUpdate:
+        st = LeafApplyUpdate(page, value_size, item.key, item.after);
+        break;
+      case LogRecordType::kInsert:
+        st = LeafApplyInsert(page, value_size, item.key, item.after, &delta);
+        break;
+      case LogRecordType::kDelete:
+        st = LeafApplyDelete(page, value_size, item.key, &delta);
+        break;
+      case LogRecordType::kClr:
+        // Empty restored image compensates an insert (delete the row);
+        // otherwise restore as an upsert (see redo.cc ApplyDataOp).
+        if (item.after.empty()) {
+          st = LeafApplyDelete(page, value_size, item.key, &delta);
+        } else {
+          st = LeafApplyUpsert(page, value_size, item.key, item.after,
+                               &delta);
+        }
+        break;
+      default:
+        st = Status::InvalidArgument("not a data op");
+        break;
+    }
+    DEUTERO_RETURN_NOT_OK(st);
+    if (delta != 0) {
+      row_deltas_.push_back(RowDeltaEvent{item.lsn, item.table_id,
+                                          static_cast<int32_t>(delta)});
+    }
+
+    // Dirty/pLSN bookkeeping. The first modification of a held pin runs
+    // the full gated MarkDirty (dirty transition, FIFO, first-dirty LSN);
+    // after that the frame is dirty and stays dirty while pinned, so later
+    // records on the same leaf only need the pLSN stamp — a plain write to
+    // page bytes this partition owns.
+    if (pin->dirtied) {
+      page.set_plsn(item.lsn);
+    } else {
+      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      pin->handle.MarkDirty(item.lsn);
+      pin->dirtied = true;
+    }
+    cpu_us_ += shared_->cpu_per_redo_apply_us;
+    shard_.applied++;
+    return Status::OK();
+  }
+
+  Status FindOrPin(PageId pid, CachedPin** out) {
+    use_tick_++;
+    for (CachedPin& p : pins_) {
+      if (p.pid == pid) {
+        p.last_use = use_tick_;
+        *out = &p;
+        return Status::OK();
+      }
+    }
+    // Miss: evict the least-recently-used cache slot if at capacity, then
+    // pin the page — one gated section for both.
+    CachedPin* slot = nullptr;
+    if (pins_.size() < pin_cache_cap_) {
+      pins_.emplace_back();
+      slot = &pins_.back();
+    } else {
+      slot = &pins_[0];
+      for (CachedPin& p : pins_) {
+        if (p.last_use < slot->last_use) slot = &p;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      slot->handle.Release();
+      DEUTERO_RETURN_NOT_OK(
+          shared_->pool->Get(pid, PageClass::kData, &slot->handle));
+    }
+    slot->pid = pid;
+    slot->dirtied = false;
+    slot->last_use = use_tick_;
+    *out = slot;
+    return Status::OK();
+  }
+
+  void ReleaseAllPins() {
+    if (pins_.empty()) return;
+    std::lock_guard<std::mutex> lock(shared_->pool_gate);
+    for (CachedPin& p : pins_) p.handle.Release();
+    pins_.clear();
+  }
+
+  PipelineShared* shared_;
+  DirtyPageTable dpt_;
+  SpscRing ring_;
+  const uint32_t pin_cache_cap_;
+  std::thread thread_;
+
+  uint64_t pushed_ = 0;  ///< Producer-side only.
+  alignas(64) std::atomic<uint64_t> applied_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> failed_{false};
+
+  // Consumer-side state (merged by the dispatcher after Join()).
+  Status error_;
+  RedoResult shard_;
+  double cpu_us_ = 0;
+  std::vector<CachedPin> pins_;
+  uint64_t use_tick_ = 0;
+  std::vector<RowDeltaEvent> row_deltas_;
+  std::vector<PageId> ra_batch_;  ///< Read-ahead scratch (reused).
+  /// Huge initial value forces a top-up on the first item.
+  uint64_t items_since_read_ahead_ = uint64_t{1} << 62;
+
+ public:
+  /// SQL family: run membership/rLSN tests worker-side against the shard
+  /// even though use_dpt (the logical flag) is off.
+  void EnableDptTests() { dpt_tests_enabled_ = true; }
+
+ private:
+  bool dpt_tests_enabled_ = false;
+};
+
+/// Per-worker read-ahead budget: the serial prefetch window (shared
+/// cache-pressure throttle, see RedoPrefetchWindow) split across
+/// partitions, at least 2 pages each.
+uint32_t ReadAheadBudget(const BufferPool& pool, const EngineOptions& options,
+                         uint32_t threads) {
+  const uint32_t window = RedoPrefetchWindow(pool, options);
+  return std::max<uint32_t>(2, window / (threads == 0 ? 1 : threads));
+}
+
+/// Pin-cache capacity that keeps worst-case pinned frames well below pool
+/// capacity even at test-sized caches: an eighth of the pool split across
+/// workers, at least 1, at most 8 per worker.
+uint32_t PinCacheCapacity(const BufferPool& pool, uint32_t threads) {
+  const uint64_t budget = pool.capacity() / 8;
+  const uint64_t per = budget / (threads == 0 ? 1 : threads);
+  if (per < 1) return 1;
+  return per > 8 ? 8 : static_cast<uint32_t>(per);
+}
+
+constexpr size_t kRingCapacity = 4096;
+
+class WorkerPool {
+ public:
+  WorkerPool(PipelineShared* shared, const DirtyPageTable* dpt,
+             uint32_t threads, uint32_t pin_cap, bool sql_dpt_tests) {
+    std::vector<DirtyPageTable> shards;
+    if (dpt != nullptr) {
+      BuildDptShards(*dpt, threads, &shards);
+    } else {
+      shards.resize(threads);
+    }
+    workers_.reserve(threads);
+    for (uint32_t i = 0; i < threads; i++) {
+      workers_.push_back(std::make_unique<PartitionWorker>(
+          shared, std::move(shards[i]), kRingCapacity, pin_cap));
+      if (sql_dpt_tests) workers_.back()->EnableDptTests();
+    }
+    for (auto& w : workers_) w->Start();
+  }
+
+  void Route(uint32_t partition, const RedoWorkItem& item) {
+    workers_[partition]->Push(item);
+  }
+
+  /// Tell every worker to drop its pins, then wait until every queue is
+  /// fully applied. Used around SMO/DDL records and at end of pass.
+  void DrainBarrier() {
+    RedoWorkItem release_pins;  // type == kInvalid
+    for (auto& w : workers_) w->Push(release_pins);
+    for (auto& w : workers_) {
+      uint32_t spins = 0;
+      while (!w->Drained()) SpinWait(&spins);
+    }
+  }
+
+  bool AnyFailed(const PipelineShared& shared) const {
+    return shared.failed.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Shut down, join, and merge every worker's shard into `out`. Returns
+  /// the first (lowest-partition) worker error, if any.
+  Status Finish(DataComponent* dc, RedoResult* out) {
+    RedoWorkItem release_pins;
+    for (auto& w : workers_) w->Push(release_pins);
+    for (auto& w : workers_) w->SignalDone();
+    for (auto& w : workers_) w->Join();
+
+    Status first_error;
+    double cpu_max = 0;
+    std::vector<PartitionWorker::RowDeltaEvent> deltas;
+    for (auto& w : workers_) {
+      if (w->failed() && first_error.ok()) first_error = w->error();
+      const RedoResult& s = w->shard();
+      out->applied += s.applied;
+      out->skipped_dpt += s.skipped_dpt;
+      out->skipped_rlsn += s.skipped_rlsn;
+      out->skipped_plsn += s.skipped_plsn;
+      out->tail_ops += s.tail_ops;
+      out->worker_cpu_us_total += w->cpu_us();
+      if (w->cpu_us() > cpu_max) cpu_max = w->cpu_us();
+      deltas.insert(deltas.end(), w->row_deltas().begin(),
+                    w->row_deltas().end());
+    }
+    // Replay the row-count deltas in LOG order: the serial pass clamps the
+    // counter at zero per operation, so the merged sequence must apply in
+    // the same global order to persist the same catalog num_rows. LSNs are
+    // unique, making the order total.
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) { return a.lsn < b.lsn; });
+    for (const auto& e : deltas) {
+      BTree* tree = dc->FindTable(e.table);
+      if (tree != nullptr) tree->AdjustRowCount(e.delta);
+    }
+    out->worker_cpu_us_max = cpu_max;
+    out->threads_used = static_cast<uint32_t>(workers_.size());
+    return first_error;
+  }
+
+ private:
+  std::vector<std::unique_ptr<PartitionWorker>> workers_;
+};
+
+/// Batches the dispatcher's simulated charges — per-record scan CPU and
+/// sequential log-page reads (its iterator runs charge_io=false; every
+/// OTHER clock touch happens under the pool gate, which the dispatcher
+/// cannot hold per record without serializing the pipeline) — onto the
+/// global clock every `kFlushEvery` events. Keeping the clock moving
+/// during the scan matters: prefetch completion times are absolute, so a
+/// clock frozen for the whole dispatch would make every prefetched page
+/// look "not yet landed" and re-introduce the stalls the read-ahead
+/// exists to hide. 32-record granularity (~160 simulated µs) is far below
+/// device latencies.
+class DispatchClockMeter {
+ public:
+  DispatchClockMeter(SimClock* clock, std::mutex* gate)
+      : clock_(clock), gate_(gate) {}
+
+  void AddUs(double us) {
+    pending_us_ += us;
+    if (++pending_events_ >= kFlushEvery) Flush();
+  }
+  void Flush() {
+    if (pending_events_ == 0) return;
+    std::lock_guard<std::mutex> lock(*gate_);
+    clock_->AdvanceUs(pending_us_);
+    pending_us_ = 0;
+    pending_events_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kFlushEvery = 32;
+  SimClock* clock_;
+  std::mutex* gate_;
+  double pending_us_ = 0;
+  uint32_t pending_events_ = 0;
+};
+
+/// Common pipeline epilogue, shared verbatim by both families so the cost
+/// model cannot drift between them: charge the scan's residual log pages,
+/// shut down and merge the workers, verify the aliasing contract held,
+/// then fold the slowest partition's apply CPU into the simulated clock.
+/// I/O waits were charged live under the gate, and the pipeline overlaps
+/// apply work with them (while one partition stalls on the device the
+/// others keep applying), so only the worker CPU exceeding the
+/// already-waited stall time extends the pass.
+Status FinishPipeline(DataComponent* dc, const EngineOptions& options,
+                      const LogManager::Iterator& it,
+                      uint64_t log_pages_metered, double stall_ms_at_start,
+                      const LogManager::AliasGuard& alias,
+                      DispatchClockMeter* scan_clock, WorkerPool* workers,
+                      const Status& scan_status, RedoResult* out) {
+  out->log_pages = it.pages_read();  // filled on error exits too
+  scan_clock->AddUs((it.pages_read() - log_pages_metered) *
+                    options.io.log_page_read_ms * 1e3);
+  const Status worker_status = workers->Finish(dc, out);
+  assert(alias.Intact());
+  (void)alias;
+  scan_clock->Flush();
+  const double stall_waited_us =
+      (dc->pool().stats().stall_ms - stall_ms_at_start) * 1e3;
+  dc->clock().AdvanceUs(
+      std::max(0.0, out->worker_cpu_us_max - stall_waited_us));
+  DEUTERO_RETURN_NOT_OK(scan_status);
+  return worker_status;
+}
+
+}  // namespace
+
+void BuildDptShards(const DirtyPageTable& dpt, uint32_t partitions,
+                    std::vector<DirtyPageTable>* shards) {
+  shards->clear();
+  shards->resize(partitions);
+  dpt.ForEach([&](PageId pid, const DirtyPageTable::Entry& e) {
+    (*shards)[RedoPartitionOf(pid, partitions)].AddExact(pid, e.rlsn,
+                                                         e.last_lsn);
+  });
+}
+
+Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
+                              Lsn bckpt_lsn, bool use_dpt,
+                              const DirtyPageTable* dpt,
+                              Lsn last_delta_tc_lsn,
+                              const std::vector<PageId>* pf_list,
+                              const EngineOptions& options, uint32_t threads,
+                              RedoResult* out) {
+  assert(threads >= 2);
+  *out = RedoResult();
+
+  RecoveryPassQuiescence quiesce(dc);
+  LogManager::AliasGuard alias(log);
+
+  PipelineShared shared;
+  shared.pool = &dc->pool();
+  shared.tables.Refresh(dc);
+  shared.cpu_per_redo_apply_us = options.io.cpu_per_redo_apply_us;
+  shared.use_dpt = use_dpt;
+  shared.last_delta_tc_lsn = last_delta_tc_lsn;
+  if (pf_list != nullptr && dpt != nullptr) {
+    // Log2: data prefetch, per partition (see PipelineShared). The
+    // serial PF-list is subsumed: a worker's queue lists the same pages
+    // in exactly the order THIS partition will touch them. Same
+    // cache-pressure throttle as the serial window, split across workers.
+    shared.worker_read_ahead = true;
+    shared.read_ahead_budget = ReadAheadBudget(dc->pool(), options, threads);
+  }
+
+  WorkerPool workers(&shared, use_dpt ? dpt : nullptr, threads,
+                     PinCacheCapacity(dc->pool(), threads),
+                     /*sql_dpt_tests=*/false);
+
+  const double stall_ms_at_start = dc->pool().stats().stall_ms;
+  DispatchClockMeter scan_clock(&dc->clock(), &shared.pool_gate);
+  uint64_t log_pages_metered = 0;
+  // charge_io=false: the iterator's clock charges would race the gated
+  // worker clock touches; the meter batches them under the gate instead.
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/false);
+  RedoLeafMemo memo;
+  const Status scan_status = [&]() -> Status {
+    for (; it.Valid(); it.Next()) {
+      const LogRecordView& rec = it.record();
+      out->records_scanned++;
+      out->dispatch_cpu_us += options.io.cpu_per_log_record_us;
+      scan_clock.AddUs(options.io.cpu_per_log_record_us +
+                       (it.pages_read() - log_pages_metered) *
+                           options.io.log_page_read_ms * 1e3);
+      log_pages_metered = it.pages_read();
+      ObserveForAtt(rec, &out->att, &out->max_txn_id);
+      if (!rec.IsRedoableDataOp()) continue;  // SMOs: done by the DC pass
+      out->examined++;
+
+      // The dispatcher performs the logical->physical mapping (the paper's
+      // per-operation index traversal) so the partition of the owning leaf
+      // is known; workers never traverse.
+      PageId pid = kInvalidPageId;
+      if (options.redo_leaf_memo && memo.Hit(rec.table_id, rec.key)) {
+        pid = memo.pid;
+        out->leaf_memo_hits++;
+      } else {
+        std::lock_guard<std::mutex> lock(shared.pool_gate);
+        DEUTERO_RETURN_NOT_OK(dc->FindLeafRanged(rec.table_id, rec.key, &pid,
+                                                 &memo.lo, &memo.hi,
+                                                 &memo.bounded));
+        memo.table = rec.table_id;
+        memo.pid = pid;
+        memo.valid = true;
+      }
+
+      RedoWorkItem item;
+      item.type = rec.type;
+      item.table_id = rec.table_id;
+      item.key = rec.key;
+      item.lsn = rec.lsn;
+      item.pid = pid;
+      item.after = rec.after;
+      workers.Route(RedoPartitionOf(pid, threads), item);
+      if (workers.AnyFailed(shared)) break;  // stop scanning early
+    }
+    return Status::OK();
+  }();
+  return FinishPipeline(dc, options, it, log_pages_metered,
+                        stall_ms_at_start, alias, &scan_clock, &workers,
+                        scan_status, out);
+}
+
+Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
+                          const DirtyPageTable* dpt, bool prefetch,
+                          const EngineOptions& options, uint32_t threads,
+                          RedoResult* out) {
+  assert(threads >= 2);
+  *out = RedoResult();
+
+  RecoveryPassQuiescence quiesce(dc);
+  LogManager::AliasGuard alias(log);
+
+  PipelineShared shared;
+  shared.pool = &dc->pool();
+  shared.tables.Refresh(dc);
+  shared.cpu_per_redo_apply_us = options.io.cpu_per_redo_apply_us;
+  if (prefetch) {
+    // SQL2: log-driven data prefetch, per partition (see PipelineShared).
+    // The routed queue IS the log stream restricted to this partition, so
+    // peeking it is the "scan the log ahead of the redo cursor" of the
+    // serial prefetcher with the rLSN test applied at issue time.
+    shared.worker_read_ahead = true;
+    shared.read_ahead_budget = ReadAheadBudget(dc->pool(), options, threads);
+  }
+
+  WorkerPool workers(&shared, dpt, threads,
+                     PinCacheCapacity(dc->pool(), threads),
+                     /*sql_dpt_tests=*/true);
+
+  const double stall_ms_at_start = dc->pool().stats().stall_ms;
+  DispatchClockMeter scan_clock(&dc->clock(), &shared.pool_gate);
+  uint64_t log_pages_metered = 0;
+  // charge_io=false: see the logical pipeline — clock touches outside the
+  // gate would race the workers'; the meter batches them under it.
+  auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/false);
+  const Status scan_status = [&]() -> Status {
+    for (; it.Valid(); it.Next()) {
+      const LogRecordView& rec = it.record();
+      out->records_scanned++;
+      out->dispatch_cpu_us += options.io.cpu_per_log_record_us;
+      scan_clock.AddUs(options.io.cpu_per_log_record_us +
+                       (it.pages_read() - log_pages_metered) *
+                           options.io.log_page_read_ms * 1e3);
+      log_pages_metered = it.pages_read();
+
+      if (rec.type == LogRecordType::kSmo) {
+        // Physiological replay in LSN order; skip without any fetch when
+        // the DPT proves no touched page can need redo.
+        bool any = false;
+        for (const SmoPageImageRef& p : rec.smo_pages) {
+          const DirtyPageTable::Entry* e = dpt->Find(p.pid);
+          if (e != nullptr && rec.lsn >= e->rlsn) {
+            any = true;
+            break;
+          }
+        }
+        if (any) {
+          // BARRIER: the record's page images span partitions, so it must
+          // apply at a deterministic position — after every routed record
+          // that precedes it, before any that follows. Workers drop their
+          // pins first so the images install on unentangled frames.
+          scan_clock.Flush();
+          workers.DrainBarrier();
+          out->smo_barriers++;
+          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
+          out->smo_redone++;
+        }
+        continue;
+      }
+      if (rec.type == LogRecordType::kCreateTable) {
+        // DDL: same barrier discipline, and the worker-visible table
+        // registry must be rebuilt while everyone is quiescent.
+        scan_clock.Flush();
+        workers.DrainBarrier();
+        out->smo_barriers++;
+        {
+          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
+        }
+        shared.tables.Refresh(dc);
+        continue;
+      }
+      if (!rec.IsRedoableDataOp()) continue;
+      out->examined++;
+
+      // Algorithm 1: the log record names the page — no index traversal.
+      // Membership/rLSN tests run worker-side against the partition shard.
+      RedoWorkItem item;
+      item.type = rec.type;
+      item.table_id = rec.table_id;
+      item.key = rec.key;
+      item.lsn = rec.lsn;
+      item.pid = rec.pid;
+      item.after = rec.after;
+      workers.Route(RedoPartitionOf(rec.pid, threads), item);
+      if (workers.AnyFailed(shared)) break;
+    }
+    return Status::OK();
+  }();
+  return FinishPipeline(dc, options, it, log_pages_metered,
+                        stall_ms_at_start, alias, &scan_clock, &workers,
+                        scan_status, out);
+}
+
+}  // namespace deutero

@@ -47,8 +47,8 @@ void PfListPrefetcher::Pump() {
   window_.Drain();
   uint32_t budget = window_.budget();
   if (budget == 0 || pf_list_ == nullptr) return;
-  std::vector<PageId> batch;
-  batch.reserve(budget);
+  std::vector<PageId>& batch = batch_;  // member scratch: 0 allocs/pump
+  batch.clear();
   while (budget > 0 && cursor_ < pf_list_->size()) {
     const PageId pid = (*pf_list_)[cursor_++];
     // Re-check DPT membership at issue time: entries pruned after the PID
@@ -65,8 +65,8 @@ void LogDrivenPrefetcher::Pump(uint64_t redo_records_consumed) {
   window_.Drain();
   uint32_t budget = window_.budget();
   if (budget == 0) return;
-  std::vector<PageId> batch;
-  batch.reserve(budget);
+  std::vector<PageId>& batch = batch_;  // member scratch: 0 allocs/pump
+  batch.clear();
   while (budget > 0 && ahead_.Valid() &&
          ahead_consumed_ < redo_records_consumed + lookahead_records_) {
     const LogRecordView& rec = ahead_.record();

@@ -28,7 +28,9 @@ namespace deutero {
 class PrefetchWindow {
  public:
   PrefetchWindow(BufferPool* pool, uint32_t window)
-      : pool_(pool), window_(window) {}
+      : pool_(pool), window_(window) {
+    inflight_.reserve(window);  // bounded by the window: never reallocates
+  }
 
   /// Remove pages that have landed (or were evicted) from the in-flight set.
   void Drain();
@@ -63,6 +65,7 @@ class PfListPrefetcher {
   const DirtyPageTable* dpt_;
   const std::vector<PageId>* pf_list_;
   size_t cursor_ = 0;
+  std::vector<PageId> batch_;  ///< Scratch reused across Pump() calls.
 };
 
 class LogDrivenPrefetcher {
@@ -89,6 +92,7 @@ class LogDrivenPrefetcher {
   LogManager::Iterator ahead_;
   uint32_t lookahead_records_;
   uint64_t ahead_consumed_ = 0;
+  std::vector<PageId> batch_;  ///< Scratch reused across Pump() calls.
 };
 
 }  // namespace deutero

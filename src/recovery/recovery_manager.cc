@@ -2,6 +2,7 @@
 
 #include "recovery/analysis.h"
 #include "recovery/dpt.h"
+#include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
 #include "recovery/undo.h"
 
@@ -58,10 +59,17 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
     stats->bw_records_seen = dcr.bw_records_seen;
     stats->smo_redone = dcr.smo_redone;
 
-    DEUTERO_RETURN_NOT_OK(RunLogicalRedo(
-        log_, dc_, start, build_dpt, build_dpt ? &dcr.dpt : nullptr,
-        dcr.last_delta_tc_lsn, preload ? &dcr.pf_list : nullptr, options_,
-        &redo));
+    if (options_.recovery_threads > 1) {
+      DEUTERO_RETURN_NOT_OK(RunLogicalRedoParallel(
+          log_, dc_, start, build_dpt, build_dpt ? &dcr.dpt : nullptr,
+          dcr.last_delta_tc_lsn, preload ? &dcr.pf_list : nullptr, options_,
+          options_.recovery_threads, &redo));
+    } else {
+      DEUTERO_RETURN_NOT_OK(RunLogicalRedo(
+          log_, dc_, start, build_dpt, build_dpt ? &dcr.dpt : nullptr,
+          dcr.last_delta_tc_lsn, preload ? &dcr.pf_list : nullptr, options_,
+          &redo));
+    }
     const double t2 = clock_->NowMs();
     stats->redo = {t2 - t1, redo.log_pages, redo.records_scanned};
     att = std::move(redo.att);
@@ -75,9 +83,16 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
     stats->delta_records_seen = ar.delta_records_seen;
     stats->bw_records_seen = ar.bw_records_seen;
 
-    DEUTERO_RETURN_NOT_OK(RunSqlRedo(log_, dc_, ar.redo_start_lsn, &ar.dpt,
-                                     method == RecoveryMethod::kSql2,
-                                     options_, &redo));
+    if (options_.recovery_threads > 1) {
+      DEUTERO_RETURN_NOT_OK(RunSqlRedoParallel(
+          log_, dc_, ar.redo_start_lsn, &ar.dpt,
+          method == RecoveryMethod::kSql2, options_,
+          options_.recovery_threads, &redo));
+    } else {
+      DEUTERO_RETURN_NOT_OK(RunSqlRedo(log_, dc_, ar.redo_start_lsn, &ar.dpt,
+                                       method == RecoveryMethod::kSql2,
+                                       options_, &redo));
+    }
     const double t2 = clock_->NowMs();
     stats->redo = {t2 - t1, redo.log_pages, redo.records_scanned};
     stats->smo_redone = redo.smo_redone;
@@ -92,6 +107,11 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   stats->redo_skipped_plsn = redo.skipped_plsn;
   stats->redo_tail_ops = redo.tail_ops;
   stats->redo_leaf_memo_hits = redo.leaf_memo_hits;
+  stats->redo_threads = redo.threads_used;
+  stats->redo_dispatch_cpu_ms = redo.dispatch_cpu_us * 1e-3;
+  stats->redo_worker_cpu_ms_max = redo.worker_cpu_us_max * 1e-3;
+  stats->redo_worker_cpu_ms_total = redo.worker_cpu_us_total * 1e-3;
+  stats->redo_smo_barriers = redo.smo_barriers;
 
   // Undo pass — identical machinery for every method (§2.1).
   const double t_undo0 = clock_->NowMs();

@@ -35,23 +35,6 @@ Status ApplyDataOp(DataComponent* dc, const LogRecordView& rec, PageId pid) {
   }
 }
 
-/// Memo of the last logical-redo traversal: consecutive records whose keys
-/// land inside the same leaf's fence range skip the index walk entirely.
-/// Valid for a whole redo pass — the tree's structure is frozen then (all
-/// SMOs were replayed by the DC pass; redo applies record ops only).
-struct LeafMemo {
-  TableId table = kInvalidTableId;
-  PageId pid = kInvalidPageId;
-  Key lo = 0;
-  Key hi = 0;
-  bool bounded = false;
-  bool valid = false;
-
-  bool Hit(TableId t, Key key) const {
-    return valid && t == table && key >= lo && (!bounded || key < hi);
-  }
-};
-
 /// The pLSN idempotence test (paper §2.2): fetch the page and compare.
 /// Returns true if the operation must be re-executed.
 Status PlsnTestAndMaybeApply(DataComponent* dc, const LogRecordView& rec,
@@ -80,19 +63,12 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
   *out = RedoResult();
   std::unique_ptr<PfListPrefetcher> prefetcher;
   if (pf_list != nullptr && dpt != nullptr) {
-    // Throttle the read-ahead window by cache size: prefetching that fills
-    // the cache faster than redo consumes it evicts pages before their use
-    // (the paper's "prefetching proceeds too quickly" hazard, App. A.2).
-    const uint32_t window = std::min<uint32_t>(
-        options.prefetch_window,
-        std::max<uint32_t>(4, static_cast<uint32_t>(
-                                  dc->pool().capacity() / 8)));
-    prefetcher = std::make_unique<PfListPrefetcher>(&dc->pool(), dpt,
-                                                    pf_list, window);
+    prefetcher = std::make_unique<PfListPrefetcher>(
+        &dc->pool(), dpt, pf_list, RedoPrefetchWindow(dc->pool(), options));
   }
 
   RecoveryPassQuiescence quiesce(dc);
-  LeafMemo memo;
+  RedoLeafMemo memo;
   auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
   const Status scan_status = [&]() -> Status {
     for (; it.Valid(); it.Next()) {
@@ -153,10 +129,7 @@ Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
   *out = RedoResult();
   std::unique_ptr<LogDrivenPrefetcher> prefetcher;
   if (prefetch) {
-    const uint32_t window = std::min<uint32_t>(
-        options.prefetch_window,
-        std::max<uint32_t>(4, static_cast<uint32_t>(
-                                  dc->pool().capacity() / 8)));
+    const uint32_t window = RedoPrefetchWindow(dc->pool(), options);
     prefetcher = std::make_unique<LogDrivenPrefetcher>(
         &dc->pool(), dpt, log, bckpt_lsn, window,
         /*lookahead_records=*/window * 8);

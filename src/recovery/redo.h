@@ -12,6 +12,7 @@
 // (the SQL family gets it from analysis) and replay CLRs (redo-only, ARIES).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,7 +41,46 @@ struct RedoResult {
   uint64_t leaf_memo_hits = 0;
   ActiveTxnTable att;       ///< Filled by the logical families.
   TxnId max_txn_id = 0;
+
+  // Parallel pipeline measurements (defaults describe the serial pass).
+  uint32_t threads_used = 1;       ///< Partition workers (1 = serial).
+  double dispatch_cpu_us = 0;      ///< Dispatcher scan CPU (parallel only).
+  double worker_cpu_us_max = 0;    ///< Slowest partition's apply CPU.
+  double worker_cpu_us_total = 0;  ///< Sum of all partitions' apply CPU.
+  uint64_t smo_barriers = 0;       ///< Drain barriers taken (SQL family).
 };
+
+/// Memo of the last logical-redo traversal: consecutive records whose keys
+/// land inside the same leaf's fence range skip the index walk entirely.
+/// Valid for a whole redo pass — the tree's structure is frozen then (all
+/// SMOs were replayed by the DC pass; redo applies record ops only). ONE
+/// definition shared by the serial pass and the parallel dispatcher: the
+/// parallel/serial equivalence guarantee (identical leaf_memo_hits)
+/// depends on both using the same fence policy.
+struct RedoLeafMemo {
+  TableId table = kInvalidTableId;
+  PageId pid = kInvalidPageId;
+  Key lo = 0;
+  Key hi = 0;
+  bool bounded = false;
+  bool valid = false;
+
+  bool Hit(TableId t, Key key) const {
+    return valid && t == table && key >= lo && (!bounded || key < hi);
+  }
+};
+
+/// The data-prefetch window both redo families use, throttled by cache
+/// size: read-ahead that fills the cache faster than redo consumes it
+/// evicts pages before their use (the paper's "prefetching proceeds too
+/// quickly" hazard, App. A.2). ONE definition shared by the serial passes
+/// and the parallel pipeline's per-partition read-ahead budget.
+inline uint32_t RedoPrefetchWindow(const BufferPool& pool,
+                                   const EngineOptions& options) {
+  return std::min<uint32_t>(
+      options.prefetch_window,
+      std::max<uint32_t>(4, static_cast<uint32_t>(pool.capacity() / 8)));
+}
 
 /// TC redo pass for the logical family.
 ///   use_dpt=false  -> Log0 semantics (every op fetches its page).

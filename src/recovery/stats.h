@@ -38,6 +38,15 @@ struct RecoveryStats {
   uint64_t redo_tail_ops = 0;       ///< Handled in tail-of-log mode (§4.3).
   uint64_t redo_leaf_memo_hits = 0; ///< Traversals skipped by the leaf memo.
 
+  // Parallel redo pipeline (recovery_threads > 1).
+  uint32_t redo_threads = 1;           ///< Partition workers used by redo.
+  double redo_dispatch_cpu_ms = 0;     ///< Dispatcher-side simulated CPU.
+  double redo_worker_cpu_ms_max = 0;   ///< Slowest partition's CPU (folded
+                                       ///< into the simulated redo time).
+  double redo_worker_cpu_ms_total = 0; ///< Sum over partitions (the serial
+                                       ///< CPU the pipeline spread out).
+  uint64_t redo_smo_barriers = 0;      ///< Drain barriers for SMO/DDL.
+
   // I/O behaviour during recovery (buffer pool deltas).
   uint64_t data_page_fetches = 0;
   uint64_t index_page_fetches = 0;

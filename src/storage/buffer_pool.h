@@ -233,6 +233,13 @@ class BufferPool {
   std::vector<uint32_t> free_frames_;
   PageTable table_;  ///< Open-addressed pid -> frame map (hot path).
   std::deque<std::pair<PageId, uint64_t>> dirty_fifo_;  ///< (pid, dirty_seq).
+  /// One bit per frame, set while the frame is dirty. FlushPhasePages /
+  /// FlushAllDirty sweep it word-at-a-time in frame order instead of
+  /// materializing and sorting a victims vector per checkpoint.
+  std::vector<uint64_t> dirty_bits_;
+  /// Prefetch() scratch reused across calls (dedup list + reserved frames).
+  std::vector<PageId> prefetch_want_;
+  std::vector<uint32_t> prefetch_fidx_;
 
   uint64_t loaded_count_ = 0;
   uint64_t dirty_count_ = 0;

@@ -120,13 +120,15 @@ LogManager::Iterator::Iterator(LogManager* log, Lsn start, bool charge_io)
 }
 
 void LogManager::Iterator::ChargePagesThrough(Lsn end_offset) {
-  if (!charge_io_) return;
   const int64_t last_page =
       static_cast<int64_t>((end_offset - 1) / log_->log_page_size_);
   while (last_charged_page_ < last_page) {
     last_charged_page_++;
     pages_read_++;
-    log_->clock_->AdvanceMs(log_->log_page_read_ms_);
+    // Counting is unconditional (callers that charge elsewhere — the
+    // parallel redo dispatcher batches its clock touches — still need the
+    // page count); only the clock charge is gated.
+    if (charge_io_) log_->clock_->AdvanceMs(log_->log_page_read_ms_);
   }
 }
 

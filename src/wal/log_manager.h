@@ -91,7 +91,8 @@ class LogManager {
     void Next();
     /// Payload byte count of the current record (frame length field).
     uint32_t payload_size() const { return payload_len_; }
-    /// Log pages charged so far by this iterator.
+    /// Log pages touched so far by this iterator (their sequential-read
+    /// cost is charged to the clock only when charge_io was set).
     uint64_t pages_read() const { return pages_read_; }
 
    private:
@@ -137,6 +138,29 @@ class LogManager {
   /// LogRecordViews (Append, Crash, RestoreSnapshot). Iterators capture it
   /// at parse time; tests and debug asserts compare.
   uint64_t generation() const { return generation_; }
+
+  /// RAII witness of the zero-copy aliasing contract over a whole scan or
+  /// pass: captures the generation at construction; Intact() (and a debug
+  /// assert on destruction) verify no Append/Crash/RestoreSnapshot has
+  /// invalidated outstanding LogRecordViews — or Slices handed off from
+  /// them — since. The parallel redo pipeline holds one for the pass
+  /// lifetime: its work items carry Slices aliasing the log buffer across
+  /// threads, which is sound exactly while the generation is unchanged.
+  class AliasGuard {
+   public:
+    explicit AliasGuard(const LogManager* log)
+        : log_(log), generation_(log->generation()) {}
+    ~AliasGuard() {
+      assert(Intact() && "log mutated while aliased views were live");
+    }
+    AliasGuard(const AliasGuard&) = delete;
+    AliasGuard& operator=(const AliasGuard&) = delete;
+    bool Intact() const { return log_->generation() == generation_; }
+
+   private:
+    const LogManager* log_;
+    uint64_t generation_;
+  };
 
   /// Test-only: flip one bit of the stable log (corruption injection).
   void CorruptByteForTest(Lsn offset) {

@@ -3,7 +3,11 @@
 // same loser transactions with the same chain tails, from any crash image.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/engine.h"
 #include "recovery/analysis.h"
@@ -90,6 +94,58 @@ TEST_P(AttEquivalenceTest, SqlAnalysisAndLogicalScanAgreeOnLosers) {
     EXPECT_TRUE(ar.att.count(t)) << "idle loser " << t;
   }
   EXPECT_EQ(ar.max_txn_id, rr.max_txn_id);
+}
+
+// The flat small-vector ActiveTxnTable must behave exactly like the
+// unordered_map it replaced under the full operation mix recovery uses:
+// operator[] upserts, erase, try_emplace (checkpoint ATT seeding, which
+// must NOT overwrite newer entries), find, count, iteration. A randomized
+// trace is applied to both containers and their contents compared at
+// every step.
+TEST(AttFlatMapEquivalence, MatchesReferenceMapUnderRandomTrace) {
+  for (int seed = 1; seed <= 5; seed++) {
+    Random rng(seed * 131);
+    ActiveTxnTable flat;
+    std::unordered_map<TxnId, Lsn> ref;
+    Lsn next_lsn = 100;
+    for (int step = 0; step < 3000; step++) {
+      const TxnId txn = 1 + rng.Uniform(40);  // small id space: collisions
+      const Lsn lsn = next_lsn++;
+      switch (rng.Uniform(10)) {
+        case 0:
+        case 1: {  // commit/abort observation
+          EXPECT_EQ(flat.erase(txn), ref.erase(txn));
+          break;
+        }
+        case 2: {  // checkpoint ATT seeding (keep-newer semantics)
+          auto [fit, finserted] = flat.try_emplace(txn, lsn);
+          auto [rit, rinserted] = ref.try_emplace(txn, lsn);
+          EXPECT_EQ(finserted, rinserted);
+          if (!finserted && fit->second < lsn) fit->second = lsn;
+          if (!rinserted && rit->second < lsn) rit->second = lsn;
+          break;
+        }
+        default: {  // data-op observation
+          flat[txn] = lsn;
+          ref[txn] = lsn;
+          break;
+        }
+      }
+      ASSERT_EQ(flat.size(), ref.size()) << "seed " << seed << " step "
+                                         << step;
+    }
+    // Final content comparison, order-insensitively.
+    std::vector<std::pair<TxnId, Lsn>> a(flat.begin(), flat.end());
+    std::vector<std::pair<TxnId, Lsn>> b(ref.begin(), ref.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "seed " << seed;
+    for (const auto& [txn, lsn] : ref) {
+      EXPECT_EQ(flat.count(txn), 1u);
+      EXPECT_EQ(flat.at(txn), lsn);
+      EXPECT_EQ(flat.find(txn)->second, lsn);
+    }
+  }
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "recovery/dpt.h"
+#include "recovery/prefetch.h"
 #include "sim/clock.h"
 #include "sim/sim_disk.h"
 #include "storage/buffer_pool.h"
@@ -333,6 +335,104 @@ TEST(BufferPoolAllocTest, ResidentGetIsAllocationFree) {
     }
   });
   EXPECT_EQ(allocs, 0u) << "buffer-pool hits are allocating";
+}
+
+// ---------------------------------------------------------------------------
+// The prefetch path: BufferPool::Prefetch and both recovery prefetchers
+// reuse member scratch — a steady pump stream performs zero allocations.
+// ---------------------------------------------------------------------------
+
+TEST(PrefetchAllocTest, PoolPrefetchIsAllocationFreePerCall) {
+  SimClock clock;
+  SimDisk disk(&clock, 256, IoModelOptions{});
+  disk.EnsurePages(4096);
+  BufferPool pool(&clock, &disk, /*capacity=*/256, /*page_size=*/256);
+  std::vector<PageId> batch;
+  auto issue_and_claim = [&](PageId base) {
+    batch.clear();
+    for (PageId p = base; p < base + 16; p++) batch.push_back(p);
+    pool.Prefetch(batch, PageClass::kData);
+    clock.AdvanceMs(1000);  // let the I/O land
+    for (PageId p = base; p < base + 16; p++) {
+      PageHandle h;
+      (void)pool.Get(p, PageClass::kData, &h);  // claim: frame evictable
+    }
+  };
+  batch.reserve(16);
+  issue_and_claim(0);  // warm-up: member scratch capacities settle
+  issue_and_claim(16);
+  const uint64_t allocs = CountAllocs([&] {
+    for (PageId base = 32; base < 1024; base += 16) issue_and_claim(base);
+  });
+  EXPECT_EQ(allocs, 0u) << "BufferPool::Prefetch is allocating per call";
+}
+
+TEST(PrefetchAllocTest, PfListPumpIsAllocationFreePerPump) {
+  SimClock clock;
+  SimDisk disk(&clock, 256, IoModelOptions{});
+  disk.EnsurePages(4096);
+  BufferPool pool(&clock, &disk, /*capacity=*/256, /*page_size=*/256);
+  DirtyPageTable dpt;
+  std::vector<PageId> pf_list;
+  for (PageId p = 1; p < 2000; p++) {
+    pf_list.push_back(p);
+    dpt.AddOrUpdate(p, /*lsn=*/p);
+  }
+  PfListPrefetcher pf(&pool, &dpt, &pf_list, /*window=*/16);
+  auto pump_and_claim = [&](PageId base) {
+    pf.Pump();
+    clock.AdvanceMs(1000);
+    for (PageId p = base; p < base + 8; p++) {
+      PageHandle h;
+      (void)pool.Get(p, PageClass::kData, &h);
+    }
+  };
+  for (PageId base = 1; base < 257; base += 8) pump_and_claim(base);
+  const uint64_t allocs = CountAllocs([&] {
+    for (PageId base = 257; base < 1025; base += 8) pump_and_claim(base);
+  });
+  EXPECT_EQ(allocs, 0u) << "PfListPrefetcher::Pump is allocating";
+}
+
+TEST(PrefetchAllocTest, LogDrivenPumpIsAllocationFreePerPump) {
+  SimClock clock;
+  LogManager log(&clock, 8192, 0.0);
+  DirtyPageTable dpt;
+  {
+    LogRecord r;
+    r.type = LogRecordType::kUpdate;
+    r.table_id = 1;
+    r.after.assign(26, 'b');
+    for (int i = 0; i < 2000; i++) {
+      r.txn_id = 1 + i / 10;
+      r.key = static_cast<Key>(i);
+      r.pid = static_cast<PageId>(1 + i);
+      dpt.AddOrUpdate(r.pid, log.next_lsn());
+      log.Append(r);
+    }
+    log.Flush();
+  }
+  SimDisk disk(&clock, 256, IoModelOptions{});
+  disk.EnsurePages(4096);
+  BufferPool pool(&clock, &disk, /*capacity=*/256, /*page_size=*/256);
+  LogDrivenPrefetcher pf(&pool, &dpt, &log, kFirstLsn, /*window=*/16,
+                         /*lookahead_records=*/128);
+  uint64_t consumed = 0;
+  auto pump_and_claim = [&] {
+    consumed += 8;
+    pf.Pump(consumed);
+    clock.AdvanceMs(1000);
+    for (PageId p = static_cast<PageId>(consumed - 7);
+         p <= static_cast<PageId>(consumed); p++) {
+      PageHandle h;
+      (void)pool.Get(p, PageClass::kData, &h);
+    }
+  };
+  for (int i = 0; i < 32; i++) pump_and_claim();  // warm-up
+  const uint64_t allocs = CountAllocs([&] {
+    for (int i = 0; i < 96; i++) pump_and_claim();
+  });
+  EXPECT_EQ(allocs, 0u) << "LogDrivenPrefetcher::Pump is allocating";
 }
 
 }  // namespace

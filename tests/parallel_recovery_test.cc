@@ -1,0 +1,305 @@
+// Parallel-vs-serial equivalence sweep for the partitioned redo pipeline:
+// for every recovery method and recovery_threads in {1, 2, 4}, the same
+// crash image must recover to byte-identical table content with the same
+// loser-transaction outcome; and the pass-level RedoResult decision
+// counters of the parallel pipeline must match the serial pass exactly
+// (the pipeline re-partitions the work, it must not change any decision).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "recovery/analysis.h"
+#include "recovery/parallel_redo.h"
+#include "recovery/redo.h"
+#include "recovery/stats.h"
+#include "test_util.h"
+#include "workload/driver.h"
+#include "workload/scenario.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+/// Key + payload digest of the default table (byte-identical comparison).
+std::string ContentDigest(Engine* e) {
+  std::string digest;
+  EXPECT_OK(e->dc().btree().ScanAll([&](Key k, Slice v) {
+    digest.append(reinterpret_cast<const char*>(&k), sizeof(k));
+    digest.append(v.data(), v.size());
+  }));
+  return digest;
+}
+
+/// The mixed crash workload of the integration/scenario suites: inserts,
+/// deletes and scans riding on updates, two checkpoints, an uncommitted
+/// tail for undo to roll back.
+void BuildMixedCrashImage(Engine* e, WorkloadDriver* driver) {
+  ASSERT_OK(driver->RunOps(400));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver->RunOps(300));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver->RunOps(300));
+  ASSERT_OK(driver->RunOpsNoCommit(9));  // in-flight losers
+  e->tc().ForceLog();
+  driver->OnCrash();
+  e->SimulateCrash();
+}
+
+WorkloadConfig MixedWorkload() {
+  WorkloadConfig wc;
+  wc.insert_fraction = 0.15;
+  wc.delete_fraction = 0.10;
+  wc.scan_fraction = 0.05;
+  return wc;
+}
+
+class ParallelRecoveryTest : public ::testing::TestWithParam<RecoveryMethod> {
+};
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ParallelRecoveryTest,
+                         ::testing::Values(RecoveryMethod::kLog0,
+                                           RecoveryMethod::kLog1,
+                                           RecoveryMethod::kLog2,
+                                           RecoveryMethod::kSql1,
+                                           RecoveryMethod::kSql2),
+                         [](const auto& param_info) {
+                           return RecoveryMethodName(param_info.param);
+                         });
+
+TEST_P(ParallelRecoveryTest, ThreadSweepIsByteIdenticalToSerial) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  std::string serial_digest;
+  uint64_t serial_txns_undone = 0;
+  uint64_t serial_undo_ops = 0;
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    // Recover the SAME crash image with a fresh engine configured for
+    // `threads` partition workers.
+    EngineOptions ot = o;
+    ot.recovery_threads = threads;
+    std::unique_ptr<Engine> et;
+    ASSERT_OK(Engine::Open(ot, &et));
+    et->SimulateCrash();
+    ASSERT_OK(et->RestoreStableSnapshot(snap));
+    RecoveryStats st;
+    ASSERT_OK(et->Recover(GetParam(), &st));
+    EXPECT_EQ(st.redo_threads, threads) << "pipeline engagement mismatch";
+
+    uint64_t rows = 0;
+    ASSERT_OK(et->dc().btree().CheckWellFormed(&rows));
+
+    const std::string digest = ContentDigest(et.get());
+    if (threads == 1) {
+      serial_digest = digest;
+      serial_txns_undone = st.txns_undone;
+      serial_undo_ops = st.undo_ops;
+      EXPECT_GT(serial_digest.size(), 0u);
+    } else {
+      EXPECT_EQ(digest, serial_digest)
+          << RecoveryMethodName(GetParam()) << " with " << threads
+          << " threads diverged from serial";
+      // Identical loser-transaction outcome: same losers rolled back with
+      // the same number of compensated operations.
+      EXPECT_EQ(st.txns_undone, serial_txns_undone);
+      EXPECT_EQ(st.undo_ops, serial_undo_ops);
+    }
+  }
+}
+
+TEST_P(ParallelRecoveryTest, OracleVerifiesAfterParallelRecovery) {
+  EngineOptions o = SmallOptions();
+  o.recovery_threads = 4;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(GetParam(), &st));
+  EXPECT_EQ(st.redo_threads, 4u);
+  uint64_t checked = 0;
+  ASSERT_OK(driver.Verify(0, &checked));
+  EXPECT_GT(checked, 0u);
+}
+
+// Pass-level equivalence, logical family: the parallel pipeline must make
+// exactly the serial pass's decisions — same scan/examine/apply/skip
+// counters, same memo hits, same ATT (loser set), same max txn id.
+TEST(ParallelRedoPass, LogicalCountersAndAttMatchSerial) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+  const Lsn start = e->wal().master().bckpt_lsn;
+
+  auto run_pass = [&](uint32_t threads, RedoResult* rr,
+                      std::string* digest) {
+    ASSERT_OK(e->RestoreStableSnapshot(snap));
+    ASSERT_OK(e->dc().OpenDatabase());
+    e->dc().monitor().set_enabled(false);
+    e->dc().pool().set_callbacks_enabled(false);
+    DcRecoveryResult dcr;
+    ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                            /*build_dpt=*/true, /*preload=*/false, &dcr));
+    if (threads == 1) {
+      ASSERT_OK(RunLogicalRedo(&e->wal(), &e->dc(), start, true, &dcr.dpt,
+                               dcr.last_delta_tc_lsn, nullptr, o, rr));
+    } else {
+      ASSERT_OK(RunLogicalRedoParallel(&e->wal(), &e->dc(), start, true,
+                                       &dcr.dpt, dcr.last_delta_tc_lsn,
+                                       nullptr, o, threads, rr));
+    }
+    *digest = ContentDigest(e.get());
+    e->SimulateCrash();
+  };
+
+  RedoResult serial;
+  std::string serial_digest;
+  run_pass(1, &serial, &serial_digest);
+  for (uint32_t threads : {2u, 4u}) {
+    RedoResult par;
+    std::string digest;
+    run_pass(threads, &par, &digest);
+    EXPECT_EQ(digest, serial_digest) << threads << " threads";
+    EXPECT_EQ(par.records_scanned, serial.records_scanned);
+    EXPECT_EQ(par.examined, serial.examined);
+    EXPECT_EQ(par.applied, serial.applied);
+    EXPECT_EQ(par.skipped_dpt, serial.skipped_dpt);
+    EXPECT_EQ(par.skipped_rlsn, serial.skipped_rlsn);
+    EXPECT_EQ(par.skipped_plsn, serial.skipped_plsn);
+    EXPECT_EQ(par.tail_ops, serial.tail_ops);
+    EXPECT_EQ(par.leaf_memo_hits, serial.leaf_memo_hits);
+    EXPECT_EQ(par.max_txn_id, serial.max_txn_id);
+    EXPECT_EQ(par.threads_used, threads);
+
+    // Identical loser set with identical chain tails.
+    std::vector<std::pair<TxnId, Lsn>> a(serial.att.begin(),
+                                         serial.att.end());
+    std::vector<std::pair<TxnId, Lsn>> b(par.att.begin(), par.att.end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "ATT diverged at " << threads << " threads";
+  }
+}
+
+// Pass-level equivalence, SQL family — including SMO/DDL barriers inside
+// the redone window (a table created after the checkpoint).
+TEST(ParallelRedoPass, SqlCountersMatchSerialWithDdlInWindow) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  ASSERT_OK(driver.RunOps(300));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(200));
+  // DDL inside the redone window: its kCreateTable record forces the
+  // parallel dispatcher through the barrier path.
+  const TableId kSide = 7;
+  ASSERT_OK(e->CreateTable(kSide, 16));
+  {
+    Table side;
+    ASSERT_OK(e->OpenTable(kSide, &side));
+    Txn t;
+    ASSERT_OK(e->Begin(&t));
+    for (Key k = 0; k < 40; k++) {
+      ASSERT_OK(t.Insert(side, k, std::string(16, static_cast<char>('a' + (k % 26)))));
+    }
+    ASSERT_OK(t.Commit());
+  }
+  ASSERT_OK(driver.RunOps(200));
+  driver.OnCrash();
+  e->SimulateCrash();
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  auto run_pass = [&](uint32_t threads, RedoResult* rr,
+                      std::string* digest) {
+    ASSERT_OK(e->RestoreStableSnapshot(snap));
+    ASSERT_OK(e->dc().OpenDatabase());
+    e->dc().monitor().set_enabled(false);
+    e->dc().pool().set_callbacks_enabled(false);
+    const Lsn start = e->wal().master().bckpt_lsn;
+    SqlAnalysisResult ar;
+    ASSERT_OK(RunSqlAnalysis(&e->wal(), start, &ar));
+    if (threads == 1) {
+      ASSERT_OK(RunSqlRedo(&e->wal(), &e->dc(), ar.redo_start_lsn, &ar.dpt,
+                           /*prefetch=*/false, o, rr));
+    } else {
+      ASSERT_OK(RunSqlRedoParallel(&e->wal(), &e->dc(), ar.redo_start_lsn,
+                                   &ar.dpt, /*prefetch=*/false, o, threads,
+                                   rr));
+    }
+    *digest = ContentDigest(e.get());
+    BTree* side = e->dc().FindTable(kSide);
+    ASSERT_NE(side, nullptr) << "DDL not replayed";
+    ASSERT_OK(side->ScanAll([&](Key k, Slice v) {
+      digest->append(reinterpret_cast<const char*>(&k), sizeof(k));
+      digest->append(v.data(), v.size());
+    }));
+    e->SimulateCrash();
+  };
+
+  RedoResult serial;
+  std::string serial_digest;
+  run_pass(1, &serial, &serial_digest);
+  for (uint32_t threads : {2u, 4u}) {
+    RedoResult par;
+    std::string digest;
+    run_pass(threads, &par, &digest);
+    EXPECT_EQ(digest, serial_digest) << threads << " threads";
+    EXPECT_EQ(par.records_scanned, serial.records_scanned);
+    EXPECT_EQ(par.examined, serial.examined);
+    EXPECT_EQ(par.applied, serial.applied);
+    EXPECT_EQ(par.skipped_dpt, serial.skipped_dpt);
+    EXPECT_EQ(par.skipped_rlsn, serial.skipped_rlsn);
+    EXPECT_EQ(par.skipped_plsn, serial.skipped_plsn);
+    EXPECT_EQ(par.smo_redone, serial.smo_redone);
+    EXPECT_GT(par.smo_barriers, 0u) << "DDL window must take barriers";
+  }
+}
+
+// The partition map and DPT sharding invariants the pipeline relies on.
+TEST(DptShards, PartitionAndUnionInvariants) {
+  DirtyPageTable dpt;
+  for (PageId pid = 1; pid <= 500; pid++) {
+    dpt.AddExact(pid, /*rlsn=*/pid * 10, /*last_lsn=*/pid * 10 + 5);
+  }
+  for (uint32_t n : {2u, 4u, 7u}) {
+    std::vector<DirtyPageTable> shards;
+    BuildDptShards(dpt, n, &shards);
+    ASSERT_EQ(shards.size(), n);
+    size_t total = 0;
+    for (uint32_t i = 0; i < n; i++) total += shards[i].size();
+    EXPECT_EQ(total, dpt.size());
+    for (PageId pid = 1; pid <= 500; pid++) {
+      const uint32_t part = RedoPartitionOf(pid, n);
+      for (uint32_t i = 0; i < n; i++) {
+        const DirtyPageTable::Entry* e = shards[i].Find(pid);
+        if (i == part) {
+          ASSERT_NE(e, nullptr);
+          EXPECT_EQ(e->rlsn, pid * 10);
+          EXPECT_EQ(e->last_lsn, pid * 10 + 5);
+        } else {
+          EXPECT_EQ(e, nullptr);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deutero
