@@ -411,7 +411,10 @@ void BM_ParallelRedo(benchmark::State& state) {
   EngineOptions o;
   o.page_size = 8192;
   o.value_size = 26;
-  o.num_rows = 100'000;
+  // The merge-churn variant (arg 2) needs delete pressure dense enough to
+  // drain whole 229-row leaves: a compact table where every leaf sees
+  // hundreds of deletes over the redone window.
+  o.num_rows = state.range(1) == 2 ? 4000 : 100'000;
   o.cache_pages = 4096;  // tree resident: isolates CPU scaling
   o.lazy_writer_reference_cache_pages = 4096;
   o.checkpoint_interval_updates = 100'000;  // explicit checkpoint only
@@ -421,6 +424,16 @@ void BM_ParallelRedo(benchmark::State& state) {
     WorkloadConfig wc;
     if (state.range(1) == 1) {
       wc.distribution = WorkloadConfig::Distribution::kZipfian;
+    } else if (state.range(1) == 2) {
+      // Merge churn: a DRAINING 90%-delete mix over a compact table (under
+      // update-reinsert churn a 229-row leaf's live fraction equilibrates
+      // above the merge threshold, so steady-state mixes never merge at
+      // this page size). The drain crosses the threshold mid-window, so
+      // the redone log is dense with kSmoMerge (and split) SMOs — the SQL
+      // pipeline takes its drain barriers, the logical DC pass replays the
+      // merges, and the dispatcher's row accounting runs at full tilt.
+      wc.delete_fraction = 0.9;
+      wc.insert_fraction = 0.05;
     } else {
       wc.insert_fraction = 0.8;  // append-heavy
     }
@@ -478,7 +491,7 @@ void BM_ParallelRedo(benchmark::State& state) {
       iters == 0 ? 0.0 : sim_ms / static_cast<double>(iters);
 }
 BENCHMARK(BM_ParallelRedo)
-    ->ArgsProduct({{1, 2, 4}, {0, 1}})
+    ->ArgsProduct({{1, 2, 4}, {0, 1, 2}})  // append / zipf / merge churn
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -14,12 +14,18 @@ namespace deutero {
 template <typename RecordT>
 Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
-                          const RecordT& rec) {
+                          const RecordT& rec, PageId skip_pid) {
   allocator->EnsureAtLeast(rec.alloc_hwm);
   for (const auto& img : rec.smo_pages) {
     if (img.image.size() != page_size) {
       return Status::Corruption("physical image size mismatch");
     }
+    // A page riding an SMO image is in use as of this record (a split may
+    // have re-allocated a previously merged-away page); keep the replayed
+    // allocator free-list in sync. kSmoMerge replay re-frees its victim
+    // AFTER this loop (DataComponent::RedoSmoMerge).
+    allocator->MarkUsed(img.pid);
+    if (img.pid == skip_pid) continue;  // freed victim: caller discards
     if (img.pid >= disk->num_pages()) disk->EnsurePages(img.pid + 1);
     PageHandle h;
     DEUTERO_RETURN_NOT_OK(pool->Get(img.pid, PageClass::kIndex, &h));
@@ -33,15 +39,17 @@ Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
 
 template Status RedoPhysicalImages<LogRecord>(BufferPool*, SimDisk*,
                                               PageAllocator*, uint32_t,
-                                              const LogRecord&);
+                                              const LogRecord&, PageId);
 template Status RedoPhysicalImages<LogRecordView>(BufferPool*, SimDisk*,
                                                   PageAllocator*, uint32_t,
-                                                  const LogRecordView&);
+                                                  const LogRecordView&,
+                                                  PageId);
 
 BTree::BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
              PageAllocator* allocator, LogManager* log, PageId root_pid,
              uint32_t page_size, uint32_t value_size, double leaf_fill,
-             double cpu_per_level_us, DirtyPageMonitor* monitor)
+             double cpu_per_level_us, DirtyPageMonitor* monitor,
+             double merge_fill)
     : clock_(clock),
       disk_(disk),
       pool_(pool),
@@ -52,7 +60,18 @@ BTree::BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
       page_size_(page_size),
       value_size_(value_size),
       leaf_fill_(leaf_fill),
-      cpu_per_level_us_(cpu_per_level_us) {}
+      cpu_per_level_us_(cpu_per_level_us),
+      // Clamp below the split point: a merged leaf must never be full
+      // enough to immediately re-split.
+      merge_fill_(merge_fill < 0 ? 0 : (merge_fill > 0.45 ? 0.45
+                                                          : merge_fill)) {}
+
+uint32_t BTree::MergeThreshold() const {
+  if (merge_fill_ <= 0) return 0;
+  const uint32_t cap = LeafNodeView::Capacity(page_size_, value_size_);
+  const uint32_t t = static_cast<uint32_t>(cap * merge_fill_);
+  return t < 1 ? 1 : t;  // >= 1 so an emptied leaf always triggers
+}
 
 Status BTree::CreateEmpty() {
   disk_->EnsurePages(root_pid_ + 1);
@@ -299,18 +318,22 @@ Status BTree::ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn) {
   DEUTERO_RETURN_NOT_OK(
       LeafApplyInsert(h.view(), value_size_, key, value, &delta));
   h.MarkDirty(lsn);
-  AdjustRowCount(delta);
+  if (count_adjust_enabled_) AdjustRowCount(delta);
   return Status::OK();
 }
 
-Status BTree::ApplyDelete(PageId pid, Key key, Lsn lsn) {
+Status BTree::ApplyDelete(PageId pid, Key key, Lsn lsn, bool* underfull) {
   PageHandle h;
   DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
   int64_t delta = 0;
   DEUTERO_RETURN_NOT_OK(
       LeafApplyDelete(h.view(), value_size_, key, &delta));
   h.MarkDirty(lsn);
-  AdjustRowCount(delta);
+  if (count_adjust_enabled_) AdjustRowCount(delta);
+  if (underfull != nullptr) {
+    const LeafNodeView leaf(h.view(), value_size_);
+    *underfull = leaf.count() < MergeThreshold();
+  }
   return Status::OK();
 }
 
@@ -333,7 +356,7 @@ Status BTree::ApplyUpsert(PageId pid, Key key, Slice value, Lsn lsn) {
   DEUTERO_RETURN_NOT_OK(
       LeafApplyUpsert(h.view(), value_size_, key, value, &delta));
   h.MarkDirty(lsn);
-  AdjustRowCount(delta);
+  if (count_adjust_enabled_) AdjustRowCount(delta);
   return Status::OK();
 }
 
@@ -568,6 +591,179 @@ Status BTree::SplitRoot(PageHandle* root_h) {
   return Status::OK();
 }
 
+Status BTree::MaybeMergeLeaf(Key key, bool* merged) {
+  if (merged != nullptr) *merged = false;
+  const uint32_t threshold = MergeThreshold();
+  if (threshold == 0) return Status::OK();
+
+  // Descend to the leaf's parent (level-1 node). Nothing above it changes:
+  // a merge modifies the parent, two leaves, and nothing else (the root
+  // only when the parent IS the root and the tree collapses).
+  PageHandle parent_h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &parent_h));
+  clock_->AdvanceUs(cpu_per_level_us_);
+  while (true) {
+    PageView page = parent_h.view();
+    if (page.type() == PageType::kLeaf) return Status::OK();  // root leaf
+    if (page.level() == 1) break;
+    const PageId child = InternalNodeView(page).FindChild(key);
+    parent_h.Release();
+    DEUTERO_RETURN_NOT_OK(pool_->Get(child, PageClass::kIndex, &parent_h));
+    clock_->AdvanceUs(cpu_per_level_us_);
+  }
+  PageView parent = parent_h.view();
+  InternalNodeView pnode(parent);
+  const uint32_t ci = pnode.FindChildIndex(key);
+  const PageId leaf_pid = pnode.ChildAt(ci);
+  PageHandle leaf_h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(leaf_pid, PageClass::kData, &leaf_h));
+  clock_->AdvanceUs(cpu_per_level_us_);
+  if (leaf_h.view().type() != PageType::kLeaf) {
+    return Status::Corruption("merge target is not a leaf");
+  }
+  if (LeafNodeView(leaf_h.view(), value_size_).count() >= threshold) {
+    return Status::OK();  // no longer underfull
+  }
+
+  if (pnode.count() == 1) {
+    // Sole child: no same-parent sibling to merge with. When the parent is
+    // the root the tree collapses back to a root leaf; otherwise the leaf
+    // stays until churn refills it (cross-parent merges are not attempted).
+    if (parent_h.pid() != root_pid_) return Status::OK();
+    // A foreign pin (an open ScanCursor, despite the documented
+    // no-writes-during-scan contract) defers the collapse: freeing a page
+    // someone stands on would leave the cursor on a kFree page and the
+    // undiscardable frame dirty.
+    if (pool_->PinCount(leaf_pid) > 1) return Status::OK();
+    DEUTERO_RETURN_NOT_OK(CollapseRoot(&parent_h, &leaf_h));
+    if (merged != nullptr) *merged = true;
+    return Status::OK();
+  }
+
+  // Prefer merging into the left sibling (the underfull leaf is then the
+  // victim); the leftmost child instead absorbs its right sibling.
+  uint32_t victim_ci = 0;  // parent entry to remove
+  PageId survivor_pid = kInvalidPageId;
+  PageId victim_pid = kInvalidPageId;
+  if (ci > 0) {
+    survivor_pid = pnode.ChildAt(ci - 1);
+    victim_pid = leaf_pid;
+    victim_ci = ci;
+  } else {
+    survivor_pid = leaf_pid;
+    victim_pid = pnode.ChildAt(1);
+    victim_ci = 1;
+  }
+  PageHandle survivor_h;
+  PageHandle victim_h;
+  if (survivor_pid == leaf_pid) {
+    survivor_h = std::move(leaf_h);
+    DEUTERO_RETURN_NOT_OK(
+        pool_->Get(victim_pid, PageClass::kData, &victim_h));
+  } else {
+    victim_h = std::move(leaf_h);
+    DEUTERO_RETURN_NOT_OK(
+        pool_->Get(survivor_pid, PageClass::kData, &survivor_h));
+  }
+  clock_->AdvanceUs(cpu_per_level_us_);
+  PageView survivor = survivor_h.view();
+  PageView victim = victim_h.view();
+  if (survivor.type() != PageType::kLeaf ||
+      victim.type() != PageType::kLeaf) {
+    return Status::Corruption("merge sibling is not a leaf");
+  }
+  LeafNodeView snode(survivor, value_size_);
+  LeafNodeView vnode(victim, value_size_);
+  if (snode.count() + vnode.count() > snode.capacity()) {
+    return Status::OK();  // combined node would overflow: skip the merge
+  }
+  // A foreign pin on the victim (an open ScanCursor, despite the
+  // documented no-writes-during-scan contract) defers the merge: freeing
+  // a page someone stands on would silently end their scan on a kFree
+  // page and leave a dirty dead frame the pool could flush — diverging
+  // the runtime disk image from what recovery replay produces. (Pins on
+  // the SURVIVOR are harmless: its existing entries keep their slots and
+  // the cursor simply sees the absorbed rows next.)
+  if (pool_->PinCount(victim_pid) > 1) return Status::OK();
+  assert(survivor.right_sibling() == victim_pid);
+
+  // System transaction: move the rows, unlink the victim from the parent
+  // and the leaf chain, free its page, and commit everything as one atomic
+  // kSmoMerge record (after-images riding, same discipline as splits).
+  DirtyPageMonitor::AtomicScope smo_scope(monitor_);
+  stats_.merges++;
+  snode.AppendFrom(&vnode);
+  survivor.set_right_sibling(victim.right_sibling());
+  pnode.RemoveAt(victim_ci);
+  victim.Format(victim_pid, PageType::kFree, 0);
+  allocator_->Free(victim_pid);
+
+  const Lsn lsn = log_->next_lsn();
+  parent_h.MarkDirty(lsn);
+  survivor_h.MarkDirty(lsn);
+  victim_h.MarkDirty(lsn);  // the free image carries pLSN == record LSN
+  LogRecord rec;
+  rec.type = LogRecordType::kSmoMerge;
+  rec.pid = victim_pid;
+  rec.alloc_hwm = allocator_->next_page_id();
+  rec.smo_pages.push_back({parent_h.pid(), PageImage(parent)});
+  rec.smo_pages.push_back({survivor_pid, PageImage(survivor)});
+  rec.smo_pages.push_back({victim_pid, PageImage(victim)});
+  const Lsn got = log_->Append(rec);
+  assert(got == lsn);
+  (void)got;
+
+  // The victim's frame is dead: drop it without a flush. Its changes are
+  // all logged and its free image rides the record just appended. The
+  // pin pre-check above guarantees the discard cannot fail.
+  victim_h.Release();
+  const bool discarded = pool_->Discard(victim_pid);
+  assert(discarded);
+  (void)discarded;
+  if (merged != nullptr) *merged = true;
+  return Status::OK();
+}
+
+Status BTree::CollapseRoot(PageHandle* root_h, PageHandle* child_h) {
+  DirtyPageMonitor::AtomicScope smo_scope(monitor_);
+  stats_.merges++;
+  stats_.root_collapses++;
+  PageView root = root_h->view();
+  PageView child = child_h->view();
+  assert(root.level() == 1 && child.type() == PageType::kLeaf);
+  const PageId child_pid = child_h->pid();
+
+  // Rewrite the root page in place as a leaf holding the sole child's rows
+  // — the inverse of SplitRoot; the catalog never changes.
+  root.Format(root_pid_, PageType::kLeaf, 0);
+  LeafNodeView root_leaf(root, value_size_);
+  LeafNodeView child_leaf(child, value_size_);
+  root_leaf.AppendFrom(&child_leaf);
+  root.set_right_sibling(child.right_sibling());  // sole leaf: kInvalid
+  child.Format(child_pid, PageType::kFree, 0);
+  allocator_->Free(child_pid);
+  height_ = 1;
+
+  const Lsn lsn = log_->next_lsn();
+  root_h->MarkDirty(lsn);
+  child_h->MarkDirty(lsn);
+  LogRecord rec;
+  rec.type = LogRecordType::kSmoMerge;
+  rec.pid = child_pid;
+  rec.alloc_hwm = allocator_->next_page_id();
+  rec.smo_pages.push_back({root_pid_, PageImage(root)});
+  rec.smo_pages.push_back({child_pid, PageImage(child)});
+  const Lsn got = log_->Append(rec);
+  assert(got == lsn);
+  (void)got;
+
+  child_h->Release();
+  const bool discarded = pool_->Discard(child_pid);
+  assert(discarded);  // caller pre-checked for foreign pins
+  (void)discarded;
+  return Status::OK();
+}
+
 Status BTree::RefreshHeight() {
   PageHandle h;
   DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
@@ -678,6 +874,32 @@ Status BTree::CheckWellFormed(uint64_t* row_count) {
   DEUTERO_RETURN_NOT_OK(
       CheckSubtree(root_pid_, root_level, 0, false, 0, &rows));
   if (row_count != nullptr) *row_count = rows;
+  return Status::OK();
+}
+
+Status BTree::CountEmptyLeaves(uint64_t* empty_leaves) {
+  *empty_leaves = 0;
+  PageId pid = root_pid_;
+  bool root_is_leaf = true;
+  while (true) {
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.type() == PageType::kLeaf) break;
+    root_is_leaf = false;
+    pid = InternalNodeView(page).ChildAt(0);
+  }
+  if (root_is_leaf) return Status::OK();  // an empty table is legal
+  while (pid != kInvalidPageId) {
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &h));
+    PageView page = h.view();
+    if (page.type() != PageType::kLeaf) {
+      return Status::Corruption("non-leaf on the sibling chain");
+    }
+    if (page.num_slots() == 0) (*empty_leaves)++;
+    pid = page.right_sibling();
+  }
   return Status::OK();
 }
 

@@ -4,14 +4,20 @@
 // logical log lacks and logical redo must rediscover by re-traversal
 // (paper §1.3).
 //
-// Structure modification operations (page splits) run as DC system
-// transactions: each split appends ONE kSmo log record carrying the full
-// after-images of every page it touched. The record is atomic — either it
-// is on the stable log and DC recovery reinstalls the images (idempotently,
-// via the per-page pLSN test), or it is not and the WAL rule guarantees
-// none of the touched pages reached the disk. DC recovery replays SMOs
-// BEFORE the TC redo pass so the tree is well-formed when logical redo
-// traverses it (paper §2.1, §4).
+// Structure modification operations (page splits, and their delete-side
+// inverse: leaf merges) run as DC system transactions: each appends ONE
+// kSmo / kSmoMerge log record carrying the full after-images of every page
+// it touched. The record is atomic — either it is on the stable log and DC
+// recovery reinstalls the images (idempotently, via the per-page pLSN
+// test), or it is not and the WAL rule guarantees none of the touched pages
+// reached the disk. DC recovery replays SMOs BEFORE the TC redo pass so the
+// tree is well-formed when logical redo traverses it (paper §2.1, §4).
+//
+// A merge additionally FREES a page: the record names the victim pid, its
+// free-page after-image rides along, and replay returns the page to the
+// allocator free-list (idempotently). At run time the victim's frame is
+// discarded from the cache without a flush — its content is dead, and every
+// change to it is logged.
 //
 // Each tree's root lives at a page id fixed at creation: a root split
 // rewrites the root page in place and pushes its old content into two
@@ -42,14 +48,19 @@ class DirtyPageMonitor;  // dc/dirty_monitor.h — only btree.cc needs the def
 inline constexpr PageId kRootPageId = 1;
 
 /// Install the full page images of an SMO or create-table record whose
-/// on-device pLSN predates the record (idempotent physical redo), and raise
-/// the allocator high-water mark. Tree-agnostic: images name their pages.
-/// Templated over the record representation (owning LogRecord or zero-copy
-/// LogRecordView); both instantiations live in btree.cc.
+/// on-device pLSN predates the record (idempotent physical redo), raise
+/// the allocator high-water mark, and mark every image's page in-use (a
+/// split may re-allocate a merged-away page). Tree-agnostic: images name
+/// their pages. `skip_pid` names a page whose image must NOT be
+/// materialized (a merge record's freed victim — the caller discards its
+/// frame instead, mirroring the run-time discard). Templated over the
+/// record representation (owning LogRecord or zero-copy LogRecordView);
+/// both instantiations live in btree.cc.
 template <typename RecordT>
 Status RedoPhysicalImages(BufferPool* pool, SimDisk* disk,
                           PageAllocator* allocator, uint32_t page_size,
-                          const RecordT& rec);
+                          const RecordT& rec,
+                          PageId skip_pid = kInvalidPageId);
 
 // ---- pinned-leaf apply primitives ----
 //
@@ -132,15 +143,20 @@ class BTree {
     uint64_t traversals = 0;
     uint64_t splits = 0;
     uint64_t root_splits = 0;
+    uint64_t merges = 0;
+    uint64_t root_collapses = 0;
   };
 
   /// `monitor` (optional) is held in a DirtyPageMonitor::AtomicScope across
   /// each system transaction so a capacity-triggered Δ-record cannot
   /// interleave between the SMO's LSN reservation and its append.
+  /// `merge_fill` is the delete-side SMO trigger (see
+  /// EngineOptions::leaf_merge_fill); 0 disables merging.
   BTree(SimClock* clock, SimDisk* disk, BufferPool* pool,
         PageAllocator* allocator, LogManager* log, PageId root_pid,
         uint32_t page_size, uint32_t value_size, double leaf_fill,
-        double cpu_per_level_us, DirtyPageMonitor* monitor = nullptr);
+        double cpu_per_level_us, DirtyPageMonitor* monitor = nullptr,
+        double merge_fill = 0.0);
 
   /// Initialize an empty tree: format the root page (a leaf) directly on
   /// the device. Durability of table existence is the catalog's / DDL
@@ -187,8 +203,24 @@ class BTree {
   Status ApplyInsert(PageId pid, Key key, Slice value, Lsn lsn);
 
   /// Remove `key` from leaf `pid` (delete, or undo of an insert), stamping
-  /// pLSN = lsn.
-  Status ApplyDelete(PageId pid, Key key, Lsn lsn);
+  /// pLSN = lsn. When `underfull` is non-null it reports whether the leaf
+  /// was left below the merge threshold (or empty) — the caller's cue to
+  /// run MaybeMergeLeaf. Redo passes leave it null: merges replay from
+  /// their own log records, never re-derive.
+  Status ApplyDelete(PageId pid, Key key, Lsn lsn,
+                     bool* underfull = nullptr);
+
+  /// Delete-side SMO (normal operation and undo only — never redo): if the
+  /// leaf owning `key` is below the merge threshold (or empty), coalesce it
+  /// with a sibling under the same parent, unlink the victim from the
+  /// parent and the leaf chain, return its page to the allocator free-list,
+  /// and commit the whole modification as one kSmoMerge record carrying the
+  /// after-images (same discipline as splits). When the root is left with a
+  /// single leaf child, the tree is collapsed back to a root leaf (the
+  /// inverse of SplitRoot; the root pid never changes). Merging across
+  /// parents is not attempted: such a leaf stays until churn re-fills it or
+  /// empties a same-parent sibling. No-op when merging is disabled.
+  Status MaybeMergeLeaf(Key key, bool* merged = nullptr);
 
   /// Overwrite `key`'s payload in leaf `pid` if present, insert it
   /// otherwise (CLR replay: a compensated delete may or may not be
@@ -214,6 +246,17 @@ class BTree {
   /// Verify ordering, fences, levels and slot counts across the tree.
   Status CheckWellFormed(uint64_t* row_count);
 
+  /// Count empty leaves reachable through the leaf sibling chain (excluding
+  /// a root that is itself a leaf — an empty table is legal). With merging
+  /// enabled, delete churn keeps this at zero in a two-level tree: every
+  /// emptied leaf is merged away by the SMO that emptied it (and the last
+  /// leaf collapses into the root). Two scoped exceptions can strand an
+  /// empty leaf: a sole-child parent BELOW the root (cross-parent merging
+  /// is not attempted — only reachable at height >= 3), and a merge
+  /// deferred by a foreign pin on the victim. See the ROADMAP's cascading
+  /// internal-merge follow-on.
+  Status CountEmptyLeaves(uint64_t* empty_leaves);
+
   /// Visit all rows in key order through the leaf sibling chain.
   Status ScanAll(const std::function<void(Key, Slice)>& fn);
 
@@ -222,8 +265,16 @@ class BTree {
   void set_height(uint32_t h) { height_ = h; }
   uint64_t row_count() const { return num_rows_; }
   void set_row_count(uint64_t n) { num_rows_ = n; }
-  /// Fold a batch of row-count changes (the per-partition deltas a parallel
-  /// redo pass accumulated) into the tree's counter, clamping at zero.
+  /// Whether Apply{Insert,Delete,Upsert} fold their row-count effect into
+  /// the counter. Normal operation and undo run with it on; redo passes
+  /// suspend it (via RecoveryPassQuiescence) and instead account
+  /// scan-complete — every record's delta exactly once in LSN order,
+  /// independent of the redo skip tests — so the recovered counter is
+  /// exact and method-independent.
+  void set_count_adjust_enabled(bool on) { count_adjust_enabled_ = on; }
+  bool count_adjust_enabled() const { return count_adjust_enabled_; }
+  /// Fold a row-count change into the tree's counter, clamping at zero
+  /// (direct form: ignores the enable flag).
   void AdjustRowCount(int64_t delta) {
     if (delta >= 0) {
       num_rows_ += static_cast<uint64_t>(delta);
@@ -239,6 +290,9 @@ class BTree {
   Status SplitChild(PageHandle* parent_h, PageHandle* child_h,
                     uint32_t child_idx);
   Status SplitRoot(PageHandle* root_h);
+  Status CollapseRoot(PageHandle* root_h, PageHandle* child_h);
+  /// Leaf count below which MaybeMergeLeaf coalesces; 0 when disabled.
+  uint32_t MergeThreshold() const;
   Status CheckSubtree(PageId pid, int expected_level, Key lower_fence,
                       bool has_upper, Key upper_fence, uint64_t* rows);
 
@@ -257,9 +311,11 @@ class BTree {
   const uint32_t value_size_;
   const double leaf_fill_;
   const double cpu_per_level_us_;
+  const double merge_fill_;
 
   uint32_t height_ = 1;
   uint64_t num_rows_ = 0;
+  bool count_adjust_enabled_ = true;
   Stats stats_;
 };
 

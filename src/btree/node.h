@@ -82,8 +82,9 @@ class LeafNodeView {
     std::memcpy(MutableValueAt(i), value, value_size_);
   }
 
-  /// Remove the entry at `i`, shifting the tail down (insert undo). Leaves
-  /// are never merged on delete — standard for B-trees under OLTP churn.
+  /// Remove the entry at `i`, shifting the tail down (delete / insert
+  /// undo). A leaf left under the merge threshold is coalesced into a
+  /// sibling by the leaf-merge SMO (BTree::MaybeMergeLeaf).
   void RemoveAt(uint32_t i) {
     assert(i < count());
     const uint32_t esz = EntrySize();
@@ -91,6 +92,20 @@ class LeafNodeView {
     std::memmove(base + i * esz, base + (i + 1) * esz,
                  (count() - i - 1) * static_cast<size_t>(esz));
     page_.set_num_slots(count() - 1);
+  }
+
+  /// Append every entry of `src` after this node's entries, emptying `src`
+  /// — the data movement of a leaf merge. `src` must hold strictly greater
+  /// keys (it is the right-hand node of the pair).
+  void AppendFrom(LeafNodeView* src) {
+    const uint32_t n = src->count();
+    assert(count() + n <= capacity());
+    assert(n == 0 || count() == 0 || src->KeyAt(0) > KeyAt(count() - 1));
+    const uint32_t esz = EntrySize();
+    std::memcpy(page_.payload() + count() * static_cast<size_t>(esz),
+                src->page_.payload(), n * static_cast<size_t>(esz));
+    page_.set_num_slots(static_cast<uint16_t>(count() + n));
+    src->page_.set_num_slots(0);
   }
 
   /// Move entries [from, count) into `dst` (must be empty), truncating this
@@ -171,6 +186,16 @@ class InternalNodeView {
   void SetKeyAt(uint32_t i, Key key) {
     assert(i < count());
     EncodeFixed64(reinterpret_cast<char*>(EntryPtr(i)), key);
+  }
+
+  /// Remove the entry at `i`, shifting the tail down (a leaf merge unlinks
+  /// the victim child from its parent).
+  void RemoveAt(uint32_t i) {
+    assert(i < count());
+    uint8_t* base = page_.payload();
+    std::memmove(base + i * kEntrySize, base + (i + 1) * kEntrySize,
+                 (count() - i - 1) * static_cast<size_t>(kEntrySize));
+    page_.set_num_slots(count() - 1);
   }
 
   void Append(Key key, PageId child) { InsertAt(count(), key, child); }

@@ -90,6 +90,13 @@ struct EngineOptions {
   uint32_t value_size = 26;   ///< Fixed record payload size ("data" column).
   uint64_t num_rows = 10'000'000;  ///< Rows bulk-loaded at creation.
   double leaf_fill_fraction = 0.95;  ///< Bulk-load leaf fill factor.
+  /// Delete-side SMO trigger: when a delete leaves a leaf below this
+  /// fraction of its capacity (or empty), the DC merges it into a sibling
+  /// under the same parent as a logged system transaction (kSmoMerge) and
+  /// returns the page to the allocator free-list. 0 disables merging
+  /// (leaves then decay like a pre-merge tree). Values are clamped to
+  /// [0, 0.45] so a merge can never immediately re-trigger a split.
+  double leaf_merge_fill = 0.25;
 
   // ---- cache ----
   uint64_t cache_pages = 819;  ///< Buffer pool capacity (64 MB-class default).

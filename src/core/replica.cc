@@ -77,8 +77,9 @@ Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
         // whole transaction is dropped then, so nothing to do here.
         break;
       default:
-        // Physical/physiological primary records (SMO, Δ, BW, checkpoints)
-        // are meaningless under the replica's geometry.
+        // Physical/physiological primary records (split/merge SMOs, Δ, BW,
+        // checkpoints) are meaningless under the replica's geometry: the
+        // replica's own deletes trigger its own merge SMOs locally.
         break;
     }
     resume = rec.lsn;

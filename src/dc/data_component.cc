@@ -61,9 +61,11 @@ std::unique_ptr<BTree> DataComponent::MakeTree(const TableInfo& info) const {
       clock_, disk_.get(), pool_.get(),
       const_cast<PageAllocator*>(&allocator_), log_, info.root_pid,
       options_.page_size, info.value_size, options_.leaf_fill_fraction,
-      options_.io.cpu_per_btree_level_us, monitor_.get());
+      options_.io.cpu_per_btree_level_us, monitor_.get(),
+      options_.leaf_merge_fill);
   tree->set_height(info.height);
   tree->set_row_count(info.num_rows);
+  tree->set_count_adjust_enabled(row_count_tracking_);
   return tree;
 }
 
@@ -89,7 +91,7 @@ Status DataComponent::CreateDatabase(
 Status DataComponent::OpenDatabase() {
   DEUTERO_RETURN_NOT_OK(
       Catalog::ReadFrom(*disk_, options_.page_size, &catalog_));
-  allocator_.Reset(catalog_.next_page_id());
+  allocator_.Reset(catalog_.next_page_id(), catalog_.free_list());
   tables_.clear();
   for (const TableInfo& info : catalog_.tables()) {
     tables_[info.id] = MakeTree(info);
@@ -231,10 +233,16 @@ Status DataComponent::ApplyInsert(TableId table, PageId pid, Key key,
 }
 
 Status DataComponent::ApplyDelete(TableId table, PageId pid, Key key,
-                                  Lsn lsn) {
+                                  Lsn lsn, bool* underfull) {
   BTree* tree = FindTable(table);
   if (tree == nullptr) return Status::NotFound("unknown table");
-  return tree->ApplyDelete(pid, key, lsn);
+  return tree->ApplyDelete(pid, key, lsn, underfull);
+}
+
+Status DataComponent::MaybeMergeLeaf(TableId table, Key key, bool* merged) {
+  BTree* tree = FindTable(table);
+  if (tree == nullptr) return Status::NotFound("unknown table");
+  return tree->MaybeMergeLeaf(key, merged);
 }
 
 Status DataComponent::ApplyUpsert(TableId table, PageId pid, Key key,
@@ -272,6 +280,12 @@ void DataComponent::PersistCatalog() {
     info.num_rows = tree->row_count();
   }
   catalog_.set_next_page_id(allocator_.next_page_id());
+  catalog_.set_free_list(allocator_.free_list());
+  // The counters written below cover every operation logged so far: a
+  // later recovery must not re-add deltas for records before this point
+  // (it matters at end-of-recovery persists, which cover the whole log
+  // while the master's bCkpt still points at the pre-crash checkpoint).
+  catalog_.set_rows_covered_lsn(log_->next_lsn());
   catalog_.WriteTo(disk_.get(), options_.page_size);
 }
 

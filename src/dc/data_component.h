@@ -89,7 +89,15 @@ class DataComponent {
                      Lsn lsn);
   Status ApplyInsert(TableId table, PageId pid, Key key, Slice value,
                      Lsn lsn);
-  Status ApplyDelete(TableId table, PageId pid, Key key, Lsn lsn);
+  /// `underfull` (optional) reports whether the delete left the leaf below
+  /// the merge threshold — the TC's cue to call MaybeMergeLeaf. Redo passes
+  /// leave it null: merges replay from their own records.
+  Status ApplyDelete(TableId table, PageId pid, Key key, Lsn lsn,
+                     bool* underfull = nullptr);
+  /// Delete-side SMO (normal operation / undo): merge the underfull leaf
+  /// owning `key` into a same-parent sibling as a logged system
+  /// transaction (see BTree::MaybeMergeLeaf).
+  Status MaybeMergeLeaf(TableId table, Key key, bool* merged = nullptr);
   /// Update-or-insert (CLR replay of a compensated delete; idempotent under
   /// partial redo states).
   Status ApplyUpsert(TableId table, PageId pid, Key key, Slice value,
@@ -124,6 +132,31 @@ class DataComponent {
                               options_.page_size, rec);
   }
 
+  /// Replay a kSmoMerge record: install the survivors' after-images,
+  /// discard any cached frame of the freed victim (mirroring the run-time
+  /// discard — its content is dead, so it is neither materialized nor ever
+  /// flushed), and return the victim to the allocator free-list.
+  /// Idempotent on every front (pLSN test; Discard/Free tolerate repeats).
+  template <typename RecordT>
+  Status RedoSmoMerge(const RecordT& rec) {
+    DEUTERO_RETURN_NOT_OK(RedoPhysicalImages(pool_.get(), disk_.get(),
+                                             &allocator_, options_.page_size,
+                                             rec, /*skip_pid=*/rec.pid));
+    pool_->Discard(rec.pid);
+    allocator_.Free(rec.pid);
+    return Status::OK();
+  }
+
+  /// Allocator bookkeeping of an SMO/DDL record whose page-image install
+  /// was skipped by the DPT test: the high-water mark and free-list must
+  /// advance regardless, or a post-recovery Allocate() could hand out a
+  /// live page. (kSmoMerge replay is never skipped, so it has no analog.)
+  template <typename RecordT>
+  void NoteSmoAllocation(const RecordT& rec) {
+    allocator_.EnsureAtLeast(rec.alloc_hwm);
+    for (const auto& img : rec.smo_pages) allocator_.MarkUsed(img.pid);
+  }
+
   /// Replay a kCreateTable record: register the table (if unknown) and
   /// install its root image (idempotent). Instantiated for LogRecord and
   /// LogRecordView in data_component.cc.
@@ -132,6 +165,25 @@ class DataComponent {
 
   /// Load every internal index page of every table (paper App. A.1).
   Status PreloadIndex();
+
+  /// Toggle apply-side row-count maintenance on every table (see
+  /// BTree::set_count_adjust_enabled). Redo passes suspend it and account
+  /// scan-complete instead; the flag also seeds trees registered later in
+  /// the same pass (RedoCreateTable).
+  void SetRowCountTracking(bool on) {
+    row_count_tracking_ = on;
+    for (auto& [id, tree] : tables_) tree->set_count_adjust_enabled(on);
+  }
+  bool row_count_tracking() const { return row_count_tracking_; }
+
+  /// Scan-side row accounting: fold one record's delta into its table's
+  /// counter (clamped at zero, like the apply-side sequence it replaces).
+  /// Per-record hot path: updates (delta 0) must not pay the table lookup.
+  void AdjustTableRowCount(TableId table, int64_t delta) {
+    if (delta == 0) return;
+    BTree* tree = FindTable(table);
+    if (tree != nullptr) tree->AdjustRowCount(delta);
+  }
 
   /// Persist the catalog (roots, heights, allocator high-water mark);
   /// called at checkpoint completion and end of recovery.
@@ -166,6 +218,7 @@ class DataComponent {
   std::map<TableId, std::unique_ptr<BTree>> tables_;
   std::unique_ptr<DirtyPageMonitor> monitor_;
   Lsn elsn_ = kInvalidLsn;
+  bool row_count_tracking_ = true;
 };
 
 }  // namespace deutero

@@ -43,6 +43,17 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
           out->dpt.AddOrUpdate(p.pid, rec.lsn);
         }
         break;
+      case LogRecordType::kSmoMerge:
+        // The surviving pages need redo consideration; the freed victim
+        // drops out of the DPT — it is dead as of this record, and its
+        // free image installs unconditionally when the merge replays. A
+        // later split re-allocating it re-adds it with that split's rLSN.
+        for (const SmoPageImageRef& p : rec.smo_pages) {
+          if (p.pid == rec.pid) continue;
+          out->dpt.AddOrUpdate(p.pid, rec.lsn);
+        }
+        out->dpt.Remove(rec.pid);
+        break;
       case LogRecordType::kBwRecord: {
         // Algorithm 3 lines 11-18: prune by the flushed set.
         out->bw_records_seen++;
@@ -151,6 +162,15 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
           DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
           out->smo_redone++;
           break;
+        case LogRecordType::kSmoMerge:
+          // Delete-side SMO: reinstall the merge images and re-free the
+          // victim page. The victim drops out of the DPT under
+          // construction (it cannot need data-op redo once merged away; a
+          // later in-window split re-allocating it re-adds it).
+          DEUTERO_RETURN_NOT_OK(dc->RedoSmoMerge(rec));
+          out->smo_redone++;
+          if (build_dpt) out->dpt.Remove(rec.pid);
+          break;
         case LogRecordType::kCreateTable:
           // DDL is a DC system transaction: re-register the table and its
           // root before logical redo routes operations to it.
@@ -177,6 +197,17 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
   }();
   out->log_pages = it.pages_read();  // filled on error exits too
   DEUTERO_RETURN_NOT_OK(scan_status);
+  if (build_dpt) {
+    // Pages that ended the window on the free-list must not remain in the
+    // DPT: a Δ-record logged AFTER a merge can still list the victim (its
+    // DirtySet accumulated the merge-time dirtying), and a stale entry
+    // would let the PF-list prefetcher fault the free page back into the
+    // pool — where it would sit resident until a post-recovery split
+    // re-allocates the pid and collides in BufferPool::Create.
+    for (const PageId pid : dc->allocator().free_list()) {
+      out->dpt.Remove(pid);
+    }
+  }
   if (preload_index) {
     DEUTERO_RETURN_NOT_OK(dc->PreloadIndex());
   }

@@ -111,11 +111,17 @@ class RecoveryPassQuiescence {
   explicit RecoveryPassQuiescence(DataComponent* dc)
       : dc_(dc),
         monitor_was_(dc->monitor().enabled()),
-        callbacks_were_(dc->pool().callbacks_enabled()) {
+        callbacks_were_(dc->pool().callbacks_enabled()),
+        tracking_was_(dc->row_count_tracking()) {
     dc_->monitor().set_enabled(false);
     dc_->pool().set_callbacks_enabled(false);
+    // Redo passes account row counts scan-complete (every record's delta
+    // exactly once, in LSN order, independent of the redo skip tests);
+    // apply-side maintenance must not double-count the applied subset.
+    dc_->SetRowCountTracking(false);
   }
   ~RecoveryPassQuiescence() {
+    dc_->SetRowCountTracking(tracking_was_);
     dc_->pool().set_callbacks_enabled(callbacks_were_);
     dc_->monitor().set_enabled(monitor_was_);
   }
@@ -126,7 +132,25 @@ class RecoveryPassQuiescence {
   DataComponent* dc_;
   bool monitor_was_;
   bool callbacks_were_;
+  bool tracking_was_;
 };
+
+/// Row-count effect of one redoable data-op record: +1 insert, -1 delete,
+/// a CLR's carried compensation delta, 0 otherwise. Summed over the redo
+/// scan (clamped per record) this reproduces the runtime counter exactly.
+template <typename RecordT>
+int64_t RecordRowDelta(const RecordT& rec) {
+  switch (rec.type) {
+    case LogRecordType::kInsert:
+      return 1;
+    case LogRecordType::kDelete:
+      return -1;
+    case LogRecordType::kClr:
+      return rec.clr_row_delta;
+    default:
+      return 0;
+  }
+}
 
 /// Maintain the ATT incrementally from a scanned record. Templated over the
 /// record representation so the zero-copy LogRecordView of recovery scans

@@ -172,17 +172,6 @@ class PartitionWorker {
     return applied_.load(std::memory_order_acquire) == pushed_;
   }
 
-  /// One applied operation's row-count effect, tagged with its LSN so the
-  /// merge at pass end can replay the deltas in LOG order. The serial pass
-  /// clamps the tree counter at zero per operation; reproducing its exact
-  /// result requires applying the same deltas in the same (global) order,
-  /// which partition-local net sums cannot do.
-  struct RowDeltaEvent {
-    Lsn lsn = kInvalidLsn;
-    TableId table = kInvalidTableId;
-    int32_t delta = 0;
-  };
-
   uint64_t pushed() const { return pushed_; }
   uint64_t applied() const {
     return applied_.load(std::memory_order_acquire);
@@ -191,10 +180,6 @@ class PartitionWorker {
   const Status& error() const { return error_; }  ///< Valid after Join().
   const RedoResult& shard() const { return shard_; }
   double cpu_us() const { return cpu_us_; }
-  /// LSN-ascending (the queue is FIFO in log order). Valid after Join().
-  const std::vector<RowDeltaEvent>& row_deltas() const {
-    return row_deltas_;
-  }
 
  private:
   struct CachedPin {
@@ -348,10 +333,7 @@ class PartitionWorker {
         break;
     }
     DEUTERO_RETURN_NOT_OK(st);
-    if (delta != 0) {
-      row_deltas_.push_back(RowDeltaEvent{item.lsn, item.table_id,
-                                          static_cast<int32_t>(delta)});
-    }
+    (void)delta;  // row accounting is scan-complete on the dispatcher
 
     // Dirty/pLSN bookkeeping. The first modification of a held pin runs
     // the full gated MarkDirty (dirty transition, FIFO, first-dirty LSN);
@@ -428,7 +410,6 @@ class PartitionWorker {
   double cpu_us_ = 0;
   std::vector<CachedPin> pins_;
   uint64_t use_tick_ = 0;
-  std::vector<RowDeltaEvent> row_deltas_;
   std::vector<PageId> ra_batch_;  ///< Read-ahead scratch (reused).
   /// Huge initial value forces a top-up on the first item.
   uint64_t items_since_read_ahead_ = uint64_t{1} << 62;
@@ -503,7 +484,7 @@ class WorkerPool {
 
   /// Shut down, join, and merge every worker's shard into `out`. Returns
   /// the first (lowest-partition) worker error, if any.
-  Status Finish(DataComponent* dc, RedoResult* out) {
+  Status Finish(RedoResult* out) {
     RedoWorkItem release_pins;
     for (auto& w : workers_) w->Push(release_pins);
     for (auto& w : workers_) w->SignalDone();
@@ -511,7 +492,6 @@ class WorkerPool {
 
     Status first_error;
     double cpu_max = 0;
-    std::vector<PartitionWorker::RowDeltaEvent> deltas;
     for (auto& w : workers_) {
       if (w->failed() && first_error.ok()) first_error = w->error();
       const RedoResult& s = w->shard();
@@ -522,18 +502,6 @@ class WorkerPool {
       out->tail_ops += s.tail_ops;
       out->worker_cpu_us_total += w->cpu_us();
       if (w->cpu_us() > cpu_max) cpu_max = w->cpu_us();
-      deltas.insert(deltas.end(), w->row_deltas().begin(),
-                    w->row_deltas().end());
-    }
-    // Replay the row-count deltas in LOG order: the serial pass clamps the
-    // counter at zero per operation, so the merged sequence must apply in
-    // the same global order to persist the same catalog num_rows. LSNs are
-    // unique, making the order total.
-    std::sort(deltas.begin(), deltas.end(),
-              [](const auto& a, const auto& b) { return a.lsn < b.lsn; });
-    for (const auto& e : deltas) {
-      BTree* tree = dc->FindTable(e.table);
-      if (tree != nullptr) tree->AdjustRowCount(e.delta);
     }
     out->worker_cpu_us_max = cpu_max;
     out->threads_used = static_cast<uint32_t>(workers_.size());
@@ -596,7 +564,7 @@ Status FinishPipeline(DataComponent* dc, const EngineOptions& options,
   out->log_pages = it.pages_read();  // filled on error exits too
   scan_clock->AddUs((it.pages_read() - log_pages_metered) *
                     options.io.log_page_read_ms * 1e3);
-  const Status worker_status = workers->Finish(dc, out);
+  const Status worker_status = workers->Finish(out);
   assert(alias.Intact());
   (void)alias;
   scan_clock->Flush();
@@ -626,9 +594,11 @@ Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
                               Lsn last_delta_tc_lsn,
                               const std::vector<PageId>* pf_list,
                               const EngineOptions& options, uint32_t threads,
-                              RedoResult* out) {
+                              RedoResult* out, Lsn count_rows_from) {
   assert(threads >= 2);
   *out = RedoResult();
+  const Lsn count_from =
+      count_rows_from == kInvalidLsn ? bckpt_lsn : count_rows_from;
 
   RecoveryPassQuiescence quiesce(dc);
   LogManager::AliasGuard alias(log);
@@ -671,6 +641,12 @@ Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
       ObserveForAtt(rec, &out->att, &out->max_txn_id);
       if (!rec.IsRedoableDataOp()) continue;  // SMOs: done by the DC pass
       out->examined++;
+      // Scan-complete row accounting, on the dispatcher: it observes
+      // records in log order, and workers never touch the tree counters.
+      // Records below count_from are covered by the persisted catalog.
+      if (rec.lsn >= count_from) {
+        dc->AdjustTableRowCount(rec.table_id, RecordRowDelta(rec));
+      }
 
       // The dispatcher performs the logical->physical mapping (the paper's
       // per-operation index traversal) so the partition of the owning leaf
@@ -709,9 +685,11 @@ Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
 Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                           const DirtyPageTable* dpt, bool prefetch,
                           const EngineOptions& options, uint32_t threads,
-                          RedoResult* out) {
+                          RedoResult* out, Lsn count_rows_from) {
   assert(threads >= 2);
   *out = RedoResult();
+  const Lsn count_from =
+      count_rows_from == kInvalidLsn ? bckpt_lsn : count_rows_from;
 
   RecoveryPassQuiescence quiesce(dc);
   LogManager::AliasGuard alias(log);
@@ -771,7 +749,25 @@ Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
           std::lock_guard<std::mutex> lock(shared.pool_gate);
           DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
           out->smo_redone++;
+        } else {
+          // Same allocator fix as the serial pass: a DPT-skipped split
+          // still advances the high-water mark / free-list.
+          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          dc->NoteSmoAllocation(rec);
         }
+        continue;
+      }
+      if (rec.type == LogRecordType::kSmoMerge) {
+        // Merge records span partitions exactly like splits (parent,
+        // survivor and victim hash to different workers, and installed
+        // images invalidate held pins), so they take the same drain
+        // barrier; replay is unconditional, mirroring the serial pass.
+        scan_clock.Flush();
+        workers.DrainBarrier();
+        out->smo_barriers++;
+        std::lock_guard<std::mutex> lock(shared.pool_gate);
+        DEUTERO_RETURN_NOT_OK(dc->RedoSmoMerge(rec));
+        out->smo_redone++;
         continue;
       }
       if (rec.type == LogRecordType::kCreateTable) {
@@ -789,6 +785,11 @@ Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
       }
       if (!rec.IsRedoableDataOp()) continue;
       out->examined++;
+      // Scan-complete row accounting (dispatcher-side, log order); the
+      // catalog counter already covers records below count_from.
+      if (rec.lsn >= count_from) {
+        dc->AdjustTableRowCount(rec.table_id, RecordRowDelta(rec));
+      }
 
       // Algorithm 1: the log record names the page — no index traversal.
       // Membership/rLSN tests run worker-side against the partition shard.

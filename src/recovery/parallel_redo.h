@@ -95,13 +95,15 @@ Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
                               Lsn last_delta_tc_lsn,
                               const std::vector<PageId>* pf_list,
                               const EngineOptions& options, uint32_t threads,
-                              RedoResult* out);
+                              RedoResult* out,
+                              Lsn count_rows_from = kInvalidLsn);
 
 /// Parallel counterpart of RunSqlRedo (same contract and arguments, plus
-/// the worker count). `threads` must be >= 2.
+/// the worker count — including `count_rows_from`, the scan-complete
+/// row-accounting boundary). `threads` must be >= 2.
 Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                           const DirtyPageTable* dpt, bool prefetch,
                           const EngineOptions& options, uint32_t threads,
-                          RedoResult* out);
+                          RedoResult* out, Lsn count_rows_from = kInvalidLsn);
 
 }  // namespace deutero

@@ -1,5 +1,7 @@
 #include "recovery/recovery_manager.h"
 
+#include <algorithm>
+
 #include "recovery/analysis.h"
 #include "recovery/dpt.h"
 #include "recovery/parallel_redo.h"
@@ -29,6 +31,14 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   const MasterRecord& master = log_->master();
   const Lsn start =
       master.bckpt_lsn == kInvalidLsn ? kFirstLsn : master.bckpt_lsn;
+  // Scan-complete row accounting must not re-add deltas the catalog's
+  // persisted counters already include. Normally that boundary is the
+  // bCkpt, but a catalog persisted at the END of a previous recovery
+  // covers the whole log while the master still names the pre-crash
+  // checkpoint — the catalog records how far its counters reach
+  // (kInvalidLsn == 0, so max() handles never-stamped catalogs).
+  const Lsn count_rows_from =
+      std::max(start, dc_->catalog().rows_covered_lsn());
 
   const double t0 = clock_->NowMs();
   ActiveTxnTable att;
@@ -63,12 +73,12 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
       DEUTERO_RETURN_NOT_OK(RunLogicalRedoParallel(
           log_, dc_, start, build_dpt, build_dpt ? &dcr.dpt : nullptr,
           dcr.last_delta_tc_lsn, preload ? &dcr.pf_list : nullptr, options_,
-          options_.recovery_threads, &redo));
+          options_.recovery_threads, &redo, count_rows_from));
     } else {
       DEUTERO_RETURN_NOT_OK(RunLogicalRedo(
           log_, dc_, start, build_dpt, build_dpt ? &dcr.dpt : nullptr,
           dcr.last_delta_tc_lsn, preload ? &dcr.pf_list : nullptr, options_,
-          &redo));
+          &redo, count_rows_from));
     }
     const double t2 = clock_->NowMs();
     stats->redo = {t2 - t1, redo.log_pages, redo.records_scanned};
@@ -83,15 +93,17 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
     stats->delta_records_seen = ar.delta_records_seen;
     stats->bw_records_seen = ar.bw_records_seen;
 
+    // Row accounting starts at the covered boundary (the ARIES redo SCAN
+    // may reach back to the oldest captured rLSN, before the bCkpt).
     if (options_.recovery_threads > 1) {
       DEUTERO_RETURN_NOT_OK(RunSqlRedoParallel(
           log_, dc_, ar.redo_start_lsn, &ar.dpt,
           method == RecoveryMethod::kSql2, options_,
-          options_.recovery_threads, &redo));
+          options_.recovery_threads, &redo, count_rows_from));
     } else {
       DEUTERO_RETURN_NOT_OK(RunSqlRedo(log_, dc_, ar.redo_start_lsn, &ar.dpt,
                                        method == RecoveryMethod::kSql2,
-                                       options_, &redo));
+                                       options_, &redo, count_rows_from));
     }
     const double t2 = clock_->NowMs();
     stats->redo = {t2 - t1, redo.log_pages, redo.records_scanned};

@@ -59,8 +59,11 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                       bool use_dpt, const DirtyPageTable* dpt,
                       Lsn last_delta_tc_lsn,
                       const std::vector<PageId>* pf_list,
-                      const EngineOptions& options, RedoResult* out) {
+                      const EngineOptions& options, RedoResult* out,
+                      Lsn count_rows_from) {
   *out = RedoResult();
+  const Lsn count_from =
+      count_rows_from == kInvalidLsn ? bckpt_lsn : count_rows_from;
   std::unique_ptr<PfListPrefetcher> prefetcher;
   if (pf_list != nullptr && dpt != nullptr) {
     prefetcher = std::make_unique<PfListPrefetcher>(
@@ -80,6 +83,13 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
 
       if (prefetcher != nullptr) prefetcher->Pump();
       out->examined++;
+      // Scan-complete row accounting (see RecordRowDelta): the counter
+      // must reflect every windowed operation whether or not the redo
+      // tests below skip its re-execution — and none the persisted
+      // catalog counters already cover (records below count_from).
+      if (rec.lsn >= count_from) {
+        dc->AdjustTableRowCount(rec.table_id, RecordRowDelta(rec));
+      }
 
       // The TC re-submits the operation; the DC traverses the index with
       // the record's key to discover the page (Algorithm 2 line 8 / Alg. 5
@@ -125,8 +135,11 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
 
 Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                   const DirtyPageTable* dpt, bool prefetch,
-                  const EngineOptions& options, RedoResult* out) {
+                  const EngineOptions& options, RedoResult* out,
+                  Lsn count_rows_from) {
   *out = RedoResult();
+  const Lsn count_from =
+      count_rows_from == kInvalidLsn ? bckpt_lsn : count_rows_from;
   std::unique_ptr<LogDrivenPrefetcher> prefetcher;
   if (prefetch) {
     const uint32_t window = RedoPrefetchWindow(dc->pool(), options);
@@ -159,7 +172,23 @@ Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
         if (any) {
           DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
           out->smo_redone++;
+        } else {
+          // The image install is skippable; the allocator bookkeeping is
+          // not. Without this, a fully-flushed (BW-pruned) split left the
+          // high-water mark stale and a post-recovery Allocate() could
+          // hand out a live page.
+          dc->NoteSmoAllocation(rec);
         }
+        continue;
+      }
+      if (rec.type == LogRecordType::kSmoMerge) {
+        // Delete-side SMO: replay unconditionally (the per-page pLSN test
+        // inside keeps it idempotent) so every method converges on the
+        // same images AND the same allocator free-list — the freed page
+        // must be re-freed even when the surviving pages' images are
+        // already durable.
+        DEUTERO_RETURN_NOT_OK(dc->RedoSmoMerge(rec));
+        out->smo_redone++;
         continue;
       }
       if (rec.type == LogRecordType::kCreateTable) {
@@ -170,6 +199,11 @@ Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
       }
       if (!rec.IsRedoableDataOp()) continue;
       out->examined++;
+      // Scan-complete row accounting; the catalog counter already covers
+      // records below count_from (ARIES reaches back before the bCkpt).
+      if (rec.lsn >= count_from) {
+        dc->AdjustTableRowCount(rec.table_id, RecordRowDelta(rec));
+      }
 
       // Algorithm 1: the log record names the page — no index traversal.
       const DirtyPageTable::Entry* e = dpt->Find(rec.pid);

@@ -90,12 +90,17 @@ Status RunLogicalRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                       bool use_dpt, const DirtyPageTable* dpt,
                       Lsn last_delta_tc_lsn,
                       const std::vector<PageId>* pf_list,
-                      const EngineOptions& options, RedoResult* out);
+                      const EngineOptions& options, RedoResult* out,
+                      Lsn count_rows_from = kInvalidLsn);
 
 /// Redo pass for the SQL family (Algorithm 1), optionally with log-driven
-/// prefetch (SQL2).
+/// prefetch (SQL2). `count_rows_from` bounds the scan-complete row-count
+/// accounting: records below it are already reflected in the catalog's
+/// persisted counters (ARIES checkpointing starts the scan before the
+/// bCkpt; penultimate starts at it). Defaults to the scan start.
 Status RunSqlRedo(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
                   const DirtyPageTable* dpt, bool prefetch,
-                  const EngineOptions& options, RedoResult* out);
+                  const EngineOptions& options, RedoResult* out,
+                  Lsn count_rows_from = kInvalidLsn);
 
 }  // namespace deutero

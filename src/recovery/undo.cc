@@ -73,16 +73,31 @@ Status RunUndo(LogManager* log, DataComponent* dc, const ActiveTxnTable& att,
                                                        : rec.before;
         clr.pid = pid;
         clr.undo_next_lsn = rec.prev_lsn;
+        // Row-count effect of the compensation, carried on the record so a
+        // later recovery's scan-complete row accounting replays it.
+        clr.clr_row_delta = rec.type == LogRecordType::kInsert  ? -1
+                            : rec.type == LogRecordType::kDelete ? 1
+                                                                 : 0;
         const Lsn clr_lsn = log->Append(clr);
         switch (rec.type) {
           case LogRecordType::kUpdate:
             DEUTERO_RETURN_NOT_OK(dc->ApplyUpdate(rec.table_id, pid, rec.key,
                                                   rec.before, clr_lsn));
             break;
-          case LogRecordType::kInsert:
-            DEUTERO_RETURN_NOT_OK(
-                dc->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+          case LogRecordType::kInsert: {
+            // Undoing an insert is a delete: it may leave the leaf
+            // underfull and trigger a merge SMO — logged, exactly like the
+            // splits PrepareInsert can log during undo of a delete. Undo
+            // runs identically for every method after redo, so the merges
+            // it performs are deterministic across methods too.
+            bool underfull = false;
+            DEUTERO_RETURN_NOT_OK(dc->ApplyDelete(rec.table_id, pid, rec.key,
+                                                  clr_lsn, &underfull));
+            if (underfull) {
+              DEUTERO_RETURN_NOT_OK(dc->MaybeMergeLeaf(rec.table_id, rec.key));
+            }
             break;
+          }
           default:  // kDelete: restore the row
             DEUTERO_RETURN_NOT_OK(dc->ApplyUpsert(rec.table_id, pid, rec.key,
                                                   rec.before, clr_lsn));

@@ -1,8 +1,14 @@
 // Shared page allocator: one dense page-id space per device, used by every
-// table's B-tree. The high-water mark is persisted in the catalog at
-// checkpoints and re-raised during recovery by SMO / create-table records
-// (which carry the mark at their append time).
+// table's B-tree, plus the free-list fed by leaf-merge SMOs. The high-water
+// mark and free-list are persisted in the catalog at checkpoints and
+// re-derived during recovery from SMO / create-table / merge records (which
+// carry the mark at their append time; a merge record names the page it
+// freed, and any page riding an SMO image is by definition in use).
 #pragma once
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
 
 #include "common/types.h"
 #include "sim/sim_disk.h"
@@ -14,11 +20,38 @@ class PageAllocator {
   explicit PageAllocator(SimDisk* disk, PageId next = 1)
       : disk_(disk), next_(next) {}
 
-  /// Allocate one page, growing the device.
+  /// Allocate one page: reuse the most recently freed page if any (LIFO —
+  /// keeps the hot end of the list cache-resident), else grow the device.
   PageId Allocate() {
+    if (!free_list_.empty()) {
+      const PageId pid = free_list_.back();
+      free_list_.pop_back();
+      free_set_.erase(pid);
+      return pid;
+    }
     const PageId pid = next_++;
     disk_->EnsurePages(next_);
     return pid;
+  }
+
+  /// Return a page to the free-list (leaf merge SMO). Idempotent: replaying
+  /// a merge record whose free is already reflected (persisted catalog +
+  /// in-window record) must not double-free.
+  void Free(PageId pid) {
+    if (pid == kInvalidPageId || pid >= next_) return;
+    if (!free_set_.insert(pid).second) return;  // already free
+    free_list_.push_back(pid);
+  }
+
+  /// Remove a page from the free-list if present (recovery replay of an
+  /// SMO/DDL record whose images prove the page is live — e.g. a split that
+  /// re-allocated a previously merged-away leaf). The membership test is
+  /// O(1); the ordered-list erase is linear but runs only on an actual
+  /// re-allocation, never on the per-image no-op case replay hammers.
+  void MarkUsed(PageId pid) {
+    if (free_set_.erase(pid) == 0) return;
+    free_list_.erase(
+        std::find(free_list_.begin(), free_list_.end(), pid));
   }
 
   /// Raise the high-water mark (recovery: SMO/DDL records carry it).
@@ -30,14 +63,32 @@ class PageAllocator {
   }
 
   PageId next_page_id() const { return next_; }
+  const std::vector<PageId>& free_list() const { return free_list_; }
+  bool IsFree(PageId pid) const { return free_set_.count(pid) != 0; }
+
   void Reset(PageId next) {
     next_ = next;
+    free_list_.clear();
+    free_set_.clear();
+    disk_->EnsurePages(next_);
+  }
+  void Reset(PageId next, std::vector<PageId> free_list) {
+    next_ = next;
+    free_list_ = std::move(free_list);
+    free_set_ = std::unordered_set<PageId>(free_list_.begin(),
+                                           free_list_.end());
     disk_->EnsurePages(next_);
   }
 
  private:
   SimDisk* disk_;
   PageId next_;
+  /// Freed pages in free order; Allocate pops from the back. Small in
+  /// steady state (merges and splits roughly balance under churn); the
+  /// set mirrors it for O(1) membership (Free/MarkUsed/IsFree run per
+  /// replayed SMO image on the redo paths the benches time).
+  std::vector<PageId> free_list_;
+  std::unordered_set<PageId> free_set_;
 };
 
 }  // namespace deutero

@@ -157,6 +157,11 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
   return Status::OK();
 }
 
+uint32_t BufferPool::PinCount(PageId pid) const {
+  const uint32_t* fi = table_.Find(pid);
+  return fi == nullptr ? 0 : frames_[*fi].pins;
+}
+
 bool BufferPool::IsResidentOrPending(PageId pid) const {
   return table_.Find(pid) != nullptr;
 }
@@ -246,6 +251,25 @@ Status BufferPool::FlushPage(PageId pid) {
   if (!f.dirty) return Status::OK();
   FlushFrame(*fi, nullptr);
   return Status::OK();
+}
+
+bool BufferPool::Discard(PageId pid) {
+  const uint32_t* entry = table_.Find(pid);
+  if (entry == nullptr) return false;
+  const uint32_t fi = *entry;
+  Frame& f = frames_[fi];
+  if (f.state != FrameState::kLoaded || f.pins > 0) return false;
+  if (f.dirty) {
+    f.dirty = false;
+    dirty_bits_[fi >> 6] &= ~(uint64_t{1} << (fi & 63));
+    dirty_count_--;
+    // Stale dirty_fifo_ entries are skipped by the seq check on pop.
+  }
+  table_.Erase(f.pid);
+  loaded_count_--;
+  f = Frame();
+  free_frames_.push_back(fi);
+  return true;
 }
 
 void BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {

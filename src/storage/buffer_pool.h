@@ -125,6 +125,12 @@ class BufferPool {
   /// formats it and stamps it dirty with the SMO's LSN.
   Status Create(PageId pid, PageClass cls, PageHandle* handle);
 
+  /// Current pin count of `pid` (0 when not resident). A leaf merge uses
+  /// this to detect foreign pins (an open ScanCursor) on its victim: a
+  /// page it is about to free must be pinned by nobody but the merge
+  /// itself, or the cursor would be left standing on a freed page.
+  uint32_t PinCount(PageId pid) const;
+
   /// True if the page is loaded or has a pending read.
   bool IsResidentOrPending(PageId pid) const;
   /// True if the page is loaded (usable without a wait).
@@ -141,6 +147,15 @@ class BufferPool {
 
   /// Synchronously flush one resident dirty page (respects the WAL rule).
   Status FlushPage(PageId pid);
+
+  /// Drop a resident page from the cache WITHOUT flushing it, even if
+  /// dirty (page deallocation: a leaf-merge SMO freed it, so its content is
+  /// dead — every change to it is logged and its free-page after-image
+  /// rides the merge record). The frame leaves the dirty bitmap and FIFO
+  /// accounting, so neither the lazy writer nor a checkpoint will waste a
+  /// write on it. Returns false if the page is not resident, still pinned,
+  /// or has a pending read.
+  bool Discard(PageId pid);
 
   /// Flush every dirty frame whose checkpoint phase bit equals the phase
   /// before the most recent FlipCheckpointPhase(). Returns pages flushed.

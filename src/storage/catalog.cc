@@ -43,7 +43,8 @@ void Catalog::WriteTo(SimDisk* disk, uint32_t page_size) const {
   EncodeFixed32(p, kMetaMagic);
   EncodeFixed32(p + 4, next_page_id_);
   EncodeFixed32(p + 8, static_cast<uint32_t>(tables_.size()));
-  char* entry = p + 12;
+  EncodeFixed64(p + 12, rows_covered_lsn_);
+  char* entry = p + 20;
   for (const TableInfo& t : tables_) {
     EncodeFixed32(entry, t.id);
     EncodeFixed32(entry + 4, t.root_pid);
@@ -51,6 +52,25 @@ void Catalog::WriteTo(SimDisk* disk, uint32_t page_size) const {
     EncodeFixed32(entry + 12, t.value_size);
     EncodeFixed64(entry + 16, t.num_rows);
     entry += 24;
+  }
+  const char* page_end =
+      reinterpret_cast<const char*>(page.payload()) + page.payload_size();
+  // Allocator free-list, bounded by the page: dropping the tail leaks those
+  // pages (safe — they are simply never reallocated) but cannot corrupt.
+  const size_t room = static_cast<size_t>(page_end - entry);
+  size_t nfree = free_list_.size();
+  if (room < 4) {
+    nfree = 0;
+  } else if (nfree > (room - 4) / 4) {
+    nfree = (room - 4) / 4;
+  }
+  if (room >= 4) {
+    EncodeFixed32(entry, static_cast<uint32_t>(nfree));
+    entry += 4;
+    for (size_t i = 0; i < nfree; i++) {
+      EncodeFixed32(entry, free_list_[i]);
+      entry += 4;
+    }
   }
   disk->EnsurePages(1);
   disk->WriteImageDirect(kMetaPageId, buf.data());
@@ -70,7 +90,8 @@ Status Catalog::ReadFrom(const SimDisk& disk, uint32_t page_size,
   out->next_page_id_ = DecodeFixed32(p + 4);
   const uint32_t n = DecodeFixed32(p + 8);
   if (n > kMaxTables) return Status::Corruption("catalog entry count");
-  const char* entry = p + 12;
+  out->rows_covered_lsn_ = DecodeFixed64(p + 12);
+  const char* entry = p + 20;
   for (uint32_t i = 0; i < n; i++) {
     TableInfo t;
     t.id = DecodeFixed32(entry);
@@ -80,6 +101,19 @@ Status Catalog::ReadFrom(const SimDisk& disk, uint32_t page_size,
     t.num_rows = DecodeFixed64(entry + 16);
     out->tables_.push_back(t);
     entry += 24;
+  }
+  const char* page_end = p + page.payload_size();
+  if (entry + 4 <= page_end) {
+    const uint32_t nfree = DecodeFixed32(entry);
+    entry += 4;
+    if (entry + static_cast<size_t>(nfree) * 4 > page_end) {
+      return Status::Corruption("catalog free-list overflows meta page");
+    }
+    out->free_list_.reserve(nfree);
+    for (uint32_t i = 0; i < nfree; i++) {
+      out->free_list_.push_back(DecodeFixed32(entry));
+      entry += 4;
+    }
   }
   return Status::OK();
 }

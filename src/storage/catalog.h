@@ -7,9 +7,16 @@
 //   [0]  u32 magic
 //   [4]  u32 next_page_id      (allocator high-water mark)
 //   [8]  u32 num_tables
-//   [12] per table, 24 bytes:
+//   [12] u64 rows_covered_lsn  (log position the num_rows counters cover:
+//        recovery's scan-complete row accounting starts here, so counters
+//        persisted at END of a recovery are not re-added by a second
+//        recovery before the next checkpoint; fixed header slot — unlike
+//        the free-list it is correctness-bearing and must never truncate)
+//   [20] per table, 24 bytes:
 //        u32 table_id, u32 root_pid, u32 height, u32 value_size,
 //        u64 num_rows
+//   then u32 num_free, u32 free_pid...  (allocator free-list, oldest first;
+//        truncated to the page — dropped entries leak, never corrupt)
 #pragma once
 
 #include <cstdint>
@@ -46,6 +53,18 @@ class Catalog {
   PageId next_page_id() const { return next_page_id_; }
   void set_next_page_id(PageId pid) { next_page_id_ = pid; }
 
+  /// Allocator free-list (pages released by leaf-merge SMOs), persisted so
+  /// freed pages stay reusable across restarts.
+  const std::vector<PageId>& free_list() const { return free_list_; }
+  void set_free_list(std::vector<PageId> pids) {
+    free_list_ = std::move(pids);
+  }
+
+  /// Log position the persisted num_rows counters cover (see the layout
+  /// comment). kInvalidLsn in never-persisted catalogs.
+  Lsn rows_covered_lsn() const { return rows_covered_lsn_; }
+  void set_rows_covered_lsn(Lsn lsn) { rows_covered_lsn_ = lsn; }
+
   /// Serialize into / parse from the meta page of `disk` (no simulated I/O
   /// cost: the meta page is a boot block, read once at restart and written
   /// at checkpoints).
@@ -55,12 +74,16 @@ class Catalog {
 
   void Clear() {
     tables_.clear();
+    free_list_.clear();
     next_page_id_ = 1;
+    rows_covered_lsn_ = kInvalidLsn;
   }
 
  private:
   std::vector<TableInfo> tables_;
+  std::vector<PageId> free_list_;
   PageId next_page_id_ = 1;
+  Lsn rows_covered_lsn_ = kInvalidLsn;
 };
 
 }  // namespace deutero

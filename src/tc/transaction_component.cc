@@ -127,7 +127,12 @@ Status TransactionComponent::Delete(TxnId txn, TableId table, Key key) {
   t->last_lsn = lsn;
   t->ops++;
 
-  DEUTERO_RETURN_NOT_OK(dc_->ApplyDelete(table, pid, key, lsn));
+  // A delete that leaves the leaf underfull triggers the delete-side SMO:
+  // a logged DC system transaction whose record follows this delete's, so
+  // physiological replay reproduces the same order.
+  bool underfull = false;
+  DEUTERO_RETURN_NOT_OK(dc_->ApplyDelete(table, pid, key, lsn, &underfull));
+  if (underfull) DEUTERO_RETURN_NOT_OK(dc_->MaybeMergeLeaf(table, key));
   dc_->Tick();
   stats_.deletes++;
   return Status::OK();
@@ -195,10 +200,17 @@ Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
         clr.after.clear();  // empty restored image == delete the record
         clr.pid = pid;
         clr.undo_next_lsn = rec.prev_lsn;
+        clr.clr_row_delta = -1;
         const Lsn clr_lsn = log_->Append(clr);
         txn->last_lsn = clr_lsn;
-        DEUTERO_RETURN_NOT_OK(
-            dc_->ApplyDelete(rec.table_id, pid, rec.key, clr_lsn));
+        // Rolling back an insert is a delete: the same merge trigger
+        // applies (the CLR precedes the merge record in the log).
+        bool underfull = false;
+        DEUTERO_RETURN_NOT_OK(dc_->ApplyDelete(rec.table_id, pid, rec.key,
+                                               clr_lsn, &underfull));
+        if (underfull) {
+          DEUTERO_RETURN_NOT_OK(dc_->MaybeMergeLeaf(rec.table_id, rec.key));
+        }
         cursor = rec.prev_lsn;
         break;
       }
@@ -216,6 +228,7 @@ Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
         clr.after = rec.before;  // restored image (re-insert)
         clr.pid = pid;
         clr.undo_next_lsn = rec.prev_lsn;
+        clr.clr_row_delta = 1;  // the row comes back
         const Lsn clr_lsn = log_->Append(clr);
         txn->last_lsn = clr_lsn;
         DEUTERO_RETURN_NOT_OK(dc_->ApplyUpsert(rec.table_id, pid, rec.key,

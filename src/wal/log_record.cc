@@ -36,6 +36,8 @@ const char* LogRecordTypeName(LogRecordType t) {
       return "CreateTable";
     case LogRecordType::kDelete:
       return "Delete";
+    case LogRecordType::kSmoMerge:
+      return "SmoMerge";
     case LogRecordType::kMaxType:
       break;
   }
@@ -75,7 +77,7 @@ size_t LogRecord::PayloadSizeHint() const {
       return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 +
              (kMaxVarint32 + before.size()) + (kMaxVarint32 + after.size());
     case LogRecordType::kClr:
-      return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 +
+      return kMaxVarint64 + kMaxVarint32 + 8 + 8 + 4 + 1 +
              (kMaxVarint32 + after.size());
     case LogRecordType::kTxnBegin:
     case LogRecordType::kTxnCommit:
@@ -95,6 +97,13 @@ size_t LogRecord::PayloadSizeHint() const {
              (kMaxVarint32 + written_set.size() * 4);
     case LogRecordType::kSmo: {
       size_t n = 4 + kMaxVarint32;
+      for (const SmoPageImage& p : smo_pages) {
+        n += 4 + kMaxVarint32 + p.image.size();
+      }
+      return n;
+    }
+    case LogRecordType::kSmoMerge: {
+      size_t n = 4 + 4 + kMaxVarint32;
       for (const SmoPageImage& p : smo_pages) {
         n += 4 + kMaxVarint32 + p.image.size();
       }
@@ -134,6 +143,7 @@ void LogRecord::EncodePayloadTo(std::string* dst) const {
       PutFixed64(&out, key);
       PutFixed64(&out, undo_next_lsn);
       PutFixed32(&out, pid);
+      out.push_back(static_cast<char>(static_cast<int8_t>(clr_row_delta)));
       PutLengthPrefixed(&out, after);
       break;
     case LogRecordType::kTxnBegin:
@@ -187,6 +197,15 @@ void LogRecord::EncodePayloadTo(std::string* dst) const {
         PutLengthPrefixed(&out, p.image);
       }
       break;
+    case LogRecordType::kSmoMerge:
+      PutFixed32(&out, pid);  // the freed (victim) page id
+      PutFixed32(&out, alloc_hwm);
+      PutVarint32(&out, static_cast<uint32_t>(smo_pages.size()));
+      for (const SmoPageImage& p : smo_pages) {
+        PutFixed32(&out, p.pid);
+        PutLengthPrefixed(&out, p.image);
+      }
+      break;
     case LogRecordType::kCreateTable:
       PutVarint32(&out, table_id);
       PutFixed32(&out, pid);  // the new table's root page id
@@ -222,6 +241,7 @@ void LogRecordView::Reset() {
   after = Slice();
   pid = kInvalidPageId;
   undo_next_lsn = kInvalidLsn;
+  clr_row_delta = 0;
   bckpt_lsn = kInvalidLsn;
   att_txn_ids.clear();
   att_last_lsns.clear();
@@ -258,7 +278,14 @@ Status LogRecordView::DecodePayload(LogRecordType type, Slice in,
       ok = GetVarint64(&in, &out->txn_id) &&
            GetVarint32(&in, &out->table_id) && GetFixed64(&in, &out->key) &&
            GetFixed64(&in, &out->undo_next_lsn) &&
-           GetFixed32(&in, &out->pid) && GetLengthPrefixed(&in, &out->after);
+           GetFixed32(&in, &out->pid);
+      if (ok && !in.empty()) {
+        out->clr_row_delta = static_cast<int8_t>(in[0]);
+        in.RemovePrefix(1);
+        ok = GetLengthPrefixed(&in, &out->after);
+      } else {
+        ok = false;
+      }
       break;
     case LogRecordType::kTxnBegin:
     case LogRecordType::kTxnCommit:
@@ -323,9 +350,13 @@ Status LogRecordView::DecodePayload(LogRecordType type, Slice in,
       if (ok) ok = DecodePidVector(&in, &out->written_set);
       break;
     }
-    case LogRecordType::kSmo: {
+    case LogRecordType::kSmo:
+    case LogRecordType::kSmoMerge: {
+      if (type == LogRecordType::kSmoMerge) {
+        ok = GetFixed32(&in, &out->pid);  // the freed (victim) page id
+      }
       uint32_t n = 0;
-      ok = GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
+      ok = ok && GetFixed32(&in, &out->alloc_hwm) && GetVarint32(&in, &n);
       if (ok) {
         out->smo_pages.resize(n);
         for (SmoPageImageRef& p : out->smo_pages) {
@@ -375,6 +406,7 @@ LogRecord LogRecordView::ToOwned() const {
   out.after = after.ToString();
   out.pid = pid;
   out.undo_next_lsn = undo_next_lsn;
+  out.clr_row_delta = clr_row_delta;
   out.bckpt_lsn = bckpt_lsn;
   out.att_txn_ids = att_txn_ids;
   out.att_last_lsns = att_last_lsns;

@@ -55,7 +55,8 @@ enum class LogRecordType : uint8_t {
   kSmo = 12,             ///< DC structure modification (page split).
   kCreateTable = 13,     ///< DDL: new table (id, schema, root page image).
   kDelete = 14,          ///< TC record delete (carries the before-image).
-  kMaxType = 15,
+  kSmoMerge = 15,        ///< DC structure modification (leaf merge/free).
+  kMaxType = 16,
 };
 
 /// Returns a stable display name for a record type.
@@ -95,6 +96,7 @@ struct LogRecordView {
   Slice after;   ///< After-image (redo); empty for deletes; CLR image.
   PageId pid = kInvalidPageId;
   Lsn undo_next_lsn = kInvalidLsn;
+  int32_t clr_row_delta = 0;  ///< kClr: row-count effect (see LogRecord).
 
   // --- checkpoint records ---
   Lsn bckpt_lsn = kInvalidLsn;
@@ -115,6 +117,8 @@ struct LogRecordView {
   bool has_fw_fields = true;
 
   // --- SMO / DDL records ---
+  // kSmoMerge reuses `pid` for the freed (victim) page id; its free-page
+  // after-image rides in smo_pages alongside the survivor's and parent's.
   std::vector<SmoPageImageRef> smo_pages;
   PageId alloc_hwm = kInvalidPageId;
   uint32_t ddl_value_size = 0;
@@ -155,6 +159,14 @@ struct LogRecord {
   std::string after;   ///< After-image (redo); empty for deletes; CLR image.
   PageId pid = kInvalidPageId;  ///< Physiological hint; logical redo ignores.
   Lsn undo_next_lsn = kInvalidLsn;  ///< CLR: next record to undo.
+  /// kClr only: the compensation's row-count effect at the time it was
+  /// performed (+1 for a delete-undo re-insert, -1 for an insert-undo
+  /// delete, 0 for an update-undo). Recovery maintains the exact table row
+  /// counter by summing record deltas over the redo scan — independent of
+  /// which operations the redo tests skip as already durable — and a CLR's
+  /// delta is not derivable from its image alone (an update-undo and a
+  /// delete-undo both restore a non-empty image).
+  int32_t clr_row_delta = 0;
 
   // --- checkpoint records ---
   Lsn bckpt_lsn = kInvalidLsn;  ///< kEndCheckpoint / kRsspAck payload.

@@ -153,6 +153,14 @@ Status WorkloadDriver::RunOpsNoCommit(uint64_t n) {
   return Status::OK();
 }
 
+Status WorkloadDriver::AttachEngine(Engine* engine) {
+  if (open_txn_.active()) {
+    return Status::InvalidArgument("cannot re-attach with an open txn");
+  }
+  engine_ = engine;
+  return engine_->OpenDefaultTable(&table_);
+}
+
 void WorkloadDriver::OnCrash() {
   // The engine dropped the transaction with its volatile state; detach the
   // handle without attempting an abort.
@@ -172,6 +180,68 @@ std::string WorkloadDriver::ExpectedValue(Key key) const {
   }
   const uint32_t version = it == committed_.end() ? 0 : it->second;
   return SynthesizeValueString(key, version, value_size_);
+}
+
+Status WorkloadDriver::VerifyScan(Key lo, Key hi, uint64_t* rows_seen) {
+  // Expected payload of `k`, or empty when the key must be absent. Unlike
+  // ExpectedValue this also treats never-inserted fresh keys (>= the loaded
+  // range, untracked by the oracle) as absent.
+  auto expected_live = [&](Key k) -> std::string {
+    if (k >= loaded_rows_ && inserted_.find(k) == inserted_.end() &&
+        committed_.find(k) == committed_.end()) {
+      return std::string();
+    }
+    return ExpectedValue(k);
+  };
+
+  ScanCursor c;
+  DEUTERO_RETURN_NOT_OK(table_.Scan(lo, hi, &c));
+  uint64_t n = 0;
+  Key expect = lo;
+  bool first = true;
+  Key prev = 0;
+  while (c.Valid()) {
+    const Key k = c.key();
+    if (!first && k <= prev) {
+      return Status::Corruption("scan keys out of order");
+    }
+    // Every oracle-live key the cursor skipped over is a missing row.
+    for (; expect < k; expect++) {
+      if (!expected_live(expect).empty()) {
+        return Status::Corruption("scan missed live key " +
+                                  std::to_string(expect));
+      }
+    }
+    const std::string want = expected_live(k);
+    if (want.empty()) {
+      return Status::Corruption("scan surfaced deleted key " +
+                                std::to_string(k));
+    }
+    if (Slice(want) != c.value()) {
+      return Status::Corruption("scan value mismatch at key " +
+                                std::to_string(k));
+    }
+    prev = k;
+    first = false;
+    n++;
+    if (k == std::numeric_limits<Key>::max()) {
+      // The scan covered through the maximal key: no trailing gap exists,
+      // and `expect = k + 1` would wrap to 0 and re-walk the whole range.
+      if (rows_seen != nullptr) *rows_seen = n;
+      return Status::OK();
+    }
+    expect = k + 1;
+    DEUTERO_RETURN_NOT_OK(c.Next());
+  }
+  for (; expect <= hi; expect++) {
+    if (!expected_live(expect).empty()) {
+      return Status::Corruption("scan missed live key " +
+                                std::to_string(expect));
+    }
+    if (expect == hi) break;  // Key is unsigned: avoid wrap at hi = max
+  }
+  if (rows_seen != nullptr) *rows_seen = n;
+  return Status::OK();
 }
 
 Status WorkloadDriver::Verify(uint64_t sample_count, uint64_t* checked) {

@@ -67,6 +67,12 @@ class WorkloadDriver {
   /// Called when the engine crashes: discard in-flight expectations.
   void OnCrash();
 
+  /// Re-point reads/scans/verification at another engine holding the same
+  /// database (side-by-side experiments recover one crash image into a
+  /// fresh engine per method/thread-count; the oracle carries over). The
+  /// driver must not have an open transaction.
+  Status AttachEngine(Engine* engine);
+
   /// Expected committed value of `key` (version 0 if never updated; empty
   /// means the key must not exist — rolled-back insert or committed
   /// delete).
@@ -75,6 +81,14 @@ class WorkloadDriver {
   /// Compare `sample_count` deterministically chosen keys (plus every key
   /// ever updated if `sample_count` == 0) against the engine.
   Status Verify(uint64_t sample_count, uint64_t* checked);
+
+  /// Oracle-checked range scan over [lo, hi]: every key the oracle expects
+  /// to be live in the range must appear exactly once with the expected
+  /// payload, tombstoned keys must not appear, and the cursor must yield
+  /// strictly ascending keys. This is the scan-side verifier the
+  /// delete-heavy sweeps use to catch sibling-chain bugs (a merged-away
+  /// leaf still linked, a skipped survivor) that point reads cannot see.
+  Status VerifyScan(Key lo, Key hi, uint64_t* rows_seen);
 
   uint64_t ops_done() const { return ops_done_; }
   uint64_t txns_committed() const { return txns_committed_; }

@@ -1,0 +1,642 @@
+// Delete-side structure modifications: leaf merge/free SMOs.
+//
+//  * Merge mechanics: an underfull/emptied leaf is coalesced into a
+//    same-parent sibling, unlinked from the parent and the sibling chain,
+//    and its page returned to the allocator free-list; the root collapses
+//    back to a leaf when left with a single leaf child.
+//  * Recovery: a crash window containing merges (and interleaved splits)
+//    recovers to byte-identical post-recovery DISK images under all five
+//    methods at recovery_threads 1/2/4 — checked at every operation
+//    boundary across the merge window.
+//  * Allocator: the free-list survives checkpoints and crashes, replayed
+//    merges re-free, replayed splits re-consume, and a DPT-skipped split
+//    still advances the high-water mark (regression).
+//  * Invariant: 50%-delete churn ends with zero empty leaves reachable
+//    from the sibling chain.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "recovery/analysis.h"
+#include "recovery/redo.h"
+#include "recovery/stats.h"
+#include "storage/page.h"
+#include "test_util.h"
+#include "wal/log_record.h"
+#include "workload/driver.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+/// Geometry for merge tests: 1 KB pages (29-row leaves, merge threshold 7),
+/// a 2-level tree, and manual checkpoints only.
+EngineOptions MergeOptions(uint64_t num_rows) {
+  EngineOptions o = SmallOptions();
+  o.num_rows = num_rows;
+  o.checkpoint_interval_updates = 1'000'000;  // explicit checkpoints only
+  o.updates_per_txn = 1;  // every op commits (and force-flushes) alone
+  return o;
+}
+
+Status DeleteOne(Engine* e, Table& t, Key k) {
+  Txn txn;
+  DEUTERO_RETURN_NOT_OK(e->Begin(&txn));
+  DEUTERO_RETURN_NOT_OK(txn.Delete(t, k));
+  return txn.Commit();
+}
+
+Status InsertOne(Engine* e, Table& t, Key k, const std::string& v) {
+  Txn txn;
+  DEUTERO_RETURN_NOT_OK(e->Begin(&txn));
+  DEUTERO_RETURN_NOT_OK(txn.Insert(t, k, v));
+  return txn.Commit();
+}
+
+/// The ENTIRE post-recovery stable state: every disk page (dirty cache
+/// pages flushed first) including the catalog page, plus the allocator
+/// free-list — captured per method for byte-identical comparison.
+struct StateImage {
+  std::vector<PageId> free_list;
+  std::vector<std::string> pages;
+};
+
+StateImage CaptureState(Engine* e) {
+  e->dc().pool().FlushAllDirty();
+  StateImage s;
+  s.free_list = e->dc().allocator().free_list();
+  SimDisk& d = e->dc().disk();
+  std::vector<uint8_t> buf(e->options().page_size);
+  for (PageId p = 0; p < d.num_pages(); p++) {
+    d.ReadImage(p, buf.data());
+    s.pages.emplace_back(buf.begin(), buf.end());
+  }
+  return s;
+}
+
+/// Assert byte identity, reporting the first divergent page.
+void ExpectSameState(const StateImage& got, const StateImage& want,
+                     const std::string& label) {
+  EXPECT_EQ(got.free_list, want.free_list) << label << ": free-list";
+  ASSERT_EQ(got.pages.size(), want.pages.size()) << label << ": page count";
+  auto describe = [](const std::string& img) {
+    PageView page(
+        reinterpret_cast<uint8_t*>(const_cast<char*>(img.data())),
+        static_cast<uint32_t>(img.size()));
+    std::string d = "plsn=" + std::to_string(page.plsn()) +
+                    " slots=" + std::to_string(page.num_slots());
+    if (page.type() == PageType::kMeta) {
+      MetaView meta(page);
+      d += " [meta next_pid=" + std::to_string(meta.next_page_id()) + "]";
+      // The multi-table catalog stores rows/height per entry; surface the
+      // first entry's counters from the raw layout (id at +12, rows +28).
+      const char* p = reinterpret_cast<const char*>(page.payload());
+      d += " tables=" + std::to_string(DecodeFixed32(p + 8));
+      d += " t0_height=" + std::to_string(DecodeFixed32(p + 12 + 8));
+      d += " t0_rows=" + std::to_string(DecodeFixed64(p + 12 + 16));
+      d += " next=" + std::to_string(DecodeFixed32(p + 4));
+    }
+    return d;
+  };
+  for (size_t p = 0; p < got.pages.size(); p++) {
+    ASSERT_EQ(got.pages[p] == want.pages[p], true)
+        << label << ": page " << p << " diverged (" << describe(got.pages[p])
+        << " vs " << describe(want.pages[p]) << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Record codec.
+// ---------------------------------------------------------------------------
+
+TEST(SmoMergeRecord, EncodeDecodeRoundTripsBothRepresentations) {
+  LogRecord rec;
+  rec.type = LogRecordType::kSmoMerge;
+  rec.pid = 17;  // the freed victim
+  rec.alloc_hwm = 42;
+  rec.smo_pages.push_back({5, std::string(64, 'p')});
+  rec.smo_pages.push_back({9, std::string(64, 's')});
+  rec.smo_pages.push_back({17, std::string(64, 'f')});
+  const std::string payload = rec.EncodePayload();
+
+  LogRecord owned;
+  ASSERT_OK(LogRecord::DecodePayload(LogRecordType::kSmoMerge,
+                                     Slice(payload), &owned));
+  EXPECT_EQ(owned.pid, 17u);
+  EXPECT_EQ(owned.alloc_hwm, 42u);
+  ASSERT_EQ(owned.smo_pages.size(), 3u);
+  EXPECT_EQ(owned.smo_pages[1].pid, 9u);
+  EXPECT_EQ(owned.smo_pages[2].image, std::string(64, 'f'));
+
+  LogRecordView view;
+  ASSERT_OK(LogRecordView::DecodePayload(LogRecordType::kSmoMerge,
+                                         Slice(payload), &view));
+  EXPECT_EQ(view.pid, 17u);
+  EXPECT_EQ(view.alloc_hwm, 42u);
+  ASSERT_EQ(view.smo_pages.size(), 3u);
+  EXPECT_EQ(view.smo_pages[0].image, Slice(rec.smo_pages[0].image));
+}
+
+// ---------------------------------------------------------------------------
+// Merge mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(SmoMerge, EmptiedLeafIsMergedUnlinkAndFreed) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+
+  // Drain the second leaf (keys 27..53 under the bulk-load fill of 27).
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+
+  const BTree::Stats& st = e->dc().btree().stats();
+  EXPECT_GT(st.merges, 0u) << "draining a leaf must trigger a merge SMO";
+  EXPECT_GT(e->wal().stats().by_type[static_cast<size_t>(
+                LogRecordType::kSmoMerge)],
+            0u);
+  EXPECT_FALSE(e->dc().allocator().free_list().empty());
+
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+  EXPECT_EQ(rows, 300u - 27u);
+  uint64_t empty = 0;
+  ASSERT_OK(e->dc().btree().CountEmptyLeaves(&empty));
+  EXPECT_EQ(empty, 0u);
+
+  // The surviving data is intact and the chain is seamless.
+  std::string v;
+  ASSERT_OK(e->Read(26, &v));
+  ASSERT_OK(e->Read(54, &v));
+  EXPECT_TRUE(e->Read(40, &v).IsNotFound());
+  uint64_t seen = 0;
+  ScanCursor c;
+  ASSERT_OK(e->Scan(o.table_id, 0, 299, &c));
+  while (c.Valid()) {
+    seen++;
+    ASSERT_OK(c.Next());
+  }
+  EXPECT_EQ(seen, rows);
+}
+
+TEST(SmoMerge, FreedPageIsReusedByTheNextSplit) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  const auto& fl = e->dc().allocator().free_list();
+  ASSERT_FALSE(fl.empty());
+  const PageId freed = fl.back();  // LIFO: the next Allocate() takes this
+  const PageId hwm = e->dc().allocator().next_page_id();
+
+  // Force a split: fill the rightmost leaf with fresh keys.
+  const uint64_t splits_before = e->dc().btree().stats().splits;
+  const std::string v(o.value_size, 'x');
+  for (Key k = 300; k < 340; k++) {
+    ASSERT_OK(InsertOne(e.get(), t, k, v));
+    if (e->dc().btree().stats().splits > splits_before) break;
+  }
+  ASSERT_GT(e->dc().btree().stats().splits, splits_before);
+  EXPECT_FALSE(e->dc().allocator().IsFree(freed))
+      << "the split must consume the freed page";
+  EXPECT_EQ(e->dc().allocator().next_page_id(), hwm)
+      << "reusing a freed page must not grow the device";
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+}
+
+/// Named regression (code review): a victim leaf pinned by an open
+/// ScanCursor must NOT be merged away under the cursor — the merge is
+/// deferred, the cursor keeps working, and nothing corrupts. (Writes
+/// during an open scan violate the cursor's documented contract; the
+/// engine still must not turn that into silent data loss.)
+TEST(SmoMerge, PinnedVictimDefersTheMergeInsteadOfFreeingUnderACursor) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+
+  // Pin the second leaf (keys 27..53) with a cursor positioned on it.
+  ScanCursor c;
+  ASSERT_OK(e->Scan(o.table_id, 27, 299, &c));
+  ASSERT_TRUE(c.Valid());
+  ASSERT_EQ(c.key(), 27u);
+
+  // Drain the pinned leaf through the TC: the final delete would normally
+  // merge it away; the foreign pin must defer that.
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  EXPECT_EQ(e->dc().btree().stats().merges, 0u)
+      << "merge ran under a pinned cursor";
+  EXPECT_TRUE(e->dc().allocator().free_list().empty());
+
+  // The cursor still walks the chain correctly past the emptied leaf (its
+  // pre-delete position is stale — the contract violation — so advance
+  // off it first, then count every remaining row).
+  ASSERT_OK(c.Next());
+  uint64_t seen = 0;
+  while (c.Valid()) {
+    seen++;
+    ASSERT_OK(c.Next());
+  }
+  EXPECT_EQ(seen, 246u)  // keys 54..299
+      << "cursor lost rows past the drained leaf";
+  c.Close();
+
+  // With the pin gone, churn in the neighboring leaf merges as usual and
+  // the tree stays well-formed.
+  for (Key k = 54; k <= 80; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  EXPECT_GT(e->dc().btree().stats().merges, 0u);
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+  EXPECT_EQ(rows, 300u - 27u - 27u);
+}
+
+TEST(SmoMerge, DrainingTheTreeCollapsesTheRootBackToALeaf) {
+  EngineOptions o = MergeOptions(60);  // 3 leaves, height 2
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+  ASSERT_EQ(e->dc().btree().height(), 2u);
+
+  for (Key k = 5; k < 60; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+
+  EXPECT_EQ(e->dc().btree().height(), 1u);
+  EXPECT_GT(e->dc().btree().stats().root_collapses, 0u);
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+  EXPECT_EQ(rows, 5u);
+  std::string v;
+  for (Key k = 0; k < 5; k++) ASSERT_OK(e->Read(k, &v));
+
+  // The collapsed tree grows again: splits work on the root leaf.
+  const std::string val(o.value_size, 'y');
+  for (Key k = 60; k < 120; k++) ASSERT_OK(InsertOne(e.get(), t, k, val));
+  EXPECT_GT(e->dc().btree().height(), 1u);
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+  EXPECT_EQ(rows, 65u);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+/// The acceptance sweep: a deterministic op script whose window contains
+/// leaf merges AND splits; crash after EVERY op boundary; recover under all
+/// five methods at recovery_threads 1/2/4; the complete post-recovery disk
+/// state (pages + catalog + allocator free-list) must be byte-identical.
+TEST(SmoMergeRecovery, CrashAtEveryBoundaryIsByteIdenticalAcrossMethods) {
+  const RecoveryMethod methods[] = {RecoveryMethod::kLog0,
+                                    RecoveryMethod::kLog1,
+                                    RecoveryMethod::kLog2,
+                                    RecoveryMethod::kSql1,
+                                    RecoveryMethod::kSql2};
+  EngineOptions o = MergeOptions(300);
+
+  // The op script: drain one leaf (merges as it empties), then fresh
+  // inserts (a split, which reuses the freed page), then drain into the
+  // next leaf. Every op is its own committed (flushed) transaction, so
+  // every boundary is a legal crash point.
+  struct Op {
+    bool is_delete;
+    Key key;
+  };
+  std::vector<Op> script;
+  for (Key k = 27; k <= 53; k++) script.push_back({true, k});   // drain leaf
+  for (Key k = 300; k < 330; k++) script.push_back({false, k});  // split
+  for (Key k = 54; k <= 80; k++) script.push_back({true, k});   // drain next
+
+  // Sanity: the full script performs both kinds of SMO.
+  {
+    std::unique_ptr<Engine> e;
+    ASSERT_OK(Engine::Open(o, &e));
+    Table t;
+    ASSERT_OK(e->OpenDefaultTable(&t));
+    ASSERT_OK(e->Checkpoint());
+    const std::string v(o.value_size, 'z');
+    for (const Op& op : script) {
+      ASSERT_OK(op.is_delete ? DeleteOne(e.get(), t, op.key)
+                             : InsertOne(e.get(), t, op.key, v));
+    }
+    ASSERT_GT(e->dc().btree().stats().merges, 0u);
+    ASSERT_GT(e->dc().btree().stats().splits, 0u);
+  }
+
+  // Sweep a crash point across the window (every 4th boundary + the ends
+  // keeps the runtime reasonable without losing the interesting states).
+  for (size_t crash_at = 0; crash_at <= script.size();
+       crash_at += (crash_at + 4 < script.size() ? 4 : 1)) {
+    std::unique_ptr<Engine> e;
+    ASSERT_OK(Engine::Open(o, &e));
+    Table t;
+    ASSERT_OK(e->OpenDefaultTable(&t));
+    ASSERT_OK(e->Checkpoint());
+    const std::string v(o.value_size, 'z');
+    for (size_t i = 0; i < crash_at; i++) {
+      ASSERT_OK(script[i].is_delete
+                    ? DeleteOne(e.get(), t, script[i].key)
+                    : InsertOne(e.get(), t, script[i].key, v));
+    }
+    e->SimulateCrash();
+    Engine::StableSnapshot snap;
+    ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+    StateImage reference;
+    bool have_reference = false;
+    for (RecoveryMethod m : methods) {
+      for (uint32_t threads : {1u, 2u, 4u}) {
+        EngineOptions ot = o;
+        ot.recovery_threads = threads;
+        std::unique_ptr<Engine> et;
+        ASSERT_OK(Engine::Open(ot, &et));
+        et->SimulateCrash();
+        ASSERT_OK(et->RestoreStableSnapshot(snap));
+        RecoveryStats st;
+        ASSERT_OK(et->Recover(m, &st));
+        uint64_t rows = 0;
+        ASSERT_OK(et->dc().btree().CheckWellFormed(&rows));
+        // Scan-complete row accounting makes the recovered counter EXACT,
+        // not merely method-consistent.
+        EXPECT_EQ(et->dc().btree().row_count(), rows)
+            << RecoveryMethodName(m) << " x" << threads << " @crash "
+            << crash_at;
+        const StateImage state = CaptureState(et.get());
+        if (!have_reference) {
+          reference = state;
+          have_reference = true;
+        } else {
+          ExpectSameState(state, reference,
+                          std::string(RecoveryMethodName(m)) + " x" +
+                              std::to_string(threads) + " @crash " +
+                              std::to_string(crash_at));
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+/// Method equivalence on a workload whose crash window interleaves split
+/// and merge SMOs organically (mixed churn), including an uncommitted tail.
+TEST(SmoMergeRecovery, MethodEquivalenceWithInterleavedSplitMergeSmos) {
+  EngineOptions o = SmallOptions();
+  o.num_rows = 600;  // churn concentrated enough to drain whole leaves
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.insert_fraction = 0.05;
+  wc.delete_fraction = 0.60;
+  wc.scan_fraction = 0.05;
+  WorkloadDriver driver(e.get(), wc);
+  ASSERT_OK(driver.RunOps(800));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(900));
+  ASSERT_OK(driver.RunOpsNoCommit(7));  // losers for undo
+  e->tc().ForceLog();
+  driver.OnCrash();
+  e->SimulateCrash();
+
+  ASSERT_GT(e->wal().stats().by_type[static_cast<size_t>(
+                LogRecordType::kSmoMerge)],
+            0u)
+      << "churn produced no merges: the test is vacuous";
+  ASSERT_GT(e->wal().stats().by_type[static_cast<size_t>(
+                LogRecordType::kSmo)],
+            0u);
+
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  const RecoveryMethod methods[] = {RecoveryMethod::kLog0,
+                                    RecoveryMethod::kLog1,
+                                    RecoveryMethod::kLog2,
+                                    RecoveryMethod::kSql1,
+                                    RecoveryMethod::kSql2};
+  StateImage reference;
+  bool have_reference = false;
+  for (RecoveryMethod m : methods) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      EngineOptions ot = o;
+      ot.recovery_threads = threads;
+      std::unique_ptr<Engine> et;
+      ASSERT_OK(Engine::Open(ot, &et));
+      et->SimulateCrash();
+      ASSERT_OK(et->RestoreStableSnapshot(snap));
+      RecoveryStats st;
+      ASSERT_OK(et->Recover(m, &st));
+      uint64_t rows = 0;
+      ASSERT_OK(et->dc().btree().CheckWellFormed(&rows));
+      EXPECT_EQ(et->dc().btree().row_count(), rows)
+          << RecoveryMethodName(m) << " x" << threads;
+      const StateImage state = CaptureState(et.get());
+      if (!have_reference) {
+        reference = state;
+        have_reference = true;
+      } else {
+        ExpectSameState(state, reference,
+                        std::string(RecoveryMethodName(m)) + " x" +
+                            std::to_string(threads));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(SmoMergeRecovery, FreeListSurvivesCheckpointAndCrash) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+
+  // Merge BEFORE the checkpoint: the free-list reaches recovery only
+  // through the persisted catalog.
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  const std::vector<PageId> freed_before = e->dc().allocator().free_list();
+  ASSERT_FALSE(freed_before.empty());
+  ASSERT_OK(e->Checkpoint());
+  // Merge AFTER the checkpoint: reaches recovery only through its record.
+  for (Key k = 54; k <= 80; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  const std::vector<PageId> freed_all = e->dc().allocator().free_list();
+  ASSERT_GT(freed_all.size(), freed_before.size());
+
+  e->SimulateCrash();
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog1, &st));
+  EXPECT_EQ(e->dc().allocator().free_list(), freed_all)
+      << "catalog-persisted and record-replayed frees must both survive";
+
+  // And the recovered free-list actually feeds allocation.
+  const PageId hwm = e->dc().allocator().next_page_id();
+  const uint64_t splits_before = e->dc().btree().stats().splits;
+  const std::string v(o.value_size, 'r');
+  for (Key k = 300; k < 340; k++) {
+    ASSERT_OK(InsertOne(e.get(), t, k, v));
+    if (e->dc().btree().stats().splits > splits_before) break;
+  }
+  ASSERT_GT(e->dc().btree().stats().splits, splits_before);
+  EXPECT_EQ(e->dc().allocator().next_page_id(), hwm);
+  EXPECT_LT(e->dc().allocator().free_list().size(), freed_all.size());
+}
+
+/// Named regression (latent allocator bug flushed out by the delete-heavy
+/// sweep): a split whose pages the DPT proves durable is skipped by SQL
+/// redo — but the allocator high-water mark it carries must still be
+/// applied, or a post-recovery Allocate() hands out a live page.
+TEST(SmoMergeRecovery, DptSkippedSplitStillAdvancesAllocatorHwm) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+  ASSERT_OK(e->Checkpoint());
+  const PageId hwm_at_ckpt = e->dc().allocator().next_page_id();
+
+  // A split after the checkpoint raises the high-water mark.
+  const std::string v(o.value_size, 'q');
+  const uint64_t splits_before = e->dc().btree().stats().splits;
+  for (Key k = 300; k < 340; k++) {
+    ASSERT_OK(InsertOne(e.get(), t, k, v));
+    if (e->dc().btree().stats().splits > splits_before) break;
+  }
+  ASSERT_GT(e->dc().btree().stats().splits, splits_before);
+  const PageId hwm_after_split = e->dc().allocator().next_page_id();
+  ASSERT_GT(hwm_after_split, hwm_at_ckpt);
+  e->SimulateCrash();
+
+  // Drive SQL redo directly with an EMPTY DPT — the state analysis builds
+  // when every touched page was flushed and BW-pruned. The split's image
+  // install is rightly skipped; the allocator bookkeeping must not be.
+  ASSERT_OK(e->dc().OpenDatabase());
+  ASSERT_EQ(e->dc().allocator().next_page_id(), hwm_at_ckpt);
+  DirtyPageTable empty_dpt;
+  RedoResult rr;
+  ASSERT_OK(RunSqlRedo(&e->wal(), &e->dc(), e->wal().master().bckpt_lsn,
+                       &empty_dpt, /*prefetch=*/false, o, &rr));
+  EXPECT_EQ(rr.smo_redone, 0u) << "empty DPT must skip the image install";
+  EXPECT_EQ(e->dc().allocator().next_page_id(), hwm_after_split)
+      << "skipped split left the allocator high-water mark stale";
+}
+
+/// Named regression (code review): a Δ-record logged AFTER a merge can
+/// still list the freed victim (its DirtySet accumulated the merge-time
+/// dirtying), re-adding it to the Log2 DPT after the merge replay removed
+/// it — and the PF-list prefetcher then faulted the free page back into
+/// the pool, where a post-recovery split re-allocating the pid collided
+/// with the resident frame. The DC pass now purges free-listed pids from
+/// the DPT it hands to redo.
+TEST(SmoMergeRecovery, PrefetchNeverResurrectsAFreedVictim) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+  ASSERT_OK(e->Checkpoint());
+
+  // Merge (frees a page), then force a Δ-record carrying the merge-time
+  // DirtySet — victim included — AFTER the kSmoMerge record.
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  ASSERT_FALSE(e->dc().allocator().free_list().empty());
+  const PageId victim = e->dc().allocator().free_list().back();
+  e->dc().monitor().ForceEmit();
+  const std::string v(o.value_size, 'p');
+  for (Key k = 300; k < 310; k++) ASSERT_OK(InsertOne(e.get(), t, k, v));
+  e->SimulateCrash();
+
+  RecoveryStats st;
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog2, &st));
+  EXPECT_FALSE(e->dc().pool().IsResidentOrPending(victim))
+      << "recovery faulted the freed page back into the pool";
+  ASSERT_TRUE(e->dc().allocator().IsFree(victim));
+
+  // The next split reuses the pid; with a resident stale frame this
+  // asserted (Debug) / double-mapped the page table (Release).
+  const uint64_t splits_before = e->dc().btree().stats().splits;
+  for (Key k = 310; k < 350; k++) {
+    ASSERT_OK(InsertOne(e.get(), t, k, v));
+    if (e->dc().btree().stats().splits > splits_before) break;
+  }
+  ASSERT_GT(e->dc().btree().stats().splits, splits_before);
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+}
+
+/// Named regression (code review): recovering, crashing again WITHOUT an
+/// intervening checkpoint, and recovering again must keep num_rows exact.
+/// The end-of-recovery catalog persist covers the whole log while the
+/// master still names the pre-crash checkpoint; without the catalog's
+/// rows_covered_lsn stamp, the second recovery re-added every windowed
+/// delta on top of counters that already included them.
+TEST(SmoMergeRecovery, BackToBackRecoveriesKeepRowCountExact) {
+  EngineOptions o = MergeOptions(300);
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  Table t;
+  ASSERT_OK(e->OpenDefaultTable(&t));
+  ASSERT_OK(e->Checkpoint());
+  for (Key k = 27; k <= 53; k++) ASSERT_OK(DeleteOne(e.get(), t, k));
+  const std::string v(o.value_size, 'w');
+  for (Key k = 300; k < 320; k++) ASSERT_OK(InsertOne(e.get(), t, k, v));
+
+  for (RecoveryMethod m :
+       {RecoveryMethod::kLog1, RecoveryMethod::kSql1}) {
+    e->SimulateCrash();
+    RecoveryStats st;
+    ASSERT_OK(e->Recover(m, &st));
+    uint64_t rows = 0;
+    ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+    ASSERT_EQ(rows, 300u - 27u + 20u);
+    EXPECT_EQ(e->dc().btree().row_count(), rows)
+        << RecoveryMethodName(m) << " after repeated recovery";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The delete-heavy churn invariant (acceptance criterion).
+// ---------------------------------------------------------------------------
+
+TEST(SmoMergeChurn, FiftyPercentDeleteChurnLeavesNoEmptyLeaves) {
+  EngineOptions o = SmallOptions();
+  o.num_rows = 1500;  // 2-level tree: every leaf parent can collapse/merge
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadConfig wc;
+  wc.delete_fraction = 0.5;
+  wc.scan_fraction = 0.05;
+  wc.seed = 31;
+  WorkloadDriver driver(e.get(), wc);
+  ASSERT_OK(driver.RunOps(4000));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(4000));
+
+  EXPECT_GT(e->dc().btree().stats().merges, 0u);
+  uint64_t empty = 0;
+  ASSERT_OK(e->dc().btree().CountEmptyLeaves(&empty));
+  EXPECT_EQ(empty, 0u)
+      << "delete churn stranded empty leaves on the sibling chain";
+  uint64_t rows = 0;
+  ASSERT_OK(e->dc().btree().CheckWellFormed(&rows));
+  EXPECT_EQ(rows, e->dc().btree().row_count())
+      << "merge SMOs must not disturb the row counter";
+
+  // Oracle-checked range scans across the churned key space: the chain
+  // must surface exactly the live keys.
+  uint64_t seen = 0;
+  ASSERT_OK(driver.VerifyScan(0, o.num_rows - 1, &seen));
+  EXPECT_GT(seen, 0u);
+  uint64_t checked = 0;
+  ASSERT_OK(driver.Verify(0, &checked));
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace deutero
