@@ -34,6 +34,7 @@ Status Engine::Open(const EngineOptions& options,
 
 Status Engine::CreateTable(TableId table, uint32_t value_size) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (read_only_) return Status::InvalidArgument("engine is read-only");
   return dc_->CreateTable(table, value_size);
 }
 
@@ -47,6 +48,7 @@ Status Engine::OpenTable(TableId table, Table* out) {
 
 Status Engine::Begin(Txn* txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (read_only_) return Status::InvalidArgument("engine is read-only");
   TxnId id = kInvalidTxnId;
   DEUTERO_RETURN_NOT_OK(tc_->Begin(&id));
   *txn = Txn(this, id);
@@ -120,6 +122,7 @@ Status Engine::TxnAbort(TxnId txn) {
 
 Status Engine::Begin(TxnId* txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (read_only_) return Status::InvalidArgument("engine is read-only");
   return tc_->Begin(txn);
 }
 

@@ -111,6 +111,13 @@ class Engine {
 
   bool running() const { return running_; }
 
+  /// Standby mode (core/replica.h): a read-only engine refuses external
+  /// writes (Begin/Apply/CreateTable) while reads and scans keep working.
+  /// The replication applier writes through the TC directly; Promote()
+  /// clears the flag when the standby becomes the primary.
+  void SetReadOnly(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
+
   // ---- stable-state snapshots (side-by-side experiments) ----
   struct StableSnapshot {
     std::vector<uint8_t> disk_image;
@@ -147,6 +154,7 @@ class Engine {
   std::unique_ptr<DataComponent> dc_;
   std::unique_ptr<TransactionComponent> tc_;
   bool running_ = false;
+  bool read_only_ = false;
 };
 
 }  // namespace deutero

@@ -13,6 +13,7 @@
 
 #include "btree/btree.h"
 #include "recovery/analysis.h"
+#include "recovery/pipeline_util.h"
 #include "recovery/prefetch.h"
 #include "storage/page.h"
 
@@ -32,51 +33,6 @@ struct RedoWorkItem {
   Lsn lsn = kInvalidLsn;
   PageId pid = kInvalidPageId;
   Slice after;
-};
-
-/// Single-producer single-consumer ring. The dispatcher owns the producer
-/// side, one worker the consumer side. Capacity is fixed; the producer
-/// spins (with yields) when full — backpressure, not loss.
-class SpscRing {
- public:
-  explicit SpscRing(size_t capacity_pow2) : buf_(capacity_pow2) {
-    assert((capacity_pow2 & (capacity_pow2 - 1)) == 0);
-  }
-
-  bool TryPush(const RedoWorkItem& item) {
-    const uint64_t head = head_.load(std::memory_order_relaxed);
-    if (head - tail_.load(std::memory_order_acquire) == buf_.size()) {
-      return false;
-    }
-    buf_[head & (buf_.size() - 1)] = item;
-    head_.store(head + 1, std::memory_order_release);
-    return true;
-  }
-
-  bool TryPop(RedoWorkItem* out) {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (head_.load(std::memory_order_acquire) == tail) return false;
-    *out = buf_[tail & (buf_.size() - 1)];
-    tail_.store(tail + 1, std::memory_order_release);
-    return true;
-  }
-
-  /// Consumer-side: read the i-th not-yet-popped item (0 = next) without
-  /// consuming it. Returns false when fewer than i+1 items are buffered.
-  /// The consumer's ring slice IS its upcoming page-access sequence —
-  /// which is what makes per-partition read-ahead exact (see
-  /// PartitionWorker::TopUpReadAhead).
-  bool Peek(uint64_t i, RedoWorkItem* out) const {
-    const uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (head_.load(std::memory_order_acquire) - tail <= i) return false;
-    *out = buf_[(tail + i) & (buf_.size() - 1)];
-    return true;
-  }
-
- private:
-  std::vector<RedoWorkItem> buf_;
-  alignas(64) std::atomic<uint64_t> head_{0};
-  alignas(64) std::atomic<uint64_t> tail_{0};
 };
 
 /// Table facts a worker needs to apply an op without touching the DC's
@@ -125,20 +81,6 @@ struct PipelineShared {
   uint32_t read_ahead_budget = 0;
   std::atomic<uint32_t> failed{0};  ///< Count of workers in error state.
 };
-
-/// Progressive wait: spin briefly, then yield, then (when the scheduler is
-/// clearly starving us — oversubscribed cores, sanitizer slowdown) sleep.
-/// Keeps the pipeline from burning a core another pipeline thread needs.
-void SpinWait(uint32_t* spins) {
-  ++*spins;
-  if (*spins < 32) return;
-  if (*spins < 2048) {
-    std::this_thread::yield();
-    return;
-  }
-  std::this_thread::sleep_for(std::chrono::microseconds(50));
-  *spins = 2048;  // stay in the sleep regime until progress resets us
-}
 
 /// One partition: a queue, a consumer thread, a pin cache, and a private
 /// result shard. The dispatcher is the only producer.
@@ -395,7 +337,7 @@ class PartitionWorker {
 
   PipelineShared* shared_;
   DirtyPageTable dpt_;
-  SpscRing ring_;
+  SpscRing<RedoWorkItem> ring_;
   const uint32_t pin_cache_cap_;
   std::thread thread_;
 

@@ -162,6 +162,36 @@ Status TransactionComponent::Commit(TxnId txn) {
   return Status::OK();
 }
 
+Status TransactionComponent::LogReplayOp(TxnId txn, LogRecordType type,
+                                         TableId table, Key key, Slice before,
+                                         Slice after, PageId pid, Lsn* lsn) {
+  ActiveTxn* t = FindActive(txn);
+  if (t == nullptr) return Status::InvalidArgument("unknown txn");
+  if (type != LogRecordType::kUpdate && type != LogRecordType::kInsert &&
+      type != LogRecordType::kDelete) {
+    return Status::InvalidArgument("not a replayable data op");
+  }
+  LogRecord& rec = scratch_;
+  rec.type = type;
+  rec.txn_id = txn;
+  rec.table_id = table;
+  rec.key = key;
+  rec.before.assign(before.data(), before.size());
+  rec.after.assign(after.data(), after.size());
+  rec.pid = pid;
+  rec.prev_lsn = t->last_lsn;
+  const Lsn rec_lsn = log_->Append(rec);
+  t->last_lsn = rec_lsn;
+  t->ops++;
+  switch (type) {
+    case LogRecordType::kUpdate: stats_.updates++; break;
+    case LogRecordType::kInsert: stats_.inserts++; break;
+    default: stats_.deletes++; break;
+  }
+  if (lsn != nullptr) *lsn = rec_lsn;
+  return Status::OK();
+}
+
 Status TransactionComponent::UndoToLsn(ActiveTxn* txn, Lsn stop_after) {
   Lsn cursor = txn->last_lsn;
   while (cursor != kInvalidLsn && cursor > stop_after) {

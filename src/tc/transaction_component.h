@@ -62,6 +62,16 @@ class TransactionComponent {
   Status Read(TxnId txn, TableId table, Key key, std::string* value);
   Status Commit(TxnId txn);
 
+  /// Replication replay: append a data-op record (kUpdate/kInsert/kDelete)
+  /// to an open transaction WITHOUT locking or applying it — the standby
+  /// applier owns structure preparation (splits/merges) and the leaf apply,
+  /// and the shipped primary images supply both the redo and the undo
+  /// image (valid because the primary ran strict 2PL and the standby
+  /// applies committed transactions in commit order). Chains prev_lsn,
+  /// maintains the ATT entry, returns the record's LSN.
+  Status LogReplayOp(TxnId txn, LogRecordType type, TableId table, Key key,
+                     Slice before, Slice after, PageId pid, Lsn* lsn);
+
   /// Runtime rollback: logical undo through the backchain, writing CLRs.
   Status Abort(TxnId txn);
 

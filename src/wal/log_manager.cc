@@ -51,6 +51,27 @@ Lsn LogManager::Append(const LogRecord& rec) {
   return lsn;
 }
 
+void LogManager::AppendShipped(Slice raw) {
+  if (raw.empty()) return;
+  generation_++;  // any outstanding views may now dangle
+  buffer_.append(raw.data(), raw.size());
+  // Shipped bytes are already durable on the channel: stable immediately.
+  stable_end_ = buffer_.size();
+  stats_.bytes_appended += raw.size();
+}
+
+Status LogManager::ViewRecordAt(Lsn lsn, LogRecordView* out) {
+  LogRecordType type = LogRecordType::kInvalid;
+  uint32_t len = 0;
+  if (!ParseFrame(lsn, stable_end_, &type, &len)) {
+    return Status::InvalidArgument("no valid stable record at lsn");
+  }
+  Slice payload(buffer_.data() + lsn + kFrameSize, len);
+  DEUTERO_RETURN_NOT_OK(LogRecordView::DecodePayload(type, payload, out));
+  out->lsn = lsn;
+  return Status::OK();
+}
+
 void LogManager::Flush() {
   if (stable_end_ != buffer_.size()) {
     stable_end_ = buffer_.size();

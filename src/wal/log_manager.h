@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/clock.h"
@@ -52,6 +53,29 @@ class LogManager {
 
   /// Append a record to the volatile tail; returns its LSN.
   Lsn Append(const LogRecord& rec);
+
+  /// Replication: append raw pre-framed log bytes shipped from another
+  /// LogManager, immediately stable (the channel IS the stable medium).
+  /// The bytes must continue this log's offset space exactly — a standby
+  /// mirror starts empty and appends each pulled chunk in order, so every
+  /// mirror LSN equals the primary LSN of the same record. Chunks may cut
+  /// a record mid-frame: the CRC check makes the torn tail invisible to
+  /// readers until the next chunk completes it.
+  void AppendShipped(Slice raw);
+
+  /// Replication: the stable bytes [from, stable_end()) — what a channel
+  /// publishes. The slice aliases the log buffer (valid until the next
+  /// Append/Crash/RestoreSnapshot; take it under the publish lock and copy).
+  Slice StableBytes(Lsn from) const {
+    if (from >= stable_end_) return Slice();
+    return Slice(buffer_.data() + from, stable_end_ - from);
+  }
+
+  /// Zero-copy random-access decode of the stable record at `lsn` (the
+  /// standby applier re-reads buffered operations by mirror offset). No
+  /// I/O charge; the view aliases the log buffer under the usual
+  /// generation rule.
+  Status ViewRecordAt(Lsn lsn, LogRecordView* out);
 
   /// Make everything appended so far stable.
   void Flush();

@@ -1,0 +1,108 @@
+// Crash-storm campaign driver: the replication torture harness behind
+// replication_storm_test. One campaign runs `cycles` generations of
+//
+//   load (mixed inserts/deletes/updates, a txn left open) -> primary crash
+//   -> [optional standby crash mid-chunk] -> primary recovery -> more load
+//   -> standby catch-up -> Promote() -> oracle verification -> role swap,
+//
+// with ONE WorkloadDriver oracle (tombstones included) carried across every
+// generation. Each swap flips the page geometry: the promoted standby keeps
+// its own page size and the fresh standby is built on the retiring
+// geometry, so every generation replays logical records across disparate
+// physical configurations (paper §1.1) in both directions.
+//
+// Verification at every failover: the promoted standby must be
+// oracle-equivalent to the primary that recovered from the same crash —
+// full point-read oracle, VerifyScan over the whole key range, identical
+// scan row counts, exact num_rows counters, CheckWellFormed, and zero
+// empty leaves on BOTH engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/replica.h"
+#include "workload/driver.h"
+
+namespace deutero {
+
+struct CrashStormConfig {
+  RecoveryMethod method = RecoveryMethod::kLog2;
+  uint64_t seed = 1;
+  /// Crash/recover/promote generations (the oracle spans all of them).
+  uint32_t cycles = 4;
+  /// Committed-load operations per generation (before the crash tail).
+  uint64_t ops_per_cycle = 160;
+  /// Operations left in an open transaction when the primary crashes.
+  uint64_t tail_ops = 6;
+  /// Ship chunk bound; small values force mid-frame cuts.
+  size_t chunk_bytes = 4 * 1024;
+  /// Crash the standby too, mid-chunk, while the primary is down.
+  bool double_crash = false;
+  /// Feed the standby from a live continuous-replay thread (with snapshot
+  /// reads racing it) and Promote() while that thread is still running.
+  bool promote_under_load = false;
+  /// Operation mix; the seed field is overridden by `seed` above.
+  WorkloadConfig workload;
+};
+
+class CrashStormDriver {
+ public:
+  /// The two option sets are the alternating geometries. num_rows /
+  /// value_size must describe the same initial load; the constructor
+  /// forces the standby set to match the primary's.
+  CrashStormDriver(const EngineOptions& primary_opts,
+                   const EngineOptions& standby_opts,
+                   const CrashStormConfig& config);
+
+  /// Run the whole campaign. The first verification failure (or engine
+  /// error) aborts the storm and is returned.
+  Status Run();
+
+  uint64_t cycles_run() const { return cycles_run_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t standby_recoveries() const { return standby_recoveries_; }
+  /// Live rows at the last verified failover (both engines agreed).
+  uint64_t last_verified_rows() const { return last_verified_rows_; }
+  const WorkloadDriver& workload() const { return *driver_; }
+
+ private:
+  Status Bootstrap();
+  Status RunCycle(uint32_t cycle);
+  /// Block until the continuous-replay thread has applied everything
+  /// published (promote-under-load path).
+  Status AwaitCatchUp();
+  Status VerifyFailover(Engine* old_primary, Engine* promoted);
+  /// Promoted standby becomes the primary; a fresh standby on the retiring
+  /// geometry bootstraps from the new primary's full WAL.
+  Status SwapRoles();
+
+  const EngineOptions& primary_opts() const {
+    return generation_ % 2 == 0 ? opts_a_ : opts_b_;
+  }
+  const EngineOptions& standby_opts() const {
+    return generation_ % 2 == 0 ? opts_b_ : opts_a_;
+  }
+
+  EngineOptions opts_a_;  ///< Generation-even primary geometry.
+  EngineOptions opts_b_;  ///< Generation-even standby geometry.
+  CrashStormConfig config_;
+
+  std::unique_ptr<Engine> seed_primary_;          ///< Generation 0 only.
+  std::unique_ptr<LogicalReplica> primary_holder_;  ///< Promoted primaries.
+  Engine* primary_ = nullptr;
+  std::unique_ptr<ReplicationChannel> channel_;
+  std::unique_ptr<LogicalReplica> standby_;
+  std::unique_ptr<WorkloadDriver> driver_;
+
+  uint32_t generation_ = 0;
+  uint64_t cycles_run_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t standby_recoveries_ = 0;
+  uint64_t last_verified_rows_ = 0;
+};
+
+}  // namespace deutero

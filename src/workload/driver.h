@@ -90,6 +90,11 @@ class WorkloadDriver {
   /// leaf still linked, a skipped survivor) that point reads cannot see.
   Status VerifyScan(Key lo, Key hi, uint64_t* rows_seen);
 
+  /// Exclusive upper bound on every key the workload may have touched
+  /// (loaded range plus all fresh inserts so far) — the tight `hi` for a
+  /// whole-table VerifyScan.
+  Key fresh_key_bound() const { return next_fresh_key_; }
+
   uint64_t ops_done() const { return ops_done_; }
   uint64_t txns_committed() const { return txns_committed_; }
   uint64_t deletes_done() const { return deletes_done_; }

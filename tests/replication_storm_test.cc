@@ -1,0 +1,144 @@
+// The crash-storm campaign (ISSUE 6 foregrounded archetype): repeated
+// crash/recover/promote generations with ONE tombstone oracle carried
+// across every cycle, on alternating page geometries, for all five
+// recovery methods × recovery_threads {1, 2, 4} × eight seeds. Each
+// campaign ends every generation with the full failover bar: promoted
+// standby == recovered primary on point reads, whole-range VerifyScan,
+// exact num_rows, CheckWellFormed, and zero empty leaves — see
+// workload/crash_storm.h for the cycle script.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "test_util.h"
+#include "workload/crash_storm.h"
+
+namespace deutero {
+namespace {
+
+using testing_util::SmallOptions;
+
+constexpr RecoveryMethod kMethods[] = {
+    RecoveryMethod::kLog0, RecoveryMethod::kLog1, RecoveryMethod::kLog2,
+    RecoveryMethod::kSql1, RecoveryMethod::kSql2};
+
+constexpr uint64_t kSeeds[] = {101, 202, 303, 404, 505, 606, 707, 808};
+constexpr int kSeedCount = 8;
+
+EngineOptions StormPrimaryOptions(uint32_t threads) {
+  EngineOptions o = SmallOptions();  // 1 KB pages
+  o.num_rows = 1200;
+  o.cache_pages = 96;
+  o.lazy_writer_reference_cache_pages = 96;
+  o.checkpoint_interval_updates = 150;  // several checkpoints per cycle
+  o.recovery_threads = threads;
+  return o;
+}
+
+EngineOptions StormStandbyOptions(uint32_t threads) {
+  EngineOptions o = StormPrimaryOptions(threads);
+  o.page_size = 2048;  // different physical geometry than the primary
+  o.cache_pages = 64;
+  o.lazy_writer_reference_cache_pages = 64;
+  return o;
+}
+
+CrashStormConfig StormConfig(RecoveryMethod method, uint64_t seed) {
+  CrashStormConfig c;
+  c.method = method;
+  c.seed = seed;
+  c.cycles = 4;
+  c.ops_per_cycle = 160;
+  c.tail_ops = 6;
+  c.chunk_bytes = 4096;  // many chunks (and mid-frame cuts) per generation
+  c.workload.insert_fraction = 0.15;  // splits on both geometries
+  c.workload.delete_fraction = 0.20;  // tombstones + standby-local merges
+  c.workload.read_fraction = 0.05;
+  c.workload.scan_fraction = 0.05;
+  return c;
+}
+
+void RunStorm(RecoveryMethod method, uint32_t threads, uint64_t seed,
+              bool double_crash = false, bool promote_under_load = false) {
+  SCOPED_TRACE(std::string(RecoveryMethodName(method)) + " threads=" +
+               std::to_string(threads) + " seed=" + std::to_string(seed) +
+               (double_crash ? " double-crash" : "") +
+               (promote_under_load ? " under-load" : ""));
+  CrashStormConfig cfg = StormConfig(method, seed);
+  cfg.double_crash = double_crash;
+  cfg.promote_under_load = promote_under_load;
+  CrashStormDriver storm(StormPrimaryOptions(threads),
+                         StormStandbyOptions(threads), cfg);
+  ASSERT_OK(storm.Run());
+  EXPECT_EQ(storm.cycles_run(), cfg.cycles);
+  EXPECT_EQ(storm.promotions(), cfg.cycles);
+  EXPECT_GT(storm.last_verified_rows(), 0u);
+  EXPECT_GT(storm.workload().deletes_done(), 0u)
+      << "storm ran without exercising the tombstone oracle";
+  if (double_crash) {
+    // Every generation crashed the standby mid-chunk and recovered it.
+    EXPECT_GE(storm.standby_recoveries(), cfg.cycles);
+  }
+}
+
+// Every method × thread-count combination, seeds rotating through all
+// eight: the acceptance matrix (5 methods × {1, 2, 4}).
+TEST(ReplicationStormTest, MethodThreadMatrix) {
+  int i = 0;
+  for (RecoveryMethod m : kMethods) {
+    for (uint32_t threads : {1u, 2u, 4u}) {
+      RunStorm(m, threads, kSeeds[i % kSeedCount]);
+      if (::testing::Test::HasFatalFailure()) return;
+      i++;
+    }
+  }
+}
+
+// Seed-major rotation: each of the eight seeds drives a campaign under a
+// different method/thread pairing than the matrix gave it.
+TEST(ReplicationStormTest, EightSeedRotation) {
+  const uint32_t kThreads[] = {2u, 4u, 1u};
+  for (int i = 0; i < kSeedCount; i++) {
+    RunStorm(kMethods[(i + 2) % 5], kThreads[i % 3], kSeeds[i]);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Primary AND standby both die — the standby mid-chunk, mid-transaction —
+// every generation, for every method, at full replay parallelism.
+TEST(ReplicationStormTest, DoubleCrashMidChunk) {
+  int i = 0;
+  for (RecoveryMethod m : kMethods) {
+    RunStorm(m, 4, kSeeds[i % kSeedCount], /*double_crash=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+    i++;
+  }
+}
+
+// Continuous replay runs the whole cycle — snapshot readers race the live
+// applier at every ship boundary — and Promote() fires while the replay
+// thread is still running.
+TEST(ReplicationStormTest, PromoteUnderLoad) {
+  int i = 0;
+  for (RecoveryMethod m : kMethods) {
+    RunStorm(m, 2, kSeeds[(i + 3) % kSeedCount], /*double_crash=*/false,
+             /*promote_under_load=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+    i++;
+  }
+}
+
+// Both flags at once: the replay thread is stopped for the mid-chunk
+// standby crash, restarted after local recovery, and the promote still
+// lands under a live thread.
+TEST(ReplicationStormTest, DoubleCrashUnderContinuousReplay) {
+  RunStorm(RecoveryMethod::kLog2, 4, kSeeds[5], /*double_crash=*/true,
+           /*promote_under_load=*/true);
+  if (::testing::Test::HasFatalFailure()) return;
+  RunStorm(RecoveryMethod::kSql1, 4, kSeeds[6], /*double_crash=*/true,
+           /*promote_under_load=*/true);
+}
+
+}  // namespace
+}  // namespace deutero
