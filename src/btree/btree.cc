@@ -78,6 +78,7 @@ Status BTree::CreateEmpty() {
   std::vector<uint8_t> buf(page_size_, 0);
   PageView root(buf.data(), page_size_);
   root.Format(root_pid_, PageType::kLeaf, 0);
+  StampPageChecksum(buf.data(), page_size_);
   disk_->WriteImageDirect(root_pid_, buf.data());
   height_ = 1;
   num_rows_ = 0;
@@ -121,9 +122,11 @@ Status BTree::BulkLoad(uint64_t num_rows,
       std::vector<uint8_t> prev(page_size_);
       disk_->ReadImage(prev_leaf, prev.data());
       PageView(prev.data(), page_size_).set_right_sibling(pid);
+      StampPageChecksum(prev.data(), page_size_);
       disk_->WriteImageDirect(prev_leaf, prev.data());
     }
     disk_->EnsurePages(pid + 1);
+    StampPageChecksum(buf.data(), page_size_);
     disk_->WriteImageDirect(pid, buf.data());
     prev_leaf = pid;
   }
@@ -146,6 +149,7 @@ Status BTree::BulkLoad(uint64_t num_rows,
       if (i == 0) node.SetKeyAt(0, 0);
       next_fences.emplace_back(node.KeyAt(0), pid);
       disk_->EnsurePages(pid + 1);
+      StampPageChecksum(buf.data(), page_size_);
       disk_->WriteImageDirect(pid, buf.data());
     }
     fences = std::move(next_fences);
@@ -769,6 +773,55 @@ Status BTree::RefreshHeight() {
   DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
   height_ = h.view().level() + 1;
   return Status::OK();
+}
+
+Status BTree::LeafRangeByPid(PageId pid, Key* lo, Key* hi, bool* bounded) {
+  PageHandle root_h;
+  DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &root_h));
+  if (root_h.view().type() == PageType::kLeaf) {
+    if (pid != root_pid_) return Status::NotFound("pid is not in this tree");
+    *lo = 0;
+    *bounded = false;
+    return Status::OK();
+  }
+  // DFS over the internal pages, propagating each subtree's fence
+  // interval; a leaf's range is the interval of the level-1 entry naming
+  // it. The search never reads a leaf.
+  struct Subtree {
+    PageId pid;
+    Key lower;
+    Key upper;
+    bool has_upper;
+  };
+  std::vector<Subtree> stack = {{root_pid_, 0, 0, false}};
+  root_h.Release();
+  while (!stack.empty()) {
+    const Subtree cur = stack.back();
+    stack.pop_back();
+    PageHandle h;
+    DEUTERO_RETURN_NOT_OK(pool_->Get(cur.pid, PageClass::kIndex, &h));
+    PageView page = h.view();
+    if (page.type() != PageType::kInternal) {
+      return Status::Corruption("index descent reached a non-internal page");
+    }
+    InternalNodeView node(page);
+    for (uint32_t i = 0; i < node.count(); i++) {
+      const PageId child = node.ChildAt(i);
+      const Key child_lower = i == 0 ? cur.lower : node.KeyAt(i);
+      const bool child_has_upper = i + 1 < node.count() || cur.has_upper;
+      const Key child_upper =
+          i + 1 < node.count() ? node.KeyAt(i + 1) : cur.upper;
+      if (page.level() == 1) {
+        if (child != pid) continue;
+        *lo = child_lower;
+        *hi = child_upper;
+        *bounded = child_has_upper;
+        return Status::OK();
+      }
+      stack.push_back({child, child_lower, child_upper, child_has_upper});
+    }
+  }
+  return Status::NotFound("pid is not a leaf of this tree");
 }
 
 Status BTree::PreloadIndex() {

@@ -241,6 +241,16 @@ class BTree {
   /// arbitrary SMO images).
   Status RefreshHeight();
 
+  /// Inverse leaf lookup for single-page media repair: search the INDEX
+  /// (internal pages only — the leaf itself is never read, it may be
+  /// corrupt) for the leaf `pid` and report the key range it owns: every
+  /// key in [*lo, *hi) maps to it (*hi meaningful only when *bounded).
+  /// NotFound when no index path leads to `pid` — including when `pid` is
+  /// an internal page of this tree, which a row-based repair cannot
+  /// rebuild. Walks every internal page (this is a repair path, not a hot
+  /// path); requires a structurally sound index.
+  Status LeafRangeByPid(PageId pid, Key* lo, Key* hi, bool* bounded);
+
   // ---- integrity / inspection ----
 
   /// Verify ordering, fences, levels and slot counts across the tree.

@@ -48,6 +48,49 @@ enum class RecoveryMethod : uint8_t {
 /// Returns a stable display name ("Log0", "Sql2", ...).
 const char* RecoveryMethodName(RecoveryMethod m);
 
+/// Deterministic media-fault plan, executed by the FaultInjector the
+/// SimDisk owns (sim/fault_injector.h). All decisions are drawn from one
+/// seeded RNG in I/O-issue order, so a (seed, workload) pair replays the
+/// identical fault sequence — a failing storm campaign reproduces from its
+/// printed seed alone. All rates are per-I/O probabilities in [0, 1]; the
+/// default plan (all rates zero) injects nothing and costs nothing.
+struct FaultPlanOptions {
+  uint64_t seed = 0;
+  /// Transient read/write failures: the I/O returns Status::IOError but
+  /// charges device time (the arm moved; the transfer failed). A triggered
+  /// fault fails `burst` consecutive attempts (drawn uniformly from
+  /// [1, max_failure_burst]) before the retried I/O succeeds, so retry
+  /// loops with io_retry_limit >= max_failure_burst always recover.
+  double read_error_rate = 0;
+  double write_error_rate = 0;
+  uint32_t max_failure_burst = 2;
+  /// Latency spikes: a triggered I/O's service time is multiplied by
+  /// latency_spike_factor (remapped sectors, thermal recalibration).
+  double latency_spike_rate = 0;
+  double latency_spike_factor = 8.0;
+  /// Latent corruption: a triggered page write flips one random bit of the
+  /// stable image AFTER the write is acknowledged — detected only when the
+  /// page checksum is verified on a later read-in. Never targets page 0
+  /// (the boot/meta block is duplexed in a real deployment).
+  double bit_flip_rate = 0;
+  /// Torn-write crash mode: a triggered ScheduleWrite is tracked as
+  /// in-flight; if the engine crashes before a later write of the same page
+  /// destages it, the stable image keeps only a sector-granular prefix of
+  /// the new content (SimDisk::ApplyCrashTears). The prefix covers sector 0
+  /// (the page header) but never the whole page, so every content-changing
+  /// tear is CRC-detectable — see FaultInjector::NextTornWrite for why a
+  /// full revert would be an undetectable lost write. Zero keeps the
+  /// historical contract: every scheduled write is atomically stable.
+  /// Page 0 is exempt, like bit flips.
+  double torn_write_rate = 0;
+  uint32_t sector_bytes = 512;
+
+  bool enabled() const {
+    return read_error_rate > 0 || write_error_rate > 0 ||
+           latency_spike_rate > 0 || bit_flip_rate > 0 || torn_write_rate > 0;
+  }
+};
+
 /// Cost model for the simulated disk and CPU. Recovery time in the paper is
 /// gated by data-page I/O (Appendix B); these constants control the simulated
 /// milliseconds charged per event. Absolute values are era-plausible for a
@@ -76,6 +119,15 @@ struct IoModelOptions {
   double cpu_per_btree_level_us = 2.0;
   /// CPU charged per redo operation actually applied (µs).
   double cpu_per_redo_apply_us = 5.0;
+
+  /// Media-fault plan (sim/fault_injector.h). Inactive by default.
+  FaultPlanOptions faults;
+  /// Buffer-pool retry policy for transient I/O errors: an IOError from the
+  /// device is retried up to io_retry_limit times, charging simulated
+  /// exponential backoff (io_backoff_base_ms * 2^attempt) before each retry.
+  /// Exhaustion surfaces the IOError to the caller.
+  uint32_t io_retry_limit = 4;
+  double io_backoff_base_ms = 0.5;
 };
 
 /// Test-only fault injection points (used by crash tests).
@@ -155,6 +207,20 @@ struct EngineOptions {
   /// pass replayed all SMOs first). Off reproduces the paper's
   /// every-operation re-traversal cost.
   bool redo_leaf_memo = true;
+
+  // ---- media resilience ----
+  /// Keep a page-image archive: at every completed checkpoint (and at the
+  /// end of recovery) the DC snapshots the stable disk image together with
+  /// the oldest first-dirty LSN still in cache. A page whose stable copy
+  /// later fails its checksum is rebuilt from the archived image plus a
+  /// page-scoped logical replay of the log tail (recovery/page_repairer.h).
+  /// Off by default: the copy is the simulation stand-in for a backup
+  /// medium and costs a full-image memcpy per checkpoint.
+  bool media_archive = false;
+  /// How many times Engine::Recover re-runs the (idempotent) recovery
+  /// passes after repairing a corrupt page mid-pass before giving up and
+  /// degrading to read-only.
+  uint32_t media_repair_attempts = 3;
 
   // ---- misc ----
   uint64_t seed = 42;            ///< Workload / layout determinism.

@@ -28,6 +28,9 @@ std::string Status::ToString() const {
     case Code::kAborted:
       name = "Aborted";
       break;
+    case Code::kDegraded:
+      name = "Degraded";
+      break;
   }
   std::string out(name);
   if (!msg_.empty()) {

@@ -20,6 +20,7 @@ class Status {
     kNotSupported = 5,
     kBusy = 6,
     kAborted = 7,
+    kDegraded = 8,
   };
 
   Status() noexcept : code_(Code::kOk) {}
@@ -46,6 +47,11 @@ class Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  /// The engine hit unrepairable media corruption and is serving reads
+  /// only; writes are refused with this code until a successful Recover().
+  static Status Degraded(std::string msg = "") {
+    return Status(Code::kDegraded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -55,6 +61,7 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsDegraded() const { return code_ == Code::kDegraded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <string>
+
 #include "common/value_codec.h"
 #include "recovery/recovery_manager.h"
 
@@ -18,6 +21,17 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
   tc_ = std::make_unique<TransactionComponent>(&clock_, log_.get(), dc_.get(),
                                                options_);
   dc_->set_wal_force([this](Lsn lsn) { tc_->ForceLogUpTo(lsn); });
+  repairer_ = std::make_unique<PageRepairer>(log_.get(), dc_.get(),
+                                             options_.page_size);
+  // Every checksum failure the pool detects first tries an in-place
+  // archive rebuild; the archive itself refreshes at each completed
+  // checkpoint (opt-in: it doubles stable storage).
+  dc_->pool().set_repair_callback([this](PageId pid, uint8_t* frame_data) {
+    return repairer_->RepairFrame(pid, frame_data);
+  });
+  if (options_.media_archive) {
+    dc_->set_catalog_persisted([this] { repairer_->CaptureArchive(); });
+  }
 }
 
 Status Engine::Open(const EngineOptions& options,
@@ -34,6 +48,7 @@ Status Engine::Open(const EngineOptions& options,
 
 Status Engine::CreateTable(TableId table, uint32_t value_size) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
   return dc_->CreateTable(table, value_size);
 }
@@ -48,6 +63,7 @@ Status Engine::OpenTable(TableId table, Table* out) {
 
 Status Engine::Begin(Txn* txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
   TxnId id = kInvalidTxnId;
   DEUTERO_RETURN_NOT_OK(tc_->Begin(&id));
@@ -77,12 +93,34 @@ Status Engine::Read(Key key, std::string* value) {
 
 Status Engine::Read(TableId table, Key key, std::string* value) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Read(kInvalidTxnId, table, key, value);
+  Status s = tc_->Read(kInvalidTxnId, table, key, value);
+  if (s.IsCorruption()) {
+    s = TryRemoteRepair(s);
+    if (s.ok()) s = tc_->Read(kInvalidTxnId, table, key, value);
+  }
+  return s;
 }
 
 Status Engine::Scan(TableId table, Key lo, Key hi, ScanCursor* out) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
-  return dc_->Scan(table, lo, hi, out);
+  Status s = dc_->Scan(table, lo, hi, out);
+  if (s.IsCorruption()) {
+    s = TryRemoteRepair(s);
+    if (s.ok()) s = dc_->Scan(table, lo, hi, out);
+  }
+  return s;
+}
+
+Status Engine::TryRemoteRepair(const Status& failure) {
+  const PageId bad = dc_->pool().TakeCorruptPage();
+  if (bad == kInvalidPageId) return failure;  // structural, not media
+  if (repair_source_ != nullptr &&
+      repairer_->RepairFromSource(bad, repair_source_).ok()) {
+    return Status::OK();
+  }
+  degraded_ = true;
+  return Status::Degraded("unrepairable media corruption on page " +
+                          std::to_string(bad));
 }
 
 // ---- handle-API backends ----
@@ -122,6 +160,7 @@ Status Engine::TxnAbort(TxnId txn) {
 
 Status Engine::Begin(TxnId* txn) {
   if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
   return tc_->Begin(txn);
 }
@@ -164,16 +203,40 @@ void Engine::SimulateCrash() {
 
 Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
   if (running_) return Status::InvalidArgument("engine is not crashed");
-  RecoveryManager rm(&clock_, log_.get(), dc_.get(), tc_.get(), options_);
-  DEUTERO_RETURN_NOT_OK(rm.Recover(method, stats));
+  const uint32_t attempts = std::max(1u, options_.media_repair_attempts);
+  Status s;
+  for (uint32_t attempt = 0; attempt < attempts; attempt++) {
+    RecoveryManager rm(&clock_, log_.get(), dc_.get(), tc_.get(), options_);
+    s = rm.Recover(method, stats);
+    if (s.ok()) {
+      running_ = true;
+      degraded_ = false;
+      return Status::OK();
+    }
+    if (!s.IsCorruption() && !s.IsIOError()) return s;
+    // A media failure stopped the pass: the in-place archive repair
+    // already failed inside the pool, so this is the remote source's
+    // turn. Recovery passes are idempotent — after a successful repair
+    // the whole recovery simply reruns.
+    const PageId bad = dc_->pool().TakeCorruptPage();
+    if (bad == kInvalidPageId || repair_source_ == nullptr ||
+        !repairer_->RepairFromSource(bad, repair_source_).ok()) {
+      break;
+    }
+  }
+  // Unrepairable: open for reads only. Pages the aborted pass did not
+  // reach may serve pre-crash versions — degraded means best-effort.
   running_ = true;
-  return Status::OK();
+  degraded_ = true;
+  return Status::Degraded("unrepairable media corruption during recovery: " +
+                          s.ToString());
 }
 
 Status Engine::TakeStableSnapshot(StableSnapshot* out) const {
   if (running_) return Status::InvalidArgument("snapshot requires a crash");
   out->disk_image = dc_->disk().SnapshotImage();
   out->log = log_->TakeSnapshot();
+  out->archive = repairer_->TakeArchive();
   return Status::OK();
 }
 
@@ -181,6 +244,8 @@ Status Engine::RestoreStableSnapshot(const StableSnapshot& snap) {
   if (running_) return Status::InvalidArgument("restore requires a crash");
   dc_->disk().RestoreImage(snap.disk_image);
   log_->RestoreSnapshot(snap.log);
+  repairer_->RestoreArchive(snap.archive);
+  degraded_ = false;
   return Status::OK();
 }
 

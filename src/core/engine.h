@@ -36,6 +36,7 @@
 #include "common/types.h"
 #include "core/txn.h"
 #include "dc/data_component.h"
+#include "recovery/page_repairer.h"
 #include "recovery/stats.h"
 #include "sim/clock.h"
 #include "tc/transaction_component.h"
@@ -106,10 +107,29 @@ class Engine {
   /// unflushed log tail) and reset the measurement clock.
   void SimulateCrash();
 
-  /// Recover with the given method; the engine must be crashed.
+  /// Recover with the given method; the engine must be crashed. A media
+  /// failure (checksum mismatch the archive could not repair in place)
+  /// aborts the pass; the engine then tries the attached RepairSource and
+  /// re-runs recovery from the top (every pass is idempotent), up to
+  /// options.media_repair_attempts times. When the page stays broken the
+  /// engine opens DEGRADED — reads are served best-effort, writes are
+  /// refused — and Status::Degraded is returned.
   Status Recover(RecoveryMethod method, RecoveryStats* stats);
 
   bool running() const { return running_; }
+
+  // ---- media-failure resilience (PR 7) ----
+
+  /// Attach a remote row source (a hot standby; see StandbyRepairSource in
+  /// core/replica.h) used when a corrupt page cannot be rebuilt from the
+  /// local archive. Not owned; clear with nullptr before the source dies.
+  void SetRepairSource(RepairSource* source) { repair_source_ = source; }
+
+  /// True after an unrepairable page was hit: the engine serves reads but
+  /// refuses new transactions and DDL (Status::Degraded).
+  bool degraded() const { return degraded_; }
+
+  PageRepairer& repairer() { return *repairer_; }
 
   /// Standby mode (core/replica.h): a read-only engine refuses external
   /// writes (Begin/Apply/CreateTable) while reads and scans keep working.
@@ -122,6 +142,9 @@ class Engine {
   struct StableSnapshot {
     std::vector<uint8_t> disk_image;
     LogManager::Snapshot log;
+    /// The media archive is stable storage too (conceptually a separate
+    /// backup device), so side-by-side experiments restore it with the rest.
+    PageRepairer::ArchiveSnapshot archive;
   };
   /// Capture the crash image. Engine must be crashed.
   Status TakeStableSnapshot(StableSnapshot* out) const;
@@ -148,13 +171,21 @@ class Engine {
   Status TxnCommit(TxnId txn);
   Status TxnAbort(TxnId txn);
 
+  /// Shared tail of Read/Scan corruption handling: try the remote source
+  /// for the pool's last corrupt page; flip to degraded when that fails.
+  /// Returns OK when the caller should retry the failed operation once.
+  Status TryRemoteRepair(const Status& failure);
+
   EngineOptions options_;
   SimClock clock_;
   std::unique_ptr<LogManager> log_;
   std::unique_ptr<DataComponent> dc_;
   std::unique_ptr<TransactionComponent> tc_;
+  std::unique_ptr<PageRepairer> repairer_;
+  RepairSource* repair_source_ = nullptr;
   bool running_ = false;
   bool read_only_ = false;
+  bool degraded_ = false;
 };
 
 }  // namespace deutero

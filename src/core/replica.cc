@@ -549,7 +549,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
           break;
       }
       DEUTERO_RETURN_NOT_OK(st);
-      dc.Tick();
+      DEUTERO_RETURN_NOT_OK(dc.Tick());
     }
     // Scan-complete row accounting on the dispatcher (workers and the
     // apply path never touch the counters during replay).
@@ -721,7 +721,7 @@ Status LogicalReplica::ApplyFrom(LogManager* src, Lsn from, Lsn* next,
   // it.lsn() when the scan ends is the first offset NOT consumed — the
   // start of a torn frame or the stable end: the resume point.
   if (next != nullptr) *next = it.lsn();
-  dc.Tick();
+  DEUTERO_RETURN_NOT_OK(dc.Tick());
 
   // Standby checkpoints happen at ship boundaries only, while the crew is
   // quiescent — same cadence knob as the primary.
@@ -949,6 +949,22 @@ Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
       ApplyFrom(&primary_log, from, &consumed, /*standby=*/false));
   if (next != nullptr) *next = primary_log.stable_end();
   return Status::OK();
+}
+
+// ---- remote repair ----
+
+Status StandbyRepairSource::FetchRows(TableId table, Key lo, Key hi,
+                                      std::vector<std::pair<Key, std::string>>*
+                                          rows,
+                                      Lsn* as_of) {
+  rows->clear();
+  // Sample the boundary first: the scan below reflects AT LEAST this much
+  // (replay only moves it forward), and an under-reported boundary makes
+  // the caller replay a few extra transactions idempotently.
+  *as_of = standby_->read_boundary();
+  return standby_->SnapshotScan(table, lo, hi, [rows](Key key, Slice value) {
+    rows->emplace_back(key, std::string(value.data(), value.size()));
+  });
 }
 
 }  // namespace deutero

@@ -333,4 +333,22 @@ class LogicalReplica {
   uint64_t apply_stop_after_ops_ = 0;  ///< Countdown; 0 = disabled.
 };
 
+/// Remote single-page repair over the replication channel: serves
+/// PageRepairer::RepairFromSource with the committed rows of a key range
+/// as seen by a hot standby at its applied ship boundary. The boundary is
+/// sampled BEFORE the scan — with continuous replay running it may advance
+/// underneath, and under-reporting is the safe direction (see
+/// RepairSource's contract). Attach with Engine::SetRepairSource.
+class StandbyRepairSource : public RepairSource {
+ public:
+  explicit StandbyRepairSource(LogicalReplica* standby) : standby_(standby) {}
+
+  Status FetchRows(TableId table, Key lo, Key hi,
+                   std::vector<std::pair<Key, std::string>>* rows,
+                   Lsn* as_of) override;
+
+ private:
+  LogicalReplica* standby_;
+};
+
 }  // namespace deutero

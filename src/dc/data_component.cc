@@ -287,6 +287,7 @@ void DataComponent::PersistCatalog() {
   // while the master's bCkpt still points at the pre-crash checkpoint).
   catalog_.set_rows_covered_lsn(log_->next_lsn());
   catalog_.WriteTo(disk_.get(), options_.page_size);
+  if (catalog_persisted_) catalog_persisted_();
 }
 
 Status DataComponent::Rssp(Lsn rssp_lsn, uint64_t* pages_flushed) {
@@ -294,7 +295,8 @@ Status DataComponent::Rssp(Lsn rssp_lsn, uint64_t* pages_flushed) {
   // before the bCkpt append (single-threaded execution), i.e. before the
   // phase flip below. The WAL rule inside FlushFrame keeps flushes legal.
   pool_->FlipCheckpointPhase();
-  const uint64_t flushed = pool_->FlushPhasePages();
+  uint64_t flushed = 0;
+  DEUTERO_RETURN_NOT_OK(pool_->FlushPhasePages(&flushed));
   if (pages_flushed != nullptr) *pages_flushed = flushed;
   LogRecord ack;
   ack.type = LogRecordType::kRsspAck;
@@ -304,6 +306,9 @@ Status DataComponent::Rssp(Lsn rssp_lsn, uint64_t* pages_flushed) {
 }
 
 void DataComponent::SimulateCrash() {
+  // Resolve in-flight writes first: a crash tears them (fault-plan
+  // sector granularity); with no fault plan this is a no-op.
+  disk_->ApplyCrashTears();
   pool_->Reset();
   monitor_->Reset();
   elsn_ = kInvalidLsn;

@@ -106,8 +106,10 @@ class DataComponent {
   /// Open a cursor over [lo, hi] (inclusive) of `table`.
   Status Scan(TableId table, Key lo, Key hi, ScanCursor* out);
 
-  /// Background work performed after each operation (lazy writer).
-  void Tick() { pool_->LazyWriterTick(); }
+  /// Background work performed after each operation (lazy writer). A
+  /// non-OK status means a dirty page could not be written even with
+  /// retries — the caller must surface it, not drop it.
+  Status Tick() { return pool_->LazyWriterTick(); }
 
   // ---- control operations (paper §4.1) ----
 
@@ -203,6 +205,13 @@ class DataComponent {
   /// stable at least up to the given LSN and send EOSL back.
   void set_wal_force(std::function<void(Lsn)> f);
 
+  /// Hook fired after every PersistCatalog (checkpoint completion, end of
+  /// recovery): the engine uses it to capture the media archive at a
+  /// moment the stable image is self-consistent.
+  void set_catalog_persisted(std::function<void()> f) {
+    catalog_persisted_ = std::move(f);
+  }
+
   const EngineOptions& options() const { return options_; }
 
  private:
@@ -217,6 +226,7 @@ class DataComponent {
   Catalog catalog_;
   std::map<TableId, std::unique_ptr<BTree>> tables_;
   std::unique_ptr<DirtyPageMonitor> monitor_;
+  std::function<void()> catalog_persisted_;
   Lsn elsn_ = kInvalidLsn;
   bool row_count_tracking_ = true;
 };

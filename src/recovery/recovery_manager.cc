@@ -20,6 +20,18 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   dc_->pool().set_callbacks_enabled(false);
   const uint64_t saved_watermark = dc_->pool().dirty_watermark();
   dc_->pool().set_dirty_watermark(0);
+  // Re-arm normal operation on EVERY exit path: a media failure aborts
+  // recovery mid-pass, and the engine retries after repairing the page —
+  // the retry must not inherit a half-disabled pool.
+  struct RearmNormalOperation {
+    DataComponent* dc;
+    uint64_t watermark;
+    ~RearmNormalOperation() {
+      dc->pool().set_dirty_watermark(watermark);
+      dc->pool().set_callbacks_enabled(true);
+      dc->monitor().set_enabled(true);
+    }
+  } rearm{dc_, saved_watermark};
 
   dc_->pool().ResetStats();
   dc_->disk().ResetStats();
@@ -147,15 +159,16 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   stats->prefetch_used = ps.prefetch_used;
   stats->prefetch_wasted = ps.prefetch_wasted;
   stats->pages_flushed = ps.flushes;
+  stats->io_retries = ps.io_retries;
+  stats->backoff_ms = ps.backoff_ms;
+  stats->checksum_failures = ps.checksum_failures;
+  stats->pages_repaired = ps.repairs;
 
-  // Back to normal operation.
+  // Back to normal operation (RearmNormalOperation re-enables the pool).
   tc_->SetNextTxnId(max_txn_id + 1);
   log_->Flush();
   dc_->Eosl(log_->stable_end());
   dc_->PersistCatalog();
-  dc_->pool().set_dirty_watermark(saved_watermark);
-  dc_->pool().set_callbacks_enabled(true);
-  dc_->monitor().set_enabled(true);
   return Status::OK();
 }
 

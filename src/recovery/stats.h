@@ -59,6 +59,12 @@ struct RecoveryStats {
   uint64_t prefetch_wasted = 0;
   uint64_t pages_flushed = 0;  ///< Eviction writes during recovery.
 
+  // Media-failure handling during recovery (PR 7).
+  uint64_t io_retries = 0;         ///< Transient-error retries issued.
+  double backoff_ms = 0;           ///< Simulated backoff the retries cost.
+  uint64_t checksum_failures = 0;  ///< Corrupt page images detected.
+  uint64_t pages_repaired = 0;     ///< Rebuilt in place from the archive.
+
   // Undo outcome.
   uint64_t txns_undone = 0;
   uint64_t undo_ops = 0;

@@ -1,0 +1,70 @@
+#include "sim/fault_injector.h"
+
+namespace deutero {
+
+bool FaultInjector::NextFails(double rate, uint32_t* burst,
+                              uint64_t* counter) {
+  if (*burst > 0) {
+    (*burst)--;
+    (*counter)++;
+    return true;
+  }
+  if (rate <= 0 || !rng_.Bernoulli(rate)) return false;
+  const uint32_t max_burst =
+      plan_.max_failure_burst == 0 ? 1 : plan_.max_failure_burst;
+  // Burst length in [1, max_burst]: this attempt fails, burst-1 more follow.
+  *burst = static_cast<uint32_t>(rng_.Uniform(max_burst));
+  (*counter)++;
+  return true;
+}
+
+bool FaultInjector::NextReadFails() {
+  return NextFails(plan_.read_error_rate, &read_burst_, &stats_.read_errors);
+}
+
+bool FaultInjector::NextWriteFails() {
+  return NextFails(plan_.write_error_rate, &write_burst_,
+                   &stats_.write_errors);
+}
+
+double FaultInjector::NextLatencyFactor() {
+  if (plan_.latency_spike_rate <= 0 ||
+      !rng_.Bernoulli(plan_.latency_spike_rate)) {
+    return 1.0;
+  }
+  stats_.latency_spikes++;
+  return plan_.latency_spike_factor < 1.0 ? 1.0 : plan_.latency_spike_factor;
+}
+
+bool FaultInjector::NextBitFlip(uint32_t page_size, uint32_t* offset,
+                                uint8_t* mask) {
+  if (plan_.bit_flip_rate <= 0 || !rng_.Bernoulli(plan_.bit_flip_rate)) {
+    return false;
+  }
+  *offset = static_cast<uint32_t>(rng_.Uniform(page_size));
+  *mask = static_cast<uint8_t>(1u << rng_.Uniform(8));
+  stats_.bit_flips++;
+  return true;
+}
+
+bool FaultInjector::NextTornWrite(uint32_t page_size,
+                                  uint32_t* survive_sectors) {
+  if (plan_.torn_write_rate <= 0 || !rng_.Bernoulli(plan_.torn_write_rate)) {
+    return false;
+  }
+  const uint32_t sectors = (page_size + sector_bytes() - 1) / sector_bytes();
+  // Single-sector pages transfer atomically: nothing to tear.
+  if (sectors <= 1) return false;
+  // The prefix is drawn from [1, sectors-1]: the transfer runs sector 0
+  // first, and an in-flight write has by definition begun, so the header
+  // sector (pLSN + checksum slot) is always the new one. This is the
+  // invariant that makes every content-changing tear CRC-detectable — a
+  // full revert to the old (self-consistent) image would be an
+  // undetectable lost write, which silently breaks any recovery scheme
+  // that prunes its DPT on flush reports (WrittenSet/BW records).
+  *survive_sectors = 1 + static_cast<uint32_t>(rng_.Uniform(sectors - 1));
+  stats_.writes_torn++;
+  return true;
+}
+
+}  // namespace deutero

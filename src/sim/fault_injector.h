@@ -1,0 +1,86 @@
+// Deterministic media-fault injection for the simulated disk. The injector
+// owns one seeded RNG and draws every fault decision from it in I/O-issue
+// order, so a (seed, workload) pair replays the identical fault sequence:
+// a failing storm campaign reproduces from its printed seed alone, and two
+// injectors built from the same plan agree decision-for-decision (the
+// sim_disk_test determinism units pin this).
+//
+// Decision kinds (see FaultPlanOptions in common/options.h for semantics):
+//   * transient read/write failures with bounded bursts,
+//   * latency spikes (service-time multiplier),
+//   * latent bit flips of just-written stable images,
+//   * torn writes (which sector prefix of an in-flight write survives a
+//     crash).
+//
+// The injector decides; the SimDisk executes (returns the IOError, stretches
+// the service time, flips the image byte, tears the pending write). Page 0
+// (boot/meta block) is never corrupted — the caller enforces that, the
+// injector just draws.
+#pragma once
+
+#include <cstdint>
+
+#include "common/options.h"
+#include "common/random.h"
+
+namespace deutero {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t read_errors = 0;    ///< Read attempts failed (bursts count each).
+    uint64_t write_errors = 0;
+    uint64_t latency_spikes = 0;
+    uint64_t bit_flips = 0;      ///< Stable-image bits flipped.
+    uint64_t writes_torn = 0;    ///< Writes marked in-flight (tearable).
+  };
+
+  explicit FaultInjector(const FaultPlanOptions& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  const FaultPlanOptions& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Replace the plan mid-run (storm harnesses arm mutation faults for the
+  /// workload epoch and disarm them for recovery, where divergent per-method
+  /// I/O streams must not diverge the stable state). The RNG is NOT re-
+  /// seeded: the decision stream continues.
+  void set_plan(const FaultPlanOptions& plan) { plan_ = plan; }
+
+  /// Whether the next read / write attempt fails (consumes a decision).
+  bool NextReadFails();
+  bool NextWriteFails();
+
+  /// Service-time multiplier for the next I/O (1.0, or the spike factor).
+  double NextLatencyFactor();
+
+  /// Whether the write just acknowledged leaves a flipped bit behind, and
+  /// where. `page_size` > 0; offset is a byte offset, mask a single bit.
+  bool NextBitFlip(uint32_t page_size, uint32_t* offset, uint8_t* mask);
+
+  /// Whether the write just scheduled is tracked as in-flight (tearable at
+  /// crash), and how many leading sectors of the NEW content survive the
+  /// tear. The prefix is drawn from [1, sectors-1]: sector 0 (the page
+  /// header, pLSN + checksum) always lands and at least one tail sector is
+  /// lost, so every content-changing tear fails CRC verification — see the
+  /// rationale in fault_injector.cc. Single-sector pages never tear.
+  bool NextTornWrite(uint32_t page_size, uint32_t* survive_sectors);
+
+  uint32_t sector_bytes() const {
+    return plan_.sector_bytes == 0 ? 512 : plan_.sector_bytes;
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  bool NextFails(double rate, uint32_t* burst, uint64_t* counter);
+
+  FaultPlanOptions plan_;
+  Random rng_;
+  uint32_t read_burst_ = 0;   ///< Remaining forced read failures.
+  uint32_t write_burst_ = 0;
+  Stats stats_;
+};
+
+}  // namespace deutero

@@ -13,17 +13,49 @@
 // caller (the buffer pool), which either waits (synchronous miss) or records
 // the pending completion (prefetch).
 //
-// Crash model: page images are updated at schedule time; the experiment
-// harness only crashes the engine at operation boundaries after in-flight
-// writes have been accounted, so scheduled writes are stable (DESIGN.md §5).
+// DESIGN — crash model and faults. A scheduled write updates the stable
+// image at schedule time: the content is what the controller acknowledged,
+// and every later read must see it. What a CRASH leaves behind is a
+// separate question, answered per the fault plan (common/options.h,
+// executed by the owned FaultInjector):
+//
+//   * Plan inactive (default): every scheduled write is atomically stable —
+//     the historical contract (the harness crashes at operation boundaries
+//     after in-flight writes are accounted, DESIGN.md §5).
+//   * Torn-write mode (torn_write_rate > 0): a triggered write is tracked
+//     as in-flight in `torn_pending_` (pid -> the sector-granular torn
+//     image: a prefix of the new content, the rest the previous stable
+//     bytes). A later write of the same page destages and supersedes the
+//     entry. At crash the engine calls ApplyCrashTears(), which installs
+//     the torn images; a clean shutdown calls DrainInFlight(), which
+//     discards them (the writes destaged). Reads between schedule and
+//     crash still see the acknowledged content — the tear only exists on
+//     the post-crash stable image. The surviving prefix always covers
+//     sector 0 (the header: pLSN + checksum) and never the whole page, so
+//     a tear is always CRC-detectable — see FaultInjector::NextTornWrite
+//     for why a full revert would be an undetectable lost write.
+//   * Transient read/write failures surface as Status::IOError from the
+//     Schedule* calls. Device time is still charged (the arm moved); the
+//     image is NOT updated on a failed write.
+//   * Bit flips silently corrupt the stable image after a write is
+//     acknowledged; only the page-checksum verify on a later read-in can
+//     see them.
+//
+// WriteImageDirect / ReadImage are out-of-band administrative accesses
+// (bulk load, catalog bootstrap, page repair write-back) and are never
+// subject to faults. The WAL lives in LogManager, not here, so the fault
+// plan covers data pages only — the log has its own per-record CRC.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/options.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "sim/clock.h"
+#include "sim/fault_injector.h"
 
 namespace deutero {
 
@@ -37,6 +69,11 @@ class SimDisk {
     uint64_t pages_written = 0;
     double read_service_ms = 0;   ///< Device time spent servicing reads.
     double write_service_ms = 0;
+    uint64_t read_errors = 0;     ///< Injected transient read failures.
+    uint64_t write_errors = 0;
+    uint64_t latency_spikes = 0;
+    uint64_t bits_flipped = 0;    ///< Latent stable-image corruptions.
+    uint64_t writes_torn = 0;     ///< Pending tears applied by a crash.
   };
 
   SimDisk(SimClock* clock, uint32_t page_size, const IoModelOptions& io);
@@ -47,22 +84,30 @@ class SimDisk {
   /// Grow the device to at least n pages (new pages are zero-filled).
   void EnsurePages(uint64_t n);
 
-  /// Schedule a single-page read; returns its completion time (ms).
-  double ScheduleRead(PageId pid, bool sorted);
+  /// Schedule a single-page read. On success *completion is its completion
+  /// time (ms); on an injected transient failure returns IOError (device
+  /// time still charged, *completion still set — the caller decides whether
+  /// to wait out the failed attempt before retrying).
+  Status ScheduleRead(PageId pid, bool sorted, double* completion);
 
   /// Schedule a read of `count` contiguous pages starting at `first` as one
-  /// I/O; returns its completion time (ms).
-  double ScheduleReadRun(PageId first, uint32_t count, bool sorted);
+  /// I/O; same contract as ScheduleRead.
+  Status ScheduleReadRun(PageId first, uint32_t count, bool sorted,
+                         double* completion);
 
-  /// Schedule a page write. The stable image is updated immediately; the
-  /// returned completion time is used for stall accounting.
-  double ScheduleWrite(PageId pid, const void* data);
+  /// Schedule a page write. On success the stable image holds the
+  /// acknowledged content and *completion is used for stall accounting; see
+  /// the DESIGN note above for what a crash does to it under the fault
+  /// plan. On an injected transient failure returns IOError and leaves the
+  /// image untouched.
+  Status ScheduleWrite(PageId pid, const void* data, double* completion);
 
   /// Copy the stable image of `pid` into `out` (no simulated cost; data
   /// delivery happens when the caller decides the read completed).
   void ReadImage(PageId pid, void* out) const;
 
-  /// Write the stable image directly with no simulated cost (bulk load).
+  /// Write the stable image directly with no simulated cost and no faults
+  /// (bulk load, repair write-back).
   void WriteImageDirect(PageId pid, const void* data);
 
   /// Raw pointer into the stable image of `pid` (asserts bounds).
@@ -75,10 +120,35 @@ class SimDisk {
   /// Called when a crash starts a new measurement epoch.
   void ResetTime();
 
+  // ---- crash semantics of in-flight writes (torn-write mode) ----
+
+  /// Crash: install every pending torn image into the stable image. The
+  /// engine's crash path MUST call exactly one of ApplyCrashTears /
+  /// DrainInFlight so in-flight writes are resolved explicitly.
+  void ApplyCrashTears();
+
+  /// Clean shutdown / checkpoint-complete destage: in-flight writes made it
+  /// to the platter intact; forget the pending tears.
+  void DrainInFlight() { torn_pending_.clear(); }
+
+  uint64_t pending_torn_writes() const { return torn_pending_.size(); }
+
+  /// Test hook: flip one stable-image bit (media corruption without a
+  /// fault plan — targeted corruption scenarios).
+  void CorruptStableByteForTest(PageId pid, uint32_t offset, uint8_t mask);
+
+  FaultInjector& injector() { return injector_; }
+
+  /// I/O model this device was built with (retry/backoff knobs live here so
+  /// the buffer pool and the device agree on one fault policy).
+  const IoModelOptions& io_options() const { return io_; }
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
   /// Snapshot / restore of the full stable image (side-by-side experiments).
+  /// Pending tears are volatile controller state and are not part of a
+  /// snapshot; restore clears them.
   std::vector<uint8_t> SnapshotImage() const { return image_; }
   void RestoreImage(std::vector<uint8_t> image);
 
@@ -88,9 +158,13 @@ class SimDisk {
   SimClock* clock_;
   const uint32_t page_size_;
   IoModelOptions io_;
+  FaultInjector injector_;
   uint64_t num_pages_ = 0;
   std::vector<uint8_t> image_;
   std::vector<double> channel_busy_until_;
+  /// Torn-write mode: pid -> the image a crash would leave (sector-granular
+  /// prefix of the latest acknowledged write over the prior stable bytes).
+  std::unordered_map<PageId, std::vector<uint8_t>> torn_pending_;
   Stats stats_;
 };
 

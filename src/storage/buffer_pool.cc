@@ -56,7 +56,9 @@ BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
       capacity_(capacity_pages),
       page_size_(page_size),
       max_batch_pages_(max_batch_pages),
-      table_(capacity_pages) {
+      table_(capacity_pages),
+      retry_limit_(disk->io_options().io_retry_limit),
+      backoff_base_ms_(disk->io_options().io_backoff_base_ms) {
   assert(capacity_ > 0);
   arena_.resize(capacity_ * static_cast<uint64_t>(page_size_));
   frames_.resize(capacity_);
@@ -65,6 +67,47 @@ BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
     free_frames_.push_back(static_cast<uint32_t>(capacity_ - 1 - i));
   }
   dirty_bits_.assign((capacity_ + 63) / 64, 0);
+}
+
+void BufferPool::Backoff(uint32_t attempt) {
+  stats_.io_retries++;
+  const double ms = backoff_base_ms_ *
+                    static_cast<double>(uint64_t{1}
+                                        << std::min<uint32_t>(attempt, 20));
+  stats_.backoff_ms += ms;
+  clock_->AdvanceMs(ms);
+}
+
+Status BufferPool::ReadPageWithRetry(PageId pid, bool sorted, uint8_t* dest) {
+  Status s;
+  for (uint32_t attempt = 0;; attempt++) {
+    double completion = 0;
+    s = disk_->ScheduleRead(pid, sorted, &completion);
+    clock_->AdvanceToMs(completion);  // the attempt occupies the device
+    if (s.ok()) {
+      disk_->ReadImage(pid, dest);
+      return Status::OK();
+    }
+    if (attempt >= retry_limit_) return s;
+    Backoff(attempt);
+  }
+}
+
+Status BufferPool::VerifyOrRepair(PageId pid, uint8_t* data) {
+  if (VerifyPageChecksum(data, page_size_)) return Status::OK();
+  stats_.checksum_failures++;
+  if (repair_cb_) {
+    const Status rs = repair_cb_(pid, data);
+    // The callback stamps the rebuilt image, so a successful repair
+    // verifies; re-checking guards against a buggy repairer handing back
+    // bytes that would then be trusted.
+    if (rs.ok() && VerifyPageChecksum(data, page_size_)) {
+      stats_.repairs++;
+      return Status::OK();
+    }
+  }
+  last_corrupt_pid_ = pid;
+  return Status::Corruption("page checksum mismatch");
 }
 
 Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
@@ -88,6 +131,14 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
         }
       }
       disk_->ReadImage(pid, FrameData(fi));
+      if (Status vs = VerifyOrRepair(pid, FrameData(fi)); !vs.ok()) {
+        // No pin was taken yet: give the frame back so the corrupt bytes
+        // cannot be served to a later Get.
+        table_.Erase(pid);
+        frames_[fi] = Frame();
+        free_frames_.push_back(fi);
+        return vs;
+      }
       f.state = FrameState::kLoaded;
       loaded_count_++;
       if (f.prefetched) {
@@ -106,17 +157,17 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
   // Miss: demand fetch.
   stats_.misses++;
   uint32_t fi = 0;
-  if (!AllocFrame(&fi)) {
-    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
-  }
+  DEUTERO_RETURN_NOT_OK(AllocFrame(&fi));
   Frame& f = frames_[fi];
   f.pid = pid;
   f.cls = cls;
   f.prefetched = false;
   table_.Put(pid, fi);
 
-  const double completion = disk_->ScheduleRead(pid, /*sorted=*/false);
-  const double wait = clock_->AdvanceToMs(completion);
+  const double t0 = clock_->NowMs();
+  Status s = ReadPageWithRetry(pid, /*sorted=*/false, FrameData(fi));
+  if (s.ok()) s = VerifyOrRepair(pid, FrameData(fi));
+  const double wait = clock_->NowMs() - t0;
   stats_.stall_count++;
   stats_.stall_ms += wait;
   if (cls == PageClass::kIndex) {
@@ -126,7 +177,12 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
     stats_.data_fetches++;
     stats_.data_stall_ms += wait;
   }
-  disk_->ReadImage(pid, FrameData(fi));
+  if (!s.ok()) {
+    table_.Erase(pid);
+    frames_[fi] = Frame();
+    free_frames_.push_back(fi);
+    return s;
+  }
   f.state = FrameState::kLoaded;
   loaded_count_++;
   f.ref = true;
@@ -140,9 +196,7 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
 Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
   assert(table_.Find(pid) == nullptr);
   uint32_t fi = 0;
-  if (!AllocFrame(&fi)) {
-    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
-  }
+  DEUTERO_RETURN_NOT_OK(AllocFrame(&fi));
   Frame& f = frames_[fi];
   f.pid = pid;
   f.cls = cls;
@@ -211,15 +265,27 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
     fidx.assign(run, 0);
     uint32_t got = 0;
     for (; got < run; got++) {
-      if (!AllocFrame(&fidx[got])) break;
+      if (!AllocFrame(&fidx[got]).ok()) break;
     }
     if (got < run) {
       for (uint32_t k = 0; k < got; k++) free_frames_.push_back(fidx[k]);
       break;
     }
 
-    const double completion =
-        disk_->ScheduleReadRun(want[i], run, /*sorted=*/true);
+    // Issue the run, retrying transient failures like the demand path does.
+    // On exhaustion give the frames back and stop: prefetch is best effort,
+    // and a later demand Get re-reads with its own retry budget.
+    double completion = 0;
+    Status rs;
+    for (uint32_t attempt = 0;; attempt++) {
+      rs = disk_->ScheduleReadRun(want[i], run, /*sorted=*/true, &completion);
+      if (rs.ok() || attempt >= retry_limit_) break;
+      Backoff(attempt);
+    }
+    if (!rs.ok()) {
+      for (uint32_t k = 0; k < run; k++) free_frames_.push_back(fidx[k]);
+      break;
+    }
     for (uint32_t k = 0; k < run; k++) {
       Frame& f = frames_[fidx[k]];
       f.pid = want[i + k];
@@ -249,8 +315,7 @@ Status BufferPool::FlushPage(PageId pid) {
   Frame& f = frames_[*fi];
   if (f.state != FrameState::kLoaded) return Status::Busy("page pending");
   if (!f.dirty) return Status::OK();
-  FlushFrame(*fi, nullptr);
-  return Status::OK();
+  return FlushFrame(*fi, nullptr);
 }
 
 bool BufferPool::Discard(PageId pid) {
@@ -272,7 +337,7 @@ bool BufferPool::Discard(PageId pid) {
   return true;
 }
 
-void BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
+Status BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
   Frame& f = frames_[frame];
   assert(f.state == FrameState::kLoaded && f.dirty);
   PageView view(FrameData(frame), page_size_);
@@ -285,24 +350,35 @@ void BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
     assert(!stable_lsn_ || plsn <= stable_lsn_());
   }
 
-  const double completion = disk_->ScheduleWrite(f.pid, FrameData(frame));
-  clock_->AdvanceToMs(completion);
+  StampPageChecksum(FrameData(frame), page_size_);
+  for (uint32_t attempt = 0;; attempt++) {
+    double completion = 0;
+    const Status s = disk_->ScheduleWrite(f.pid, FrameData(frame),
+                                          &completion);
+    clock_->AdvanceToMs(completion);
+    if (s.ok()) break;
+    // Exhaustion leaves the frame dirty and resident: no durability is
+    // lost, but the caller (checkpoint, eviction) must surface the error.
+    if (attempt >= retry_limit_) return s;
+    Backoff(attempt);
+  }
   f.dirty = false;
   dirty_bits_[frame >> 6] &= ~(uint64_t{1} << (frame & 63));
   dirty_count_--;
   stats_.flushes++;
   if (counter != nullptr) (*counter)++;
   if (callbacks_enabled_ && flush_cb_) flush_cb_(f.pid, plsn);
+  return Status::OK();
 }
 
-uint64_t BufferPool::FlushPhasePages() {
+Status BufferPool::FlushPhasePages(uint64_t* flushed) {
   const bool old_phase = !current_phase_;
   // Frame-ordered bitmap sweep: walk the dirty bitmap word-at-a-time and
   // flush qualifying frames in frame order — no victims vector, no sort.
   // Frame order is deterministic (frame assignment is), which is what the
   // checkpoint contract needs; the elevator ordering a real controller
   // would add is already modeled inside the simulated disk's write cost.
-  uint64_t flushed = 0;
+  uint64_t n = 0;
   for (size_t w = 0; w < dirty_bits_.size(); w++) {
     uint64_t bits = dirty_bits_[w];
     while (bits != 0) {
@@ -312,16 +388,21 @@ uint64_t BufferPool::FlushPhasePages() {
       const Frame& f = frames_[frame];
       if (f.state == FrameState::kLoaded && f.dirty &&
           f.phase == old_phase) {
-        FlushFrame(frame, &stats_.checkpoint_flushes);
-        flushed++;
+        const Status s = FlushFrame(frame, &stats_.checkpoint_flushes);
+        if (!s.ok()) {
+          if (flushed != nullptr) *flushed = n;
+          return s;
+        }
+        n++;
       }
     }
   }
-  return flushed;
+  if (flushed != nullptr) *flushed = n;
+  return Status::OK();
 }
 
-uint64_t BufferPool::FlushAllDirty() {
-  uint64_t flushed = 0;
+Status BufferPool::FlushAllDirty(uint64_t* flushed) {
+  uint64_t n = 0;
   for (size_t w = 0; w < dirty_bits_.size(); w++) {
     uint64_t bits = dirty_bits_[w];
     while (bits != 0) {
@@ -330,12 +411,17 @@ uint64_t BufferPool::FlushAllDirty() {
       bits &= bits - 1;
       const Frame& f = frames_[frame];
       if (f.state == FrameState::kLoaded && f.dirty) {
-        FlushFrame(frame, nullptr);
-        flushed++;
+        const Status s = FlushFrame(frame, nullptr);
+        if (!s.ok()) {
+          if (flushed != nullptr) *flushed = n;
+          return s;
+        }
+        n++;
       }
     }
   }
-  return flushed;
+  if (flushed != nullptr) *flushed = n;
+  return Status::OK();
 }
 
 void BufferPool::CollectDirtyPages(
@@ -349,8 +435,8 @@ void BufferPool::CollectDirtyPages(
   std::sort(out->begin(), out->end());
 }
 
-void BufferPool::LazyWriterTick() {
-  if (dirty_watermark_ == 0) return;
+Status BufferPool::LazyWriterTick() {
+  if (dirty_watermark_ == 0) return Status::OK();
   while (dirty_count_ > dirty_watermark_ && !dirty_fifo_.empty()) {
     const auto [pid, seq] = dirty_fifo_.front();
     dirty_fifo_.pop_front();
@@ -361,21 +447,27 @@ void BufferPool::LazyWriterTick() {
       continue;  // stale entry (flushed and possibly re-dirtied since)
     }
     if (f.pins > 0) continue;  // skip pinned; rare, retried next tick
-    FlushFrame(*fi, &stats_.lazy_flushes);
+    const Status s = FlushFrame(*fi, &stats_.lazy_flushes);
+    if (!s.ok()) {
+      // Keep the page in FIFO order so a later tick retries it.
+      dirty_fifo_.emplace_front(pid, seq);
+      return s;
+    }
   }
+  return Status::OK();
 }
 
-bool BufferPool::AllocFrame(uint32_t* out) {
+Status BufferPool::AllocFrame(uint32_t* out) {
   if (!free_frames_.empty()) {
     *out = free_frames_.back();
     free_frames_.pop_back();
     frames_[*out] = Frame();
-    return true;
+    return Status::OK();
   }
   return EvictSomeFrame(out);
 }
 
-bool BufferPool::EvictSomeFrame(uint32_t* out) {
+Status BufferPool::EvictSomeFrame(uint32_t* out) {
   const uint32_t n = static_cast<uint32_t>(frames_.size());
   uint32_t dirty_candidate = n;  // first evictable dirty frame seen
   // Clock sweep, up to two full turns: prefer a clean unreferenced victim.
@@ -389,6 +481,25 @@ bool BufferPool::EvictSomeFrame(uint32_t* out) {
       // materialize it so the frame becomes a normal (clean, evictable)
       // resident page.
       disk_->ReadImage(f.pid, FrameData(cur));
+      if (!VerifyPageChecksum(FrameData(cur), page_size_)) {
+        // An unclaimed prefetch arrived corrupt. Try in-place repair; if
+        // that fails just drop the mapping and hand the frame out — nobody
+        // holds the page, and a later demand Get re-reads the device and
+        // surfaces (or repairs) the corruption with full error context.
+        stats_.checksum_failures++;
+        const bool repaired = repair_cb_ &&
+                              repair_cb_(f.pid, FrameData(cur)).ok() &&
+                              VerifyPageChecksum(FrameData(cur), page_size_);
+        if (repaired) {
+          stats_.repairs++;
+        } else {
+          if (f.prefetched) stats_.prefetch_wasted++;
+          table_.Erase(f.pid);
+          f = Frame();
+          *out = cur;
+          return Status::OK();
+        }
+      }
       f.state = FrameState::kLoaded;
       loaded_count_++;
     }
@@ -400,16 +511,18 @@ bool BufferPool::EvictSomeFrame(uint32_t* out) {
     if (!f.dirty) {
       EvictFrame(cur);
       *out = cur;
-      return true;
+      return Status::OK();
     }
     if (dirty_candidate == n) dirty_candidate = cur;
   }
-  if (dirty_candidate == n) return false;  // everything pinned or pending
-  FlushFrame(dirty_candidate, nullptr);
+  if (dirty_candidate == n) {
+    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
+  }
+  DEUTERO_RETURN_NOT_OK(FlushFrame(dirty_candidate, nullptr));
   stats_.dirty_evictions++;
   EvictFrame(dirty_candidate);
   *out = dirty_candidate;
-  return true;
+  return Status::OK();
 }
 
 void BufferPool::EvictFrame(uint32_t frame) {

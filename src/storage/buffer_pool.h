@@ -17,6 +17,13 @@
 //  * Prefetch: asynchronous reads; contiguous runs are coalesced into single
 //    batched I/Os (paper App. A); a demand Get on a pending page stalls only
 //    until that I/O's completion time.
+//  * Media-failure handling (PR 7): every read-in verifies the page CRC and
+//    every flush stamps it; transient device errors are retried with
+//    sim-time exponential backoff (io_retry_limit / io_backoff_base_ms in
+//    IoModelOptions); a checksum mismatch invokes the repair callback
+//    (single-page logical redo, recovery/page_repairer.h) and only surfaces
+//    as Status::Corruption when repair is unavailable or fails, with the
+//    offending pid retrievable via TakeCorruptPage().
 #pragma once
 
 #include <cstdint>
@@ -97,12 +104,21 @@ class BufferPool {
     uint64_t lazy_flushes = 0;     ///< Writes issued by the lazy writer.
     uint64_t checkpoint_flushes = 0;
     uint64_t wal_forces = 0;       ///< Log forces triggered by the WAL rule.
+    uint64_t io_retries = 0;       ///< Re-issued reads/writes after IOError.
+    double backoff_ms = 0;         ///< Sim time spent backing off.
+    uint64_t checksum_failures = 0;  ///< Read-ins failing CRC verification.
+    uint64_t repairs = 0;          ///< Corrupt pages rebuilt in place.
   };
 
   using FlushCallback = std::function<void(PageId, Lsn plsn)>;
   using DirtyCallback = std::function<void(PageId, Lsn lsn, bool was_clean)>;
   using WalForceCallback = std::function<void(Lsn required)>;
   using StableLsnProvider = std::function<Lsn()>;
+  /// Rebuild the corrupt page `pid` into `frame_data` (page_size bytes) and
+  /// write the repaired image back to the stable device. MUST NOT re-enter
+  /// the pool: during parallel recovery the callback runs under the pool
+  /// gate (recovery/parallel_redo.h).
+  using RepairCallback = std::function<Status(PageId pid, uint8_t* frame_data)>;
 
   BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
              uint32_t page_size, uint32_t max_batch_pages = 8);
@@ -116,6 +132,7 @@ class BufferPool {
   void set_stable_lsn_provider(StableLsnProvider p) {
     stable_lsn_ = std::move(p);
   }
+  void set_repair_callback(RepairCallback cb) { repair_cb_ = std::move(cb); }
 
   /// Pin `pid`, fetching it (and possibly waiting on a pending prefetch).
   Status Get(PageId pid, PageClass cls, PageHandle* handle);
@@ -146,6 +163,7 @@ class BufferPool {
   uint32_t Prefetch(std::span<const PageId> pids, PageClass cls);
 
   /// Synchronously flush one resident dirty page (respects the WAL rule).
+  /// IOError after retry exhaustion leaves the page dirty and resident.
   Status FlushPage(PageId pid);
 
   /// Drop a resident page from the cache WITHOUT flushing it, even if
@@ -158,15 +176,18 @@ class BufferPool {
   bool Discard(PageId pid);
 
   /// Flush every dirty frame whose checkpoint phase bit equals the phase
-  /// before the most recent FlipCheckpointPhase(). Returns pages flushed.
-  uint64_t FlushPhasePages();
+  /// before the most recent FlipCheckpointPhase(). `*flushed` (optional)
+  /// receives the number of pages flushed before any error; the sweep stops
+  /// at the first frame whose write cannot be retried to success.
+  Status FlushPhasePages(uint64_t* flushed = nullptr);
 
   /// Capture the begin-checkpoint instant: frames dirtied from now on belong
   /// to the new phase and are exempt from the in-progress checkpoint flush.
   void FlipCheckpointPhase() { current_phase_ = !current_phase_; }
 
-  /// Flush all dirty pages regardless of phase (shutdown / tests).
-  uint64_t FlushAllDirty();
+  /// Flush all dirty pages regardless of phase (shutdown / tests). Same
+  /// error contract as FlushPhasePages.
+  Status FlushAllDirty(uint64_t* flushed = nullptr);
 
   /// Runtime DPT capture (ARIES checkpointing, paper §3.1): every dirty
   /// frame's (pid, first-dirty LSN).
@@ -175,7 +196,7 @@ class BufferPool {
 
   /// Lazy writer: flush oldest-dirtied pages while dirty count exceeds the
   /// watermark. No-op when the watermark is 0 (disabled).
-  void LazyWriterTick();
+  Status LazyWriterTick();
 
   void set_dirty_watermark(uint64_t pages) { dirty_watermark_ = pages; }
   uint64_t dirty_watermark() const { return dirty_watermark_; }
@@ -194,6 +215,17 @@ class BufferPool {
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  /// Pid of the most recent unrepaired checksum failure, cleared on read.
+  /// The engine uses this to distinguish media corruption from other
+  /// Corruption statuses (e.g. structural B-tree checks) and to target a
+  /// remote repair before retrying.
+  PageId TakeCorruptPage() {
+    const PageId p = last_corrupt_pid_;
+    last_corrupt_pid_ = kInvalidPageId;
+    return p;
+  }
+  PageId last_corrupt_pid() const { return last_corrupt_pid_; }
 
  private:
   friend class PageHandle;
@@ -221,18 +253,33 @@ class BufferPool {
     return arena_.data() + static_cast<uint64_t>(frame) * page_size_;
   }
 
-  /// Find a frame to (re)use; evicts if necessary. Returns false only if
-  /// every frame is pinned or pending.
-  bool AllocFrame(uint32_t* out);
+  /// Find a frame to (re)use; evicts if necessary. Busy when every frame is
+  /// pinned or pending; a dirty eviction can also surface a write IOError.
+  Status AllocFrame(uint32_t* out);
 
   /// Evict the loaded, unpinned frame chosen by the clock sweep, flushing it
-  /// first if dirty. Clean frames are preferred.
-  bool EvictSomeFrame(uint32_t* out);
+  /// first if dirty. Clean frames are preferred. Same contract as
+  /// AllocFrame.
+  Status EvictSomeFrame(uint32_t* out);
 
   /// Remove a clean, unpinned, loaded frame from the mapping table.
   void EvictFrame(uint32_t frame);
 
-  void FlushFrame(uint32_t frame, uint64_t* counter);
+  /// Stamp the checksum and write the frame out, retrying transient device
+  /// errors with exponential backoff. On success clears the dirty bit and
+  /// fires the flush callback; on exhaustion the frame stays dirty.
+  Status FlushFrame(uint32_t frame, uint64_t* counter);
+
+  /// Demand-read `pid` into `dest` with transient-error retry/backoff; the
+  /// clock ends at the final attempt's completion (plus backoff waits).
+  Status ReadPageWithRetry(PageId pid, bool sorted, uint8_t* dest);
+
+  /// CRC-check freshly read-in bytes; on mismatch attempt callback repair.
+  /// Corruption (and last_corrupt_pid_ set) when unrepairable.
+  Status VerifyOrRepair(PageId pid, uint8_t* data);
+
+  /// Count a retry and advance sim time by base * 2^attempt.
+  void Backoff(uint32_t attempt);
 
   void Unpin(uint32_t frame);
   void MarkDirtyInternal(uint32_t frame, Lsn lsn);
@@ -264,11 +311,15 @@ class BufferPool {
   uint32_t clock_hand_ = 0;
   bool current_phase_ = false;
   bool callbacks_enabled_ = true;
+  uint32_t retry_limit_ = 0;       ///< Extra attempts after the first.
+  double backoff_base_ms_ = 0;     ///< Backoff = base * 2^attempt.
+  PageId last_corrupt_pid_ = kInvalidPageId;
 
   FlushCallback flush_cb_;
   DirtyCallback dirty_cb_;
   WalForceCallback wal_force_cb_;
   StableLsnProvider stable_lsn_;
+  RepairCallback repair_cb_;
 
   Stats stats_;
 };

@@ -73,6 +73,7 @@ void Catalog::WriteTo(SimDisk* disk, uint32_t page_size) const {
     }
   }
   disk->EnsurePages(1);
+  StampPageChecksum(buf.data(), page_size);
   disk->WriteImageDirect(kMetaPageId, buf.data());
 }
 
@@ -82,6 +83,9 @@ Status Catalog::ReadFrom(const SimDisk& disk, uint32_t page_size,
   if (disk.num_pages() == 0) return Status::Corruption("empty device");
   std::vector<uint8_t> buf(page_size);
   disk.ReadImage(kMetaPageId, buf.data());
+  if (!VerifyPageChecksum(buf.data(), page_size)) {
+    return Status::Corruption("catalog page checksum mismatch");
+  }
   PageView page(buf.data(), page_size);
   const char* p = reinterpret_cast<const char*>(page.payload());
   if (DecodeFixed32(p) != kMetaMagic) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/crc32.h"
+
 namespace deutero {
 
 void PageView::Format(PageId pid, PageType type, uint8_t level) {
@@ -12,6 +14,25 @@ void PageView::Format(PageId pid, PageType type, uint8_t level) {
   set_level(level);
   set_num_slots(0);
   set_right_sibling(kInvalidPageId);
+}
+
+uint32_t ComputePageChecksum(const uint8_t* data, uint32_t page_size) {
+  uint32_t crc = Crc32c(data, kPageChecksumOffset);
+  crc = Crc32c(data + kPageChecksumOffset + 4,
+               page_size - kPageChecksumOffset - 4, crc);
+  return crc == 0 ? 1 : crc;
+}
+
+void StampPageChecksum(uint8_t* data, uint32_t page_size) {
+  EncodeFixed32(reinterpret_cast<char*>(data + kPageChecksumOffset),
+                ComputePageChecksum(data, page_size));
+}
+
+bool VerifyPageChecksum(const uint8_t* data, uint32_t page_size) {
+  const uint32_t stored =
+      DecodeFixed32(reinterpret_cast<const char*>(data + kPageChecksumOffset));
+  if (stored == 0) return true;  // legacy: image written before first stamp
+  return stored == ComputePageChecksum(data, page_size);
 }
 
 }  // namespace deutero

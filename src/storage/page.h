@@ -27,9 +27,21 @@ enum class PageType : uint8_t {
 //   [13] u8   level          (0 = leaf; internal nodes are >= 1)
 //   [14] u16  num_slots
 //   [16] u32  right_sibling  (kInvalidPageId if none)
-//   [20] u32  reserved0
+//   [20] u32  checksum       (CRC32C; was reserved0 before PR 7)
 //   [24] u64  reserved1
 inline constexpr uint32_t kPageHeaderSize = 32;
+
+// On-disk format note: the former reserved0 slot now carries a CRC32C of
+// the whole page excluding the slot itself, stamped whenever a page image
+// goes to the stable device (buffer-pool flush, bulk load, catalog persist,
+// repair write-back) and verified on every buffer-pool read-in. The slot
+// was always written as zero before this change, so 0 doubles as the
+// "never stamped" legacy marker: VerifyPageChecksum accepts it (a page
+// image created before its first flush — including every pre-PR 7 image —
+// simply carries no protection), and CheckWellFormed reads through the
+// pool, so legacy pages pass integrity checks unchanged. A computed CRC of
+// exactly 0 is remapped to 1 to keep the marker unambiguous.
+inline constexpr uint32_t kPageChecksumOffset = 20;
 
 /// A typed, non-owning view over one page worth of bytes. The frame memory is
 /// owned by the buffer pool (or a stack buffer in tests).
@@ -76,6 +88,14 @@ class PageView {
     EncodeFixed32(reinterpret_cast<char*>(data_ + 16), pid);
   }
 
+  uint32_t checksum() const {
+    return DecodeFixed32(
+        reinterpret_cast<const char*>(data_ + kPageChecksumOffset));
+  }
+  void set_checksum(uint32_t c) {
+    EncodeFixed32(reinterpret_cast<char*>(data_ + kPageChecksumOffset), c);
+  }
+
   /// Zero the page and initialize the header.
   void Format(PageId pid, PageType type, uint8_t level);
 
@@ -87,6 +107,20 @@ class PageView {
   uint8_t* data_;
   uint32_t page_size_;
 };
+
+/// CRC32C of the page bytes excluding the checksum slot, remapped so it is
+/// never 0 (0 = "never stamped"). Allocation-free: two chained Crc32c calls
+/// over the raw buffer — safe on the buffer-pool read-in hot path.
+uint32_t ComputePageChecksum(const uint8_t* data, uint32_t page_size);
+
+/// Stamp the checksum slot. Call immediately before a page image goes to
+/// the stable device; a cached copy legitimately goes stale the moment the
+/// page is re-dirtied, so in-memory frames carry no validity guarantee.
+void StampPageChecksum(uint8_t* data, uint32_t page_size);
+
+/// True when the stored checksum matches — or is the legacy 0 marker (page
+/// image never stamped; see the format note above).
+bool VerifyPageChecksum(const uint8_t* data, uint32_t page_size);
 
 // Meta page payload layout (offsets relative to payload()):
 //   [0]  u32 magic

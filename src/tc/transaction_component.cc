@@ -58,7 +58,7 @@ Status TransactionComponent::Update(TxnId txn, TableId table, Key key,
   t->ops++;
 
   DEUTERO_RETURN_NOT_OK(dc_->ApplyUpdate(table, pid, key, value, lsn));
-  dc_->Tick();
+  DEUTERO_RETURN_NOT_OK(dc_->Tick());
   stats_.updates++;
   return Status::OK();
 }
@@ -100,7 +100,7 @@ Status TransactionComponent::Insert(TxnId txn, TableId table, Key key,
   t->ops++;
 
   DEUTERO_RETURN_NOT_OK(dc_->ApplyInsert(table, pid, key, value, lsn));
-  dc_->Tick();
+  DEUTERO_RETURN_NOT_OK(dc_->Tick());
   stats_.inserts++;
   return Status::OK();
 }
@@ -133,7 +133,7 @@ Status TransactionComponent::Delete(TxnId txn, TableId table, Key key) {
   bool underfull = false;
   DEUTERO_RETURN_NOT_OK(dc_->ApplyDelete(table, pid, key, lsn, &underfull));
   if (underfull) DEUTERO_RETURN_NOT_OK(dc_->MaybeMergeLeaf(table, key));
-  dc_->Tick();
+  DEUTERO_RETURN_NOT_OK(dc_->Tick());
   stats_.deletes++;
   return Status::OK();
 }

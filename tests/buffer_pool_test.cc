@@ -173,7 +173,9 @@ TEST_F(BufferPoolTest, CheckpointPhaseFlushesOnlyOldPhase) {
   ASSERT_TRUE(pool_.Get(2, PageClass::kData, &b).ok());
   b.MarkDirty(11);  // dirtied during the checkpoint: exempt
   b.Release();
-  EXPECT_EQ(pool_.FlushPhasePages(), 1u);
+  uint64_t flushed = 0;
+  ASSERT_TRUE(pool_.FlushPhasePages(&flushed).ok());
+  EXPECT_EQ(flushed, 1u);
   EXPECT_EQ(pool_.dirty_pages(), 1u);  // page 2 still dirty
   EXPECT_FALSE(pool_.IsLoaded(1) && false);  // page 1 still resident, clean
 }
@@ -186,7 +188,9 @@ TEST_F(BufferPoolTest, PageDirtyBeforeBckptKeepsOldPhaseDespiteLaterUpdate) {
   a.MarkDirty(12);  // updated again during the checkpoint
   a.Release();
   // SQL semantics (§3.2): first-dirtied before bCkpt => flushed.
-  EXPECT_EQ(pool_.FlushPhasePages(), 1u);
+  uint64_t flushed = 0;
+  ASSERT_TRUE(pool_.FlushPhasePages(&flushed).ok());
+  EXPECT_EQ(flushed, 1u);
   EXPECT_EQ(pool_.dirty_pages(), 0u);
 }
 
@@ -200,7 +204,7 @@ TEST_F(BufferPoolTest, LazyWriterFlushesOldestFirst) {
     h.MarkDirty(pid * 10);
   }
   EXPECT_EQ(pool_.dirty_pages(), 4u);
-  pool_.LazyWriterTick();
+  ASSERT_TRUE(pool_.LazyWriterTick().ok());
   EXPECT_EQ(pool_.dirty_pages(), 2u);
   ASSERT_EQ(flush_order.size(), 2u);
   EXPECT_EQ(flush_order[0], 1u);  // oldest-dirtied first
@@ -221,7 +225,7 @@ TEST_F(BufferPoolTest, LazyWriterSkipsStaleFifoEntries) {
   h3.MarkDirty(7);
   h2.Release();
   h3.Release();
-  pool_.LazyWriterTick();
+  ASSERT_TRUE(pool_.LazyWriterTick().ok());
   EXPECT_EQ(pool_.dirty_pages(), 1u);
   EXPECT_FALSE(pool_.IsLoaded(2) && pool_.dirty_pages() == 2);
 }
@@ -321,6 +325,176 @@ TEST_F(BufferPoolTest, CallbacksCanBeDisabled) {
   ASSERT_TRUE(pool_.FlushPage(4).ok());
   EXPECT_EQ(dirty_calls, 0);
   EXPECT_EQ(flush_calls, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Media failures (PR 7): checksum stamping/verification, transient-error
+// retry with backoff, and the repair-callback path.
+// ---------------------------------------------------------------------------
+
+TEST_F(BufferPoolTest, FlushStampsChecksumAndReadVerifiesIt) {
+  // The fixture seeds pages via WriteImageDirect without stamping, so the
+  // stored checksum is the legacy 0 marker.
+  PageView before(const_cast<uint8_t*>(disk_.ImageData(4)), kPageSize);
+  EXPECT_EQ(before.checksum(), 0u);
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.view().payload()[1] = 0xAB;
+  h.MarkDirty(42);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(4).ok());
+  // The flushed image carries a real (non-zero) CRC that verifies.
+  PageView after(const_cast<uint8_t*>(disk_.ImageData(4)), kPageSize);
+  EXPECT_NE(after.checksum(), 0u);
+  EXPECT_TRUE(VerifyPageChecksum(disk_.ImageData(4), kPageSize));
+  // And a fresh read-in of the stamped page passes verification.
+  pool_.Reset();
+  PageHandle h2;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h2).ok());
+  EXPECT_EQ(h2.view().payload()[1], 0xAB);
+  EXPECT_EQ(pool_.stats().checksum_failures, 0u);
+}
+
+TEST_F(BufferPoolTest, LegacyZeroChecksumIsAccepted) {
+  // Unstamped seed pages (checksum slot 0) read in without complaint.
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(7, PageClass::kData, &h).ok());
+  EXPECT_EQ(pool_.stats().checksum_failures, 0u);
+}
+
+TEST_F(BufferPoolTest, CorruptReadSurfacesCorruptionAndRecordsPid) {
+  // Stamp page 5 so corruption is detectable, then flip a payload bit.
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(5, PageClass::kData, &h).ok());
+  h.MarkDirty(11);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(5).ok());
+  pool_.Reset();
+  disk_.CorruptStableByteForTest(5, kPageHeaderSize + 3, 0x10);
+  PageHandle h2;
+  EXPECT_TRUE(pool_.Get(5, PageClass::kData, &h2).IsCorruption());
+  EXPECT_EQ(pool_.stats().checksum_failures, 1u);
+  EXPECT_EQ(pool_.last_corrupt_pid(), 5u);
+  EXPECT_EQ(pool_.TakeCorruptPage(), 5u);
+  EXPECT_EQ(pool_.TakeCorruptPage(), kInvalidPageId);  // cleared on read
+  // The failed Get left no half-loaded frame behind: the pool still works.
+  PageHandle h3;
+  ASSERT_TRUE(pool_.Get(6, PageClass::kData, &h3).ok());
+}
+
+TEST_F(BufferPoolTest, RepairCallbackRebuildsCorruptPage) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(5, PageClass::kData, &h).ok());
+  h.MarkDirty(11);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(5).ok());
+  pool_.Reset();
+  disk_.CorruptStableByteForTest(5, kPageHeaderSize + 3, 0x10);
+  // Repair = undo the known flip in place and restore the stable image,
+  // exactly the PageRepairer contract (frame fixed + device fixed).
+  pool_.set_repair_callback([this](PageId pid, uint8_t* frame_data) {
+    frame_data[kPageHeaderSize + 3] ^= 0x10;
+    disk_.WriteImageDirect(pid, frame_data);
+    return Status::OK();
+  });
+  PageHandle h2;
+  ASSERT_TRUE(pool_.Get(5, PageClass::kData, &h2).ok());
+  EXPECT_EQ(h2.view().payload()[0], 5);
+  EXPECT_EQ(pool_.stats().checksum_failures, 1u);
+  EXPECT_EQ(pool_.stats().repairs, 1u);
+  EXPECT_EQ(pool_.last_corrupt_pid(), kInvalidPageId);
+}
+
+class BufferPoolFaultTest : public ::testing::Test {
+ protected:
+  static IoModelOptions FaultyIo(double read_rate, double write_rate) {
+    IoModelOptions io;
+    io.faults.seed = 20110807;
+    io.faults.read_error_rate = read_rate;
+    io.faults.write_error_rate = write_rate;
+    io.faults.max_failure_burst = 2;
+    // Defaults: io_retry_limit = 4 extra attempts, 0.5 ms backoff base.
+    return io;
+  }
+
+  BufferPoolFaultTest(double read_rate, double write_rate)
+      : disk_(&clock_, kPageSize, FaultyIo(read_rate, write_rate)),
+        pool_(&clock_, &disk_, /*capacity=*/8, kPageSize) {
+    disk_.EnsurePages(64);
+    std::vector<uint8_t> buf(kPageSize, 0);
+    for (PageId pid = 0; pid < 64; pid++) {
+      PageView p(buf.data(), kPageSize);
+      p.Format(pid, PageType::kLeaf, 0);
+      p.payload()[0] = static_cast<uint8_t>(pid);
+      disk_.WriteImageDirect(pid, buf.data());
+    }
+  }
+
+  SimClock clock_;
+  SimDisk disk_;
+  BufferPool pool_;
+};
+
+class BufferPoolTransientReadTest : public BufferPoolFaultTest {
+ protected:
+  BufferPoolTransientReadTest() : BufferPoolFaultTest(0.5, 0.0) {}
+};
+
+TEST_F(BufferPoolTransientReadTest, RetriesWithBackoffUntilSuccess) {
+  // At a 50% error rate most Gets succeed after in-pool retries; a rare
+  // chain of independent triggers can still outlast the 4-attempt budget,
+  // in which case the Get surfaces IOError (never a wrong page).
+  uint32_t ok = 0, io_errors = 0;
+  for (PageId pid = 0; pid < 32; pid++) {
+    PageHandle h;
+    const Status s = pool_.Get(pid, PageClass::kData, &h);
+    if (s.ok()) {
+      ok++;
+      EXPECT_EQ(h.view().payload()[0], static_cast<uint8_t>(pid));
+    } else {
+      ASSERT_TRUE(s.IsIOError()) << "pid " << pid << ": " << s.ToString();
+      io_errors++;
+    }
+  }
+  EXPECT_GT(ok, 16u);  // deterministic for this seed; most reads make it
+  EXPECT_GT(pool_.stats().io_retries, io_errors * 4);  // real retry traffic
+  EXPECT_GT(pool_.stats().backoff_ms, 0.0);
+  EXPECT_GT(disk_.injector().stats().read_errors, 0u);
+}
+
+class BufferPoolReadExhaustionTest : public BufferPoolFaultTest {
+ protected:
+  BufferPoolReadExhaustionTest() : BufferPoolFaultTest(1.0, 0.0) {}
+};
+
+TEST_F(BufferPoolReadExhaustionTest, ExhaustedRetriesSurfaceIOError) {
+  // rate 1.0: every attempt fails, so the retry budget runs out.
+  PageHandle h;
+  EXPECT_TRUE(pool_.Get(3, PageClass::kData, &h).IsIOError());
+  EXPECT_FALSE(pool_.IsResidentOrPending(3));  // no stuck frame
+  EXPECT_EQ(pool_.stats().io_retries, 4u);     // the full budget
+  EXPECT_GT(pool_.stats().backoff_ms, 0.0);
+}
+
+class BufferPoolWriteExhaustionTest : public BufferPoolFaultTest {
+ protected:
+  BufferPoolWriteExhaustionTest() : BufferPoolFaultTest(0.0, 1.0) {}
+};
+
+TEST_F(BufferPoolWriteExhaustionTest, FailedFlushLeavesPageDirty) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(4, PageClass::kData, &h).ok());
+  h.view().payload()[1] = 0xCD;
+  h.MarkDirty(50);
+  h.Release();
+  EXPECT_TRUE(pool_.FlushPage(4).IsIOError());
+  EXPECT_EQ(pool_.dirty_pages(), 1u);  // still dirty: retryable later
+  EXPECT_EQ(disk_.ImageData(4)[kPageHeaderSize + 1], 0u);  // image untouched
+  // FlushAllDirty reports the same failure rather than losing the page.
+  uint64_t flushed = 0;
+  EXPECT_TRUE(pool_.FlushAllDirty(&flushed).IsIOError());
+  EXPECT_EQ(flushed, 0u);
+  EXPECT_EQ(pool_.dirty_pages(), 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -393,6 +393,35 @@ TEST(BufferPoolAllocTest, ResidentGetIsAllocationFree) {
   EXPECT_EQ(allocs, 0u) << "buffer-pool hits are allocating";
 }
 
+TEST(BufferPoolAllocTest, ChecksumVerifyOnReadInIsAllocationFree) {
+  // Every miss CRCs the whole page (PR 7); the verify must run in the
+  // frame arena with zero heap traffic, or large scans would churn.
+  SimClock clock;
+  SimDisk disk(&clock, 256, IoModelOptions{});
+  disk.EnsurePages(256);
+  alignas(8) uint8_t buf[256] = {};
+  for (PageId pid = 0; pid < 256; pid++) {
+    PageView p(buf, 256);
+    p.Format(pid, PageType::kLeaf, 0);
+    StampPageChecksum(buf, 256);  // real CRC, not the legacy 0 marker
+    disk.WriteImageDirect(pid, buf);
+  }
+  BufferPool pool(&clock, &disk, /*capacity=*/16, /*page_size=*/256);
+  // Warm-up lap: settles frame arena, page table, clean-eviction sweep.
+  for (PageId pid = 0; pid < 64; pid++) {
+    PageHandle h;
+    ASSERT_TRUE(pool.Get(pid, PageClass::kData, &h).ok());
+  }
+  const uint64_t allocs = CountAllocs([&] {
+    for (PageId pid = 64; pid < 256; pid++) {
+      PageHandle h;
+      (void)pool.Get(pid, PageClass::kData, &h);  // miss: read + CRC verify
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "checksum verification allocates on read-in";
+  EXPECT_EQ(pool.stats().checksum_failures, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // The prefetch path: BufferPool::Prefetch and both recovery prefetchers
 // reuse member scratch — a steady pump stream performs zero allocations.
