@@ -1,0 +1,140 @@
+// Group-commit sweep: client threads x commit window, reporting the number
+// the batcher exists to move — physical log forces PER COMMIT.
+//
+// Every cell opens a fresh engine, runs N real client threads through the
+// concurrent front end (sharded locks, atomic log reservation) until a
+// fixed number of acknowledged commits, and reads EngineStats. With the
+// batcher off (window 0, max_batch 1) every commit forces the log itself:
+// flushes/commit ~= 1. With a window, concurrent committers share one
+// force, so flushes/commit drops toward 1/batch — the win grows with the
+// thread count, which is the paper's "cores are abundant" thesis applied
+// to the forward path. Each cell ends with a full oracle verification, so
+// the sweep cannot trade durability bookkeeping for speed silently.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "workload/concurrent_driver.h"
+
+using namespace deutero;         // NOLINT
+using namespace deutero::bench;  // NOLINT
+
+namespace {
+
+struct Cell {
+  double wall_ms = 0;
+  double commits_per_sec = 0;
+  uint64_t commits = 0;
+  uint64_t batches = 0;
+  uint64_t flushes = 0;
+  double flushes_per_commit = 0;
+  bool verified = false;
+};
+
+Status RunCell(const BenchScale& scale, uint32_t threads, uint32_t window_us,
+               uint64_t commits, Cell* out) {
+  EngineOptions o;
+  o.page_size = 1024;
+  o.value_size = 26;
+  o.num_rows = std::min<uint64_t>(scale.num_rows, 50'000);
+  o.cache_pages = scale.cache_sweep.back();
+  o.lazy_writer_reference_cache_pages = scale.reference_cache;
+  o.checkpoint_interval_updates = scale.checkpoint_interval;
+  o.lock_shards = 16;
+  if (window_us == 0) {
+    o.group_commit_max_batch = 1;  // batcher off: one force per commit
+  } else {
+    o.group_commit_window_us = window_us;
+    o.group_commit_max_batch = 64;
+  }
+  std::unique_ptr<Engine> e;
+  DEUTERO_RETURN_NOT_OK(Engine::Open(o, &e));
+  const uint64_t flushes_before = e->Stats().log_flushes;
+
+  ConcurrentWorkloadConfig wc;
+  wc.threads = threads;
+  wc.ops_per_txn = 4;
+  wc.read_fraction = 0.0;  // pure commit pressure
+  wc.seed = 7 + threads * 131 + window_us;
+  ConcurrentDriver driver(e.get(), wc);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  DEUTERO_RETURN_NOT_OK(driver.RunUntilAcked(commits));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const EngineStats s = e->Stats();
+  out->wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out->commits = driver.acked_commits();
+  out->batches = s.commit_batches;
+  out->flushes = s.log_flushes - flushes_before;
+  out->flushes_per_commit =
+      out->commits > 0 ? static_cast<double>(out->flushes) / out->commits : 0;
+  out->commits_per_sec =
+      out->wall_ms > 0 ? out->commits / (out->wall_ms / 1000.0) : 0;
+
+  uint64_t checked = 0, seen = 0;
+  out->verified = driver.Verify(e.get(), &checked).ok() &&
+                  driver.VerifyScan(e.get(), &seen).ok() &&
+                  seen == driver.ExpectedRows();
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchScale scale = ScaleFromArgs(argc, argv);
+
+  const uint32_t threads[] = {1, 2, 4, 8};
+  const uint32_t windows_us[] = {0, 200, 1000};
+  const uint64_t commits =
+      std::min<uint64_t>(std::max<uint64_t>(scale.num_rows / 100, 200), 2000);
+
+  std::printf("=== Group commit: flushes per commit vs client threads x "
+              "window (%llu commits per cell) ===\n\n",
+              (unsigned long long)commits);
+  std::printf("%-8s %-10s %10s %10s %10s %14s %14s\n", "threads", "window",
+              "commits", "batches", "flushes", "flushes/commit",
+              "commits/s");
+
+  bool all_verified = true;
+  bool batching_won = true;
+  for (uint32_t t : threads) {
+    double off_fpc = 0;
+    for (uint32_t w : windows_us) {
+      Cell cell;
+      const Status st = RunCell(scale, t, w, commits, &cell);
+      if (!st.ok()) {
+        std::fprintf(stderr, "FAILED threads=%u window=%u: %s\n", t, w,
+                     st.ToString().c_str());
+        return 1;
+      }
+      all_verified = all_verified && cell.verified;
+      if (w == 0) {
+        off_fpc = cell.flushes_per_commit;
+      } else if (t > 1 && cell.flushes_per_commit >= off_fpc) {
+        batching_won = false;
+      }
+      char window_label[16];
+      std::snprintf(window_label, sizeof(window_label), w == 0 ? "off" : "%uus",
+                    w);
+      std::printf("%-8u %-10s %10llu %10llu %10llu %14.3f %14.0f%s\n", t,
+                  window_label, (unsigned long long)cell.commits,
+                  (unsigned long long)cell.batches,
+                  (unsigned long long)cell.flushes, cell.flushes_per_commit,
+                  cell.commits_per_sec,
+                  cell.verified ? "" : "  [VERIFY FAILED]");
+      std::fflush(stdout);
+    }
+  }
+  if (!all_verified) {
+    std::fprintf(stderr, "\nVERIFY FAILED: oracle mismatch after a cell\n");
+    return 1;
+  }
+  if (!batching_won) {
+    std::fprintf(stderr, "\nWARNING: batching did not reduce flushes/commit "
+                         "for every multi-threaded cell\n");
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
 #include "storage/page_table.h"
+#include "workload/concurrent_driver.h"
 #include "workload/driver.h"
 
 namespace deutero {
@@ -492,6 +493,58 @@ void BM_ParallelRedo(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelRedo)
     ->ArgsProduct({{1, 2, 4}, {0, 1, 2}})  // append / zipf / merge churn
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Commit throughput through the concurrent front end: N real client
+// threads, 4 updates per txn, durability acknowledged via group commit.
+// Args: {client threads, batcher on}. The `flushes_per_commit` counter is
+// the group-commit win (batcher off: ~1; on, multi-threaded: ~1/batch) —
+// this is the number fig_group_commit sweeps in full.
+void BM_ConcurrentCommit(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  const bool batcher = state.range(1) != 0;
+  EngineOptions o = MicroOptions();
+  o.lock_shards = 16;
+  if (batcher) {
+    o.group_commit_window_us = 200;
+    o.group_commit_max_batch = 64;
+  } else {
+    o.group_commit_max_batch = 1;  // one log force per commit
+  }
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(o, &e);
+  const uint64_t flushes_before = e->Stats().log_flushes;
+
+  ConcurrentWorkloadConfig wc;
+  wc.threads = threads;
+  wc.ops_per_txn = 4;
+  wc.read_fraction = 0.0;
+  wc.seed = 11 + threads;
+  ConcurrentDriver driver(e.get(), wc);
+  driver.Start();
+  constexpr uint64_t kCommitsPerIter = 100;
+  for (auto _ : state) {
+    const uint64_t target = driver.acked_commits() + kCommitsPerIter;
+    const auto t0 = std::chrono::steady_clock::now();
+    driver.WaitForAcked(target);
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(
+        std::chrono::duration<double>(t1 - t0).count());
+  }
+  driver.StopAndJoin();
+  const EngineStats s = e->Stats();
+  const uint64_t commits = driver.acked_commits();
+  state.counters["flushes_per_commit"] = benchmark::Counter(
+      commits > 0
+          ? static_cast<double>(s.log_flushes - flushes_before) / commits
+          : 0);
+  state.counters["commit_batches"] =
+      benchmark::Counter(static_cast<double>(s.commit_batches));
+  state.SetItemsProcessed(state.iterations() * kCommitsPerIter);
+}
+BENCHMARK(BM_ConcurrentCommit)
+    ->ArgsProduct({{1, 4}, {0, 1}})  // client threads / batcher off-on
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

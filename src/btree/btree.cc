@@ -162,7 +162,7 @@ Status BTree::BulkLoad(uint64_t num_rows,
 }
 
 Status BTree::Find(Key key, PageId* leaf_pid) {
-  stats_.traversals++;
+  stats_.traversals.fetch_add(1, std::memory_order_relaxed);
   PageId pid = root_pid_;
   while (true) {
     clock_->AdvanceUs(cpu_per_level_us_);
@@ -189,7 +189,7 @@ Status BTree::Find(Key key, PageId* leaf_pid) {
 
 Status BTree::FindRanged(Key key, PageId* leaf_pid, Key* lo, Key* hi,
                          bool* bounded) {
-  stats_.traversals++;
+  stats_.traversals.fetch_add(1, std::memory_order_relaxed);
   Key cur_lo = 0;
   Key cur_hi = 0;
   bool cur_bounded = false;
@@ -422,7 +422,7 @@ Status BTree::NewScan(Key lo, Key hi, ScanCursor* out) {
 }
 
 Status BTree::PrepareInsert(Key key, PageId* leaf_pid) {
-  stats_.traversals++;
+  stats_.traversals.fetch_add(1, std::memory_order_relaxed);
   PageHandle h;
   DEUTERO_RETURN_NOT_OK(pool_->Get(root_pid_, PageClass::kIndex, &h));
   clock_->AdvanceUs(cpu_per_level_us_);

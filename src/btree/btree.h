@@ -24,6 +24,7 @@
 // freshly allocated children, so the catalog never changes on the hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -140,7 +141,10 @@ class ScanCursor {
 class BTree {
  public:
   struct Stats {
-    uint64_t traversals = 0;
+    /// Atomic: Find() runs from concurrent reader threads (the engine's
+    /// shared forward gate); every other counter is written only under
+    /// exclusive contexts. Relaxed — it is a counter, not a fence.
+    std::atomic<uint64_t> traversals{0};
     uint64_t splits = 0;
     uint64_t root_splits = 0;
     uint64_t merges = 0;

@@ -128,6 +128,12 @@ struct IoModelOptions {
   /// Exhaustion surfaces the IOError to the caller.
   uint32_t io_retry_limit = 4;
   double io_backoff_base_ms = 0.5;
+
+  /// Simulated cost of one log force (the fsync a commit or group-commit
+  /// batch pays), charged whenever a Flush actually advances the stable
+  /// prefix. Default 0 keeps every pre-existing timing bit-exact; benches
+  /// set it so group commit's batched-fsync win shows up in sim-time.
+  double log_force_ms = 0.0;
 };
 
 /// Test-only fault injection points (used by crash tests).
@@ -199,6 +205,24 @@ struct EngineOptions {
   /// shards and stats, and a drain barrier around SMO/DDL records. Values
   /// are clamped to [1, 64] at engine open.
   uint32_t recovery_threads = 1;
+
+  // ---- concurrent front end (PR 8) ----
+  /// Group commit: when enabled, a committing transaction appends its
+  /// commit record, releases its locks, and enqueues a durability request;
+  /// one batcher thread forces the log once per window — as soon as
+  /// group_commit_max_batch commits are waiting, or at latest
+  /// group_commit_window_us of real time after the first waiter arrived —
+  /// then wakes every waiter whose commit LSN the stable prefix covers.
+  /// max_batch <= 1 (default) disables the pipeline entirely: commits
+  /// force the log themselves and no batcher thread exists, preserving
+  /// the historical serial behavior bit-exactly.
+  uint32_t group_commit_window_us = 200;
+  uint32_t group_commit_max_batch = 1;
+  /// Lock-manager shards (hash(table, key) -> shard); clamped to [1, 256]
+  /// at engine open.
+  uint32_t lock_shards = 16;
+
+  bool GroupCommitEnabled() const { return group_commit_max_batch > 1; }
 
   // ---- logical redo ----
   /// Memoize the last (table, leaf) of logical redo's index traversal and

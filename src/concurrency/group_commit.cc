@@ -1,0 +1,150 @@
+#include "concurrency/group_commit.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace deutero {
+
+GroupCommit::GroupCommit(FlushFn flush, StableFn stable, uint32_t window_us,
+                         uint32_t max_batch)
+    : flush_(std::move(flush)),
+      stable_(std::move(stable)),
+      window_us_(window_us),
+      max_batch_(std::max<uint32_t>(1, max_batch)) {}
+
+GroupCommit::~GroupCommit() { Stop(); }
+
+void GroupCommit::Start() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (running_) return;
+  stop_ = false;
+  crashed_ = false;
+  running_ = true;
+  lk.unlock();
+  thread_ = std::thread([this] { BatcherLoop(); });
+}
+
+void GroupCommit::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    stop_ = true;
+    batcher_cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+void GroupCommit::CrashHalt() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) return;
+    crashed_ = true;
+    stop_ = true;
+    // Fail every pending waiter: their commits were never acknowledged.
+    for (Waiter& w : waiters_) {
+      if (w.in_use && !w.done) {
+        w.done = true;
+        w.failed = true;
+      }
+    }
+    pending_ = 0;
+    batcher_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+}
+
+size_t GroupCommit::WakeCovered(Lsn stable) {
+  size_t woken = 0;
+  for (Waiter& w : waiters_) {
+    if (w.in_use && !w.done && w.target <= stable) {
+      w.done = true;
+      woken++;
+    }
+  }
+  pending_ -= woken;
+  if (woken > 0) done_cv_.notify_all();
+  return woken;
+}
+
+Status GroupCommit::WaitDurable(Lsn durable_point) {
+  std::unique_lock<std::mutex> lk(mu_);
+  stats_.enqueued++;
+  if (stable_() >= durable_point) {
+    stats_.fast_path++;
+    return Status::OK();  // a previous batch already covered us
+  }
+  if (crashed_ || stop_ || !running_) {
+    return Status::Aborted("commit not durable: engine crashed");
+  }
+  Waiter* w = nullptr;
+  for (;;) {
+    auto it = std::find_if(waiters_.begin(), waiters_.end(),
+                           [](const Waiter& c) { return !c.in_use; });
+    if (it != waiters_.end()) {
+      w = &*it;
+      break;
+    }
+    done_cv_.wait(lk);  // pool exhausted: wait for a slot to free
+  }
+  w->in_use = true;
+  w->done = false;
+  w->failed = false;
+  w->target = durable_point;
+  pending_++;
+  batcher_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return w->done; });
+  const bool failed = w->failed;
+  w->in_use = false;
+  done_cv_.notify_all();  // a claimant may be waiting for a free slot
+  return failed ? Status::Aborted("commit not durable: engine crashed")
+                : Status::OK();
+}
+
+void GroupCommit::BatcherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    batcher_cv_.wait(lk, [&] { return pending_ > 0 || stop_; });
+    if (pending_ == 0 && stop_) return;  // CrashHalt cleared pending_
+    // A batch opens with the first waiter: collect more until the size
+    // bound hits or the window expires (Stop() closes it immediately so
+    // shutdown drains without the window latency).
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(window_us_);
+    bool size_trig = pending_ >= max_batch_;
+    while (!stop_ && !size_trig) {
+      if (batcher_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        break;
+      }
+      size_trig = pending_ >= max_batch_;
+    }
+    if (crashed_) continue;  // loop back: pending_ is 0, stop_ set -> exit
+    const size_t batch_size = pending_;
+    lk.unlock();
+    const Lsn stable = flush_();  // takes the engine's write gate
+    lk.lock();
+    if (crashed_) continue;
+    stats_.batches++;
+    if (size_trig) {
+      stats_.size_triggered++;
+    } else {
+      stats_.window_triggered++;
+    }
+    stats_.max_batch_seen = std::max<uint64_t>(stats_.max_batch_seen,
+                                               batch_size);
+    WakeCovered(stable);
+    // Waiters that enqueued during the flush with a higher target simply
+    // seed the next batch.
+  }
+}
+
+GroupCommit::Stats GroupCommit::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace deutero

@@ -1,0 +1,196 @@
+#include "concurrency/sharded_lock_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace deutero {
+
+namespace {
+/// Backstop for an older requester's block: wait-die guarantees the
+/// waits-for graph is acyclic, so in a live system every wait ends when
+/// the holder commits or aborts — the timeout only fires if a holder is
+/// wedged (e.g. a test leaves a transaction open), and surfaces as Busy
+/// so the caller aborts instead of hanging.
+constexpr std::chrono::milliseconds kMaxLockWait{2000};
+}  // namespace
+
+ShardedLockManager::ShardedLockManager(uint32_t shards) {
+  if (shards < 1) shards = 1;
+  if (shards > 256) shards = 256;
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedLockManager::TxnLocks* ShardedLockManager::FindTxn(Shard& s,
+                                                          TxnId txn) {
+  for (TxnLocks& t : s.by_txn) {
+    if (t.txn == txn) return &t;
+  }
+  return nullptr;
+}
+
+void ShardedLockManager::RecordHeld(Shard& s, TxnId txn, const LockId& id) {
+  TxnLocks* slot = FindTxn(s, txn);
+  if (slot == nullptr) slot = FindTxn(s, kInvalidTxnId);  // recycle
+  if (slot == nullptr) {
+    s.by_txn.emplace_back();
+    slot = &s.by_txn.back();
+  }
+  slot->txn = txn;
+  slot->ids.push_back(id);
+}
+
+Status ShardedLockManager::Acquire(TxnId txn, TableId table, Key key,
+                                   LockMode mode) {
+  Shard& s = ShardFor(table, key);
+  std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    lk.lock();
+    s.stats.lock_shard_collisions++;
+  }
+  const LockId id{table, key};
+  std::chrono::steady_clock::time_point deadline{};
+  bool waited = false;
+  for (;;) {
+    LockState& st = s.locks[id];
+    if (st.holders.empty()) {  // fresh or pooled (released) entry
+      st.mode = mode;
+      st.holders.push_back(txn);
+      s.held_entries++;
+      RecordHeld(s, txn, id);
+      s.stats.acquires++;
+      return Status::OK();
+    }
+    const bool already =
+        std::find(st.holders.begin(), st.holders.end(), txn) !=
+        st.holders.end();
+    if (already) {
+      if (st.mode == LockMode::kShared && mode == LockMode::kExclusive) {
+        if (st.holders.size() == 1) {
+          st.mode = LockMode::kExclusive;  // upgrade, sole holder
+          s.stats.acquires++;
+          return Status::OK();
+        }
+        // Upgrade blocked by co-holders: fall through to wait-die.
+      } else {
+        s.stats.acquires++;
+        return Status::OK();  // re-acquire
+      }
+    } else if (st.mode == LockMode::kShared && mode == LockMode::kShared) {
+      st.holders.push_back(txn);
+      RecordHeld(s, txn, id);
+      s.stats.acquires++;
+      return Status::OK();
+    }
+    // Wait-die: wait only if this requester is older than EVERY conflicting
+    // holder (all wait edges point old -> young, so no cycle can form);
+    // otherwise die immediately.
+    TxnId oldest_other = kInvalidTxnId;
+    bool have_other = false;
+    for (TxnId h : st.holders) {
+      if (h == txn) continue;
+      if (!have_other || h < oldest_other) {
+        oldest_other = h;
+        have_other = true;
+      }
+    }
+    if (have_other && txn >= oldest_other) {
+      s.stats.wait_die_aborts++;
+      return Status::Busy("wait-die: younger lock requester aborts");
+    }
+    if (!waited) {
+      waited = true;
+      s.stats.lock_waits++;
+      deadline = std::chrono::steady_clock::now() + kMaxLockWait;
+    }
+    if (s.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      s.stats.wait_timeouts++;
+      return Status::Busy("lock wait timed out");
+    }
+    // Holders changed (or spurious wake): re-evaluate from scratch — the
+    // map reference may have been invalidated by a rehash while unlocked.
+  }
+}
+
+void ShardedLockManager::ReleaseAll(TxnId txn) {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    TxnLocks* slot = FindTxn(s, txn);
+    if (slot == nullptr) continue;
+    bool released_any = false;
+    for (const LockId& id : slot->ids) {
+      auto lit = s.locks.find(id);
+      if (lit == s.locks.end()) continue;
+      auto& holders = lit->second.holders;
+      holders.erase(std::remove(holders.begin(), holders.end(), txn),
+                    holders.end());
+      // Pool the entry: an empty holder list marks it free for reuse
+      // without giving back the node or the vector capacity.
+      if (holders.empty()) s.held_entries--;
+      released_any = true;
+    }
+    slot->txn = kInvalidTxnId;
+    slot->ids.clear();
+    if (released_any) s.cv.notify_all();
+  }
+}
+
+void ShardedLockManager::Reset() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.locks.clear();
+    s.by_txn.clear();
+    s.held_entries = 0;
+    s.cv.notify_all();
+  }
+}
+
+bool ShardedLockManager::Holds(TxnId txn, TableId table, Key key) const {
+  const Shard& s = ShardFor(table, key);
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.locks.find(LockId{table, key});
+  if (it == s.locks.end()) return false;
+  const auto& holders = it->second.holders;
+  return std::find(holders.begin(), holders.end(), txn) != holders.end();
+}
+
+size_t ShardedLockManager::held_by(TxnId txn) const {
+  size_t n = 0;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    const TxnLocks* slot = FindTxn(s, txn);
+    if (slot != nullptr) n += slot->ids.size();
+  }
+  return n;
+}
+
+size_t ShardedLockManager::total_locks() const {
+  size_t n = 0;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.held_entries;
+  }
+  return n;
+}
+
+ShardedLockManager::Stats ShardedLockManager::StatsSnapshot() const {
+  Stats out;
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    out.acquires += s.stats.acquires;
+    out.lock_waits += s.stats.lock_waits;
+    out.lock_shard_collisions += s.stats.lock_shard_collisions;
+    out.wait_die_aborts += s.stats.wait_die_aborts;
+    out.wait_timeouts += s.stats.wait_timeouts;
+  }
+  return out;
+}
+
+}  // namespace deutero

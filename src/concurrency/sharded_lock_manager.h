@@ -1,0 +1,115 @@
+// Sharded logical lock manager (PR 8) — the multi-threaded replacement for
+// the single-tenant tc/lock_manager. Locks are still on (table, key) —
+// never on pages, which the TC cannot name (paper §1.1) — but the table is
+// split into hash(table, key) → N shards, each with its own mutex,
+// condition variable, and pooled entry storage, so disjoint key traffic
+// from concurrent client threads never contends on one latch.
+//
+// Blocking and deadlock safety: conflicts resolve by wait-die on TxnId
+// (lower id = older transaction). An older requester blocks on the shard's
+// condition variable until the conflicting holders release (bounded by a
+// wait timeout as a belt-and-braces backstop); a younger requester "dies"
+// immediately with Status::Busy and is expected to abort and retry. Since
+// every wait edge points old → young, the waits-for graph is acyclic and
+// deadlock is impossible by construction.
+//
+// Allocation behaviour matches the serial manager: entries and
+// per-transaction lock lists are pooled per shard, so a steady-state
+// Acquire/ReleaseAll cycle over previously-seen keys performs zero heap
+// allocations.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace deutero {
+
+class ShardedLockManager {
+ public:
+  enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+  /// Contention counters, summed over shards by StatsSnapshot() and
+  /// surfaced through EngineStats so benches can report contention.
+  struct Stats {
+    uint64_t acquires = 0;    ///< Successful grants (incl. re-acquires).
+    uint64_t lock_waits = 0;  ///< Conflicts where the (older) requester
+                              ///< blocked for a holder to release.
+    uint64_t lock_shard_collisions = 0;  ///< Shard latch contended at entry.
+    uint64_t wait_die_aborts = 0;  ///< Younger requesters killed (Busy).
+    uint64_t wait_timeouts = 0;    ///< Waits abandoned at the backstop.
+  };
+
+  explicit ShardedLockManager(uint32_t shards = 16);
+
+  /// Acquire a lock. Grants immediately when compatible; on conflict an
+  /// older requester blocks until the holders release, a younger one
+  /// returns Busy at once (wait-die). Safe to call from many threads, but
+  /// never while holding the engine's forward gate — a blocked waiter
+  /// under the gate would stall the very holder that must release.
+  Status Acquire(TxnId txn, TableId table, Key key, LockMode mode);
+
+  /// Release everything held by `txn` (commit/abort) and wake waiters.
+  void ReleaseAll(TxnId txn);
+
+  /// Drop all state (crash — logical locks are volatile).
+  void Reset();
+
+  bool Holds(TxnId txn, TableId table, Key key) const;
+  size_t held_by(TxnId txn) const;
+  /// Number of (table, key) entries currently held by some transaction.
+  size_t total_locks() const;
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  Stats StatsSnapshot() const;
+
+ private:
+  struct LockId {
+    TableId table;
+    Key key;
+    bool operator==(const LockId&) const = default;
+  };
+  struct LockIdHash {
+    size_t operator()(const LockId& id) const {
+      // 64-bit mix of table and key (same mix as the serial manager).
+      uint64_t h = id.key * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<uint64_t>(id.table) << 32) + id.table;
+      h ^= h >> 29;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct LockState {
+    LockMode mode = LockMode::kShared;
+    std::vector<TxnId> holders;  ///< 1 holder if exclusive; >=1 if shared.
+  };
+  /// Per-transaction lock list, scoped to one shard. Slots are recycled
+  /// (txn == kInvalidTxnId marks a free slot with retained capacity).
+  struct TxnLocks {
+    TxnId txn = kInvalidTxnId;
+    std::vector<LockId> ids;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockId, LockState, LockIdHash> locks;
+    std::vector<TxnLocks> by_txn;
+    size_t held_entries = 0;
+    Stats stats;
+  };
+
+  Shard& ShardFor(TableId table, Key key) const {
+    return *shards_[LockIdHash{}(LockId{table, key}) % shards_.size()];
+  }
+  static TxnLocks* FindTxn(Shard& s, TxnId txn);
+  static void RecordHeld(Shard& s, TxnId txn, const LockId& id);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace deutero

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/value_codec.h"
@@ -15,6 +17,8 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
   // 1; the upper clamp bounds thread/queue footprint on absurd inputs.
   if (options_.recovery_threads == 0) options_.recovery_threads = 1;
   if (options_.recovery_threads > 64) options_.recovery_threads = 64;
+  if (options_.lock_shards == 0) options_.lock_shards = 1;
+  if (options_.lock_shards > 256) options_.lock_shards = 256;
   log_ = std::make_unique<LogManager>(&clock_, options_.log_page_size,
                                       options_.io.log_page_read_ms);
   dc_ = std::make_unique<DataComponent>(&clock_, log_.get(), options_);
@@ -32,6 +36,18 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
   if (options_.media_archive) {
     dc_->set_catalog_persisted([this] { repairer_->CaptureArchive(); });
   }
+  if (options_.GroupCommitEnabled()) {
+    group_commit_ = std::make_unique<GroupCommit>(
+        /*flush=*/[this] {
+          // The batcher is the one thread forcing the log on behalf of a
+          // whole batch; it takes the write gate like any appender.
+          std::unique_lock<std::shared_mutex> g(forward_mu_);
+          tc_->ForceLog();
+          return log_->stable_end();
+        },
+        /*stable=*/[this] { return log_->stable_end(); },
+        options_.group_commit_window_us, options_.group_commit_max_batch);
+  }
 }
 
 Status Engine::Open(const EngineOptions& options,
@@ -42,11 +58,13 @@ Status Engine::Open(const EngineOptions& options,
       [vsize](Key key, uint8_t* dst) { SynthesizeValue(key, 0, vsize, dst); }));
   e->running_ = true;
   DEUTERO_RETURN_NOT_OK(e->tc_->Checkpoint());
+  if (e->group_commit_) e->group_commit_->Start();
   *out = std::move(e);
   return Status::OK();
 }
 
 Status Engine::CreateTable(TableId table, uint32_t value_size) {
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -54,6 +72,7 @@ Status Engine::CreateTable(TableId table, uint32_t value_size) {
 }
 
 Status Engine::OpenTable(TableId table, Table* out) {
+  std::shared_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   BTree* tree = dc_->FindTable(table);
   if (tree == nullptr) return Status::NotFound("unknown table");
@@ -62,6 +81,7 @@ Status Engine::OpenTable(TableId table, Table* out) {
 }
 
 Status Engine::Begin(Txn* txn) {
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -72,7 +92,7 @@ Status Engine::Begin(Txn* txn) {
 }
 
 Status Engine::Apply(const Table& table, const WriteBatch& batch) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
+  // No gate here: Begin and every per-op backend take it themselves.
   if (!table.valid()) return Status::InvalidArgument("invalid table handle");
   if (table.engine_ != this) {
     return Status::InvalidArgument("table handle from a different engine");
@@ -92,6 +112,15 @@ Status Engine::Read(Key key, std::string* value) {
 }
 
 Status Engine::Read(TableId table, Key key, std::string* value) {
+  {
+    std::shared_lock<std::shared_mutex> g(forward_mu_);
+    if (!running_) return Status::InvalidArgument("engine is crashed");
+    const Status s = tc_->Read(kInvalidTxnId, table, key, value);
+    if (!s.IsCorruption()) return s;
+  }
+  // Media path: page repair mutates the pool and possibly degraded_, so
+  // re-run the read under the write gate.
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   Status s = tc_->Read(kInvalidTxnId, table, key, value);
   if (s.IsCorruption()) {
@@ -102,6 +131,13 @@ Status Engine::Read(TableId table, Key key, std::string* value) {
 }
 
 Status Engine::Scan(TableId table, Key lo, Key hi, ScanCursor* out) {
+  {
+    std::shared_lock<std::shared_mutex> g(forward_mu_);
+    if (!running_) return Status::InvalidArgument("engine is crashed");
+    const Status s = dc_->Scan(table, lo, hi, out);
+    if (!s.IsCorruption()) return s;
+  }
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   Status s = dc_->Scan(table, lo, hi, out);
   if (s.IsCorruption()) {
@@ -125,33 +161,83 @@ Status Engine::TryRemoteRepair(const Status& failure) {
 
 // ---- handle-API backends ----
 
+// Each write backend pre-acquires its logical lock OUTSIDE the gate (a
+// blocked waiter must not hold the gate its lock holder needs to commit),
+// then performs the logged operation under the exclusive gate; the TC's
+// own acquire re-grants instantly. If the gated operation rejects the
+// transaction (unknown/crashed), the pre-acquired lock is dropped so
+// nothing leaks.
+
 Status Engine::TxnUpdate(TxnId txn, TableId table, Key key, Slice value) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Update(txn, table, key, value);
+  DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  if (!running_) {
+    tc_->ReleaseLocksIfInactive(txn);
+    return Status::InvalidArgument("engine is crashed");
+  }
+  const Status st = tc_->Update(txn, table, key, value);
+  if (st.IsInvalidArgument()) tc_->ReleaseLocksIfInactive(txn);
+  return st;
 }
 
 Status Engine::TxnInsert(TxnId txn, TableId table, Key key, Slice value) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Insert(txn, table, key, value);
+  DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  if (!running_) {
+    tc_->ReleaseLocksIfInactive(txn);
+    return Status::InvalidArgument("engine is crashed");
+  }
+  const Status st = tc_->Insert(txn, table, key, value);
+  if (st.IsInvalidArgument()) tc_->ReleaseLocksIfInactive(txn);
+  return st;
 }
 
 Status Engine::TxnDelete(TxnId txn, TableId table, Key key) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
-  return tc_->Delete(txn, table, key);
+  DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  if (!running_) {
+    tc_->ReleaseLocksIfInactive(txn);
+    return Status::InvalidArgument("engine is crashed");
+  }
+  const Status st = tc_->Delete(txn, table, key);
+  if (st.IsInvalidArgument()) tc_->ReleaseLocksIfInactive(txn);
+  return st;
 }
 
 Status Engine::TxnRead(TxnId txn, TableId table, Key key,
                        std::string* value) {
-  if (!running_) return Status::InvalidArgument("engine is crashed");
+  if (txn != kInvalidTxnId) {
+    DEUTERO_RETURN_NOT_OK(
+        tc_->AcquireLock(txn, table, key, /*exclusive=*/false));
+  }
+  std::shared_lock<std::shared_mutex> g(forward_mu_);
+  if (!running_) {
+    if (txn != kInvalidTxnId) tc_->ReleaseLocksIfInactive(txn);
+    return Status::InvalidArgument("engine is crashed");
+  }
   return tc_->Read(txn, table, key, value);
 }
 
 Status Engine::TxnCommit(TxnId txn) {
+  if (group_commit_) {
+    // Group-commit path: append the commit record and release locks under
+    // the gate, then wait for durability OUTSIDE it so the batcher can
+    // amortize one force over the whole batch.
+    Lsn durable = kInvalidLsn;
+    {
+      std::unique_lock<std::shared_mutex> g(forward_mu_);
+      if (!running_) return Status::InvalidArgument("engine is crashed");
+      DEUTERO_RETURN_NOT_OK(tc_->CommitRequest(txn, &durable));
+    }
+    return group_commit_->WaitDurable(durable);
+  }
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Commit(txn);
 }
 
 Status Engine::TxnAbort(TxnId txn) {
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Abort(txn);
 }
@@ -159,6 +245,7 @@ Status Engine::TxnAbort(TxnId txn) {
 // ---- deprecated raw-TxnId shims ----
 
 Status Engine::Begin(TxnId* txn) {
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -188,11 +275,19 @@ Status Engine::Abort(TxnId txn) { return TxnAbort(txn); }
 // ---- checkpoint / crash / recovery ----
 
 Status Engine::Checkpoint(uint64_t* pages_flushed) {
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Checkpoint(pages_flushed);
 }
 
 void Engine::SimulateCrash() {
+  // Halt the batcher BEFORE taking the gate: its flush callback takes the
+  // gate, so joining it underneath would deadlock. Pending committers fail
+  // with Aborted — their commits were never acknowledged, and after
+  // recovery they may legitimately be present or absent (the oracle
+  // treats them as uncertain).
+  if (group_commit_) group_commit_->CrashHalt();
+  std::unique_lock<std::shared_mutex> g(forward_mu_);
   log_->Crash();
   dc_->SimulateCrash();
   tc_->SimulateCrash();
@@ -211,6 +306,7 @@ Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
     if (s.ok()) {
       running_ = true;
       degraded_ = false;
+      if (group_commit_) group_commit_->Start();
       return Status::OK();
     }
     if (!s.IsCorruption() && !s.IsIOError()) return s;
@@ -228,8 +324,28 @@ Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
   // reach may serve pre-crash versions — degraded means best-effort.
   running_ = true;
   degraded_ = true;
+  if (group_commit_) group_commit_->Start();  // invariant: batcher iff running
   return Status::Degraded("unrepairable media corruption during recovery: " +
                           s.ToString());
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats s;
+  const ShardedLockManager::Stats ls = tc_->locks().StatsSnapshot();
+  s.lock_acquires = ls.acquires;
+  s.lock_waits = ls.lock_waits;
+  s.lock_shard_collisions = ls.lock_shard_collisions;
+  s.wait_die_aborts = ls.wait_die_aborts;
+  if (group_commit_) {
+    const GroupCommit::Stats gs = group_commit_->stats();
+    s.commits_enqueued = gs.enqueued;
+    s.commit_batches = gs.batches;
+  }
+  s.log_flushes = log_->StatsSnapshot().flushes;
+  const TransactionComponent::Stats& ts = tc_->stats();
+  s.committed = ts.committed;
+  s.aborted = ts.aborted;
+  return s;
 }
 
 Status Engine::TakeStableSnapshot(StableSnapshot* out) const {

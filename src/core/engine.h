@@ -28,12 +28,14 @@
 #pragma once
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/options.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "concurrency/group_commit.h"
 #include "core/txn.h"
 #include "dc/data_component.h"
 #include "recovery/page_repairer.h"
@@ -43,6 +45,21 @@
 #include "wal/log_manager.h"
 
 namespace deutero {
+
+/// One-stop counters for the concurrent front end, aggregated across the
+/// lock manager, the group-commit pipeline, and the log. Snapshot values;
+/// safe to call from any thread.
+struct EngineStats {
+  uint64_t lock_acquires = 0;
+  uint64_t lock_waits = 0;            ///< acquires that blocked at least once
+  uint64_t lock_shard_collisions = 0; ///< shard mutex was contended on entry
+  uint64_t wait_die_aborts = 0;       ///< younger requester killed (wait-die)
+  uint64_t commits_enqueued = 0;      ///< durability waits through group commit
+  uint64_t commit_batches = 0;        ///< flushes issued by the batcher
+  uint64_t log_flushes = 0;           ///< physical log forces (all paths)
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+};
 
 class Engine {
  public:
@@ -151,6 +168,9 @@ class Engine {
   /// Reinstall a crash image. Engine must be crashed.
   Status RestoreStableSnapshot(const StableSnapshot& snap);
 
+  /// Aggregated concurrency counters (lock manager + group commit + log).
+  EngineStats Stats() const;
+
   // ---- component access (tests, experiments, examples) ----
   TransactionComponent& tc() { return *tc_; }
   DataComponent& dc() { return *dc_; }
@@ -186,6 +206,19 @@ class Engine {
   bool running_ = false;
   bool read_only_ = false;
   bool degraded_ = false;
+
+  /// Forward-path gate. Writes, commits, aborts, checkpoints, DDL, crash,
+  /// and media repair hold it exclusively; Read/Scan/TxnRead hold it
+  /// shared, so concurrent readers run in parallel against the (sharded)
+  /// buffer pool while log-appending work is serialized — log order must
+  /// equal apply order for page LSNs and delta records to be meaningful.
+  /// Lock waits never happen under the gate: Txn operations pre-acquire
+  /// their logical lock OUTSIDE it (a blocked waiter must not hold the
+  /// gate its lock holder needs in order to commit and release).
+  mutable std::shared_mutex forward_mu_;
+  /// Declared last so the batcher thread (which calls back into the
+  /// engine) is stopped and destroyed before any component it touches.
+  std::unique_ptr<GroupCommit> group_commit_;
 };
 
 }  // namespace deutero

@@ -40,7 +40,7 @@ DataComponent::DataComponent(SimClock* clock, LogManager* log,
                                        opts.page_size,
                                        opts.io.max_batch_pages);
   monitor_ = std::make_unique<DirtyPageMonitor>(log_, opts);
-  monitor_->set_elsn_provider([this] { return elsn_; });
+  monitor_->set_elsn_provider([this] { return elsn(); });
 
   pool_->set_dirty_callback([this](PageId pid, Lsn lsn, bool /*was_clean*/) {
     monitor_->OnPageDirtied(pid, lsn);
@@ -48,7 +48,7 @@ DataComponent::DataComponent(SimClock* clock, LogManager* log,
   pool_->set_flush_callback([this](PageId pid, Lsn plsn) {
     monitor_->OnPageFlushed(pid, plsn);
   });
-  pool_->set_stable_lsn_provider([this] { return elsn_; });
+  pool_->set_stable_lsn_provider([this] { return elsn(); });
   pool_->set_dirty_watermark(ComputeDirtyWatermark(opts));
 }
 

@@ -20,6 +20,7 @@
 // operations identified by key and stamps pages with the TC-supplied LSN.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -114,8 +115,16 @@ class DataComponent {
   // ---- control operations (paper §4.1) ----
 
   /// EOSL: operations with LSN <= elsn are on the TC's stable log.
-  void Eosl(Lsn elsn) { elsn_ = elsn < elsn_ ? elsn_ : elsn; }
-  Lsn elsn() const { return elsn_; }
+  /// CAS-max because reader threads reach here too: a shared-gate read
+  /// that evicts a dirty page runs the WAL-force hook, which refreshes
+  /// the eLSN concurrently with other forces.
+  void Eosl(Lsn elsn) {
+    Lsn cur = elsn_.load(std::memory_order_relaxed);
+    while (elsn > cur && !elsn_.compare_exchange_weak(
+                             cur, elsn, std::memory_order_relaxed)) {
+    }
+  }
+  Lsn elsn() const { return elsn_.load(std::memory_order_relaxed); }
 
   /// RSSP: flush all pages dirtied by operations with LSN <= rssp_lsn
   /// (penultimate-checkpoint bit-flip flush), then log the RSSP ack.
@@ -227,7 +236,7 @@ class DataComponent {
   std::map<TableId, std::unique_ptr<BTree>> tables_;
   std::unique_ptr<DirtyPageMonitor> monitor_;
   std::function<void()> catalog_persisted_;
-  Lsn elsn_ = kInvalidLsn;
+  std::atomic<Lsn> elsn_{kInvalidLsn};
   bool row_count_tracking_ = true;
 };
 

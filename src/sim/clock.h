@@ -2,9 +2,14 @@
 // I/O latencies, CPU charges, recovery pass durations — is simulated
 // milliseconds on this clock, which makes experiments deterministic and
 // hardware independent (DESIGN.md §2).
+//
+// Thread safety: the counter is atomic (CAS loops) so concurrent readers
+// under the engine's shared gate — e.g. B-tree traversals charging
+// per-level CPU — are race-free. Single-threaded arithmetic is unchanged,
+// keeping all serial timings bit-exact.
 #pragma once
 
-#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 namespace deutero {
@@ -14,11 +19,16 @@ class SimClock {
   SimClock() = default;
 
   /// Current simulated time in milliseconds.
-  double NowMs() const { return now_ms_; }
+  double NowMs() const { return now_ms_.load(std::memory_order_relaxed); }
 
   /// Advance the clock by `ms` (must be >= 0).
   void AdvanceMs(double ms) {
-    if (ms > 0) now_ms_ += ms;
+    if (ms > 0) {
+      double cur = now_ms_.load(std::memory_order_relaxed);
+      while (!now_ms_.compare_exchange_weak(cur, cur + ms,
+                                            std::memory_order_relaxed)) {
+      }
+    }
   }
 
   /// Advance the clock by `us` microseconds.
@@ -27,20 +37,22 @@ class SimClock {
   /// Move the clock forward to `t_ms` if it is in the future; no-op if the
   /// clock is already past it. Returns the wait incurred (>= 0).
   double AdvanceToMs(double t_ms) {
-    const double wait = t_ms - now_ms_;
-    if (wait > 0) {
-      now_ms_ = t_ms;
-      return wait;
+    double cur = now_ms_.load(std::memory_order_relaxed);
+    while (cur < t_ms) {
+      if (now_ms_.compare_exchange_weak(cur, t_ms,
+                                        std::memory_order_relaxed)) {
+        return t_ms - cur;
+      }
     }
     return 0.0;
   }
 
   /// Reset to time zero. Used when a crash ends an epoch: recovery time is
   /// measured from a fresh origin.
-  void Reset() { now_ms_ = 0.0; }
+  void Reset() { now_ms_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double now_ms_ = 0.0;
+  std::atomic<double> now_ms_{0.0};
 };
 
 }  // namespace deutero

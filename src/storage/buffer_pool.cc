@@ -40,7 +40,7 @@ void PageHandle::MarkDirty(Lsn lsn) {
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(frame_, pid_);
     pool_ = nullptr;
   }
 }
@@ -56,10 +56,10 @@ BufferPool::BufferPool(SimClock* clock, SimDisk* disk, uint64_t capacity_pages,
       capacity_(capacity_pages),
       page_size_(page_size),
       max_batch_pages_(max_batch_pages),
-      table_(capacity_pages),
       retry_limit_(disk->io_options().io_retry_limit),
       backoff_base_ms_(disk->io_options().io_backoff_base_ms) {
   assert(capacity_ > 0);
+  for (auto& sp : shards_) sp = std::make_unique<TableShard>(capacity_pages);
   arena_.resize(capacity_ * static_cast<uint64_t>(page_size_));
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
@@ -111,41 +111,89 @@ Status BufferPool::VerifyOrRepair(PageId pid, uint8_t* data) {
 }
 
 Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
-  stats_.gets++;
-  if (const uint32_t* entry = table_.Find(pid)) {
-    const uint32_t fi = *entry;
-    Frame& f = frames_[fi];
-    if (f.state == FrameState::kLoaded) {
-      stats_.hits++;
-    } else {
-      // Pending prefetch: wait for its I/O completion, then deliver.
+  // Hit fast path: one shard latch, no pool-wide synchronization.
+  TableShard& sh = ShardFor(pid);
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.gets++;
+    if (const uint32_t* entry = sh.table.Find(pid)) {
+      const uint32_t fi = *entry;
+      Frame& f = frames_[fi];
+      if (f.state == FrameState::kLoaded) {
+        sh.hits++;
+        f.ref = true;
+        f.cls = cls;
+        if (f.pins == 0) pinned_count_++;
+        f.pins++;
+        *handle = PageHandle(this, fi, pid);
+        return Status::OK();
+      }
+      // Pending prefetch: claim it on the structural path below.
+    }
+  }
+  return GetSlow(pid, cls, handle);
+}
+
+Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  TableShard& sh = ShardFor(pid);
+  uint32_t fi = 0;
+  bool pending = false;
+  {
+    // Re-check under the latch: a racing GetSlow may have loaded the page
+    // between our fast-path miss and acquiring miss_mu_.
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (const uint32_t* entry = sh.table.Find(pid)) {
+      fi = *entry;
+      Frame& f = frames_[fi];
+      if (f.state == FrameState::kLoaded) {
+        sh.hits++;
+        f.ref = true;
+        f.cls = cls;
+        if (f.pins == 0) pinned_count_++;
+        f.pins++;
+        *handle = PageHandle(this, fi, pid);
+        return Status::OK();
+      }
       assert(f.state == FrameState::kPending);
-      const double wait = clock_->AdvanceToMs(f.ready_at_ms);
-      if (wait > 0) {
-        stats_.stall_count++;
-        stats_.stall_ms += wait;
-        if (f.cls == PageClass::kIndex) {
-          stats_.index_stall_ms += wait;
-        } else {
-          stats_.data_stall_ms += wait;
-        }
-      }
-      disk_->ReadImage(pid, FrameData(fi));
-      if (Status vs = VerifyOrRepair(pid, FrameData(fi)); !vs.ok()) {
-        // No pin was taken yet: give the frame back so the corrupt bytes
-        // cannot be served to a later Get.
-        table_.Erase(pid);
-        frames_[fi] = Frame();
-        free_frames_.push_back(fi);
-        return vs;
-      }
-      f.state = FrameState::kLoaded;
-      loaded_count_++;
-      if (f.prefetched) {
-        stats_.prefetch_used++;
-        f.prefetched = false;
+      pending = true;
+    }
+  }
+
+  if (pending) {
+    // Pending prefetch: wait for its I/O completion, then deliver. The
+    // frame stays kPending while we read, so no hit path can grab it;
+    // other claimants serialize on miss_mu_.
+    Frame& f = frames_[fi];
+    const double wait = clock_->AdvanceToMs(f.ready_at_ms);
+    if (wait > 0) {
+      stats_.stall_count++;
+      stats_.stall_ms += wait;
+      if (f.cls == PageClass::kIndex) {
+        stats_.index_stall_ms += wait;
+      } else {
+        stats_.data_stall_ms += wait;
       }
     }
+    disk_->ReadImage(pid, FrameData(fi));
+    if (Status vs = VerifyOrRepair(pid, FrameData(fi)); !vs.ok()) {
+      // No pin was taken yet: give the frame back so the corrupt bytes
+      // cannot be served to a later Get.
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.table.Erase(pid);
+      }
+      frames_[fi] = Frame();
+      free_frames_.push_back(fi);
+      return vs;
+    }
+    if (f.prefetched) {
+      stats_.prefetch_used++;
+      f.prefetched = false;
+    }
+    std::lock_guard<std::mutex> lk(sh.mu);
+    f.state = FrameState::kLoaded;
+    loaded_count_++;
     f.ref = true;
     f.cls = cls;
     if (f.pins == 0) pinned_count_++;
@@ -156,13 +204,17 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
 
   // Miss: demand fetch.
   stats_.misses++;
-  uint32_t fi = 0;
   DEUTERO_RETURN_NOT_OK(AllocFrame(&fi));
   Frame& f = frames_[fi];
   f.pid = pid;
   f.cls = cls;
   f.prefetched = false;
-  table_.Put(pid, fi);
+  {
+    // Publish the mapping while still kEmpty: a fast-path hit that finds
+    // it simply falls through to GetSlow and waits on miss_mu_.
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.table.Put(pid, fi);
+  }
 
   const double t0 = clock_->NowMs();
   Status s = ReadPageWithRetry(pid, /*sorted=*/false, FrameData(fi));
@@ -178,15 +230,19 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
     stats_.data_stall_ms += wait;
   }
   if (!s.ok()) {
-    table_.Erase(pid);
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.table.Erase(pid);
+    }
     frames_[fi] = Frame();
     free_frames_.push_back(fi);
     return s;
   }
+  f.dirty = false;
+  std::lock_guard<std::mutex> lk(sh.mu);
   f.state = FrameState::kLoaded;
   loaded_count_++;
   f.ref = true;
-  f.dirty = false;
   if (f.pins == 0) pinned_count_++;
   f.pins++;
   *handle = PageHandle(this, fi, pid);
@@ -194,16 +250,19 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
-  assert(table_.Find(pid) == nullptr);
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  TableShard& sh = ShardFor(pid);
   uint32_t fi = 0;
   DEUTERO_RETURN_NOT_OK(AllocFrame(&fi));
   Frame& f = frames_[fi];
   f.pid = pid;
   f.cls = cls;
+  std::memset(FrameData(fi), 0, page_size_);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  assert(sh.table.Find(pid) == nullptr);
+  sh.table.Put(pid, fi);
   f.state = FrameState::kLoaded;
   f.ref = true;
-  std::memset(FrameData(fi), 0, page_size_);
-  table_.Put(pid, fi);
   loaded_count_++;
   if (f.pins == 0) pinned_count_++;
   f.pins++;
@@ -212,21 +271,29 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 uint32_t BufferPool::PinCount(PageId pid) const {
-  const uint32_t* fi = table_.Find(pid);
+  TableShard& sh = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const uint32_t* fi = sh.table.Find(pid);
   return fi == nullptr ? 0 : frames_[*fi].pins;
 }
 
 bool BufferPool::IsResidentOrPending(PageId pid) const {
-  return table_.Find(pid) != nullptr;
+  TableShard& sh = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  return sh.table.Find(pid) != nullptr;
 }
 
 bool BufferPool::IsLoaded(PageId pid) const {
-  const uint32_t* fi = table_.Find(pid);
+  TableShard& sh = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const uint32_t* fi = sh.table.Find(pid);
   return fi != nullptr && frames_[*fi].state == FrameState::kLoaded;
 }
 
 bool BufferPool::HasArrived(PageId pid) const {
-  const uint32_t* fi = table_.Find(pid);
+  TableShard& sh = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const uint32_t* fi = sh.table.Find(pid);
   if (fi == nullptr) return false;
   const Frame& f = frames_[*fi];
   if (f.state == FrameState::kLoaded) return true;
@@ -235,6 +302,7 @@ bool BufferPool::HasArrived(PageId pid) const {
 }
 
 uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   // Deduplicate and drop already-cached pages. Member scratch: a pump-driven
   // prefetch stream performs no per-call heap allocation.
   std::vector<PageId>& want = prefetch_want_;
@@ -295,7 +363,11 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
       f.dirty = false;
       f.ref = false;
       f.cls = cls;
-      table_.Put(f.pid, fidx[k]);
+      // Fields are set BEFORE the mapping publishes: a latched reader can
+      // only find the frame once it is a fully-formed pending entry.
+      TableShard& sh = ShardFor(f.pid);
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.table.Put(f.pid, fidx[k]);
     }
     issued += run;
     stats_.prefetch_issued += run;
@@ -310,27 +382,44 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
 }
 
 Status BufferPool::FlushPage(PageId pid) {
-  const uint32_t* fi = table_.Find(pid);
-  if (fi == nullptr) return Status::NotFound("page not resident");
-  Frame& f = frames_[*fi];
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  TableShard& sh = ShardFor(pid);
+  uint32_t fi = 0;
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    const uint32_t* entry = sh.table.Find(pid);
+    if (entry == nullptr) return Status::NotFound("page not resident");
+    fi = *entry;
+  }
+  Frame& f = frames_[fi];
   if (f.state != FrameState::kLoaded) return Status::Busy("page pending");
   if (!f.dirty) return Status::OK();
-  return FlushFrame(*fi, nullptr);
+  return FlushFrame(fi, nullptr);
 }
 
 bool BufferPool::Discard(PageId pid) {
-  const uint32_t* entry = table_.Find(pid);
-  if (entry == nullptr) return false;
-  const uint32_t fi = *entry;
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  TableShard& sh = ShardFor(pid);
+  uint32_t fi = 0;
+  {
+    // The pins check and the unmap must be one latched step, or a hit
+    // could pin the page in between.
+    std::lock_guard<std::mutex> lk(sh.mu);
+    const uint32_t* entry = sh.table.Find(pid);
+    if (entry == nullptr) return false;
+    fi = *entry;
+    Frame& f = frames_[fi];
+    if (f.state != FrameState::kLoaded || f.pins > 0) return false;
+    sh.table.Erase(pid);
+  }
+  // Unmapped: the frame is now private to this miss_mu_ holder.
   Frame& f = frames_[fi];
-  if (f.state != FrameState::kLoaded || f.pins > 0) return false;
   if (f.dirty) {
     f.dirty = false;
     dirty_bits_[fi >> 6] &= ~(uint64_t{1} << (fi & 63));
     dirty_count_--;
     // Stale dirty_fifo_ entries are skipped by the seq check on pop.
   }
-  table_.Erase(f.pid);
   loaded_count_--;
   f = Frame();
   free_frames_.push_back(fi);
@@ -372,6 +461,7 @@ Status BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
 }
 
 Status BufferPool::FlushPhasePages(uint64_t* flushed) {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   const bool old_phase = !current_phase_;
   // Frame-ordered bitmap sweep: walk the dirty bitmap word-at-a-time and
   // flush qualifying frames in frame order — no victims vector, no sort.
@@ -402,6 +492,7 @@ Status BufferPool::FlushPhasePages(uint64_t* flushed) {
 }
 
 Status BufferPool::FlushAllDirty(uint64_t* flushed) {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   uint64_t n = 0;
   for (size_t w = 0; w < dirty_bits_.size(); w++) {
     uint64_t bits = dirty_bits_[w];
@@ -426,6 +517,7 @@ Status BufferPool::FlushAllDirty(uint64_t* flushed) {
 
 void BufferPool::CollectDirtyPages(
     std::vector<std::pair<PageId, Lsn>>* out) const {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   out->clear();
   for (const Frame& f : frames_) {
     if (f.state == FrameState::kLoaded && f.dirty) {
@@ -437,17 +529,24 @@ void BufferPool::CollectDirtyPages(
 
 Status BufferPool::LazyWriterTick() {
   if (dirty_watermark_ == 0) return Status::OK();
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   while (dirty_count_ > dirty_watermark_ && !dirty_fifo_.empty()) {
     const auto [pid, seq] = dirty_fifo_.front();
     dirty_fifo_.pop_front();
-    const uint32_t* fi = table_.Find(pid);
-    if (fi == nullptr) continue;  // evicted since
-    Frame& f = frames_[*fi];
+    TableShard& sh = ShardFor(pid);
+    uint32_t fi = 0;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      const uint32_t* entry = sh.table.Find(pid);
+      if (entry == nullptr) continue;  // evicted since
+      fi = *entry;
+      if (frames_[fi].pins > 0) continue;  // skip pinned; retried next tick
+    }
+    Frame& f = frames_[fi];
     if (f.state != FrameState::kLoaded || !f.dirty || f.dirty_seq != seq) {
       continue;  // stale entry (flushed and possibly re-dirtied since)
     }
-    if (f.pins > 0) continue;  // skip pinned; rare, retried next tick
-    const Status s = FlushFrame(*fi, &stats_.lazy_flushes);
+    const Status s = FlushFrame(fi, &stats_.lazy_flushes);
     if (!s.ok()) {
       // Keep the page in FIFO order so a later tick retries it.
       dirty_fifo_.emplace_front(pid, seq);
@@ -468,74 +567,108 @@ Status BufferPool::AllocFrame(uint32_t* out) {
 }
 
 Status BufferPool::EvictSomeFrame(uint32_t* out) {
+  // Caller holds miss_mu_: frame identity (pid/state/ready_at_ms) is
+  // stable across the sweep. The hit-mutable fields (pins, ref) and the
+  // unmap itself are handled under the victim's shard latch so a
+  // concurrent hit can never pin a page mid-eviction.
   const uint32_t n = static_cast<uint32_t>(frames_.size());
-  uint32_t dirty_candidate = n;  // first evictable dirty frame seen
-  // Clock sweep, up to two full turns: prefer a clean unreferenced victim.
-  for (uint32_t step = 0; step < 2 * n; step++) {
-    Frame& f = frames_[clock_hand_];
-    const uint32_t cur = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
-    if (f.state == FrameState::kPending &&
-        f.ready_at_ms <= clock_->NowMs()) {
-      // The prefetch I/O completed but nobody claimed the page yet:
-      // materialize it so the frame becomes a normal (clean, evictable)
-      // resident page.
-      disk_->ReadImage(f.pid, FrameData(cur));
-      if (!VerifyPageChecksum(FrameData(cur), page_size_)) {
-        // An unclaimed prefetch arrived corrupt. Try in-place repair; if
-        // that fails just drop the mapping and hand the frame out — nobody
-        // holds the page, and a later demand Get re-reads the device and
-        // surfaces (or repairs) the corruption with full error context.
-        stats_.checksum_failures++;
-        const bool repaired = repair_cb_ &&
-                              repair_cb_(f.pid, FrameData(cur)).ok() &&
-                              VerifyPageChecksum(FrameData(cur), page_size_);
-        if (repaired) {
-          stats_.repairs++;
-        } else {
-          if (f.prefetched) stats_.prefetch_wasted++;
-          table_.Erase(f.pid);
-          f = Frame();
+  // A few rounds: a dirty victim can be pinned by a racing hit while we
+  // flush nothing yet (the latched re-check below fails) — resweep.
+  for (int round = 0; round < 3; round++) {
+    uint32_t dirty_candidate = n;  // first evictable dirty frame seen
+    // Clock sweep, up to two full turns: prefer a clean unreferenced victim.
+    for (uint32_t step = 0; step < 2 * n; step++) {
+      Frame& f = frames_[clock_hand_];
+      const uint32_t cur = clock_hand_;
+      clock_hand_ = (clock_hand_ + 1) % n;
+      if (f.state == FrameState::kPending &&
+          f.ready_at_ms <= clock_->NowMs()) {
+        // The prefetch I/O completed but nobody claimed the page yet:
+        // materialize it so the frame becomes a normal (clean, evictable)
+        // resident page.
+        disk_->ReadImage(f.pid, FrameData(cur));
+        TableShard& sh = ShardFor(f.pid);
+        if (!VerifyPageChecksum(FrameData(cur), page_size_)) {
+          // An unclaimed prefetch arrived corrupt. Try in-place repair; if
+          // that fails just drop the mapping and hand the frame out — nobody
+          // holds the page, and a later demand Get re-reads the device and
+          // surfaces (or repairs) the corruption with full error context.
+          stats_.checksum_failures++;
+          const bool repaired = repair_cb_ &&
+                                repair_cb_(f.pid, FrameData(cur)).ok() &&
+                                VerifyPageChecksum(FrameData(cur), page_size_);
+          if (repaired) {
+            stats_.repairs++;
+          } else {
+            if (f.prefetched) stats_.prefetch_wasted++;
+            {
+              std::lock_guard<std::mutex> lk(sh.mu);
+              sh.table.Erase(f.pid);
+            }
+            f = Frame();
+            *out = cur;
+            return Status::OK();
+          }
+        }
+        std::lock_guard<std::mutex> lk(sh.mu);
+        f.state = FrameState::kLoaded;
+        loaded_count_++;
+      }
+      if (f.state != FrameState::kLoaded) continue;
+      {
+        TableShard& sh = ShardFor(f.pid);
+        std::lock_guard<std::mutex> lk(sh.mu);
+        if (f.pins > 0) continue;
+        if (f.ref) {
+          f.ref = false;
+          continue;
+        }
+        if (!f.dirty) {
+          EvictFrame(cur, sh);
           *out = cur;
           return Status::OK();
         }
       }
-      f.state = FrameState::kLoaded;
-      loaded_count_++;
+      if (dirty_candidate == n) dirty_candidate = cur;
     }
-    if (f.state != FrameState::kLoaded || f.pins > 0) continue;
-    if (f.ref) {
-      f.ref = false;
-      continue;
+    if (dirty_candidate == n) {
+      return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
     }
-    if (!f.dirty) {
-      EvictFrame(cur);
-      *out = cur;
-      return Status::OK();
+    // Flush-then-evict, holding the victim's shard latch across the write
+    // so no reader pins the page meanwhile (the flush callbacks and the
+    // device never take pool latches, so this cannot deadlock).
+    Frame& victim = frames_[dirty_candidate];
+    TableShard& sh = ShardFor(victim.pid);
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (victim.state != FrameState::kLoaded || victim.pins > 0 ||
+        !victim.dirty) {
+      continue;  // raced with a hit; sweep again
     }
-    if (dirty_candidate == n) dirty_candidate = cur;
+    DEUTERO_RETURN_NOT_OK(FlushFrame(dirty_candidate, nullptr));
+    stats_.dirty_evictions++;
+    EvictFrame(dirty_candidate, sh);
+    *out = dirty_candidate;
+    return Status::OK();
   }
-  if (dirty_candidate == n) {
-    return Status::Busy("buffer pool exhausted (all frames pinned/pending)");
-  }
-  DEUTERO_RETURN_NOT_OK(FlushFrame(dirty_candidate, nullptr));
-  stats_.dirty_evictions++;
-  EvictFrame(dirty_candidate);
-  *out = dirty_candidate;
-  return Status::OK();
+  return Status::Busy("buffer pool exhausted (eviction kept racing pins)");
 }
 
-void BufferPool::EvictFrame(uint32_t frame) {
+void BufferPool::EvictFrame(uint32_t frame, TableShard& sh) {
   Frame& f = frames_[frame];
   assert(f.state == FrameState::kLoaded && f.pins == 0 && !f.dirty);
   if (f.prefetched) stats_.prefetch_wasted++;
-  table_.Erase(f.pid);
+  sh.table.Erase(f.pid);
   loaded_count_--;
   stats_.evictions++;
   f = Frame();
 }
 
-void BufferPool::Unpin(uint32_t frame) {
+void BufferPool::Unpin(uint32_t frame, PageId pid) {
+  // A pinned page cannot be evicted or remapped, so `frame` still belongs
+  // to `pid`; the shard latch covers the pin-count update against
+  // concurrent hits on the same shard.
+  TableShard& sh = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(sh.mu);
   Frame& f = frames_[frame];
   assert(f.pins > 0);
   f.pins--;
@@ -561,8 +694,12 @@ void BufferPool::MarkDirtyInternal(uint32_t frame, Lsn lsn) {
 }
 
 void BufferPool::Reset() {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
   assert(pinned_count_ == 0);
-  table_.Clear();
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    sp->table.Clear();
+  }
   dirty_fifo_.clear();
   dirty_bits_.assign(dirty_bits_.size(), 0);
   free_frames_.clear();
@@ -575,6 +712,27 @@ void BufferPool::Reset() {
   next_dirty_seq_ = 1;
   clock_hand_ = 0;
   current_phase_ = false;
+}
+
+const BufferPool::Stats& BufferPool::stats() const {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  merged_stats_ = stats_;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    merged_stats_.gets += sp->gets;
+    merged_stats_.hits += sp->hits;
+  }
+  return merged_stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  stats_ = Stats();
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    sp->gets = 0;
+    sp->hits = 0;
+  }
 }
 
 }  // namespace deutero

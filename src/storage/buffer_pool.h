@@ -24,11 +24,38 @@
 //    (single-page logical redo, recovery/page_repairer.h) and only surfaces
 //    as Status::Corruption when repair is unavailable or fails, with the
 //    offending pid retrievable via TakeCorruptPage().
+//
+// Concurrency (PR 8). The pool serves two very different caller classes:
+//
+//  * MUTATORS — logged writes, checkpoint sweeps, the lazy writer, DDL,
+//    recovery passes — run one-at-a-time: under the engine's exclusive
+//    forward gate at runtime, or under the recovery pass's own gate
+//    (recovery/parallel_redo.h). Nothing here changes for them.
+//  * CONCURRENT READERS under the engine's shared gate. Their hot path
+//    (Get hit, Unpin, the Is*/PinCount probes) takes only a per-shard
+//    page-table latch: the table is split kTableShards ways by pid hash,
+//    each shard owning its own fixed-geometry PageTable, its gets/hits
+//    counters, and the hit-mutable frame fields (pins, ref, cls).
+//    Everything structural — demand miss, pending-prefetch claim, Create,
+//    Prefetch, eviction, flushes, Discard, Reset — serializes on the
+//    pool-wide miss_mu_ (it owns free_frames_, the clock hand, dirty
+//    bookkeeping, and all device I/O). Lock order: miss_mu_ first, then
+//    shard latches (never the reverse; the hit path takes exactly one
+//    shard latch and nothing else). Frame identity fields (pid, state,
+//    ready_at_ms, ...) are written only by miss_mu_ holders, and any write
+//    visible to the hit path (state transitions, table Put/Erase) is
+//    additionally made under the pid's shard latch, so a latched reader
+//    can never observe a torn mapping. loaded/dirty/pinned counts are
+//    atomics; Stats is folded from the shards lazily in stats().
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -209,12 +236,15 @@ class BufferPool {
   void Reset();
 
   uint64_t capacity() const { return capacity_; }
-  uint64_t resident_pages() const { return loaded_count_; }
-  uint64_t dirty_pages() const { return dirty_count_; }
-  uint64_t pinned_pages() const { return pinned_count_; }
+  uint64_t resident_pages() const { return loaded_count_.load(); }
+  uint64_t dirty_pages() const { return dirty_count_.load(); }
+  uint64_t pinned_pages() const { return pinned_count_.load(); }
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Counter snapshot with the per-shard gets/hits folded in. Call from a
+  /// quiesced pool (tests, experiment reports); the reference stays valid
+  /// until the next stats() call.
+  const Stats& stats() const;
+  void ResetStats();
 
   /// Pid of the most recent unrepaired checksum failure, cleared on read.
   /// The engine uses this to distinguish media corruption from other
@@ -253,8 +283,32 @@ class BufferPool {
     return arena_.data() + static_cast<uint64_t>(frame) * page_size_;
   }
 
+  /// One page-table shard: its own fixed-geometry table plus the counters
+  /// the latched hit path bumps. Each table is sized for the full frame
+  /// count so a skewed pid hash can never overflow a shard.
+  struct TableShard {
+    mutable std::mutex mu;
+    PageTable table;
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    explicit TableShard(uint64_t cap) : table(cap) {}
+  };
+  static constexpr size_t kTableShards = 16;
+
+  size_t ShardIndex(PageId pid) const {
+    // Same Fibonacci spread the tables use; the top bits pick the shard.
+    return static_cast<size_t>((pid * 0x9E3779B97F4A7C15ull) >> 60) &
+           (kTableShards - 1);
+  }
+  TableShard& ShardFor(PageId pid) const { return *shards_[ShardIndex(pid)]; }
+
+  /// Slow path of Get (demand miss or pending-prefetch claim); serializes
+  /// on miss_mu_.
+  Status GetSlow(PageId pid, PageClass cls, PageHandle* handle);
+
   /// Find a frame to (re)use; evicts if necessary. Busy when every frame is
   /// pinned or pending; a dirty eviction can also surface a write IOError.
+  /// Caller holds miss_mu_ and no shard latch.
   Status AllocFrame(uint32_t* out);
 
   /// Evict the loaded, unpinned frame chosen by the clock sweep, flushing it
@@ -263,7 +317,8 @@ class BufferPool {
   Status EvictSomeFrame(uint32_t* out);
 
   /// Remove a clean, unpinned, loaded frame from the mapping table.
-  void EvictFrame(uint32_t frame);
+  /// Caller holds miss_mu_ and `sh.mu` (the frame's pid maps to `sh`).
+  void EvictFrame(uint32_t frame, TableShard& sh);
 
   /// Stamp the checksum and write the frame out, retrying transient device
   /// errors with exponential backoff. On success clears the dirty bit and
@@ -281,7 +336,7 @@ class BufferPool {
   /// Count a retry and advance sim time by base * 2^attempt.
   void Backoff(uint32_t attempt);
 
-  void Unpin(uint32_t frame);
+  void Unpin(uint32_t frame, PageId pid);
   void MarkDirtyInternal(uint32_t frame, Lsn lsn);
 
   SimClock* clock_;
@@ -293,7 +348,11 @@ class BufferPool {
   std::vector<uint8_t> arena_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
-  PageTable table_;  ///< Open-addressed pid -> frame map (hot path).
+  /// Sharded pid -> frame map (see the concurrency note up top).
+  std::array<std::unique_ptr<TableShard>, kTableShards> shards_;
+  /// Serializes the structural slow path: misses, prefetch, eviction,
+  /// flush sweeps, Discard, Reset. Always taken BEFORE any shard latch.
+  mutable std::mutex miss_mu_;
   std::deque<std::pair<PageId, uint64_t>> dirty_fifo_;  ///< (pid, dirty_seq).
   /// One bit per frame, set while the frame is dirty. FlushPhasePages /
   /// FlushAllDirty sweep it word-at-a-time in frame order instead of
@@ -303,9 +362,9 @@ class BufferPool {
   std::vector<PageId> prefetch_want_;
   std::vector<uint32_t> prefetch_fidx_;
 
-  uint64_t loaded_count_ = 0;
-  uint64_t dirty_count_ = 0;
-  uint64_t pinned_count_ = 0;
+  std::atomic<uint64_t> loaded_count_{0};
+  std::atomic<uint64_t> dirty_count_{0};
+  std::atomic<uint64_t> pinned_count_{0};
   uint64_t next_dirty_seq_ = 1;
   uint64_t dirty_watermark_ = 0;
   uint32_t clock_hand_ = 0;
@@ -321,7 +380,8 @@ class BufferPool {
   StableLsnProvider stable_lsn_;
   RepairCallback repair_cb_;
 
-  Stats stats_;
+  Stats stats_;  ///< Slow-path counters; gets/hits live in the shards.
+  mutable Stats merged_stats_;  ///< stats() scratch (shards folded in).
 };
 
 }  // namespace deutero

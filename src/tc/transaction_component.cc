@@ -7,7 +7,8 @@ namespace deutero {
 TransactionComponent::TransactionComponent(SimClock* clock, LogManager* log,
                                            DataComponent* dc,
                                            const EngineOptions& options)
-    : clock_(clock), log_(log), dc_(dc), options_(options) {}
+    : clock_(clock), log_(log), dc_(dc), options_(options),
+      locks_(options.lock_shards) {}
 
 TransactionComponent::ActiveTxn* TransactionComponent::FindActive(TxnId txn) {
   for (ActiveTxn& t : active_) {
@@ -40,7 +41,7 @@ Status TransactionComponent::Update(TxnId txn, TableId table, Key key,
   if (t == nullptr) return Status::InvalidArgument("unknown txn");
   DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
   DEUTERO_RETURN_NOT_OK(
-      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+      locks_.Acquire(txn, table, key, ShardedLockManager::LockMode::kExclusive));
 
   PageId pid = kInvalidPageId;
   LogRecord& rec = scratch_;
@@ -69,7 +70,7 @@ Status TransactionComponent::Insert(TxnId txn, TableId table, Key key,
   if (t == nullptr) return Status::InvalidArgument("unknown txn");
   DEUTERO_RETURN_NOT_OK(dc_->ValidateValue(table, value.size()));
   DEUTERO_RETURN_NOT_OK(
-      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+      locks_.Acquire(txn, table, key, ShardedLockManager::LockMode::kExclusive));
 
   // PrepareInsert may run (and log) SMO system transactions; their records
   // precede this insert's record, preserving LSN order for physiological
@@ -109,7 +110,7 @@ Status TransactionComponent::Delete(TxnId txn, TableId table, Key key) {
   ActiveTxn* t = FindActive(txn);
   if (t == nullptr) return Status::InvalidArgument("unknown txn");
   DEUTERO_RETURN_NOT_OK(
-      locks_.Acquire(txn, table, key, LockManager::LockMode::kExclusive));
+      locks_.Acquire(txn, table, key, ShardedLockManager::LockMode::kExclusive));
 
   // The before-image rides on the record so undo can re-insert the row.
   PageId pid = kInvalidPageId;
@@ -142,23 +143,30 @@ Status TransactionComponent::Read(TxnId txn, TableId table, Key key,
                                   std::string* value) {
   if (txn != kInvalidTxnId) {
     DEUTERO_RETURN_NOT_OK(
-        locks_.Acquire(txn, table, key, LockManager::LockMode::kShared));
+        locks_.Acquire(txn, table, key, ShardedLockManager::LockMode::kShared));
   }
   return dc_->Read(table, key, value);
 }
 
-Status TransactionComponent::Commit(TxnId txn) {
+Status TransactionComponent::CommitRequest(TxnId txn, Lsn* durable_point) {
   ActiveTxn* t = FindActive(txn);
   if (t == nullptr) return Status::InvalidArgument("unknown txn");
   LogRecord rec;
   rec.type = LogRecordType::kTxnCommit;
   rec.txn_id = txn;
   rec.prev_lsn = t->last_lsn;
-  log_->Append(rec);
-  ForceLog();  // group commit boundary: commit is durable
+  Lsn end = kInvalidLsn;
+  log_->Append(rec, &end);
+  if (durable_point != nullptr) *durable_point = end;
   locks_.ReleaseAll(txn);
   EraseActive(t);
   stats_.committed++;
+  return Status::OK();
+}
+
+Status TransactionComponent::Commit(TxnId txn) {
+  DEUTERO_RETURN_NOT_OK(CommitRequest(txn, nullptr));
+  ForceLog();  // group commit boundary: commit is durable
   return Status::OK();
 }
 
@@ -297,7 +305,12 @@ Status TransactionComponent::Abort(TxnId txn) {
 }
 
 void TransactionComponent::ForceLog() {
-  log_->Flush();
+  if (log_->Flush() && options_.io.log_force_ms > 0) {
+    // The fsync a real device would pay per force — charged only when the
+    // stable prefix actually moved, so group commit's batched forces show
+    // their amortization honestly in sim-time.
+    clock_->AdvanceMs(options_.io.log_force_ms);
+  }
   dc_->Eosl(log_->stable_end());
 }
 

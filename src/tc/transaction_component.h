@@ -25,9 +25,9 @@
 #include "common/options.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "concurrency/sharded_lock_manager.h"
 #include "dc/data_component.h"
 #include "sim/clock.h"
-#include "tc/lock_manager.h"
 #include "wal/log_manager.h"
 
 namespace deutero {
@@ -61,6 +61,32 @@ class TransactionComponent {
   Status Delete(TxnId txn, TableId table, Key key);
   Status Read(TxnId txn, TableId table, Key key, std::string* value);
   Status Commit(TxnId txn);
+
+  /// Group-commit front half: append the commit record and detach the
+  /// transaction (locks released, ATT entry erased) WITHOUT forcing the
+  /// log. `*durable_point` receives the first log offset whose stability
+  /// makes the commit durable — what the caller hands to
+  /// GroupCommit::WaitDurable. Early lock release is sound because the log
+  /// flushes in prefix order: any dependent writer's commit record lands
+  /// at a higher LSN, so its durability implies this one's.
+  Status CommitRequest(TxnId txn, Lsn* durable_point);
+
+  /// Pre-acquire the (table, key) lock for an upcoming operation OUTSIDE
+  /// the engine's forward gate. Blocking lock waits must never run under
+  /// the gate — the holder that has to release needs the gate to commit.
+  /// The operation's own Acquire then re-grants instantly.
+  Status AcquireLock(TxnId txn, TableId table, Key key, bool exclusive) {
+    return locks_.Acquire(txn, table, key,
+                          exclusive ? ShardedLockManager::LockMode::kExclusive
+                                    : ShardedLockManager::LockMode::kShared);
+  }
+
+  /// Cleanup for a failed pre-acquired lock: if `txn` is not in the active
+  /// table (the gated operation rejected it as unknown), drop whatever the
+  /// pre-gate AcquireLock granted so nothing leaks. Call under the gate.
+  void ReleaseLocksIfInactive(TxnId txn) {
+    if (FindActive(txn) == nullptr) locks_.ReleaseAll(txn);
+  }
 
   /// Replication replay: append a data-op record (kUpdate/kInsert/kDelete)
   /// to an open transaction WITHOUT locking or applying it — the standby
@@ -96,7 +122,7 @@ class TransactionComponent {
 
   /// Live transactions, unordered. Entries are live only (no free slots).
   const std::vector<ActiveTxn>& active_txns() const { return active_; }
-  LockManager& locks() { return locks_; }
+  ShardedLockManager& locks() { return locks_; }
   const Stats& stats() const { return stats_; }
 
  private:
@@ -109,7 +135,7 @@ class TransactionComponent {
   LogManager* log_;
   DataComponent* dc_;
   EngineOptions options_;
-  LockManager locks_;
+  ShardedLockManager locks_;
   std::vector<ActiveTxn> active_;
   TxnId next_txn_ = 1;
   /// Scratch for data-op logging: before/after capacity is reused across

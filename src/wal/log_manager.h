@@ -4,6 +4,14 @@
 // — the boot block that names the last completed checkpoint, which recovery
 // reads to find its redo scan start point (§3.2).
 //
+// Concurrent appends (PR 8): threads claim (lsn, len) windows with a single
+// fetch-add over the reservation cursor (the ERMIA/Skeena log-space
+// allocation idiom), encode the frame in place, and publish. The stable
+// prefix only ever advances to the *all-filled-through* mark — the lowest
+// start offset of any still-unpublished reservation — so a hole (a window
+// still being encoded while later LSNs finish) can never be exposed to
+// Flush(), replication StableBytes(), or the checkpoint bLSN.
+//
 // Crash model: Crash() truncates the volatile tail back to the last flushed
 // byte; the master record is only updated synchronously at checkpoint end
 // and therefore survives.
@@ -17,8 +25,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/slice.h"
@@ -51,8 +62,33 @@ class LogManager {
 
   LogManager(SimClock* clock, uint32_t log_page_size, double log_page_read_ms);
 
-  /// Append a record to the volatile tail; returns its LSN.
-  Lsn Append(const LogRecord& rec);
+  /// A claimed-but-unpublished (lsn, len) log window. Returned by Reserve();
+  /// the window becomes visible to Flush()/StableBytes() only at Publish().
+  struct Reservation {
+    Lsn lsn = kInvalidLsn;         ///< Window start — the record's LSN.
+    uint32_t payload_len = 0;
+    LogRecordType type = LogRecordType::kInvalid;
+    uint32_t slot = 0;             ///< In-flight table index (internal).
+  };
+
+  /// Atomically claim the window for one record of `payload_len` payload
+  /// bytes: one fetch-add on the reservation cursor orders concurrent
+  /// appenders without a lock. Until the matching Publish(), the window
+  /// pins the all-filled-through mark at or below its start, so the stable
+  /// prefix can never cover a hole. Every Reserve() MUST be Publish()ed.
+  Reservation Reserve(LogRecordType type, uint32_t payload_len);
+
+  /// Encode frame + payload into the reserved window and retire the
+  /// reservation, letting the all-filled-through mark advance past every
+  /// contiguous published window. `payload` must be exactly r.payload_len
+  /// bytes.
+  void Publish(const Reservation& r, const char* payload);
+
+  /// Append a record to the volatile tail (Reserve + encode + Publish);
+  /// returns its LSN. Thread-safe against concurrent Append/Flush. When
+  /// `end_lsn` is non-null it receives the first offset past the record —
+  /// the durability point a committing transaction must wait for.
+  Lsn Append(const LogRecord& rec, Lsn* end_lsn = nullptr);
 
   /// Replication: append raw pre-framed log bytes shipped from another
   /// LogManager, immediately stable (the channel IS the stable medium).
@@ -65,10 +101,11 @@ class LogManager {
 
   /// Replication: the stable bytes [from, stable_end()) — what a channel
   /// publishes. The slice aliases the log buffer (valid until the next
-  /// Append/Crash/RestoreSnapshot; take it under the publish lock and copy).
+  /// growth/Crash/RestoreSnapshot; take it under the publish lock and copy).
   Slice StableBytes(Lsn from) const {
-    if (from >= stable_end_) return Slice();
-    return Slice(buffer_.data() + from, stable_end_ - from);
+    const Lsn stable = stable_end();
+    if (from >= stable) return Slice();
+    return Slice(raw() + from, stable - from);
   }
 
   /// Zero-copy random-access decode of the stable record at `lsn` (the
@@ -77,17 +114,30 @@ class LogManager {
   /// generation rule.
   Status ViewRecordAt(Lsn lsn, LogRecordView* out);
 
-  /// Make everything appended so far stable.
-  void Flush();
+  /// Advance the stable prefix to the all-filled-through mark. Returns true
+  /// if the mark moved (a real device force); false if everything published
+  /// was already stable. Thread-safe.
+  bool Flush();
 
   /// End of the stable log: the first offset NOT covered by stable storage.
   /// A record is stable iff lsn + frame < stable_end.
-  Lsn stable_end() const { return stable_end_; }
+  Lsn stable_end() const {
+    return stable_end_.load(std::memory_order_acquire);
+  }
 
-  /// LSN the next append will receive.
-  Lsn next_lsn() const { return static_cast<Lsn>(buffer_.size()); }
+  /// All bytes below this offset are fully encoded — no reservation hole.
+  /// stable_end() never advances past it. O(#in-flight slots).
+  Lsn filled_through() const;
 
-  /// Discard the unflushed tail (crash).
+  /// LSN the next append will receive (the reservation cursor). With
+  /// appenders in flight this is a moving lower bound; quiesced (as in all
+  /// recovery and checkpoint paths) it equals filled_through().
+  Lsn next_lsn() const {
+    return reserved_end_.load(std::memory_order_acquire);
+  }
+
+  /// Discard the unflushed tail (crash). Caller must have quiesced
+  /// appenders (no reservation in flight).
   void Crash();
 
   /// Random-access read of the record at `lsn` (undo backchains). Charges
@@ -99,16 +149,16 @@ class LogManager {
   /// record() is a zero-copy view: its Slice fields alias the log buffer and
   /// its vector scratch is reused across Next(), so a steady-state scan
   /// performs no per-record heap allocation. The view (and any Slice taken
-  /// from it) is invalidated by Append/Crash/RestoreSnapshot on the owning
-  /// log; debug builds enforce this with a generation check. All recovery
-  /// passes satisfy the rule (they only append during undo, which reads via
-  /// ReadRecordAt's owning records instead).
+  /// from it) is invalidated by buffer growth/Crash/RestoreSnapshot on the
+  /// owning log; debug builds enforce this with a generation check. All
+  /// recovery passes satisfy the rule (they only append during undo, which
+  /// reads via ReadRecordAt's owning records instead).
   class Iterator {
    public:
     bool Valid() const { return valid_; }
     Lsn lsn() const { return lsn_; }
     const LogRecordView& record() const {
-      assert(generation_ == log_->generation_ &&
+      assert(generation_ == log_->generation() &&
              "LogRecordView used across log mutation");
       return rec_;
     }
@@ -129,7 +179,7 @@ class LogManager {
     Lsn lsn_ = kInvalidLsn;
     LogRecordView rec_;
     uint32_t payload_len_ = 0;
-    uint64_t generation_ = 0;  ///< log_->generation_ when rec_ was parsed.
+    uint64_t generation_ = 0;  ///< log_->generation() when rec_ was parsed.
     bool valid_ = false;
     bool charge_io_ = false;
     int64_t last_charged_page_ = -1;
@@ -154,18 +204,32 @@ class LogManager {
   void RestoreSnapshot(const Snapshot& snap);
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Copy of the counters taken under the stats mutex — the form to use
+  /// while appender threads are live (stats() is for quiesced reads).
+  Stats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = Stats();
+  }
 
   uint32_t log_page_size() const { return log_page_size_; }
 
   /// Bumped by every operation that may invalidate outstanding
-  /// LogRecordViews (Append, Crash, RestoreSnapshot). Iterators capture it
-  /// at parse time; tests and debug asserts compare.
-  uint64_t generation() const { return generation_; }
+  /// LogRecordViews: buffer growth that relocates storage, Crash(),
+  /// RestoreSnapshot(). (Before PR 8 every Append bumped it; now an append
+  /// whose window fits in committed capacity leaves views intact — the
+  /// bytes they alias never move.) Iterators capture it at parse time;
+  /// tests and debug asserts compare.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// RAII witness of the zero-copy aliasing contract over a whole scan or
   /// pass: captures the generation at construction; Intact() (and a debug
-  /// assert on destruction) verify no Append/Crash/RestoreSnapshot has
+  /// assert on destruction) verify no growth/Crash/RestoreSnapshot has
   /// invalidated outstanding LogRecordViews — or Slices handed off from
   /// them — since. The parallel redo pipeline holds one for the pass
   /// lifetime: its work items carry Slices aliasing the log buffer across
@@ -188,27 +252,69 @@ class LogManager {
 
   /// Test-only: flip one bit of the stable log (corruption injection).
   void CorruptByteForTest(Lsn offset) {
-    if (offset < buffer_.size()) buffer_[offset] ^= 0x40;
+    if (offset < next_lsn()) raw()[offset] ^= 0x40;
   }
 
  private:
   static constexpr uint32_t kFrameSize = 9;  // u32 len + u8 type + u32 crc
+  /// Concurrent reservations simultaneously between fetch-add and Publish.
+  /// Excess claimants spin-yield for a slot; 64 comfortably covers any
+  /// plausible appender-thread count.
+  static constexpr uint32_t kInflightSlots = 64;
+  static constexpr uint64_t kSlotFree = ~uint64_t{0};
 
   /// Parse and verify the frame at `lsn`; returns false if it does not lie
   /// fully within [kFirstLsn, limit) or fails the CRC.
   bool ParseFrame(Lsn lsn, Lsn limit, LogRecordType* type,
                   uint32_t* payload_len) const;
 
+  char* raw() { return base_.load(std::memory_order_acquire); }
+  const char* raw() const { return base_.load(std::memory_order_acquire); }
+
+  /// Claim an in-flight slot holding a conservative lower bound of the
+  /// upcoming reservation's start (stored BEFORE the fetch-add, so a
+  /// concurrent filled_through() can never miss the window).
+  uint32_t ClaimSlot();
+  /// Grow committed capacity to cover [0, end), quiescing in-flight
+  /// Publish() encoders first. Bumps the generation if storage moved.
+  void EnsureCapacity(uint64_t end);
+  /// Encoder token around raw-byte writes; growth waits for zero holders.
+  void EnterFill();
+  void ExitFill();
+  void NoteAppendStats(LogRecordType type, uint32_t payload_len);
+  /// Single-threaded reset of all cursors to the buffer's current size
+  /// (constructor, Crash, RestoreSnapshot).
+  void ResetCursors();
+
   SimClock* clock_;
   const uint32_t log_page_size_;
   const double log_page_read_ms_;
 
   /// buffer_[offset] is the log byte at LSN == offset; offset 0 is a pad so
-  /// that kInvalidLsn (0) can never address a record.
+  /// that kInvalidLsn (0) can never address a record. buffer_ members are
+  /// only touched quiesced (growth, crash, snapshot); the concurrent fill
+  /// path goes through base_/capacity_ so TSan sees no std::string races.
   std::string buffer_;
-  uint64_t generation_ = 0;
-  Lsn stable_end_ = kFirstLsn;
+  std::atomic<char*> base_{nullptr};
+  std::atomic<uint64_t> capacity_{0};  ///< Committed writable frontier.
+
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<Lsn> reserved_end_{kFirstLsn};  ///< Reservation cursor.
+  std::atomic<Lsn> stable_end_{kFirstLsn};
+  /// In-flight reservation table: start offset of each unpublished window
+  /// (kSlotFree when empty). filled_through() = min over these and
+  /// reserved_end_.
+  std::array<std::atomic<uint64_t>, kInflightSlots> inflight_;
+
+  // Growth quiesce: EnsureCapacity sets growth_pending_, waits for
+  // fillers_ == 0, resizes, publishes base_/capacity_, clears the flag.
+  std::mutex grow_mu_;
+  std::condition_variable grow_cv_;
+  std::atomic<uint64_t> fillers_{0};
+  std::atomic<bool> growth_pending_{false};
+
   MasterRecord master_;
+  mutable std::mutex stats_mu_;
   Stats stats_;
 };
 

@@ -1,0 +1,402 @@
+#include "workload/concurrent_driver.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/value_codec.h"
+
+namespace deutero {
+
+ConcurrentDriver::ConcurrentDriver(Engine* engine,
+                                   const ConcurrentWorkloadConfig& config)
+    : engine_(engine),
+      config_(config),
+      table_id_(engine->options().table_id),
+      value_size_(engine->options().value_size),
+      loaded_rows_(engine->options().num_rows) {
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.ops_per_txn < 1) config_.ops_per_txn = 1;
+  const Key slice = loaded_rows_ / config_.threads;
+  for (uint32_t t = 0; t < config_.threads; t++) {
+    auto ts = std::make_unique<ThreadState>();
+    ts->index = t;
+    ts->rng.seed(config_.seed * 0x9e3779b97f4a7c15ULL + t);
+    ts->owned_lo = static_cast<Key>(t) * slice;
+    ts->owned_hi =
+        (t + 1 == config_.threads) ? loaded_rows_ : ts->owned_lo + slice;
+    ts->next_fresh = loaded_rows_ + t;  // interleaved, stride = threads
+    states_.push_back(std::move(ts));
+  }
+}
+
+ConcurrentDriver::~ConcurrentDriver() {
+  if (!threads_.empty()) StopAndJoin();
+}
+
+void ConcurrentDriver::Start() {
+  merged_ = false;
+  stop_.store(false, std::memory_order_relaxed);
+  threads_.reserve(states_.size());
+  for (auto& ts : states_) {
+    threads_.emplace_back(&ConcurrentDriver::ClientMain, this, ts.get());
+  }
+}
+
+void ConcurrentDriver::StopAndJoin() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  threads_.clear();
+  if (!merged_) {
+    merged_ = true;
+    // The per-thread maps are the authoritative cumulative oracle (they
+    // persist across storm generations and absorb uncertainty resolution),
+    // so each merge rebuilds from scratch. Owned ranges are disjoint.
+    oracle_.clear();
+    all_uncertain_.clear();
+    for (const auto& ts : states_) {
+      oracle_.insert(ts->committed.begin(), ts->committed.end());
+      for (const auto& u : ts->uncertain) all_uncertain_.push_back(u);
+    }
+    uncertain_count_ = all_uncertain_.size();
+  }
+}
+
+void ConcurrentDriver::WaitForAcked(uint64_t n) const {
+  while (acked_.load(std::memory_order_relaxed) < n) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+Status ConcurrentDriver::RunUntilAcked(uint64_t n) {
+  Start();
+  WaitForAcked(n);
+  StopAndJoin();
+  return client_error();
+}
+
+Status ConcurrentDriver::client_error() const {
+  for (const auto& ts : states_) {
+    if (!ts->error.ok()) return ts->error;
+  }
+  return Status::OK();
+}
+
+void ConcurrentDriver::ClientMain(ThreadState* ts) {
+  Table table;
+  if (!engine_->OpenTable(table_id_, &table).ok()) return;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!RunOneTxn(ts, table)) return;  // engine crashed under us
+  }
+}
+
+bool ConcurrentDriver::RunOneTxn(ThreadState* ts, const Table& table) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  Txn txn;
+  if (!engine_->Begin(&txn).ok()) return false;
+
+  // Pending (uncommitted) write set: before-image at first touch, running
+  // after-image. Small, so linear lookup beats a map.
+  std::vector<Write> pending;
+  auto find_pending = [&](Key k) -> Write* {
+    for (Write& w : pending) {
+      if (w.key == k) return &w;
+    }
+    return nullptr;
+  };
+  auto current = [&](Key k) -> KeyVer {
+    if (const Write* w = find_pending(k)) return w->after;
+    auto it = ts->committed.find(k);
+    if (it != ts->committed.end()) return it->second;
+    return (k < loaded_rows_) ? KeyVer{0, true} : KeyVer{0, false};
+  };
+  auto record = [&](Key k, KeyVer before, KeyVer after) {
+    if (Write* w = find_pending(k)) {
+      w->after = after;
+    } else {
+      pending.push_back(Write{k, before, after});
+    }
+  };
+
+  std::uniform_real_distribution<double> frac(0.0, 1.0);
+  for (uint32_t i = 0; i < config_.ops_per_txn; i++) {
+    Key key;
+    const double r = frac(ts->rng);
+    if (r < config_.insert_fraction || ts->owned_hi == ts->owned_lo) {
+      key = ts->next_fresh;
+      ts->next_fresh += config_.threads;  // consumed even if the txn dies
+    } else {
+      key = ts->owned_lo + static_cast<Key>(ts->rng() %
+                                            (ts->owned_hi - ts->owned_lo));
+    }
+    const KeyVer before = current(key);
+    KeyVer after;
+    Status st;
+    if (before.live &&
+        r >= config_.insert_fraction &&
+        r < config_.insert_fraction + config_.delete_fraction) {
+      after = KeyVer{before.ver, false};
+      st = txn.Delete(table, key);
+    } else if (before.live) {
+      after = KeyVer{before.ver + 1, true};
+      st = txn.Update(
+          table, key,
+          SynthesizeValueString(key, after.ver, value_size_));
+    } else {
+      after = KeyVer{before.ver + 1, true};
+      st = txn.Insert(
+          table, key,
+          SynthesizeValueString(key, after.ver, value_size_));
+    }
+    if (!st.ok()) {
+      // Busy = wait-die death: abort and try the next transaction.
+      // Anything else means the engine crashed under us.
+      const bool crashed = !st.IsBusy();
+      txn.Abort();
+      return !crashed;
+    }
+    record(key, before, after);
+
+    if (frac(ts->rng) < config_.read_fraction) {
+      // Oracle-checked read of an owned key through the locking read path.
+      const Key rk = ts->owned_lo +
+                     static_cast<Key>(ts->rng() %
+                                      std::max<Key>(1, ts->owned_hi -
+                                                           ts->owned_lo));
+      const KeyVer want = current(rk);
+      std::string got;
+      const Status rs = txn.Read(table, rk, &got);
+      if (rs.ok()) {
+        if (!want.live ||
+            got != SynthesizeValueString(rk, want.ver, value_size_)) {
+          if (ts->error.ok()) {
+            ts->error = Status::Corruption(
+                "txn read of key " + std::to_string(rk) +
+                " contradicts this thread's own committed state");
+          }
+        }
+      } else if (rs.IsNotFound()) {
+        if (want.live && ts->error.ok()) {
+          ts->error = Status::Corruption(
+              "txn read lost key " + std::to_string(rk));
+        }
+      } else {
+        const bool crashed = !rs.IsBusy();
+        txn.Abort();
+        return !crashed;
+      }
+    }
+  }
+
+  const Status st = txn.Commit();
+  if (st.ok()) {
+    for (const Write& w : pending) ts->committed[w.key] = w.after;
+    acked_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (st.IsInvalidArgument()) {
+    // Refused before the commit record was appended: a clean loser whose
+    // before-images stand. Nothing to record.
+    return false;
+  }
+  // The commit record went into the log but durability was never
+  // acknowledged (group-commit CrashHalt): genuinely uncertain.
+  if (!pending.empty()) {
+    ts->uncertain.push_back(UncertainTxn{ts->index, pending});
+  }
+  return false;
+}
+
+// ---- post-crash oracle resolution and verification ----
+
+namespace {
+/// Read `key` from `engine`; `*present` and `*value` describe the row.
+Status ReadRow(Engine* engine, TableId table, Key key, std::string* value,
+               bool* present) {
+  const Status st = engine->Read(table, key, value);
+  if (st.ok()) {
+    *present = true;
+    return Status::OK();
+  }
+  if (st.IsNotFound()) {
+    *present = false;
+    return Status::OK();
+  }
+  return st;
+}
+}  // namespace
+
+Status ConcurrentDriver::MatchesState(Engine* engine, TableId table, Key key,
+                                      const KeyVer& kv, uint32_t value_size,
+                                      bool* matches) {
+  std::string value;
+  bool present = false;
+  DEUTERO_RETURN_NOT_OK(ReadRow(engine, table, key, &value, &present));
+  if (!kv.live) {
+    *matches = !present;
+  } else {
+    *matches =
+        present && value == SynthesizeValueString(key, kv.ver, value_size);
+  }
+  return Status::OK();
+}
+
+Status ConcurrentDriver::ResolveUncertain(Engine* recovered) {
+  if (!merged_) {
+    return Status::InvalidArgument("StopAndJoin() before ResolveUncertain()");
+  }
+  for (const UncertainTxn& u : all_uncertain_) {
+    if (u.writes.empty()) continue;
+    bool won = false, lost = false;
+    DEUTERO_RETURN_NOT_OK(MatchesState(recovered, table_id_,
+                                       u.writes[0].key, u.writes[0].after,
+                                       value_size_, &won));
+    DEUTERO_RETURN_NOT_OK(MatchesState(recovered, table_id_,
+                                       u.writes[0].key, u.writes[0].before,
+                                       value_size_, &lost));
+    if (won == lost) {
+      return Status::Corruption(
+          "uncertain commit at key " + std::to_string(u.writes[0].key) +
+          " matches neither its before- nor after-image");
+    }
+    // Atomicity: every other write in the transaction must have gone the
+    // same way. A half-applied commit is a recovery bug, full stop.
+    for (size_t i = 1; i < u.writes.size(); i++) {
+      bool same = false;
+      DEUTERO_RETURN_NOT_OK(MatchesState(
+          recovered, table_id_, u.writes[i].key,
+          won ? u.writes[i].after : u.writes[i].before, value_size_, &same));
+      if (!same) {
+        return Status::Corruption(
+            "torn transaction: key " + std::to_string(u.writes[i].key) +
+            " disagrees with key " + std::to_string(u.writes[0].key) +
+            " about commit " + (won ? "winning" : "losing"));
+      }
+    }
+    if (won) {
+      // Fold the winner into the merged oracle AND the owning thread's
+      // map, so a later storm generation starts from the right versions.
+      for (const Write& w : u.writes) {
+        oracle_[w.key] = w.after;
+        states_[u.thread]->committed[w.key] = w.after;
+      }
+    }
+  }
+  all_uncertain_.clear();
+  for (auto& ts : states_) ts->uncertain.clear();
+  return Status::OK();
+}
+
+ConcurrentDriver::KeyVer ConcurrentDriver::OracleState(Key key) const {
+  auto it = oracle_.find(key);
+  if (it != oracle_.end()) return it->second;
+  return (key < loaded_rows_) ? KeyVer{0, true} : KeyVer{0, false};
+}
+
+std::string ConcurrentDriver::ExpectedLive(Key key) const {
+  const KeyVer kv = OracleState(key);
+  if (!kv.live) return std::string();
+  return SynthesizeValueString(key, kv.ver, value_size_);
+}
+
+Status ConcurrentDriver::Verify(Engine* engine, uint64_t* checked) const {
+  if (!merged_) {
+    return Status::InvalidArgument("StopAndJoin() before Verify()");
+  }
+  if (!all_uncertain_.empty()) {
+    return Status::InvalidArgument("ResolveUncertain() before Verify()");
+  }
+  uint64_t n = 0;
+  const Key bound = fresh_key_bound();
+  for (Key k = 0; k < bound; k++) {
+    const KeyVer want = OracleState(k);
+    std::string value;
+    bool present = false;
+    DEUTERO_RETURN_NOT_OK(
+        ReadRow(engine, table_id_, k, &value, &present));
+    if (want.live != present) {
+      return Status::Corruption(
+          "key " + std::to_string(k) + " should be " +
+          (want.live ? "present" : "absent") + " after recovery");
+    }
+    if (want.live &&
+        value != SynthesizeValueString(k, want.ver, value_size_)) {
+      return Status::Corruption("key " + std::to_string(k) +
+                                " recovered with the wrong version");
+    }
+    n++;
+  }
+  if (checked != nullptr) *checked = n;
+  return Status::OK();
+}
+
+Status ConcurrentDriver::VerifyScan(Engine* engine,
+                                    uint64_t* rows_seen) const {
+  if (!merged_ || !all_uncertain_.empty()) {
+    return Status::InvalidArgument("resolve the oracle before VerifyScan()");
+  }
+  Table table;
+  DEUTERO_RETURN_NOT_OK(engine->OpenTable(table_id_, &table));
+  const Key hi = fresh_key_bound() == 0 ? 0 : fresh_key_bound() - 1;
+  ScanCursor c;
+  DEUTERO_RETURN_NOT_OK(table.Scan(0, hi, &c));
+  uint64_t n = 0;
+  Key expect = 0;
+  bool first = true;
+  Key prev = 0;
+  while (c.Valid()) {
+    const Key k = c.key();
+    if (!first && k <= prev) {
+      return Status::Corruption("scan keys out of order");
+    }
+    for (; expect < k; expect++) {
+      if (!ExpectedLive(expect).empty()) {
+        return Status::Corruption("scan missed live key " +
+                                  std::to_string(expect));
+      }
+    }
+    const std::string want = ExpectedLive(k);
+    if (want.empty()) {
+      return Status::Corruption("scan surfaced dead key " +
+                                std::to_string(k));
+    }
+    if (Slice(want) != c.value()) {
+      return Status::Corruption("scan value mismatch at key " +
+                                std::to_string(k));
+    }
+    prev = k;
+    first = false;
+    expect = k + 1;
+    n++;
+    c.Next();
+  }
+  for (; expect <= hi; expect++) {
+    if (!ExpectedLive(expect).empty()) {
+      return Status::Corruption("scan missed trailing live key " +
+                                std::to_string(expect));
+    }
+  }
+  if (rows_seen != nullptr) *rows_seen = n;
+  return Status::OK();
+}
+
+uint64_t ConcurrentDriver::ExpectedRows() const {
+  uint64_t rows = loaded_rows_;
+  for (const auto& [key, kv] : oracle_) {
+    if (key < loaded_rows_) {
+      if (!kv.live) rows--;
+    } else {
+      if (kv.live) rows++;
+    }
+  }
+  return rows;
+}
+
+Key ConcurrentDriver::fresh_key_bound() const {
+  Key bound = loaded_rows_;
+  for (const auto& ts : states_) bound = std::max(bound, ts->next_fresh);
+  return bound;
+}
+
+}  // namespace deutero

@@ -1,0 +1,181 @@
+// Multi-threaded workload driver (PR 8) — N client threads hammering ONE
+// engine through the concurrent front end (sharded locks, atomic log
+// reservation, group commit), with an oracle strong enough to verify
+// recovery of a concurrently-produced log.
+//
+// Oracle model. Each thread owns a disjoint slice of the loaded key range
+// plus an interleaved stream of fresh keys (loaded + thread + k*threads),
+// so per-thread oracle state needs no synchronization; it is merged after
+// the threads join. Every committed row is a pure function of (key,
+// version) via value_codec, like the serial WorkloadDriver.
+//
+// Commit outcomes under crash (the part a serial driver never faces):
+//   * Commit() returned OK        -> ACKED: must survive recovery.
+//   * op/commit refused (crashed
+//     before the commit record
+//     was appended)               -> LOSER: must NOT survive; the prior
+//                                    committed versions stand.
+//   * Commit() returned Aborted
+//     from the durability wait    -> UNCERTAIN: the commit record was
+//                                    appended but never acknowledged; the
+//                                    crash may or may not have left it in
+//                                    the stable prefix. Exactly a client
+//                                    whose commit RPC never came back.
+//
+// ResolveUncertain() collapses the uncertainty against the FIRST recovered
+// engine: it reads each uncertain transaction's write set and checks the
+// outcome is ATOMIC (all writes landed or none did — a torn transaction is
+// a recovery bug), then folds the winner into the oracle. Verification of
+// the remaining side-by-side engines is then exact, including row counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/engine.h"
+
+namespace deutero {
+
+struct ConcurrentWorkloadConfig {
+  uint32_t threads = 4;
+  uint32_t ops_per_txn = 4;        ///< Write ops per transaction.
+  double insert_fraction = 0.10;   ///< Insert a fresh (never-seen) key.
+  double delete_fraction = 0.10;   ///< Delete a live owned key.
+  double read_fraction = 0.15;     ///< Extra oracle-checked TxnRead per op.
+  uint64_t seed = 1;
+};
+
+class ConcurrentDriver {
+ public:
+  ConcurrentDriver(Engine* engine, const ConcurrentWorkloadConfig& config);
+  ~ConcurrentDriver();
+
+  ConcurrentDriver(const ConcurrentDriver&) = delete;
+  ConcurrentDriver& operator=(const ConcurrentDriver&) = delete;
+
+  /// Launch the client threads. They run transactions until StopAndJoin()
+  /// or until the engine crashes under them (every op fails; each thread
+  /// records its in-flight transaction's fate and exits). Restartable: a
+  /// stopped (and, after a crash, resolved) driver can Start() again and
+  /// the oracle carries across generations.
+  void Start();
+
+  /// Point the driver at a recovered (or promoted) engine. Only between
+  /// StopAndJoin() and the next Start().
+  void AttachEngine(Engine* engine) { engine_ = engine; }
+
+  /// Signal stop, join every client, and merge the per-thread oracles.
+  /// Safe to call after SimulateCrash() — that is the intended use.
+  void StopAndJoin();
+
+  /// Block until at least `n` transactions have been acknowledged across
+  /// all threads (used to crash mid-flight at a known progress point).
+  void WaitForAcked(uint64_t n) const;
+
+  /// Convenience for no-crash runs: Start, wait for `n` acked commits,
+  /// StopAndJoin. Returns the first client-side verification error.
+  Status RunUntilAcked(uint64_t n);
+
+  /// Read every uncertain transaction's write set from `recovered` and
+  /// collapse the oracle to the outcome recovery chose. Fails with
+  /// Corruption if a transaction applied partially (atomicity violation)
+  /// or matches neither its before- nor after-image.
+  Status ResolveUncertain(Engine* recovered);
+
+  /// Exact point-read verification of every key the oracle knows (all
+  /// loaded rows + every fresh key ever handed out) against `engine`.
+  /// Requires StopAndJoin() and, after a crash, ResolveUncertain() first.
+  Status Verify(Engine* engine, uint64_t* checked) const;
+
+  /// Oracle-checked full-table scan: ordering, no ghosts, no missing live
+  /// rows, exact payloads. Returns the number of live rows seen.
+  Status VerifyScan(Engine* engine, uint64_t* rows_seen) const;
+
+  /// Exact live-row count implied by the oracle (loaded - deleted +
+  /// inserted). Meaningful only once there is no uncertainty.
+  uint64_t ExpectedRows() const;
+
+  /// One past the largest key any thread may have written.
+  Key fresh_key_bound() const;
+
+  uint64_t acked_commits() const {
+    return acked_.load(std::memory_order_relaxed);
+  }
+  uint64_t attempted_txns() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+  uint64_t uncertain_txns() const { return uncertain_count_; }
+  /// First oracle-check failure observed by a client thread (reads that
+  /// contradicted the thread's own committed state), or OK.
+  Status client_error() const;
+
+ private:
+  /// Version history of one key. `ver` only grows; `live` tracks delete /
+  /// re-insert. The payload of a live key is SynthesizeValue(key, ver).
+  struct KeyVer {
+    uint32_t ver = 0;
+    bool live = true;
+  };
+  struct Write {
+    Key key = 0;
+    KeyVer before;  ///< Committed state when the txn began.
+    KeyVer after;   ///< State if the commit won.
+  };
+  struct UncertainTxn {
+    uint32_t thread = 0;  ///< Owning client (resolution updates its oracle).
+    std::vector<Write> writes;
+  };
+  struct ThreadState {
+    uint32_t index = 0;
+    std::mt19937_64 rng;
+    Key owned_lo = 0, owned_hi = 0;  ///< Loaded-range slice [lo, hi).
+    Key next_fresh = 0;              ///< Next fresh key (stride = threads).
+    std::unordered_map<Key, KeyVer> committed;
+    std::vector<UncertainTxn> uncertain;
+    Status error;  ///< First client-side oracle violation.
+  };
+
+  void ClientMain(ThreadState* ts);
+  /// Returns false when the engine crashed under the transaction (the
+  /// thread should exit).
+  bool RunOneTxn(ThreadState* ts, const Table& table);
+
+  /// Committed state of `key` from the merged oracle ({0, live} for an
+  /// untouched loaded key, dead for an unused fresh key).
+  KeyVer OracleState(Key key) const;
+  /// Expected payload, or empty when the key must be absent.
+  std::string ExpectedLive(Key key) const;
+  /// Check `engine` holds exactly `kv` at `key` (present with the right
+  /// payload, or absent).
+  static Status MatchesState(Engine* engine, TableId table, Key key,
+                             const KeyVer& kv, uint32_t value_size,
+                             bool* matches);
+
+  Engine* engine_;
+  ConcurrentWorkloadConfig config_;
+  TableId table_id_;
+  uint32_t value_size_;
+  Key loaded_rows_;
+
+  std::vector<std::unique_ptr<ThreadState>> states_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> acked_{0};
+  std::atomic<uint64_t> attempts_{0};
+
+  // Post-join merged oracle (disjoint per-thread maps union cleanly).
+  bool merged_ = false;
+  std::unordered_map<Key, KeyVer> oracle_;
+  std::vector<UncertainTxn> all_uncertain_;
+  uint64_t uncertain_count_ = 0;
+};
+
+}  // namespace deutero

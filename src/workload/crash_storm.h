@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/replica.h"
+#include "workload/concurrent_driver.h"
 #include "workload/driver.h"
 
 namespace deutero {
@@ -104,5 +105,45 @@ class CrashStormDriver {
   uint64_t standby_recoveries_ = 0;
   uint64_t last_verified_rows_ = 0;
 };
+
+// ---- Concurrent crash storm (PR 8) ----
+//
+// The multi-writer variant: N client threads drive one engine through the
+// concurrent front end (sharded locks, atomic log reservation, group
+// commit), the storm crashes it MID-FLIGHT — clients still inside ops and
+// commit waits — and the crash image is recovered side by side into
+// 5 methods × recovery_threads {1,2,4} fresh engines. Every one must pass
+// the oracle (after collapsing unacknowledged commits against the first
+// recovery) with exact row counts, and destage to the byte-identical disk
+// image: the proof that a concurrently-produced log is still one log.
+
+struct ConcurrentStormConfig {
+  /// Crash/recover generations; the oracle spans all of them.
+  uint32_t generations = 2;
+  /// Acknowledged commits to accumulate per generation before the
+  /// mid-flight crash.
+  uint64_t acked_per_generation = 120;
+  /// Per-generation canonical recovery method rotates through all five;
+  /// this seeds the rotation.
+  uint32_t method_rotation = 0;
+  ConcurrentWorkloadConfig workload;
+};
+
+struct ConcurrentStormResult {
+  uint64_t acked_commits = 0;      ///< Total acknowledged client commits.
+  uint64_t attempted_txns = 0;
+  uint64_t uncertain_commits = 0;  ///< Commits in flight at some crash.
+  uint64_t recoveries = 0;         ///< Side-by-side engines verified.
+  uint64_t verified_rows = 0;      ///< Live rows at the last generation.
+  uint64_t commit_batches = 0;     ///< Group-commit flushes (EngineStats).
+  uint64_t commits_enqueued = 0;
+  uint64_t lock_acquires = 0;
+};
+
+/// Run the campaign on `options` (which should enable group commit via
+/// group_commit_max_batch > 1). Returns the first verification failure.
+Status RunConcurrentCrashStorm(const EngineOptions& options,
+                               const ConcurrentStormConfig& config,
+                               ConcurrentStormResult* result);
 
 }  // namespace deutero

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "concurrency/group_commit.h"
 #include "core/engine.h"
 #include "core/replica.h"
 #include "recovery/dpt.h"
@@ -518,6 +519,37 @@ TEST(PrefetchAllocTest, LogDrivenPumpIsAllocationFreePerPump) {
     for (int i = 0; i < 96; i++) pump_and_claim();
   });
   EXPECT_EQ(allocs, 0u) << "LogDrivenPrefetcher::Pump is allocating";
+}
+
+TEST(GroupCommitAllocTest, SteadyStateCommitWaitIsAllocationFree) {
+  // The commit fast path of the concurrent front end: enqueue a durability
+  // request, the batcher flushes the window, the waiter wakes. Waiter
+  // slots live in a fixed pool, so after warm-up a whole
+  // enqueue -> batch flush -> wake cycle must not touch the heap — on
+  // EITHER side: the global counter sees the batcher thread's allocations
+  // too.
+  std::atomic<Lsn> tail{0};
+  std::atomic<Lsn> stable{0};
+  GroupCommit gc(
+      /*flush=*/[&] {
+        stable.store(tail.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        return stable.load(std::memory_order_relaxed);
+      },
+      /*stable=*/[&] { return stable.load(std::memory_order_relaxed); },
+      /*window_us=*/50, /*max_batch=*/4);
+  gc.Start();
+  auto one_commit = [&] {
+    const Lsn mine = tail.fetch_add(64, std::memory_order_relaxed) + 64;
+    const Status st = gc.WaitDurable(mine);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  };
+  for (int i = 0; i < 64; i++) one_commit();  // warm-up
+  const uint64_t allocs = CountAllocs([&] {
+    for (int i = 0; i < 256; i++) one_commit();
+  });
+  EXPECT_EQ(allocs, 0u) << "group-commit enqueue/flush/wake is allocating";
+  gc.Stop();
 }
 
 }  // namespace
