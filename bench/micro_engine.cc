@@ -12,8 +12,10 @@
 #include "core/engine.h"
 #include "recovery/analysis.h"
 #include "recovery/dpt.h"
+#include "recovery/parallel_analysis.h"
 #include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
+#include "recovery/undo.h"
 #include "storage/page_table.h"
 #include "workload/concurrent_driver.h"
 #include "workload/driver.h"
@@ -493,6 +495,186 @@ void BM_ParallelRedo(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelRedo)
     ->ArgsProduct({{1, 2, 4}, {0, 1, 2}})  // append / zipf / merge churn
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-scaling curve of the sharded parallel DPT construction (ISSUE 9):
+// the logical DC pass over one crash image, recovery_threads in
+// {1, 2, 4, 8}. /1 is the serial pass. Manual timing covers exactly the
+// pass; restore/reopen is untimed. sim_ms reports the SIMULATED pass time
+// (log I/O + max-shard DPT CPU), the cost model's view of the same sweep.
+void BM_ParallelAnalysis(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  EngineOptions o;
+  o.page_size = 8192;
+  o.value_size = 26;
+  o.num_rows = 100'000;
+  o.cache_pages = 4096;
+  o.lazy_writer_reference_cache_pages = 4096;
+  o.checkpoint_interval_updates = 100'000;  // explicit checkpoint only
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(o, &e);
+  {
+    WorkloadConfig wc;
+    wc.insert_fraction = 0.2;
+    wc.delete_fraction = 0.1;
+    WorkloadDriver driver(e.get(), wc);
+    (void)driver.RunOps(2000);  // warm
+    (void)e->Checkpoint();
+    (void)driver.RunOps(12000);  // the analyzed window
+    driver.OnCrash();
+  }
+  e->SimulateCrash();
+  Engine::StableSnapshot snap;
+  (void)e->TakeStableSnapshot(&snap);
+
+  uint64_t records = 0;
+  uint64_t updates = 0;
+  double sim_ms = 0;
+  uint64_t iters = 0;
+  const Lsn start = e->wal().master().bckpt_lsn;
+  for (auto _ : state) {
+    (void)e->RestoreStableSnapshot(snap);
+    (void)e->dc().OpenDatabase();
+    DcRecoveryResult dcr;
+    const double sim_t0 = e->clock().NowMs();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+      (void)RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                          /*build_dpt=*/true, /*preload=*/false, &dcr);
+    } else {
+      (void)RunDcRecoveryParallel(&e->wal(), &e->dc(), start, o.dpt_mode,
+                                  /*build_dpt=*/true, /*preload=*/false,
+                                  threads, &dcr);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    sim_ms += e->clock().NowMs() - sim_t0;
+    records += dcr.records_scanned;
+    updates += dcr.dpt_updates;
+    iters++;
+    e->SimulateCrash();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(records));
+  state.counters["threads"] = threads;
+  state.counters["dpt_updates_per_iter"] =
+      iters == 0 ? 0.0
+                 : static_cast<double>(updates) / static_cast<double>(iters);
+  state.counters["sim_ms"] =
+      iters == 0 ? 0.0 : sim_ms / static_cast<double>(iters);
+}
+BENCHMARK(BM_ParallelAnalysis)
+    ->ArgsProduct({{1, 2, 4, 8}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-scaling curve of the parallel undo pass (ISSUE 9): one crash
+// image with a fat in-flight loser tail, rolled back at recovery_threads
+// in {1, 2, 4, 8}. Each iteration restores the image and replays the
+// serial DC pass + redo (untimed) to rebuild the ATT, then times undo
+// alone. The dispatcher appends the identical CLR stream at every width;
+// the leaf restores fan out to the apply workers.
+void BM_ParallelUndo(benchmark::State& state) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  EngineOptions o;
+  o.page_size = 8192;
+  o.value_size = 26;
+  o.num_rows = 100'000;
+  o.cache_pages = 4096;
+  o.lazy_writer_reference_cache_pages = 4096;
+  o.checkpoint_interval_updates = 100'000;  // explicit checkpoint only
+  std::unique_ptr<Engine> e;
+  (void)Engine::Open(o, &e);
+  {
+    WorkloadConfig wc;
+    wc.insert_fraction = 0.05;
+    wc.delete_fraction = 0.05;
+    WorkloadDriver driver(e.get(), wc);
+    (void)driver.RunOps(2000);  // warm
+    (void)e->Checkpoint();
+    (void)driver.RunOps(4000);
+    driver.OnCrash();
+  }
+  // The undo workload: 16 fat in-flight losers whose rollback is the timed
+  // region — updates spread across a dedicated committed key range (the
+  // fan-out path, one leaf restore per page partition; the range sits above
+  // anything the driver churns so every op lands) plus one insert and one
+  // delete each (the structure-op barrier path).
+  {
+    Table table;
+    (void)e->OpenDefaultTable(&table);
+    const Key base = 300'000;
+    const std::string v0(o.value_size, 's');
+    const std::string v(o.value_size, 'u');
+    {
+      Txn setup;
+      (void)e->Begin(&setup);
+      for (uint32_t i = 0; i < 16; i++) {
+        for (uint32_t j = 0; j <= 50; j++) {
+          (void)setup.Insert(table, base + static_cast<Key>(i * 6000 + j * 113),
+                             v0);
+        }
+      }
+      (void)setup.Commit();
+    }
+    Txn losers[16];
+    for (uint32_t i = 0; i < 16; i++) {
+      (void)e->Begin(&losers[i]);
+      for (uint32_t j = 0; j < 50; j++) {
+        (void)losers[i].Update(table,
+                               base + static_cast<Key>(i * 6000 + j * 113), v);
+      }
+      (void)losers[i].Insert(table, base + static_cast<Key>(100'000 + i), v);
+      (void)losers[i].Delete(table,
+                             base + static_cast<Key>(i * 6000 + 50 * 113));
+    }
+    e->tc().ForceLog();
+    for (Txn& t : losers) t.Release();  // in flight at the crash
+  }
+  e->SimulateCrash();
+  Engine::StableSnapshot snap;
+  (void)e->TakeStableSnapshot(&snap);
+
+  uint64_t ops = 0;
+  double sim_ms = 0;
+  uint64_t iters = 0;
+  const Lsn start = e->wal().master().bckpt_lsn;
+  for (auto _ : state) {
+    (void)e->RestoreStableSnapshot(snap);
+    (void)e->dc().OpenDatabase();
+    // As under the RecoveryManager: undo runs with monitoring quiesced.
+    e->dc().monitor().set_enabled(false);
+    e->dc().pool().set_callbacks_enabled(false);
+    DcRecoveryResult dcr;
+    (void)RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                        /*build_dpt=*/true, /*preload=*/false, &dcr);
+    RedoResult redo;
+    (void)RunLogicalRedo(&e->wal(), &e->dc(), start, /*use_dpt=*/true,
+                         &dcr.dpt, dcr.last_delta_tc_lsn, nullptr, o, &redo);
+    UndoResult ur;
+    const double sim_t0 = e->clock().NowMs();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (threads == 1) {
+      (void)RunUndo(&e->wal(), &e->dc(), redo.att, &ur);
+    } else {
+      (void)RunUndoParallel(&e->wal(), &e->dc(), redo.att, threads, &ur);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    sim_ms += e->clock().NowMs() - sim_t0;
+    ops += ur.ops_undone;
+    iters++;
+    e->SimulateCrash();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.counters["threads"] = threads;
+  state.counters["ops_per_iter"] =
+      iters == 0 ? 0.0 : static_cast<double>(ops) / static_cast<double>(iters);
+  state.counters["sim_undo_ms"] =
+      iters == 0 ? 0.0 : sim_ms / static_cast<double>(iters);
+}
+BENCHMARK(BM_ParallelUndo)
+    ->ArgsProduct({{1, 2, 4, 8}})
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

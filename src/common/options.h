@@ -110,7 +110,14 @@ struct IoModelOptions {
   /// Max contiguous pages coalesced into one read I/O (paper App. A: 8).
   double log_page_read_ms = 0.25;  ///< Sequential log read, per log page.
   uint32_t max_batch_pages = 8;
-  /// Number of I/Os the device can service concurrently (queue parallelism).
+  /// Number of I/Os the device can service concurrently: the SimDisk keeps
+  /// one elevator (busy-until cursor) per channel and assigns each request
+  /// to the earliest-free one. 1 (default) is the classic single-head
+  /// drive where every parallel recovery stream serializes behind one arm;
+  /// raising it lets prefetch/read-ahead streams from parallel
+  /// analysis/redo/undo workers overlap in simulated time (demand misses
+  /// still wait for their own completion). Clamped to [1, 64] at engine
+  /// open.
   uint32_t io_channels = 1;
 
   /// CPU charged per log record examined during a recovery scan (µs).
@@ -119,6 +126,13 @@ struct IoModelOptions {
   double cpu_per_btree_level_us = 2.0;
   /// CPU charged per redo operation actually applied (µs).
   double cpu_per_redo_apply_us = 5.0;
+  /// CPU charged per DPT mutation event during analysis/DC-pass DPT
+  /// construction (µs): every AddOrUpdate/seed/prune/remove the pass
+  /// performs. Serial passes charge events inline on one core; the
+  /// parallel analysis pipeline folds only the slowest shard's total —
+  /// which is what makes DPT construction scale with recovery_threads in
+  /// simulated time, mirroring the apply-CPU fold of parallel redo.
+  double cpu_per_dpt_update_us = 1.0;
 
   /// Media-fault plan (sim/fault_injector.h). Inactive by default.
   FaultPlanOptions faults;

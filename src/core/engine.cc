@@ -19,6 +19,8 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
   if (options_.recovery_threads > 64) options_.recovery_threads = 64;
   if (options_.lock_shards == 0) options_.lock_shards = 1;
   if (options_.lock_shards > 256) options_.lock_shards = 256;
+  if (options_.io.io_channels == 0) options_.io.io_channels = 1;
+  if (options_.io.io_channels > 64) options_.io.io_channels = 64;
   log_ = std::make_unique<LogManager>(&clock_, options_.log_page_size,
                                       options_.io.log_page_read_ms);
   dc_ = std::make_unique<DataComponent>(&clock_, log_.get(), options_);
@@ -306,6 +308,7 @@ Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
     if (s.ok()) {
       running_ = true;
       degraded_ = false;
+      last_recovery_ = *stats;
       if (group_commit_) group_commit_->Start();
       return Status::OK();
     }
@@ -345,6 +348,12 @@ EngineStats Engine::Stats() const {
   const TransactionComponent::Stats& ts = tc_->stats();
   s.committed = ts.committed;
   s.aborted = ts.aborted;
+  // The DPT-construction phase is the DC pass for logical methods and the
+  // SQL analysis pass otherwise; exactly one of the two is nonzero.
+  s.recovery_analysis_ms = last_recovery_.dc_pass.ms + last_recovery_.analysis.ms;
+  s.recovery_redo_ms = last_recovery_.redo.ms;
+  s.recovery_undo_ms = last_recovery_.undo.ms;
+  s.recovery_total_ms = last_recovery_.total_ms;
   return s;
 }
 

@@ -59,6 +59,15 @@ struct EngineStats {
   uint64_t log_flushes = 0;           ///< physical log forces (all paths)
   uint64_t committed = 0;
   uint64_t aborted = 0;
+
+  // Per-phase simulated timings of the last successful Recover() — zero if
+  // the engine never recovered. `recovery_analysis_ms` covers DPT
+  // construction (the DC pass for logical methods, Algorithm 3 for the SQL
+  // family); redo and undo are the other two passes.
+  double recovery_analysis_ms = 0;
+  double recovery_redo_ms = 0;
+  double recovery_undo_ms = 0;
+  double recovery_total_ms = 0;
 };
 
 class Engine {
@@ -206,6 +215,8 @@ class Engine {
   bool running_ = false;
   bool read_only_ = false;
   bool degraded_ = false;
+  /// Phase breakdown of the last successful Recover(), surfaced by Stats().
+  RecoveryStats last_recovery_;
 
   /// Forward-path gate. Writes, commits, aborts, checkpoints, DDL, crash,
   /// and media repair hold it exclusively; Read/Scan/TxnRead hold it

@@ -4,7 +4,8 @@
 
 namespace deutero {
 
-Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
+Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out,
+                      SimClock* clock, double cpu_per_dpt_update_us) {
   *out = SqlAnalysisResult();
   out->redo_start_lsn = bckpt_lsn;
   auto it = log->NewIterator(bckpt_lsn, /*charge_io=*/true);
@@ -19,6 +20,7 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
         for (size_t i = 0; i < rec.ckpt_dpt_pids.size(); i++) {
           const PageId pid = rec.ckpt_dpt_pids[i];
           const Lsn rlsn = rec.ckpt_dpt_rlsns[i];
+          out->dpt_updates++;
           if (out->dpt.Find(pid) == nullptr) {
             out->dpt.AddExact(pid, rlsn, rlsn);
           }
@@ -33,6 +35,7 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
       case LogRecordType::kClr:
         // Algorithm 3 lines 5-10: first mention adds (PID, rLSN = LSN);
         // later mentions advance lastLSN.
+        out->dpt_updates++;
         out->dpt.AddOrUpdate(rec.pid, rec.lsn);
         break;
       case LogRecordType::kSmo:
@@ -40,6 +43,7 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
         // SMO system transactions (and DDL) are page updates too; their
         // pages need redo consideration exactly like data updates.
         for (const SmoPageImageRef& p : rec.smo_pages) {
+          out->dpt_updates++;
           out->dpt.AddOrUpdate(p.pid, rec.lsn);
         }
         break;
@@ -50,14 +54,18 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
         // later split re-allocating it re-adds it with that split's rLSN.
         for (const SmoPageImageRef& p : rec.smo_pages) {
           if (p.pid == rec.pid) continue;
+          out->dpt_updates++;
           out->dpt.AddOrUpdate(p.pid, rec.lsn);
         }
+        out->dpt_updates++;
         out->dpt.Remove(rec.pid);
         break;
       case LogRecordType::kBwRecord: {
-        // Algorithm 3 lines 11-18: prune by the flushed set.
+        // Algorithm 3 lines 11-18: prune by the flushed set. Every probe
+        // counts as a DPT event — the lookup is the work, hit or miss.
         out->bw_records_seen++;
         for (PageId pid : rec.written_set) {
+          out->dpt_updates++;
           DirtyPageTable::Entry* e = out->dpt.Find(pid);
           if (e == nullptr) continue;
           if (e->last_lsn <= rec.fw_lsn) {
@@ -76,18 +84,26 @@ Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out) {
     }
   }
   out->log_pages = it.pages_read();
+  out->shard_cpu_us_max = out->shard_cpu_us_total =
+      static_cast<double>(out->dpt_updates) * cpu_per_dpt_update_us;
+  if (clock != nullptr && out->shard_cpu_us_max > 0) {
+    clock->AdvanceUs(out->shard_cpu_us_max);
+  }
   return Status::OK();
 }
 
 namespace {
 
-/// Algorithm 4's DC-DPT-UPDATE plus the App. D variants.
+/// Algorithm 4's DC-DPT-UPDATE plus the App. D variants. `updates` counts
+/// DPT mutation events (one per dirty-set entry, one per written-set probe)
+/// for the cpu_per_dpt_update_us charge.
 void ApplyDeltaToDpt(const LogRecordView& rec, Lsn prev_delta_lsn,
                      DptMode mode, DirtyPageTable* dpt,
-                     std::vector<PageId>* pf_list) {
+                     std::vector<PageId>* pf_list, uint64_t* updates) {
   // Dirty set: assign conservative rLSN proxies.
   for (size_t i = 0; i < rec.dirty_set.size(); i++) {
     const PageId pid = rec.dirty_set[i];
+    (*updates)++;
     if (pf_list != nullptr && dpt->Find(pid) == nullptr) {
       pf_list->push_back(pid);  // first mention (App. A.2)
     }
@@ -119,6 +135,7 @@ void ApplyDeltaToDpt(const LogRecordView& rec, Lsn prev_delta_lsn,
       if (!rec.has_fw_fields) break;
       // Algorithm 4 lines 16-22.
       for (PageId pid : rec.written_set) {
+        (*updates)++;
         DirtyPageTable::Entry* e = dpt->Find(pid);
         if (e == nullptr) continue;
         if (e->last_lsn < rec.fw_lsn) {
@@ -133,6 +150,7 @@ void ApplyDeltaToDpt(const LogRecordView& rec, Lsn prev_delta_lsn,
       // only. Entries added by this record carry lastLSN == prev_delta_lsn;
       // strictly older proxies identify prior-record entries.
       for (PageId pid : rec.written_set) {
+        (*updates)++;
         DirtyPageTable::Entry* e = dpt->Find(pid);
         if (e != nullptr && e->last_lsn < prev_delta_lsn) dpt->Remove(pid);
       }
@@ -169,7 +187,10 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
           // later in-window split re-allocating it re-adds it).
           DEUTERO_RETURN_NOT_OK(dc->RedoSmoMerge(rec));
           out->smo_redone++;
-          if (build_dpt) out->dpt.Remove(rec.pid);
+          if (build_dpt) {
+            out->dpt_updates++;
+            out->dpt.Remove(rec.pid);
+          }
           break;
         case LogRecordType::kCreateTable:
           // DDL is a DC system transaction: re-register the table and its
@@ -181,7 +202,7 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
           out->delta_records_seen++;
           if (build_dpt) {
             ApplyDeltaToDpt(rec, prev_delta_lsn, mode, &out->dpt,
-                            &out->pf_list);
+                            &out->pf_list, &out->dpt_updates);
           }
           prev_delta_lsn = rec.tc_lsn;
           out->last_delta_tc_lsn = rec.tc_lsn;
@@ -205,9 +226,17 @@ Status RunDcRecovery(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
     // pool — where it would sit resident until a post-recovery split
     // re-allocates the pid and collides in BufferPool::Create.
     for (const PageId pid : dc->allocator().free_list()) {
+      out->dpt_updates++;
       out->dpt.Remove(pid);
     }
   }
+  // DPT-construction CPU, charged pass-complete (inline-equivalent: nothing
+  // in this pass depends on absolute time between records). The parallel
+  // pass charges only the slowest shard's share — see parallel_analysis.cc.
+  out->shard_cpu_us_max = out->shard_cpu_us_total =
+      static_cast<double>(out->dpt_updates) *
+      dc->options().io.cpu_per_dpt_update_us;
+  if (out->shard_cpu_us_max > 0) dc->clock().AdvanceUs(out->shard_cpu_us_max);
   if (preload_index) {
     DEUTERO_RETURN_NOT_OK(dc->PreloadIndex());
   }

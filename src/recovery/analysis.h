@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "dc/data_component.h"
 #include "recovery/dpt.h"
+#include "sim/clock.h"
 #include "wal/log_manager.h"
 
 namespace deutero {
@@ -201,14 +202,27 @@ struct SqlAnalysisResult {
   uint64_t delta_records_seen = 0;  ///< Present on the common log; ignored.
   uint64_t records_scanned = 0;
   uint64_t log_pages = 0;
+  /// DPT mutation events performed (adds/updates/prune probes/removals) —
+  /// the unit cpu_per_dpt_update_us is charged per. Identical between the
+  /// serial pass and the sharded parallel pass on the same log.
+  uint64_t dpt_updates = 0;
+  uint32_t threads_used = 1;       ///< Shard workers (1 == serial pass).
+  double shard_cpu_us_max = 0;     ///< Slowest shard's charged DPT CPU.
+  double shard_cpu_us_total = 0;   ///< Sum over shards (== max when serial).
   /// Where redo must start. Equal to the analysis start under penultimate
   /// checkpointing; under ARIES checkpointing (§3.1) it reaches back to the
   /// oldest rLSN of the DPT captured in the checkpoint record.
   Lsn redo_start_lsn = kInvalidLsn;
 };
 
-/// Algorithm 3 over [bckpt_lsn, stable end).
-Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out);
+/// Algorithm 3 over [bckpt_lsn, stable end). When `clock` is non-null, DPT
+/// mutation CPU (`cpu_per_dpt_update_us` per event) is charged to it at pass
+/// end — inline-equivalent for this pass, which has no absolute-time
+/// dependence. RecoveryManager passes the engine clock; direct callers that
+/// only care about the tables may omit it.
+Status RunSqlAnalysis(LogManager* log, Lsn bckpt_lsn, SqlAnalysisResult* out,
+                      SimClock* clock = nullptr,
+                      double cpu_per_dpt_update_us = 0);
 
 struct DcRecoveryResult {
   DirtyPageTable dpt;
@@ -219,6 +233,10 @@ struct DcRecoveryResult {
   uint64_t smo_redone = 0;
   uint64_t records_scanned = 0;
   uint64_t log_pages = 0;
+  uint64_t dpt_updates = 0;      ///< DPT mutation events (see SqlAnalysisResult).
+  uint32_t threads_used = 1;
+  double shard_cpu_us_max = 0;
+  double shard_cpu_us_total = 0;
 };
 
 /// DC recovery over [bckpt_lsn, stable end). `build_dpt` is false for Log0

@@ -36,8 +36,9 @@
 //    buffer (the zero-copy contract). That is valid across threads exactly
 //    while the log's generation counter is unchanged, i.e. no
 //    Append/Crash/RestoreSnapshot during the pass — enforced by a
-//    LogAliasGuard over the whole pass (redo never appends; undo, which
-//    does, stays serial).
+//    LogAliasGuard over the whole pass (redo never appends; parallel undo,
+//    which does append CLRs, copies before-images into OWNED work-item
+//    strings instead of aliasing — see undo.cc).
 //  * SMO/DDL barrier (SQL family) — a kSmo/kCreateTable record spans
 //    partitions (multiple page images), so it must apply at a
 //    deterministic log position: the dispatcher tells every worker to drop

@@ -4,6 +4,7 @@
 
 #include "recovery/analysis.h"
 #include "recovery/dpt.h"
+#include "recovery/parallel_analysis.h"
 #include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
 #include "recovery/undo.h"
@@ -72,14 +73,24 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
     const bool build_dpt = method != RecoveryMethod::kLog0;
     const bool preload = method == RecoveryMethod::kLog2;
     DcRecoveryResult dcr;
-    DEUTERO_RETURN_NOT_OK(RunDcRecovery(log_, dc_, start, options_.dpt_mode,
-                                        build_dpt, preload, &dcr));
+    if (options_.recovery_threads > 1) {
+      DEUTERO_RETURN_NOT_OK(RunDcRecoveryParallel(
+          log_, dc_, start, options_.dpt_mode, build_dpt, preload,
+          options_.recovery_threads, &dcr));
+    } else {
+      DEUTERO_RETURN_NOT_OK(RunDcRecovery(log_, dc_, start, options_.dpt_mode,
+                                          build_dpt, preload, &dcr));
+    }
     const double t1 = clock_->NowMs();
     stats->dc_pass = {t1 - t0, dcr.log_pages, dcr.records_scanned};
     stats->dpt_size = dcr.dpt.size();
     stats->delta_records_seen = dcr.delta_records_seen;
     stats->bw_records_seen = dcr.bw_records_seen;
     stats->smo_redone = dcr.smo_redone;
+    stats->analysis_threads = dcr.threads_used;
+    stats->dpt_updates = dcr.dpt_updates;
+    stats->analysis_shard_cpu_ms_max = dcr.shard_cpu_us_max * 1e-3;
+    stats->analysis_shard_cpu_ms_total = dcr.shard_cpu_us_total * 1e-3;
 
     if (options_.recovery_threads > 1) {
       DEUTERO_RETURN_NOT_OK(RunLogicalRedoParallel(
@@ -98,12 +109,23 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
     max_txn_id = redo.max_txn_id;
   } else {
     SqlAnalysisResult ar;
-    DEUTERO_RETURN_NOT_OK(RunSqlAnalysis(log_, start, &ar));
+    if (options_.recovery_threads > 1) {
+      DEUTERO_RETURN_NOT_OK(RunSqlAnalysisParallel(
+          log_, start, options_.recovery_threads, &ar, clock_,
+          options_.io.cpu_per_dpt_update_us));
+    } else {
+      DEUTERO_RETURN_NOT_OK(RunSqlAnalysis(log_, start, &ar, clock_,
+                                           options_.io.cpu_per_dpt_update_us));
+    }
     const double t1 = clock_->NowMs();
     stats->analysis = {t1 - t0, ar.log_pages, ar.records_scanned};
     stats->dpt_size = ar.dpt.size();
     stats->delta_records_seen = ar.delta_records_seen;
     stats->bw_records_seen = ar.bw_records_seen;
+    stats->analysis_threads = ar.threads_used;
+    stats->dpt_updates = ar.dpt_updates;
+    stats->analysis_shard_cpu_ms_max = ar.shard_cpu_us_max * 1e-3;
+    stats->analysis_shard_cpu_ms_total = ar.shard_cpu_us_total * 1e-3;
 
     // Row accounting starts at the covered boundary (the ARIES redo SCAN
     // may reach back to the oldest captured rLSN, before the bCkpt).
@@ -140,11 +162,17 @@ Status RecoveryManager::Recover(RecoveryMethod method, RecoveryStats* stats) {
   // Undo pass — identical machinery for every method (§2.1).
   const double t_undo0 = clock_->NowMs();
   UndoResult ur;
-  DEUTERO_RETURN_NOT_OK(RunUndo(log_, dc_, att, &ur));
+  if (options_.recovery_threads > 1) {
+    DEUTERO_RETURN_NOT_OK(
+        RunUndoParallel(log_, dc_, att, options_.recovery_threads, &ur));
+  } else {
+    DEUTERO_RETURN_NOT_OK(RunUndo(log_, dc_, att, &ur));
+  }
   const double t_undo1 = clock_->NowMs();
   stats->undo = {t_undo1 - t_undo0, 0, 0};
   stats->txns_undone = ur.txns_undone;
   stats->undo_ops = ur.ops_undone;
+  stats->undo_threads = ur.threads_used;
   stats->total_ms = t_undo1 - t0;
 
   // Buffer-pool counters cover exactly the recovery epoch.

@@ -17,6 +17,7 @@ struct UndoResult {
   uint64_t txns_undone = 0;
   uint64_t ops_undone = 0;
   uint64_t clrs_written = 0;
+  uint32_t threads_used = 1;  ///< Apply workers (1 == serial pass).
 };
 
 /// Roll back every transaction in `att` (losers), interleaved in descending
@@ -28,5 +29,20 @@ struct UndoResult {
 /// far are flushed, abort records are not. 0 = run to completion.
 Status RunUndo(LogManager* log, DataComponent* dc, const ActiveTxnTable& att,
                UndoResult* out, uint64_t max_ops_for_test = 0);
+
+/// Parallel counterpart of RunUndo (ISSUE 9 tentpole): the dispatcher walks
+/// the loser heap and appends every CLR/abort in exactly the serial order —
+/// the undo log stream is byte-identical — while the leaf before-image
+/// restores of update-undos fan out to hash(pid) apply workers with pin
+/// caches and ring-peek read-ahead (the undo pass's page misses are random
+/// 5 ms seeks; overlapping them across io_channels is where the time goes).
+/// Insert/delete undos change tree structure (splits, merges, row counts),
+/// so the dispatcher drains all workers to a barrier and applies those
+/// itself, exactly as the serial pass would. Falls back to RunUndo when
+/// threads < 2. Recovered state and UndoResult counters match the serial
+/// pass exactly.
+Status RunUndoParallel(LogManager* log, DataComponent* dc,
+                       const ActiveTxnTable& att, uint32_t threads,
+                       UndoResult* out, uint64_t max_ops_for_test = 0);
 
 }  // namespace deutero

@@ -143,6 +143,13 @@ class SimDisk {
   /// the buffer pool and the device agree on one fault policy).
   const IoModelOptions& io_options() const { return io_; }
 
+  /// Independent service channels (per-channel elevators). With 1 channel
+  /// every request serializes behind one head; with more, prefetch streams
+  /// from parallel recovery workers overlap in simulated time.
+  uint32_t channels() const {
+    return static_cast<uint32_t>(channel_busy_until_.size());
+  }
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 

@@ -428,13 +428,54 @@ LogRecord LogRecordView::ToOwned() const {
   return out;
 }
 
+void LogRecordView::CopyTo(LogRecord* out) const {
+  // Same field list as ToOwned(), but assigning in place: string/vector
+  // assignment reuses the destination's capacity, so decoding a stream of
+  // data-op records into one scratch LogRecord stops allocating once the
+  // largest image has been seen. Every scalar is assigned too — a reused
+  // destination must not leak state from the previous record.
+  out->type = type;
+  out->lsn = lsn;
+  out->txn_id = txn_id;
+  out->prev_lsn = prev_lsn;
+  out->table_id = table_id;
+  out->key = key;
+  out->before.assign(before.data(), before.size());
+  out->after.assign(after.data(), after.size());
+  out->pid = pid;
+  out->undo_next_lsn = undo_next_lsn;
+  out->clr_row_delta = clr_row_delta;
+  out->bckpt_lsn = bckpt_lsn;
+  out->att_txn_ids = att_txn_ids;
+  out->att_last_lsns = att_last_lsns;
+  out->ckpt_dpt_pids = ckpt_dpt_pids;
+  out->ckpt_dpt_rlsns = ckpt_dpt_rlsns;
+  out->written_set = written_set;
+  out->fw_lsn = fw_lsn;
+  out->dirty_set = dirty_set;
+  out->dirty_lsns = dirty_lsns;
+  out->first_dirty = first_dirty;
+  out->tc_lsn = tc_lsn;
+  out->has_fw_fields = has_fw_fields;
+  out->smo_pages.resize(smo_pages.size());
+  for (size_t i = 0; i < smo_pages.size(); ++i) {
+    out->smo_pages[i].pid = smo_pages[i].pid;
+    out->smo_pages[i].image.assign(smo_pages[i].image.data(),
+                                   smo_pages[i].image.size());
+  }
+  out->alloc_hwm = alloc_hwm;
+  out->ddl_value_size = ddl_value_size;
+}
+
 Status LogRecord::DecodePayload(LogRecordType type, Slice in, LogRecord* out) {
   // One decode implementation serves both representations: decode borrowed,
-  // then materialize. This path is the cold one (backchain reads, tests);
-  // sequential scans use LogRecordView directly.
+  // then copy out. This path is the warm one for the undo backchain walk
+  // (LogManager::ReadRecordAt), so the copy reuses `out`'s capacity — a
+  // hoisted destination record makes repeated reads allocation-free; see
+  // LogRecordView::CopyTo.
   LogRecordView view;
   DEUTERO_RETURN_NOT_OK(LogRecordView::DecodePayload(type, in, &view));
-  *out = view.ToOwned();
+  view.CopyTo(out);
   return Status::OK();
 }
 

@@ -135,6 +135,12 @@ struct LogRecordView {
   /// Materialize an owning copy (rare compatibility path: tests, tools).
   LogRecord ToOwned() const;
 
+  /// Copy every field into `out`, reusing its string/vector capacity. The
+  /// undo backchain walk decodes each loser record into one hoisted
+  /// LogRecord through this; for data-op records (empty vectors, bounded
+  /// images) a warmed destination makes the copy allocation-free.
+  void CopyTo(LogRecord* out) const;
+
   bool IsRedoableDataOp() const {
     return type == LogRecordType::kUpdate || type == LogRecordType::kInsert ||
            type == LogRecordType::kDelete || type == LogRecordType::kClr;

@@ -181,6 +181,34 @@ TEST_F(HotPathAllocTest, ScanWithDeltaAndSmoRecordsReusesScratch) {
       << "scan allocations grew with the log: scratch is not being reused";
 }
 
+TEST_F(HotPathAllocTest, ReadRecordAtIntoHoistedRecordIsAllocationFree) {
+  // The undo hot path (ISSUE 9): loser rollback walks backward chains with
+  // random-access ReadRecordAt into ONE hoisted LogRecord. DecodePayload
+  // assigns every field through the zero-copy view's CopyTo, reusing the
+  // record's string/vector capacity — so after one warm-up read the whole
+  // walk performs zero heap allocations per record.
+  AppendUpdates(2000);
+  log_.Flush();
+  std::vector<Lsn> lsns;
+  for (auto it = log_.NewIterator(kFirstLsn, false); it.Valid(); it.Next()) {
+    lsns.push_back(it.record().lsn);
+  }
+  ASSERT_EQ(lsns.size(), 2000u);
+  LogRecord rec;  // hoisted, as RunUndo hoists its scratch records
+  ASSERT_TRUE(log_.ReadRecordAt(lsns[0], &rec, false).ok());  // warm-up
+  uint64_t checksum = 0;
+  const uint64_t allocs = CountAllocs([&] {
+    // Reverse order, as undo reads, including repeated re-reads.
+    for (size_t i = lsns.size(); i-- > 0;) {
+      (void)log_.ReadRecordAt(lsns[i], &rec, false);
+      checksum += rec.key + rec.before.size() + rec.after.size();
+    }
+  });
+  EXPECT_EQ(allocs, 0u) << "per-record heap allocations crept back into the "
+                           "undo rollback path (ReadRecordAt scratch reuse)";
+  EXPECT_GT(checksum, 0u);
+}
+
 TEST_F(HotPathAllocTest, SteadyStateAppendDoesNotAllocatePerRecord) {
   // Warm the log so buffer_ capacity is comfortably ahead of the tail.
   AppendUpdates(4096);

@@ -1,21 +1,27 @@
-// Parallel-vs-serial equivalence sweep for the partitioned redo pipeline:
-// for every recovery method and recovery_threads in {1, 2, 4}, the same
+// Parallel-vs-serial equivalence sweeps for the partitioned recovery
+// pipelines — redo (PR 4), analysis/DPT construction and undo (ISSUE 9):
+// for every recovery method and recovery_threads in {1, 2, 4, 8}, the same
 // crash image must recover to byte-identical table content with the same
-// loser-transaction outcome; and the pass-level RedoResult decision
-// counters of the parallel pipeline must match the serial pass exactly
-// (the pipeline re-partitions the work, it must not change any decision).
+// loser-transaction outcome; and the pass-level decision counters, tables
+// (DPT/ATT/PF-list) and — for undo — the appended log SUFFIX of each
+// parallel pipeline must match the serial pass exactly (the pipelines
+// re-partition the work, they must not change any decision).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "recovery/analysis.h"
+#include "recovery/parallel_analysis.h"
 #include "recovery/parallel_redo.h"
 #include "recovery/redo.h"
 #include "recovery/stats.h"
+#include "recovery/undo.h"
 #include "test_util.h"
 #include "workload/driver.h"
 #include "workload/scenario.h"
@@ -84,7 +90,7 @@ TEST_P(ParallelRecoveryTest, ThreadSweepIsByteIdenticalToSerial) {
   std::string serial_digest;
   uint64_t serial_txns_undone = 0;
   uint64_t serial_undo_ops = 0;
-  for (uint32_t threads : {1u, 2u, 4u}) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     // Recover the SAME crash image with a fresh engine configured for
     // `threads` partition workers.
     EngineOptions ot = o;
@@ -96,6 +102,15 @@ TEST_P(ParallelRecoveryTest, ThreadSweepIsByteIdenticalToSerial) {
     RecoveryStats st;
     ASSERT_OK(et->Recover(GetParam(), &st));
     EXPECT_EQ(st.redo_threads, threads) << "pipeline engagement mismatch";
+    if (threads > 1) {
+      // All three passes must engage their pipelines (ISSUE 9) — except
+      // Log0's analysis, which builds no DPT and stays serial by design.
+      EXPECT_EQ(st.undo_threads, threads) << "undo pipeline not engaged";
+      if (GetParam() != RecoveryMethod::kLog0) {
+        EXPECT_EQ(st.analysis_threads, threads)
+            << "analysis pipeline not engaged";
+      }
+    }
 
     uint64_t rows = 0;
     ASSERT_OK(et->dc().btree().CheckWellFormed(&rows));
@@ -148,7 +163,7 @@ TEST_P(ParallelRecoveryTest, MergeChurnRowDeltaReplayMatchesSerial) {
 
   std::string serial_digest;
   uint64_t serial_rows = 0;
-  for (uint32_t threads : {1u, 2u, 4u}) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     EngineOptions ot = o;
     ot.recovery_threads = threads;
     std::unique_ptr<Engine> et;
@@ -326,6 +341,314 @@ TEST(ParallelRedoPass, SqlCountersMatchSerialWithDdlInWindow) {
     EXPECT_EQ(par.skipped_plsn, serial.skipped_plsn);
     EXPECT_EQ(par.smo_redone, serial.smo_redone);
     EXPECT_GT(par.smo_barriers, 0u) << "DDL window must take barriers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis-pass parity (ISSUE 9 tentpole): the sharded parallel DPT builds
+// must reproduce the serial passes' tables, orders and counters exactly —
+// per-PID event order is preserved by the shard FIFOs and DPT operations on
+// distinct PIDs commute, so nothing may differ.
+// ---------------------------------------------------------------------------
+
+std::vector<std::tuple<PageId, Lsn, Lsn>> DptEntries(
+    const DirtyPageTable& dpt) {
+  std::vector<std::tuple<PageId, Lsn, Lsn>> v;
+  dpt.ForEach([&](PageId pid, const DirtyPageTable::Entry& e) {
+    v.emplace_back(pid, e.rlsn, e.last_lsn);
+  });
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<std::pair<TxnId, Lsn>> AttEntries(const ActiveTxnTable& att) {
+  std::vector<std::pair<TxnId, Lsn>> v(att.begin(), att.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(ParallelAnalysisPass, SqlTablesAndCountersMatchSerial) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+  const Lsn start = e->wal().master().bckpt_lsn;
+
+  SqlAnalysisResult serial;
+  ASSERT_OK(RunSqlAnalysis(&e->wal(), start, &serial));
+  ASSERT_GT(serial.dpt.size(), 0u);
+  ASSERT_GT(serial.att.size(), 0u) << "no losers: the ATT parity is vacuous";
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    SqlAnalysisResult par;
+    ASSERT_OK(RunSqlAnalysisParallel(&e->wal(), start, threads, &par));
+    EXPECT_EQ(par.threads_used, threads);
+    EXPECT_EQ(DptEntries(par.dpt), DptEntries(serial.dpt))
+        << "DPT diverged at " << threads << " threads";
+    EXPECT_EQ(AttEntries(par.att), AttEntries(serial.att))
+        << "ATT diverged at " << threads << " threads";
+    EXPECT_EQ(par.redo_start_lsn, serial.redo_start_lsn);
+    EXPECT_EQ(par.max_txn_id, serial.max_txn_id);
+    EXPECT_EQ(par.records_scanned, serial.records_scanned);
+    EXPECT_EQ(par.log_pages, serial.log_pages);
+    EXPECT_EQ(par.bw_records_seen, serial.bw_records_seen);
+    EXPECT_EQ(par.delta_records_seen, serial.delta_records_seen);
+    EXPECT_EQ(par.dpt_updates, serial.dpt_updates)
+        << "the shards performed different DPT work than the serial scan";
+    // The shards partition the serial pass's work: their folded CPU shares
+    // sum to exactly the serial total, and the critical path can only be a
+    // part of it.
+    EXPECT_DOUBLE_EQ(par.shard_cpu_us_total, serial.shard_cpu_us_total);
+    EXPECT_LE(par.shard_cpu_us_max, serial.shard_cpu_us_max);
+  }
+}
+
+// Under ARIES checkpointing the analysis seeds the DPT from the captured
+// checkpoint image and redo_start_lsn reaches back to the oldest captured
+// rLSN — the seed events must shard identically too.
+TEST(ParallelAnalysisPass, SqlAriesCheckpointSeedsShardIdentically) {
+  EngineOptions o = SmallOptions();
+  o.checkpoint_scheme = CheckpointScheme::kAries;
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+  const Lsn start = e->wal().master().bckpt_lsn;
+
+  SqlAnalysisResult serial;
+  ASSERT_OK(RunSqlAnalysis(&e->wal(), start, &serial));
+  ASSERT_LT(serial.redo_start_lsn, start)
+      << "ARIES analysis did not reach back: no captured DPT to seed from";
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    SqlAnalysisResult par;
+    ASSERT_OK(RunSqlAnalysisParallel(&e->wal(), start, threads, &par));
+    EXPECT_EQ(DptEntries(par.dpt), DptEntries(serial.dpt)) << threads;
+    EXPECT_EQ(AttEntries(par.att), AttEntries(serial.att)) << threads;
+    EXPECT_EQ(par.redo_start_lsn, serial.redo_start_lsn) << threads;
+    EXPECT_EQ(par.dpt_updates, serial.dpt_updates) << threads;
+  }
+}
+
+TEST(ParallelAnalysisPass, DcPassMatchesSerialAcrossDptModes) {
+  for (DptMode mode :
+       {DptMode::kStandard, DptMode::kPerfect, DptMode::kReduced}) {
+    EngineOptions o = SmallOptions();
+    o.dpt_mode = mode;
+    std::unique_ptr<Engine> e;
+    ASSERT_OK(Engine::Open(o, &e));
+    WorkloadDriver driver(e.get(), MixedWorkload());
+    BuildMixedCrashImage(e.get(), &driver);
+    Engine::StableSnapshot snap;
+    ASSERT_OK(e->TakeStableSnapshot(&snap));
+    const Lsn start = e->wal().master().bckpt_lsn;
+
+    auto run_pass = [&](uint32_t threads, DcRecoveryResult* out,
+                        std::string* digest) {
+      ASSERT_OK(e->RestoreStableSnapshot(snap));
+      ASSERT_OK(e->dc().OpenDatabase());
+      if (threads == 1) {
+        ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), start, mode,
+                                /*build_dpt=*/true, /*preload=*/false, out));
+      } else {
+        ASSERT_OK(RunDcRecoveryParallel(&e->wal(), &e->dc(), start, mode,
+                                        /*build_dpt=*/true,
+                                        /*preload=*/false, threads, out));
+      }
+      *digest = ContentDigest(e.get());  // the pass redoes SMOs: state too
+      e->SimulateCrash();
+    };
+
+    DcRecoveryResult serial;
+    std::string serial_digest;
+    run_pass(1, &serial, &serial_digest);
+    ASSERT_GT(serial.dpt.size(), 0u);
+
+    for (uint32_t threads : {2u, 4u, 8u}) {
+      DcRecoveryResult par;
+      std::string digest;
+      run_pass(threads, &par, &digest);
+      EXPECT_EQ(par.threads_used, threads);
+      EXPECT_EQ(digest, serial_digest)
+          << "SMO redo diverged, mode " << static_cast<int>(mode) << ", "
+          << threads << " threads";
+      EXPECT_EQ(DptEntries(par.dpt), DptEntries(serial.dpt))
+          << "DPT diverged, mode " << static_cast<int>(mode) << ", "
+          << threads << " threads";
+      // EXACT order: the PF-list is the global first-mention DirtySet
+      // order, reassembled from per-shard (seq, pid) stamps.
+      EXPECT_EQ(par.pf_list, serial.pf_list)
+          << "PF-list order diverged, mode " << static_cast<int>(mode);
+      EXPECT_EQ(par.last_delta_tc_lsn, serial.last_delta_tc_lsn);
+      EXPECT_EQ(par.delta_records_seen, serial.delta_records_seen);
+      EXPECT_EQ(par.smo_redone, serial.smo_redone);
+      EXPECT_EQ(par.records_scanned, serial.records_scanned);
+      EXPECT_EQ(par.log_pages, serial.log_pages);
+      EXPECT_EQ(par.dpt_updates, serial.dpt_updates);
+      EXPECT_DOUBLE_EQ(par.shard_cpu_us_total, serial.shard_cpu_us_total);
+      EXPECT_LE(par.shard_cpu_us_max, serial.shard_cpu_us_max);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Undo-pass parity (ISSUE 9 tentpole): the dispatcher appends every CLR and
+// abort record in exactly the serial order, so the undo log SUFFIX must be
+// byte-identical — not merely equivalent — and the recovered state with it.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelUndoPass, LogStreamAndStateMatchSerialByteForByte) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  ASSERT_OK(driver.RunOps(400));
+  ASSERT_OK(e->Checkpoint());
+  ASSERT_OK(driver.RunOps(400));
+  // Fat manual losers over dedicated committed keys (far above anything
+  // the driver touches; no other txn open, so no wait-die conflicts): many
+  // updates each (the fan-out path — leaf restores across partitions) plus
+  // an insert and a delete each (the structure-op barrier path), so the
+  // parallel pass exercises both deterministically.
+  {
+    Table table;
+    ASSERT_OK(e->OpenDefaultTable(&table));
+    const Key base = o.num_rows + 7000;
+    const std::string v0(o.value_size, 's');
+    const std::string v(o.value_size, 'u');
+    {
+      Txn setup;
+      ASSERT_OK(e->Begin(&setup));
+      for (uint32_t i = 0; i < 4; i++) {
+        for (uint32_t j = 0; j <= 20; j++) {
+          ASSERT_OK(setup.Insert(
+              table, base + static_cast<Key>(i * 100 + j), v0));
+        }
+      }
+      ASSERT_OK(setup.Commit());
+    }
+    Txn losers[4];
+    for (uint32_t i = 0; i < 4; i++) {
+      ASSERT_OK(e->Begin(&losers[i]));
+      for (uint32_t j = 0; j < 20; j++) {
+        ASSERT_OK(losers[i].Update(
+            table, base + static_cast<Key>(i * 100 + j), v));
+      }
+      ASSERT_OK(losers[i].Insert(
+          table, base + static_cast<Key>(1000 + i), v));
+      ASSERT_OK(losers[i].Delete(
+          table, base + static_cast<Key>(i * 100 + 20)));
+    }
+    e->tc().ForceLog();
+    for (Txn& t : losers) t.Release();  // in flight at the crash
+  }
+  driver.OnCrash();
+  e->SimulateCrash();
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+  const Lsn start = e->wal().master().bckpt_lsn;
+
+  auto run_undo = [&](uint32_t threads, UndoResult* ur, std::string* digest,
+                      std::string* log_suffix, Lsn* log_end) {
+    ASSERT_OK(e->RestoreStableSnapshot(snap));
+    ASSERT_OK(e->dc().OpenDatabase());
+    e->dc().monitor().set_enabled(false);
+    e->dc().pool().set_callbacks_enabled(false);
+    // Identical serial analysis + redo both times: only undo differs.
+    DcRecoveryResult dcr;
+    ASSERT_OK(RunDcRecovery(&e->wal(), &e->dc(), start, o.dpt_mode,
+                            /*build_dpt=*/true, /*preload=*/false, &dcr));
+    RedoResult rr;
+    ASSERT_OK(RunLogicalRedo(&e->wal(), &e->dc(), start, true, &dcr.dpt,
+                             dcr.last_delta_tc_lsn, nullptr, o, &rr));
+    const Lsn undo_start = e->wal().next_lsn();
+    if (threads == 1) {
+      ASSERT_OK(RunUndo(&e->wal(), &e->dc(), rr.att, ur));
+    } else {
+      ASSERT_OK(RunUndoParallel(&e->wal(), &e->dc(), rr.att, threads, ur));
+    }
+    *digest = ContentDigest(e.get());
+    *log_end = e->wal().next_lsn();
+    const Slice suffix = e->wal().StableBytes(undo_start);
+    log_suffix->assign(suffix.data(), suffix.size());
+    e->SimulateCrash();
+  };
+
+  UndoResult serial;
+  std::string serial_digest, serial_suffix;
+  Lsn serial_end = kInvalidLsn;
+  run_undo(1, &serial, &serial_digest, &serial_suffix, &serial_end);
+  ASSERT_GT(serial.txns_undone, 0u);
+  ASSERT_GT(serial.clrs_written, 0u);
+  ASSERT_GT(serial_suffix.size(), 0u);
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    UndoResult par;
+    std::string digest, suffix;
+    Lsn end = kInvalidLsn;
+    run_undo(threads, &par, &digest, &suffix, &end);
+    EXPECT_EQ(par.threads_used, threads);
+    EXPECT_EQ(digest, serial_digest)
+        << "recovered state diverged at " << threads << " threads";
+    EXPECT_EQ(end, serial_end);
+    EXPECT_EQ(suffix, serial_suffix)
+        << "the undo log stream is not byte-identical at " << threads
+        << " threads";
+    EXPECT_EQ(par.txns_undone, serial.txns_undone);
+    EXPECT_EQ(par.ops_undone, serial.ops_undone);
+    EXPECT_EQ(par.clrs_written, serial.clrs_written);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-queue SimDisk (ISSUE 9): per-channel elevators change WHEN reads
+// complete, never WHAT they return — same crash image, same recovered
+// bytes, and the extra channels cannot make recovery slower.
+// ---------------------------------------------------------------------------
+
+TEST(MultiQueueSimDisk, ChannelsChangeTimingNotState) {
+  EngineOptions o = SmallOptions();
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(o, &e));
+  WorkloadDriver driver(e.get(), MixedWorkload());
+  BuildMixedCrashImage(e.get(), &driver);
+  Engine::StableSnapshot snap;
+  ASSERT_OK(e->TakeStableSnapshot(&snap));
+
+  std::string single_digest;
+  uint64_t single_undone = 0;
+  double single_ms = 0;
+  for (uint32_t channels : {1u, 4u}) {
+    EngineOptions oc = o;
+    oc.recovery_threads = 4;
+    oc.io.io_channels = channels;
+    std::unique_ptr<Engine> ec;
+    ASSERT_OK(Engine::Open(oc, &ec));
+    ASSERT_EQ(ec->dc().disk().channels(), channels);
+    ec->SimulateCrash();
+    ASSERT_OK(ec->RestoreStableSnapshot(snap));
+    RecoveryStats st;
+    ASSERT_OK(ec->Recover(RecoveryMethod::kLog2, &st));
+    const std::string digest = ContentDigest(ec.get());
+    // The engine surfaces the phase breakdown of the run it just did.
+    const EngineStats es = ec->Stats();
+    EXPECT_GT(es.recovery_total_ms, 0.0);
+    EXPECT_DOUBLE_EQ(es.recovery_total_ms, st.total_ms);
+    EXPECT_NEAR(es.recovery_analysis_ms + es.recovery_redo_ms +
+                    es.recovery_undo_ms,
+                st.total_ms, 1e-6);
+    if (channels == 1) {
+      single_digest = digest;
+      single_undone = st.txns_undone;
+      single_ms = st.total_ms;
+    } else {
+      EXPECT_EQ(digest, single_digest)
+          << "channel count changed recovered bytes";
+      EXPECT_EQ(st.txns_undone, single_undone);
+      EXPECT_LE(st.total_ms, single_ms)
+          << "more channels made recovery slower";
+    }
   }
 }
 

@@ -128,7 +128,7 @@ TEST_P(CrashPointSweep, RandomizedCrashRecoversCommittedState) {
 // their recovery paths — CLR upserts into merged-away leaves, fence memos
 // over a merged tree, sibling-chain scans) are exercised at every thread
 // count. Each (seed, method) cell recovers the same crash image at
-// recovery_threads 1, 2 and 4 and must satisfy the oracle each time.
+// recovery_threads 1, 2, 4 and 8 and must satisfy the oracle each time.
 // ---------------------------------------------------------------------------
 
 class DeleteHeavySweep
@@ -181,7 +181,7 @@ TEST_P(DeleteHeavySweep, HalfDeleteChurnRecoversAtEveryThreadCount) {
   Engine::StableSnapshot snap;
   ASSERT_OK(e->TakeStableSnapshot(&snap));
 
-  for (uint32_t threads : {1u, 2u, 4u}) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     EngineOptions ot = o;
     ot.recovery_threads = threads;
     std::unique_ptr<Engine> et;
