@@ -9,6 +9,12 @@ function(deutero_set_warnings target)
       -Wnon-virtual-dtor
       -Wimplicit-fallthrough
       -Wdouble-promotion)
+    # Clang Thread Safety Analysis: static lock-discipline checking against
+    # the GUARDED_BY/REQUIRES annotations in src/common/thread_annotations.h.
+    # GCC does not implement it; the macros compile away there.
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      target_compile_options(${target} PRIVATE -Wthread-safety)
+    endif()
     if(DEUTERO_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()

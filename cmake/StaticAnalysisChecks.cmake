@@ -1,0 +1,81 @@
+# Configure-time proof that the two compile-time contracts actually fire
+# with the toolchain in use, not just that the flags are spelled right:
+#
+#   * a GUARDED_BY violation must FAIL to build under Clang with
+#     -Werror=thread-safety (cmake/checks/guarded_by_violation.cc), while
+#     the properly-locked twin builds clean (guarded_by_ok.cc);
+#   * a discarded [[nodiscard]] Status must FAIL to build under
+#     -Werror=unused-result on ANY supported compiler
+#     (cmake/checks/nodiscard_violation.cc / nodiscard_ok.cc).
+#
+# Each negative test is paired with a positive control so a broken harness
+# (missing include path, bad flag) cannot masquerade as "the check fired".
+# Any unexpected outcome is a FATAL_ERROR: a dead gate is worse than no
+# gate, because everyone downstream believes it is alive.
+#
+# The thread-safety pair is Clang-only — GCC does not implement the
+# analysis and src/common/thread_annotations.h compiles the attributes
+# away there, so the violation legitimately builds. scripts/lint.sh (the
+# CI `lint` job) configures with clang, which is where the pair bites.
+function(deutero_add_static_analysis_checks)
+  set(_dir ${CMAKE_CURRENT_SOURCE_DIR}/cmake/checks)
+  set(_bin ${CMAKE_CURRENT_BINARY_DIR}/static_analysis_checks)
+  set(_inc "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src")
+
+  # ---- [[nodiscard]] Status: both compilers ----
+  try_compile(_nodiscard_ok ${_bin}/nodiscard_ok
+    ${_dir}/nodiscard_ok.cc
+    COMPILE_DEFINITIONS "-Werror=unused-result"
+    CMAKE_FLAGS ${_inc}
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _out)
+  if(NOT _nodiscard_ok)
+    message(FATAL_ERROR
+      "static-analysis check harness broken: nodiscard_ok.cc (positive "
+      "control) failed to compile:\n${_out}")
+  endif()
+  try_compile(_nodiscard_violation ${_bin}/nodiscard_violation
+    ${_dir}/nodiscard_violation.cc
+    COMPILE_DEFINITIONS "-Werror=unused-result"
+    CMAKE_FLAGS ${_inc}
+    CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _out)
+  if(_nodiscard_violation)
+    message(FATAL_ERROR
+      "nodiscard gate is DEAD: a discarded [[nodiscard]] Status compiled "
+      "under -Werror=unused-result (cmake/checks/nodiscard_violation.cc)")
+  endif()
+  message(STATUS "Static-analysis check: discarded Status fails to build — OK")
+
+  # ---- GUARDED_BY: Clang only (GCC compiles the annotations away) ----
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    try_compile(_guarded_ok ${_bin}/guarded_by_ok
+      ${_dir}/guarded_by_ok.cc
+      COMPILE_DEFINITIONS "-Werror=thread-safety"
+      CMAKE_FLAGS ${_inc}
+      CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+      OUTPUT_VARIABLE _out)
+    if(NOT _guarded_ok)
+      message(FATAL_ERROR
+        "static-analysis check harness broken: guarded_by_ok.cc (positive "
+        "control) failed to compile:\n${_out}")
+    endif()
+    try_compile(_guarded_violation ${_bin}/guarded_by_violation
+      ${_dir}/guarded_by_violation.cc
+      COMPILE_DEFINITIONS "-Werror=thread-safety"
+      CMAKE_FLAGS ${_inc}
+      CXX_STANDARD 20 CXX_STANDARD_REQUIRED ON
+      OUTPUT_VARIABLE _out)
+    if(_guarded_violation)
+      message(FATAL_ERROR
+        "thread-safety gate is DEAD: a GUARDED_BY violation compiled under "
+        "-Werror=thread-safety (cmake/checks/guarded_by_violation.cc)")
+    endif()
+    message(STATUS
+      "Static-analysis check: GUARDED_BY violation fails to build — OK")
+  else()
+    message(STATUS
+      "Static-analysis check: GUARDED_BY pair skipped (${CMAKE_CXX_COMPILER_ID} "
+      "has no Thread Safety Analysis; scripts/lint.sh runs it under clang)")
+  endif()
+endfunction()

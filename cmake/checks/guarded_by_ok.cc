@@ -1,0 +1,21 @@
+// Positive control for guarded_by_violation.cc: the same guarded field
+// accessed under a MutexLock must compile cleanly with
+// -Werror=thread-safety, proving a failure of the negative test means the
+// analysis fired and not that the harness itself is broken.
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  deutero::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  deutero::MutexLock lock(&c.mu);
+  c.value = 1;
+  return c.value;
+}

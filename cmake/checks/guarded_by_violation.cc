@@ -1,0 +1,20 @@
+// Negative compile-test (cmake/StaticAnalysisChecks.cmake): writing a
+// GUARDED_BY field without holding its mutex. Under Clang with
+// -Werror=thread-safety this MUST fail to build; if it compiles, the
+// thread-safety gate is dead and configure aborts.
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  deutero::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // no lock held: -Wthread-safety flags this line
+  return c.value;
+}

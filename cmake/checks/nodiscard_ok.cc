@@ -1,0 +1,13 @@
+// Positive control for nodiscard_violation.cc: the same call with its
+// Status consumed must compile cleanly under -Werror=unused-result.
+#include "common/status.h"
+
+namespace {
+
+deutero::Status MightFail() {
+  return deutero::Status::IOError("disk on fire");
+}
+
+}  // namespace
+
+int main() { return MightFail().ok() ? 0 : 1; }

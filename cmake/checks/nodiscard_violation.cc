@@ -1,0 +1,19 @@
+// Negative compile-test (cmake/StaticAnalysisChecks.cmake): dropping a
+// returned Status on the floor. Because Status is declared
+// `class [[nodiscard]]`, this MUST fail to build under
+// -Werror=unused-result (GCC and Clang both); if it compiles, the
+// nodiscard gate is dead and configure aborts.
+#include "common/status.h"
+
+namespace {
+
+deutero::Status MightFail() {
+  return deutero::Status::IOError("disk on fire");
+}
+
+}  // namespace
+
+int main() {
+  MightFail();  // discarded Status: -Wunused-result flags this line
+  return 0;
+}

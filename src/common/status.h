@@ -9,7 +9,10 @@
 namespace deutero {
 
 /// Result of a fallible operation. Cheap to copy when OK (no allocation).
-class Status {
+/// [[nodiscard]] on the class makes every discarded Status return value a
+/// compile error under -Werror: a dropped Status on a fallible I/O path
+/// (flush, read-retry, repair) silently swallows media failures.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis macros (the LevelDB/RocksDB/Abseil idiom):
+// compile-time lock contracts, checked by `-Wthread-safety` on Clang and
+// compiled away everywhere else. The annotations never change generated
+// code — they are attributes the analysis pass reads to prove, on EVERY
+// path of EVERY translation unit, that
+//
+//   * a field declared GUARDED_BY(mu) is only touched while `mu` is held,
+//   * a function declared REQUIRES(mu) is only called with `mu` held,
+//   * a function declared EXCLUDES(mu) is never called with `mu` held
+//     (self-deadlock prevention), and
+//   * every ACQUIRE has a matching RELEASE on every control-flow path.
+//
+// This is the static complement of TSan: TSan observes the interleavings a
+// test happens to drive; the analysis proves the locking discipline for all
+// of them. Use it with the annotated wrappers in common/mutex.h — the
+// analysis does not understand std::mutex/std::unique_lock directly.
+//
+// scripts/lint.sh builds the tree under Clang with -Werror=thread-safety;
+// cmake/StaticAnalysisChecks.cmake proves at configure time that a
+// GUARDED_BY violation actually fails to compile (so the gate cannot rot).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DEUTERO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DEUTERO_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define CAPABILITY(x) DEUTERO_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class whose lifetime holds a capability.
+#define SCOPED_CAPABILITY DEUTERO_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be accessed while the capability is held.
+#define GUARDED_BY(x) DEUTERO_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer's pointee may only be accessed while held.
+#define PT_GUARDED_BY(x) DEUTERO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while the capabilities are held
+/// (exclusively / shared); it neither acquires nor releases them.
+#define REQUIRES(...) \
+  DEUTERO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DEUTERO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) DEUTERO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DEUTERO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define RELEASE(...) DEUTERO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DEUTERO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (RAII readers' destructors).
+#define RELEASE_GENERIC(...) \
+  DEUTERO_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that means success.
+#define TRY_ACQUIRE(...) \
+  DEUTERO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DEUTERO_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while the capability is held — it will
+/// acquire it itself (deadlock prevention).
+#define EXCLUDES(...) DEUTERO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability; tells
+/// the analysis to treat it as held from here on.
+#define ASSERT_CAPABILITY(x) DEUTERO_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DEUTERO_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) DEUTERO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use MUST carry a comment explaining why the contract
+/// holds anyway (e.g. documented quiesced-only access).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DEUTERO_THREAD_ANNOTATION(no_thread_safety_analysis)

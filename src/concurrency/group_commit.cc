@@ -15,30 +15,31 @@ GroupCommit::GroupCommit(FlushFn flush, StableFn stable, uint32_t window_us,
 GroupCommit::~GroupCommit() { Stop(); }
 
 void GroupCommit::Start() {
-  std::unique_lock<std::mutex> lk(mu_);
-  if (running_) return;
-  stop_ = false;
-  crashed_ = false;
-  running_ = true;
-  lk.unlock();
+  {
+    MutexLock lk(&mu_);
+    if (running_) return;
+    stop_ = false;
+    crashed_ = false;
+    running_ = true;
+  }
   thread_ = std::thread([this] { BatcherLoop(); });
 }
 
 void GroupCommit::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (!running_) return;
     stop_ = true;
-    batcher_cv_.notify_all();
+    batcher_cv_.NotifyAll();
   }
   thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   running_ = false;
 }
 
 void GroupCommit::CrashHalt() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (!running_) return;
     crashed_ = true;
     stop_ = true;
@@ -50,11 +51,11 @@ void GroupCommit::CrashHalt() {
       }
     }
     pending_ = 0;
-    batcher_cv_.notify_all();
-    done_cv_.notify_all();
+    batcher_cv_.NotifyAll();
+    done_cv_.NotifyAll();
   }
   thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   running_ = false;
 }
 
@@ -67,12 +68,12 @@ size_t GroupCommit::WakeCovered(Lsn stable) {
     }
   }
   pending_ -= woken;
-  if (woken > 0) done_cv_.notify_all();
+  if (woken > 0) done_cv_.NotifyAll();
   return woken;
 }
 
 Status GroupCommit::WaitDurable(Lsn durable_point) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   stats_.enqueued++;
   if (stable_() >= durable_point) {
     stats_.fast_path++;
@@ -89,27 +90,34 @@ Status GroupCommit::WaitDurable(Lsn durable_point) {
       w = &*it;
       break;
     }
-    done_cv_.wait(lk);  // pool exhausted: wait for a slot to free
+    done_cv_.Wait(&mu_);  // pool exhausted: wait for a slot to free
   }
   w->in_use = true;
   w->done = false;
   w->failed = false;
   w->target = durable_point;
   pending_++;
-  batcher_cv_.notify_all();
-  done_cv_.wait(lk, [&] { return w->done; });
+  batcher_cv_.NotifyAll();
+  while (!w->done) done_cv_.Wait(&mu_);
   const bool failed = w->failed;
   w->in_use = false;
-  done_cv_.notify_all();  // a claimant may be waiting for a free slot
+  done_cv_.NotifyAll();  // a claimant may be waiting for a free slot
   return failed ? Status::Aborted("commit not durable: engine crashed")
                 : Status::OK();
 }
 
 void GroupCommit::BatcherLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  // Explicit Lock/Unlock rather than a scoped lock: the loop deliberately
+  // drops mu_ around the flush callback (which takes the engine's write
+  // gate) and reacquires it after — the analysis tracks the pairing across
+  // the loop either way.
+  mu_.Lock();
   for (;;) {
-    batcher_cv_.wait(lk, [&] { return pending_ > 0 || stop_; });
-    if (pending_ == 0 && stop_) return;  // CrashHalt cleared pending_
+    while (pending_ == 0 && !stop_) batcher_cv_.Wait(&mu_);
+    if (pending_ == 0 && stop_) {  // CrashHalt cleared pending_
+      mu_.Unlock();
+      return;
+    }
     // A batch opens with the first waiter: collect more until the size
     // bound hits or the window expires (Stop() closes it immediately so
     // shutdown drains without the window latency).
@@ -117,16 +125,16 @@ void GroupCommit::BatcherLoop() {
                           std::chrono::microseconds(window_us_);
     bool size_trig = pending_ >= max_batch_;
     while (!stop_ && !size_trig) {
-      if (batcher_cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (batcher_cv_.WaitUntil(&mu_, deadline) == std::cv_status::timeout) {
         break;
       }
       size_trig = pending_ >= max_batch_;
     }
     if (crashed_) continue;  // loop back: pending_ is 0, stop_ set -> exit
     const size_t batch_size = pending_;
-    lk.unlock();
+    mu_.Unlock();
     const Lsn stable = flush_();  // takes the engine's write gate
-    lk.lock();
+    mu_.Lock();
     if (crashed_) continue;
     stats_.batches++;
     if (size_trig) {
@@ -143,7 +151,7 @@ void GroupCommit::BatcherLoop() {
 }
 
 GroupCommit::Stats GroupCommit::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return stats_;
 }
 

@@ -29,12 +29,11 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -92,24 +91,27 @@ class GroupCommit {
   /// plausible client-thread count. Claimants beyond it wait for a slot.
   static constexpr size_t kMaxWaiters = 256;
 
-  void BatcherLoop();
+  void BatcherLoop() EXCLUDES(mu_);
   /// Mark satisfied waiters done; returns how many were woken.
-  size_t WakeCovered(Lsn stable);
+  size_t WakeCovered(Lsn stable) REQUIRES(mu_);
 
   const FlushFn flush_;
   const StableFn stable_;
   const uint32_t window_us_;
   const uint32_t max_batch_;
 
-  mutable std::mutex mu_;
-  std::condition_variable batcher_cv_;  ///< Waiter -> batcher: work arrived.
-  std::condition_variable done_cv_;     ///< Batcher -> waiters: results.
-  std::array<Waiter, kMaxWaiters> waiters_;
-  size_t pending_ = 0;  ///< Waiters enqueued and not yet done.
-  bool running_ = false;
-  bool stop_ = false;
-  bool crashed_ = false;
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar batcher_cv_;  ///< Waiter -> batcher: work arrived.
+  CondVar done_cv_;     ///< Batcher -> waiters: results.
+  std::array<Waiter, kMaxWaiters> waiters_ GUARDED_BY(mu_);
+  size_t pending_ GUARDED_BY(mu_) = 0;  ///< Enqueued and not yet done.
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
+  /// Written in Start(), joined in Stop()/CrashHalt() — all serialized by
+  /// the engine's lifecycle (no concurrent Start/Stop), never touched by
+  /// the batcher itself, so it stays outside mu_.
   std::thread thread_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 namespace deutero {
 
@@ -45,11 +46,11 @@ void ShardedLockManager::RecordHeld(Shard& s, TxnId txn, const LockId& id) {
 Status ShardedLockManager::Acquire(TxnId txn, TableId table, Key key,
                                    LockMode mode) {
   Shard& s = ShardFor(table, key);
-  std::unique_lock<std::mutex> lk(s.mu, std::try_to_lock);
-  if (!lk.owns_lock()) {
-    lk.lock();
+  if (!s.mu.TryLock()) {
+    s.mu.Lock();
     s.stats.lock_shard_collisions++;
   }
+  MutexLock lk(&s.mu, std::adopt_lock);
   const LockId id{table, key};
   std::chrono::steady_clock::time_point deadline{};
   bool waited = false;
@@ -105,7 +106,7 @@ Status ShardedLockManager::Acquire(TxnId txn, TableId table, Key key,
       s.stats.lock_waits++;
       deadline = std::chrono::steady_clock::now() + kMaxLockWait;
     }
-    if (s.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+    if (s.cv.WaitUntil(&s.mu, deadline) == std::cv_status::timeout) {
       s.stats.wait_timeouts++;
       return Status::Busy("lock wait timed out");
     }
@@ -117,7 +118,7 @@ Status ShardedLockManager::Acquire(TxnId txn, TableId table, Key key,
 void ShardedLockManager::ReleaseAll(TxnId txn) {
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     TxnLocks* slot = FindTxn(s, txn);
     if (slot == nullptr) continue;
     bool released_any = false;
@@ -134,24 +135,24 @@ void ShardedLockManager::ReleaseAll(TxnId txn) {
     }
     slot->txn = kInvalidTxnId;
     slot->ids.clear();
-    if (released_any) s.cv.notify_all();
+    if (released_any) s.cv.NotifyAll();
   }
 }
 
 void ShardedLockManager::Reset() {
   for (auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     s.locks.clear();
     s.by_txn.clear();
     s.held_entries = 0;
-    s.cv.notify_all();
+    s.cv.NotifyAll();
   }
 }
 
 bool ShardedLockManager::Holds(TxnId txn, TableId table, Key key) const {
   const Shard& s = ShardFor(table, key);
-  std::lock_guard<std::mutex> lk(s.mu);
+  MutexLock lk(&s.mu);
   auto it = s.locks.find(LockId{table, key});
   if (it == s.locks.end()) return false;
   const auto& holders = it->second.holders;
@@ -162,7 +163,7 @@ size_t ShardedLockManager::held_by(TxnId txn) const {
   size_t n = 0;
   for (const auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     const TxnLocks* slot = FindTxn(s, txn);
     if (slot != nullptr) n += slot->ids.size();
   }
@@ -173,7 +174,7 @@ size_t ShardedLockManager::total_locks() const {
   size_t n = 0;
   for (const auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     n += s.held_entries;
   }
   return n;
@@ -183,7 +184,7 @@ ShardedLockManager::Stats ShardedLockManager::StatsSnapshot() const {
   Stats out;
   for (const auto& sp : shards_) {
     Shard& s = *sp;
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(&s.mu);
     out.acquires += s.stats.acquires;
     out.lock_waits += s.stats.lock_waits;
     out.lock_shard_collisions += s.stats.lock_shard_collisions;

@@ -19,13 +19,12 @@
 // allocations.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -95,19 +94,20 @@ class ShardedLockManager {
     std::vector<LockId> ids;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::unordered_map<LockId, LockState, LockIdHash> locks;
-    std::vector<TxnLocks> by_txn;
-    size_t held_entries = 0;
-    Stats stats;
+    mutable Mutex mu;
+    CondVar cv;
+    std::unordered_map<LockId, LockState, LockIdHash> locks GUARDED_BY(mu);
+    std::vector<TxnLocks> by_txn GUARDED_BY(mu);
+    size_t held_entries GUARDED_BY(mu) = 0;
+    Stats stats GUARDED_BY(mu);
   };
 
   Shard& ShardFor(TableId table, Key key) const {
     return *shards_[LockIdHash{}(LockId{table, key}) % shards_.size()];
   }
-  static TxnLocks* FindTxn(Shard& s, TxnId txn);
-  static void RecordHeld(Shard& s, TxnId txn, const LockId& id);
+  static TxnLocks* FindTxn(Shard& s, TxnId txn) REQUIRES(s.mu);
+  static void RecordHeld(Shard& s, TxnId txn, const LockId& id)
+      REQUIRES(s.mu);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -1,8 +1,6 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "common/value_codec.h"
@@ -43,7 +41,7 @@ Engine::Engine(const EngineOptions& options) : options_(options) {
         /*flush=*/[this] {
           // The batcher is the one thread forcing the log on behalf of a
           // whole batch; it takes the write gate like any appender.
-          std::unique_lock<std::shared_mutex> g(forward_mu_);
+          WriterLock g(&forward_mu_);
           tc_->ForceLog();
           return log_->stable_end();
         },
@@ -66,7 +64,7 @@ Status Engine::Open(const EngineOptions& options,
 }
 
 Status Engine::CreateTable(TableId table, uint32_t value_size) {
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -74,7 +72,7 @@ Status Engine::CreateTable(TableId table, uint32_t value_size) {
 }
 
 Status Engine::OpenTable(TableId table, Table* out) {
-  std::shared_lock<std::shared_mutex> g(forward_mu_);
+  ReaderLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   BTree* tree = dc_->FindTable(table);
   if (tree == nullptr) return Status::NotFound("unknown table");
@@ -83,7 +81,7 @@ Status Engine::OpenTable(TableId table, Table* out) {
 }
 
 Status Engine::Begin(Txn* txn) {
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -115,14 +113,14 @@ Status Engine::Read(Key key, std::string* value) {
 
 Status Engine::Read(TableId table, Key key, std::string* value) {
   {
-    std::shared_lock<std::shared_mutex> g(forward_mu_);
+    ReaderLock g(&forward_mu_);
     if (!running_) return Status::InvalidArgument("engine is crashed");
     const Status s = tc_->Read(kInvalidTxnId, table, key, value);
     if (!s.IsCorruption()) return s;
   }
   // Media path: page repair mutates the pool and possibly degraded_, so
   // re-run the read under the write gate.
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   Status s = tc_->Read(kInvalidTxnId, table, key, value);
   if (s.IsCorruption()) {
@@ -134,12 +132,12 @@ Status Engine::Read(TableId table, Key key, std::string* value) {
 
 Status Engine::Scan(TableId table, Key lo, Key hi, ScanCursor* out) {
   {
-    std::shared_lock<std::shared_mutex> g(forward_mu_);
+    ReaderLock g(&forward_mu_);
     if (!running_) return Status::InvalidArgument("engine is crashed");
     const Status s = dc_->Scan(table, lo, hi, out);
     if (!s.IsCorruption()) return s;
   }
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   Status s = dc_->Scan(table, lo, hi, out);
   if (s.IsCorruption()) {
@@ -172,7 +170,7 @@ Status Engine::TryRemoteRepair(const Status& failure) {
 
 Status Engine::TxnUpdate(TxnId txn, TableId table, Key key, Slice value) {
   DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) {
     tc_->ReleaseLocksIfInactive(txn);
     return Status::InvalidArgument("engine is crashed");
@@ -184,7 +182,7 @@ Status Engine::TxnUpdate(TxnId txn, TableId table, Key key, Slice value) {
 
 Status Engine::TxnInsert(TxnId txn, TableId table, Key key, Slice value) {
   DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) {
     tc_->ReleaseLocksIfInactive(txn);
     return Status::InvalidArgument("engine is crashed");
@@ -196,7 +194,7 @@ Status Engine::TxnInsert(TxnId txn, TableId table, Key key, Slice value) {
 
 Status Engine::TxnDelete(TxnId txn, TableId table, Key key) {
   DEUTERO_RETURN_NOT_OK(tc_->AcquireLock(txn, table, key, /*exclusive=*/true));
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) {
     tc_->ReleaseLocksIfInactive(txn);
     return Status::InvalidArgument("engine is crashed");
@@ -212,7 +210,7 @@ Status Engine::TxnRead(TxnId txn, TableId table, Key key,
     DEUTERO_RETURN_NOT_OK(
         tc_->AcquireLock(txn, table, key, /*exclusive=*/false));
   }
-  std::shared_lock<std::shared_mutex> g(forward_mu_);
+  ReaderLock g(&forward_mu_);
   if (!running_) {
     if (txn != kInvalidTxnId) tc_->ReleaseLocksIfInactive(txn);
     return Status::InvalidArgument("engine is crashed");
@@ -227,19 +225,19 @@ Status Engine::TxnCommit(TxnId txn) {
     // amortize one force over the whole batch.
     Lsn durable = kInvalidLsn;
     {
-      std::unique_lock<std::shared_mutex> g(forward_mu_);
+      WriterLock g(&forward_mu_);
       if (!running_) return Status::InvalidArgument("engine is crashed");
       DEUTERO_RETURN_NOT_OK(tc_->CommitRequest(txn, &durable));
     }
     return group_commit_->WaitDurable(durable);
   }
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Commit(txn);
 }
 
 Status Engine::TxnAbort(TxnId txn) {
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Abort(txn);
 }
@@ -247,7 +245,7 @@ Status Engine::TxnAbort(TxnId txn) {
 // ---- deprecated raw-TxnId shims ----
 
 Status Engine::Begin(TxnId* txn) {
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   if (degraded_) return Status::Degraded("engine is read-only (media)");
   if (read_only_) return Status::InvalidArgument("engine is read-only");
@@ -277,7 +275,7 @@ Status Engine::Abort(TxnId txn) { return TxnAbort(txn); }
 // ---- checkpoint / crash / recovery ----
 
 Status Engine::Checkpoint(uint64_t* pages_flushed) {
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   if (!running_) return Status::InvalidArgument("engine is crashed");
   return tc_->Checkpoint(pages_flushed);
 }
@@ -289,7 +287,7 @@ void Engine::SimulateCrash() {
   // recovery they may legitimately be present or absent (the oracle
   // treats them as uncertain).
   if (group_commit_) group_commit_->CrashHalt();
-  std::unique_lock<std::shared_mutex> g(forward_mu_);
+  WriterLock g(&forward_mu_);
   log_->Crash();
   dc_->SimulateCrash();
   tc_->SimulateCrash();
@@ -300,6 +298,10 @@ void Engine::SimulateCrash() {
 
 Status Engine::Recover(RecoveryMethod method, RecoveryStats* stats) {
   if (running_) return Status::InvalidArgument("engine is not crashed");
+  // Callers that don't care about the phase breakdown may pass nullptr;
+  // RecoveryManager::Recover writes through the pointer unconditionally.
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
   const uint32_t attempts = std::max(1u, options_.media_repair_attempts);
   Status s;
   for (uint32_t attempt = 0; attempt < attempts; attempt++) {

@@ -28,9 +28,10 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "common/options.h"
 #include "common/status.h"
@@ -226,7 +227,7 @@ class Engine {
   /// Lock waits never happen under the gate: Txn operations pre-acquire
   /// their logical lock OUTSIDE it (a blocked waiter must not hold the
   /// gate its lock holder needs in order to commit and release).
-  mutable std::shared_mutex forward_mu_;
+  mutable SharedMutex forward_mu_;
   /// Declared last so the batcher thread (which calls back into the
   /// engine) is stopped and destroyed before any component it touches.
   std::unique_ptr<GroupCommit> group_commit_;

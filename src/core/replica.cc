@@ -70,7 +70,7 @@ constexpr size_t kReplayRingCapacity = 1024;
 /// re-applied prefix after a resume).
 class ReplayWorker {
  public:
-  ReplayWorker(BufferPool* pool, std::mutex* gate, uint32_t pin_cache_cap)
+  ReplayWorker(BufferPool* pool, Mutex* gate, uint32_t pin_cache_cap)
       : pool_(pool),
         gate_(gate),
         ring_(kReplayRingCapacity),
@@ -165,7 +165,7 @@ class ReplayWorker {
     if (pin->dirtied) {
       page.set_plsn(item.lsn);
     } else {
-      std::lock_guard<std::mutex> lock(*gate_);
+      MutexLock lock(gate_);
       pin->handle.MarkDirty(item.lsn);
       pin->dirtied = true;
     }
@@ -192,7 +192,7 @@ class ReplayWorker {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(*gate_);
+      MutexLock lock(gate_);
       slot->handle.Release();
       DEUTERO_RETURN_NOT_OK(pool_->Get(pid, PageClass::kData, &slot->handle));
     }
@@ -205,13 +205,13 @@ class ReplayWorker {
 
   void ReleaseAllPins() {
     if (pins_.empty()) return;
-    std::lock_guard<std::mutex> lock(*gate_);
+    MutexLock lock(gate_);
     for (CachedPin& p : pins_) p.handle.Release();
     pins_.clear();
   }
 
   BufferPool* pool_;
-  std::mutex* gate_;
+  Mutex* gate_;
   SpscRing<ReplayItem> ring_;
   const uint32_t pin_cache_cap_;
   std::thread thread_;
@@ -228,7 +228,7 @@ class ReplayWorker {
 
 class ReplayCrew {
  public:
-  ReplayCrew(BufferPool* pool, std::mutex* gate, uint32_t threads) {
+  ReplayCrew(BufferPool* pool, Mutex* gate, uint32_t threads) {
     // Same pin budget heuristic as recovery: an eighth of the pool split
     // across workers, clamped to [1, 8] pins each.
     const uint64_t per = (pool->capacity() / 8) / (threads == 0 ? 1 : threads);
@@ -373,11 +373,19 @@ Status LogicalReplica::Open(const EngineOptions& options,
       r->engine_->dc().CreateTable(kStandbyCursorTableId, kCursorValueSize));
   TxnId boot = kInvalidTxnId;
   DEUTERO_RETURN_NOT_OK(tc.Begin(&boot));
-  EncodeCursor(kInvalidLsn, kFirstLsn, &r->cursor_after_);
-  DEUTERO_RETURN_NOT_OK(
-      tc.Insert(boot, kStandbyCursorTableId, kCursorKey, r->cursor_after_));
+  {
+    // Nobody else can hold the lock on a not-yet-published object; taken
+    // anyway because the analysis cannot see that.
+    MutexLock lock(&r->apply_mu_);
+    EncodeCursor(kInvalidLsn, kFirstLsn, &r->cursor_after_);
+    DEUTERO_RETURN_NOT_OK(
+        tc.Insert(boot, kStandbyCursorTableId, kCursorKey, r->cursor_after_));
+  }
   DEUTERO_RETURN_NOT_OK(tc.Commit(boot));
-  r->applied_boundary_ = kFirstLsn;
+  {
+    MutexLock lock(&r->apply_mu_);
+    r->applied_boundary_ = kFirstLsn;
+  }
   r->engine_->SetReadOnly(true);
   *out = std::move(r);
   return Status::OK();
@@ -409,7 +417,7 @@ bool LogicalReplica::LookupValueSize(TableId table,
 
 // ---- the applier core ----
 
-Status LogicalReplica::ProjectedLeafRows(PageId pid, std::mutex* gate,
+Status LogicalReplica::ProjectedLeafRows(PageId pid, Mutex* gate,
                                          int64_t** count) {
   for (auto& entry : window_) {
     if (entry.first == pid) {
@@ -424,7 +432,7 @@ Status LogicalReplica::ProjectedLeafRows(PageId pid, std::mutex* gate,
   // window.
   int64_t base = 0;
   {
-    std::lock_guard<std::mutex> lock(*gate);
+    MutexLock lock(gate);
     PageHandle h;
     DEUTERO_RETURN_NOT_OK(engine_->dc().pool().Get(pid, PageClass::kData, &h));
     base = h.view().num_slots();
@@ -437,7 +445,7 @@ Status LogicalReplica::ProjectedLeafRows(PageId pid, std::mutex* gate,
 
 Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
                                          LogManager* src, bool standby,
-                                         void* crew_opaque, std::mutex* gate,
+                                         void* crew_opaque, Mutex* gate,
                                          bool* stop_injected) {
   ReplayCrew* crew = static_cast<ReplayCrew*>(crew_opaque);
   DataComponent& dc = engine_->dc();
@@ -446,7 +454,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
 
   TxnId local = kInvalidTxnId;
   {
-    std::lock_guard<std::mutex> lock(*gate);
+    MutexLock lock(gate);
     DEUTERO_RETURN_NOT_OK(tc.Begin(&local));
   }
 
@@ -466,7 +474,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
     if (memo_.Hit(op.table, op.key)) {
       pid = memo_.pid;
     } else {
-      std::lock_guard<std::mutex> lock(*gate);
+      MutexLock lock(gate);
       DEUTERO_RETURN_NOT_OK(dc.FindLeafRanged(op.table, op.key, &pid,
                                               &memo_.lo, &memo_.hi,
                                               &memo_.bounded));
@@ -487,7 +495,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
           crew->DrainBarrier();
           agg_.barriers++;
           {
-            std::lock_guard<std::mutex> lock(*gate);
+            MutexLock lock(gate);
             DEUTERO_RETURN_NOT_OK(dc.PrepareInsert(op.table, op.key, &pid));
           }
           window_.clear();  // the split moved rows; every count is stale
@@ -496,7 +504,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
         }
         (*count)++;
       } else {
-        std::lock_guard<std::mutex> lock(*gate);
+        MutexLock lock(gate);
         DEUTERO_RETURN_NOT_OK(dc.PrepareInsert(op.table, op.key, &pid));
         memo_.valid = false;  // it may have split under the memoized leaf
       }
@@ -510,7 +518,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
 
     Lsn lsn = kInvalidLsn;
     {
-      std::lock_guard<std::mutex> lock(*gate);
+      MutexLock lock(gate);
       DEUTERO_RETURN_NOT_OK(tc.LogReplayOp(local, op.kind, op.table, op.key,
                                            view_scratch_.before,
                                            view_scratch_.after, pid, &lsn));
@@ -536,7 +544,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
       item.after = view_scratch_.after;
       crew->Route(RedoPartitionOf(pid, threads_), item);
     } else {
-      std::lock_guard<std::mutex> lock(*gate);
+      MutexLock lock(gate);
       switch (op.kind) {
         case LogRecordType::kUpdate:
           st = dc.ApplyUpdate(op.table, pid, op.key, view_scratch_.after, lsn);
@@ -573,7 +581,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
     // recovery sees the open transaction and undoes it), leave the txn
     // open, and refuse further work until crash + recover.
     if (crew != nullptr) crew->DrainBarrier();
-    std::lock_guard<std::mutex> lock(*gate);
+    MutexLock lock(gate);
     tc.ForceLog();
     apply_stopped_ = true;
     return Status::OK();
@@ -588,7 +596,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
       agg_.barriers++;
     }
     {
-      std::lock_guard<std::mutex> lock(*gate);
+      MutexLock lock(gate);
       for (const auto& [table, key] : merge_keys_) {
         bool merged = false;
         DEUTERO_RETURN_NOT_OK(dc.MaybeMergeLeaf(table, key, &merged));
@@ -609,7 +617,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
             ? commit_lsn
             : min_in_flight;
     EncodeCursor(commit_lsn, replay_from, &cursor_after_);
-    std::lock_guard<std::mutex> lock(*gate);
+    MutexLock lock(gate);
     PageId cursor_pid = kInvalidPageId;
     DEUTERO_RETURN_NOT_OK(dc.LocateForUpdate(kStandbyCursorTableId, kCursorKey,
                                              &cursor_pid, &cursor_before_));
@@ -622,7 +630,7 @@ Status LogicalReplica::ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn,
                                          cursor_lsn));
   }
   {
-    std::lock_guard<std::mutex> lock(*gate);
+    MutexLock lock(gate);
     DEUTERO_RETURN_NOT_OK(tc.Commit(local));
   }
   txns_applied_++;
@@ -639,7 +647,7 @@ Status LogicalReplica::ApplyFrom(LogManager* src, Lsn from, Lsn* next,
   // grows freely).
   LogManager::AliasGuard alias(src);
 
-  std::mutex gate;  // serializes EVERY pool/log/clock touch this apply
+  Mutex gate;  // serializes EVERY pool/log/clock touch this apply
   std::unique_ptr<ReplayCrew> crew;
   if (threads_ >= 2) {
     crew = std::make_unique<ReplayCrew>(&dc.pool(), &gate, threads_);
@@ -682,7 +690,7 @@ Status LogicalReplica::ApplyFrom(LogManager* src, Lsn from, Lsn* next,
         if (rec.table_id >= kStandbySystemTableBase) break;
         if (dc.FindTable(rec.table_id) == nullptr) {
           {
-            std::lock_guard<std::mutex> lock(gate);
+            MutexLock lock(&gate);
             st = dc.CreateTable(rec.table_id, rec.ddl_value_size);
           }
           if (st.ok()) RefreshTableRegistry();
@@ -739,7 +747,7 @@ Status LogicalReplica::ApplyFrom(LogManager* src, Lsn from, Lsn* next,
 
 Status LogicalReplica::PumpChunk(ReplicationChannel* channel,
                                  size_t max_chunk_bytes, bool* progressed) {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   if (progressed != nullptr) *progressed = false;
   if (promoted_) return Status::InvalidArgument("standby was promoted");
   if (failed_) {
@@ -779,6 +787,7 @@ Status LogicalReplica::Pump(ReplicationChannel* channel,
   bool progressed = true;
   while (progressed) {
     DEUTERO_RETURN_NOT_OK(PumpChunk(channel, max_chunk_bytes, &progressed));
+    MutexLock lock(&apply_mu_);
     if (apply_stopped_) break;
   }
   return Status::OK();
@@ -789,7 +798,10 @@ Status LogicalReplica::StartContinuousReplay(ReplicationChannel* channel,
   if (replay_running_) {
     return Status::InvalidArgument("continuous replay already running");
   }
-  if (promoted_) return Status::InvalidArgument("standby was promoted");
+  {
+    MutexLock lock(&apply_mu_);
+    if (promoted_) return Status::InvalidArgument("standby was promoted");
+  }
   replay_stop_.store(false, std::memory_order_release);
   replay_error_ = Status::OK();
   replay_thread_ = std::thread([this, channel, max_chunk_bytes] {
@@ -824,14 +836,14 @@ Status LogicalReplica::StopContinuousReplay() {
 
 Status LogicalReplica::SnapshotRead(TableId table, Key key,
                                     std::string* value) {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   return engine_->Read(table, key, value);
 }
 
 Status LogicalReplica::SnapshotScan(
     TableId table, Key lo, Key hi,
     const std::function<void(Key, Slice)>& fn) {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   ScanCursor cursor;
   DEUTERO_RETURN_NOT_OK(engine_->Scan(table, lo, hi, &cursor));
   while (cursor.Valid()) {
@@ -842,17 +854,17 @@ Status LogicalReplica::SnapshotScan(
 }
 
 Lsn LogicalReplica::read_boundary() const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   return applied_boundary_;
 }
 
 Status LogicalReplica::Read(Key key, std::string* value) {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   return engine_->Read(key, value);
 }
 
 ReplicationStats LogicalReplica::stats() const {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   ReplicationStats s = agg_;
   s.shipped_end = mirror_ != nullptr ? mirror_->stable_end() : kInvalidLsn;
   s.applied_boundary = applied_boundary_;
@@ -870,7 +882,7 @@ ReplicationStats LogicalReplica::stats() const {
 
 void LogicalReplica::CrashStandby() {
   (void)StopContinuousReplay();
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   if (engine_->running()) engine_->SimulateCrash();
   apply_stopped_ = false;
   apply_stop_after_ops_ = 0;
@@ -912,13 +924,13 @@ Status LogicalReplica::RecoverStandbyLocked(RecoveryMethod method,
 Status LogicalReplica::RecoverStandby(RecoveryMethod method,
                                       RecoveryStats* stats) {
   (void)StopContinuousReplay();
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   return RecoverStandbyLocked(method, stats);
 }
 
 Status LogicalReplica::Promote(RecoveryMethod method, RecoveryStats* stats) {
   (void)StopContinuousReplay();
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   if (promoted_) return Status::OK();
   // A half-applied chunk (stopped applier, poisoned applier) only exists
   // in volatile state: crash it away and let local recovery reconstruct
@@ -938,7 +950,7 @@ Status LogicalReplica::Promote(RecoveryMethod method, RecoveryStats* stats) {
 // ---- legacy pull API ----
 
 Status LogicalReplica::SyncFrom(LogManager& primary_log, Lsn from, Lsn* next) {
-  std::lock_guard<std::mutex> lock(apply_mu_);
+  MutexLock lock(&apply_mu_);
   if (promoted_) return Status::InvalidArgument("standby was promoted");
   if (failed_) {
     return Status::InvalidArgument("standby applier failed; crash+recover");

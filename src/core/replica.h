@@ -42,11 +42,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/options.h"
 #include "common/status.h"
 #include "core/engine.h"
@@ -81,7 +81,7 @@ class ReplicationChannel {
   /// any time the primary is running or crashed — the stable log never
   /// shrinks, so published bytes are always a prefix of stable bytes.
   void Publish(Engine& primary) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const Slice fresh = primary.wal().StableBytes(buf_.size());
     if (!fresh.empty()) buf_.append(fresh.data(), fresh.size());
     published_txns_ = primary.tc().stats().committed;
@@ -92,7 +92,7 @@ class ReplicationChannel {
   /// *out (capacity reused across calls). Returns the byte count; 0 means
   /// the puller is caught up. The cut may land mid-record.
   size_t Pull(Lsn from, size_t max_bytes, std::string* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out->clear();
     if (from >= buf_.size() || max_bytes == 0) return 0;
     const size_t n =
@@ -104,28 +104,28 @@ class ReplicationChannel {
   }
 
   Lsn published_end() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return static_cast<Lsn>(buf_.size());
   }
   uint64_t published_txns() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return published_txns_;
   }
   Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return Stats{static_cast<Lsn>(buf_.size()), published_txns_, publishes_,
                  chunks_pulled_, bytes_pulled_};
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// buf_[lsn] is the published log byte at that primary LSN (1-byte pad,
   /// exactly like LogManager::buffer_).
-  std::string buf_ = std::string(1, '\0');
-  uint64_t published_txns_ = 0;
-  uint64_t publishes_ = 0;
-  uint64_t chunks_pulled_ = 0;
-  uint64_t bytes_pulled_ = 0;
+  std::string buf_ GUARDED_BY(mu_) = std::string(1, '\0');
+  uint64_t published_txns_ GUARDED_BY(mu_) = 0;
+  uint64_t publishes_ GUARDED_BY(mu_) = 0;
+  uint64_t chunks_pulled_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_pulled_ GUARDED_BY(mu_) = 0;
 };
 
 /// Standby-side replication progress and lag, sampled under the apply lock.
@@ -205,7 +205,10 @@ class LogicalReplica {
   /// writes. The promoted engine's own WAL is a complete history — it can
   /// itself be published to a new standby.
   Status Promote(RecoveryMethod method, RecoveryStats* stats = nullptr);
-  bool promoted() const { return promoted_; }
+  bool promoted() const {
+    MutexLock lock(&apply_mu_);
+    return promoted_;
+  }
 
   ReplicationStats stats() const;
 
@@ -220,15 +223,24 @@ class LogicalReplica {
 
   Engine& engine() { return *engine_; }
 
-  uint64_t txns_applied() const { return txns_applied_; }
-  uint64_t ops_applied() const { return ops_applied_; }
+  uint64_t txns_applied() const {
+    MutexLock lock(&apply_mu_);
+    return txns_applied_;
+  }
+  uint64_t ops_applied() const {
+    MutexLock lock(&apply_mu_);
+    return ops_applied_;
+  }
 
   /// Test-only fault injection: stop applying (leaving the current replay
   /// transaction open and its records forced to the standby WAL) after
   /// `ops` more operations — the "standby dies mid-chunk" scenario. The
   /// standby then refuses further pumps until CrashStandby +
   /// RecoverStandby.
-  void InjectApplyStopForTest(uint64_t ops) { apply_stop_after_ops_ = ops; }
+  void InjectApplyStopForTest(uint64_t ops) {
+    MutexLock lock(&apply_mu_);
+    apply_stop_after_ops_ = ops;
+  }
 
  private:
   /// Pooled in-flight transaction table: per-txn chains of (table, key,
@@ -270,21 +282,25 @@ class LogicalReplica {
   LogicalReplica() = default;
 
   /// Rebuild the applier's table -> value_size registry from the catalog.
-  void RefreshTableRegistry();
-  bool LookupValueSize(TableId table, uint32_t* value_size) const;
+  void RefreshTableRegistry() REQUIRES(apply_mu_);
+  bool LookupValueSize(TableId table, uint32_t* value_size) const
+      REQUIRES(apply_mu_);
 
   /// The applier core shared by PumpChunk and SyncFrom: scan `src` from
   /// `from`, buffer in-flight ops, apply committed transactions (parallel
   /// when recovery_threads >= 2), and return the first unconsumed offset
   /// in *next. `standby` enables the durable cursor + commit-skip filter.
-  Status ApplyFrom(LogManager* src, Lsn from, Lsn* next, bool standby);
+  Status ApplyFrom(LogManager* src, Lsn from, Lsn* next, bool standby)
+      REQUIRES(apply_mu_);
   Status ApplyCommittedTxn(TxnId primary_txn, Lsn commit_lsn, LogManager* src,
-                           bool standby, void* crew, std::mutex* gate,
-                           bool* stop_injected);
+                           bool standby, void* crew, Mutex* gate,
+                           bool* stop_injected) REQUIRES(apply_mu_);
   /// Projected row count of standby leaf `pid` this apply window (base
   /// count read once under the gate, then tracked dispatcher-side).
-  Status ProjectedLeafRows(PageId pid, std::mutex* gate, int64_t** count);
-  Status RecoverStandbyLocked(RecoveryMethod method, RecoveryStats* stats);
+  Status ProjectedLeafRows(PageId pid, Mutex* gate, int64_t** count)
+      REQUIRES(apply_mu_);
+  Status RecoverStandbyLocked(RecoveryMethod method, RecoveryStats* stats)
+      REQUIRES(apply_mu_);
 
   std::unique_ptr<Engine> engine_;
   uint32_t threads_ = 1;
@@ -294,43 +310,56 @@ class LogicalReplica {
   /// standby crashes (the channel is durable; the mirror is its local
   /// replica image).
   std::unique_ptr<LogManager> mirror_;
-  Lsn mirror_next_ = kFirstLsn;       ///< First mirror offset not yet applied.
-  Lsn applied_boundary_ = kInvalidLsn;  ///< Read gate (last applied boundary).
+  Lsn mirror_next_ GUARDED_BY(apply_mu_) =
+      kFirstLsn;  ///< First mirror offset not yet applied.
+  Lsn applied_boundary_ GUARDED_BY(apply_mu_) =
+      kInvalidLsn;  ///< Read gate (last applied boundary).
   /// Commits at or below this source LSN were durably applied before the
   /// last standby crash: the resume re-scan drops them.
-  Lsn skip_commits_at_or_below_ = kInvalidLsn;
+  Lsn skip_commits_at_or_below_ GUARDED_BY(apply_mu_) = kInvalidLsn;
 
-  InFlightOps in_flight_;
+  InFlightOps in_flight_ GUARDED_BY(apply_mu_);
 
   // Applier scratch, all capacity-reused across chunks (zero steady-state
   // allocation; proven by hotpath_alloc_test).
-  std::string chunk_buf_;
-  LogRecordView view_scratch_;
-  std::vector<std::pair<PageId, int64_t>> window_;  ///< Leaf count window.
-  std::vector<std::pair<TableId, Key>> merge_keys_;
-  std::vector<std::pair<TableId, uint32_t>> table_value_sizes_;
-  RedoLeafMemo memo_;
-  std::string cursor_before_;
-  std::string cursor_after_;
+  std::string chunk_buf_ GUARDED_BY(apply_mu_);
+  LogRecordView view_scratch_ GUARDED_BY(apply_mu_);
+  std::vector<std::pair<PageId, int64_t>> window_
+      GUARDED_BY(apply_mu_);  ///< Leaf count window.
+  std::vector<std::pair<TableId, Key>> merge_keys_ GUARDED_BY(apply_mu_);
+  std::vector<std::pair<TableId, uint32_t>> table_value_sizes_
+      GUARDED_BY(apply_mu_);
+  RedoLeafMemo memo_ GUARDED_BY(apply_mu_);
+  std::string cursor_before_ GUARDED_BY(apply_mu_);
+  std::string cursor_after_ GUARDED_BY(apply_mu_);
 
-  uint64_t txns_applied_ = 0;
-  uint64_t ops_applied_ = 0;
-  uint64_t ops_since_checkpoint_ = 0;
-  ReplicationStats agg_;  ///< Monotonic counters (derived fields unused).
+  uint64_t txns_applied_ GUARDED_BY(apply_mu_) = 0;
+  uint64_t ops_applied_ GUARDED_BY(apply_mu_) = 0;
+  uint64_t ops_since_checkpoint_ GUARDED_BY(apply_mu_) = 0;
+  /// Monotonic counters (derived fields unused).
+  ReplicationStats agg_ GUARDED_BY(apply_mu_);
 
   /// Serializes chunk application against snapshot reads and control
   /// operations (crash/recover/promote).
-  mutable std::mutex apply_mu_;
+  mutable Mutex apply_mu_;
 
+  /// Replay-thread lifecycle: written by Start/StopContinuousReplay (which
+  /// the caller serializes) and never by the replay thread itself, except
+  /// replay_error_, which the thread writes before exiting and the stopper
+  /// reads only after join() — ordered by the join, so none of these sit
+  /// under apply_mu_.
   std::thread replay_thread_;
   std::atomic<bool> replay_stop_{false};
   bool replay_running_ = false;
   Status replay_error_;
 
-  bool promoted_ = false;
-  bool apply_stopped_ = false;  ///< Injection tripped; crash+recover next.
-  bool failed_ = false;         ///< An apply error poisoned the standby.
-  uint64_t apply_stop_after_ops_ = 0;  ///< Countdown; 0 = disabled.
+  bool promoted_ GUARDED_BY(apply_mu_) = false;
+  /// Injection tripped; crash+recover next.
+  bool apply_stopped_ GUARDED_BY(apply_mu_) = false;
+  /// An apply error poisoned the standby.
+  bool failed_ GUARDED_BY(apply_mu_) = false;
+  /// Countdown; 0 = disabled.
+  uint64_t apply_stop_after_ops_ GUARDED_BY(apply_mu_) = 0;
 };
 
 /// Remote single-page repair over the replication channel: serves

@@ -106,7 +106,9 @@ class Table {
 
 /// RAII transaction handle. Move-only; aborts itself on destruction unless
 /// committed or aborted explicitly. Must not outlive the Engine.
-class Txn {
+/// [[nodiscard]]: a Txn returned and immediately dropped aborts instantly,
+/// which is never what the caller meant.
+class [[nodiscard]] Txn {
  public:
   Txn() = default;
   Txn(Txn&& other) noexcept { *this = std::move(other); }

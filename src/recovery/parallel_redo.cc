@@ -6,12 +6,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/mutex.h"
 #include "recovery/analysis.h"
 #include "recovery/pipeline_util.h"
 #include "recovery/prefetch.h"
@@ -64,7 +64,7 @@ struct TableRegistry {
 /// State shared by the dispatcher and all workers for one pass.
 struct PipelineShared {
   BufferPool* pool = nullptr;
-  std::mutex pool_gate;  ///< Serializes EVERY pool/disk/clock touch.
+  Mutex pool_gate;  ///< Serializes EVERY pool/disk/clock touch.
   TableRegistry tables;
   double cpu_per_redo_apply_us = 0;
   // Logical-family filtering parameters (workers run Algorithm 5's
@@ -209,7 +209,7 @@ class PartitionWorker {
       ra_batch_.push_back(peeked.pid);
     }
     if (!ra_batch_.empty()) {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       shared_->pool->Prefetch(ra_batch_, PageClass::kData);
     }
   }
@@ -285,7 +285,7 @@ class PartitionWorker {
     if (pin->dirtied) {
       page.set_plsn(item.lsn);
     } else {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       pin->handle.MarkDirty(item.lsn);
       pin->dirtied = true;
     }
@@ -316,7 +316,7 @@ class PartitionWorker {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       slot->handle.Release();
       DEUTERO_RETURN_NOT_OK(
           shared_->pool->Get(pid, PageClass::kData, &slot->handle));
@@ -330,7 +330,7 @@ class PartitionWorker {
 
   void ReleaseAllPins() {
     if (pins_.empty()) return;
-    std::lock_guard<std::mutex> lock(shared_->pool_gate);
+    MutexLock lock(&shared_->pool_gate);
     for (CachedPin& p : pins_) p.handle.Release();
     pins_.clear();
   }
@@ -466,7 +466,7 @@ class WorkerPool {
 /// device latencies.
 class DispatchClockMeter {
  public:
-  DispatchClockMeter(SimClock* clock, std::mutex* gate)
+  DispatchClockMeter(SimClock* clock, Mutex* gate)
       : clock_(clock), gate_(gate) {}
 
   void AddUs(double us) {
@@ -475,7 +475,7 @@ class DispatchClockMeter {
   }
   void Flush() {
     if (pending_events_ == 0) return;
-    std::lock_guard<std::mutex> lock(*gate_);
+    MutexLock lock(gate_);
     clock_->AdvanceUs(pending_us_);
     pending_us_ = 0;
     pending_events_ = 0;
@@ -484,7 +484,7 @@ class DispatchClockMeter {
  private:
   static constexpr uint32_t kFlushEvery = 32;
   SimClock* clock_;
-  std::mutex* gate_;
+  Mutex* gate_;
   double pending_us_ = 0;
   uint32_t pending_events_ = 0;
 };
@@ -598,7 +598,7 @@ Status RunLogicalRedoParallel(LogManager* log, DataComponent* dc,
         pid = memo.pid;
         out->leaf_memo_hits++;
       } else {
-        std::lock_guard<std::mutex> lock(shared.pool_gate);
+        MutexLock lock(&shared.pool_gate);
         DEUTERO_RETURN_NOT_OK(dc->FindLeafRanged(rec.table_id, rec.key, &pid,
                                                  &memo.lo, &memo.hi,
                                                  &memo.bounded));
@@ -688,13 +688,13 @@ Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
           scan_clock.Flush();
           workers.DrainBarrier();
           out->smo_barriers++;
-          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          MutexLock lock(&shared.pool_gate);
           DEUTERO_RETURN_NOT_OK(dc->RedoSmo(rec));
           out->smo_redone++;
         } else {
           // Same allocator fix as the serial pass: a DPT-skipped split
           // still advances the high-water mark / free-list.
-          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          MutexLock lock(&shared.pool_gate);
           dc->NoteSmoAllocation(rec);
         }
         continue;
@@ -707,7 +707,7 @@ Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
         scan_clock.Flush();
         workers.DrainBarrier();
         out->smo_barriers++;
-        std::lock_guard<std::mutex> lock(shared.pool_gate);
+        MutexLock lock(&shared.pool_gate);
         DEUTERO_RETURN_NOT_OK(dc->RedoSmoMerge(rec));
         out->smo_redone++;
         continue;
@@ -719,7 +719,7 @@ Status RunSqlRedoParallel(LogManager* log, DataComponent* dc, Lsn bckpt_lsn,
         workers.DrainBarrier();
         out->smo_barriers++;
         {
-          std::lock_guard<std::mutex> lock(shared.pool_gate);
+          MutexLock lock(&shared.pool_gate);
           DEUTERO_RETURN_NOT_OK(dc->RedoCreateTable(rec));
         }
         shared.tables.Refresh(dc);

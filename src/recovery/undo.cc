@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "btree/btree.h"
+#include "common/mutex.h"
 #include "recovery/parallel_redo.h"  // RedoPartitionOf
 #include "recovery/pipeline_util.h"
 #include "recovery/redo.h"  // RedoPrefetchWindow
@@ -47,7 +47,7 @@ struct UndoWorkItem {
 /// State shared by the undo dispatcher and its apply workers.
 struct UndoShared {
   BufferPool* pool = nullptr;
-  std::mutex pool_gate;  ///< Serializes EVERY pool/disk touch (cf. redo).
+  Mutex pool_gate;  ///< Serializes EVERY pool/disk touch (cf. redo).
   std::vector<std::pair<TableId, uint32_t>> value_sizes;
   uint32_t read_ahead_budget = 0;
   std::atomic<uint32_t> failed{0};
@@ -149,7 +149,7 @@ class UndoApplyWorker {
       ra_batch_.push_back(peeked.pid);
     }
     if (!ra_batch_.empty()) {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       shared_->pool->Prefetch(ra_batch_, PageClass::kData);
     }
   }
@@ -182,7 +182,7 @@ class UndoApplyWorker {
     if (pin->dirtied) {
       page.set_plsn(item.lsn);
     } else {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       pin->handle.MarkDirty(item.lsn);
       pin->dirtied = true;
     }
@@ -209,7 +209,7 @@ class UndoApplyWorker {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(shared_->pool_gate);
+      MutexLock lock(&shared_->pool_gate);
       slot->handle.Release();
       DEUTERO_RETURN_NOT_OK(
           shared_->pool->Get(pid, PageClass::kData, &slot->handle));
@@ -223,7 +223,7 @@ class UndoApplyWorker {
 
   void ReleaseAllPins() {
     if (pins_.empty()) return;
-    std::lock_guard<std::mutex> lock(shared_->pool_gate);
+    MutexLock lock(&shared_->pool_gate);
     for (CachedPin& p : pins_) p.handle.Release();
     pins_.clear();
   }
@@ -476,7 +476,7 @@ Status RunUndoParallel(LogManager* log, DataComponent* dc,
           // with all workers drained.
           PageId pid = kInvalidPageId;
           {
-            std::lock_guard<std::mutex> lock(shared.pool_gate);
+            MutexLock lock(&shared.pool_gate);
             DEUTERO_RETURN_NOT_OK(dc->FindLeaf(rec.table_id, rec.key, &pid));
           }
           clr.type = LogRecordType::kClr;

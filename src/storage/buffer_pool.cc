@@ -114,7 +114,7 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
   // Hit fast path: one shard latch, no pool-wide synchronization.
   TableShard& sh = ShardFor(pid);
   {
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     sh.gets++;
     if (const uint32_t* entry = sh.table.Find(pid)) {
       const uint32_t fi = *entry;
@@ -135,14 +135,14 @@ Status BufferPool::Get(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   TableShard& sh = ShardFor(pid);
   uint32_t fi = 0;
   bool pending = false;
   {
     // Re-check under the latch: a racing GetSlow may have loaded the page
     // between our fast-path miss and acquiring miss_mu_.
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     if (const uint32_t* entry = sh.table.Find(pid)) {
       fi = *entry;
       Frame& f = frames_[fi];
@@ -180,7 +180,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
       // No pin was taken yet: give the frame back so the corrupt bytes
       // cannot be served to a later Get.
       {
-        std::lock_guard<std::mutex> lk(sh.mu);
+        MutexLock lk(&sh.mu);
         sh.table.Erase(pid);
       }
       frames_[fi] = Frame();
@@ -191,7 +191,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
       stats_.prefetch_used++;
       f.prefetched = false;
     }
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     f.state = FrameState::kLoaded;
     loaded_count_++;
     f.ref = true;
@@ -212,7 +212,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
   {
     // Publish the mapping while still kEmpty: a fast-path hit that finds
     // it simply falls through to GetSlow and waits on miss_mu_.
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     sh.table.Put(pid, fi);
   }
 
@@ -231,7 +231,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
   }
   if (!s.ok()) {
     {
-      std::lock_guard<std::mutex> lk(sh.mu);
+      MutexLock lk(&sh.mu);
       sh.table.Erase(pid);
     }
     frames_[fi] = Frame();
@@ -239,7 +239,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
     return s;
   }
   f.dirty = false;
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   f.state = FrameState::kLoaded;
   loaded_count_++;
   f.ref = true;
@@ -250,7 +250,7 @@ Status BufferPool::GetSlow(PageId pid, PageClass cls, PageHandle* handle) {
 }
 
 Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   TableShard& sh = ShardFor(pid);
   uint32_t fi = 0;
   DEUTERO_RETURN_NOT_OK(AllocFrame(&fi));
@@ -258,7 +258,7 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
   f.pid = pid;
   f.cls = cls;
   std::memset(FrameData(fi), 0, page_size_);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   assert(sh.table.Find(pid) == nullptr);
   sh.table.Put(pid, fi);
   f.state = FrameState::kLoaded;
@@ -272,27 +272,27 @@ Status BufferPool::Create(PageId pid, PageClass cls, PageHandle* handle) {
 
 uint32_t BufferPool::PinCount(PageId pid) const {
   TableShard& sh = ShardFor(pid);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   const uint32_t* fi = sh.table.Find(pid);
   return fi == nullptr ? 0 : frames_[*fi].pins;
 }
 
 bool BufferPool::IsResidentOrPending(PageId pid) const {
   TableShard& sh = ShardFor(pid);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   return sh.table.Find(pid) != nullptr;
 }
 
 bool BufferPool::IsLoaded(PageId pid) const {
   TableShard& sh = ShardFor(pid);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   const uint32_t* fi = sh.table.Find(pid);
   return fi != nullptr && frames_[*fi].state == FrameState::kLoaded;
 }
 
 bool BufferPool::HasArrived(PageId pid) const {
   TableShard& sh = ShardFor(pid);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   const uint32_t* fi = sh.table.Find(pid);
   if (fi == nullptr) return false;
   const Frame& f = frames_[*fi];
@@ -302,7 +302,7 @@ bool BufferPool::HasArrived(PageId pid) const {
 }
 
 uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   // Deduplicate and drop already-cached pages. Member scratch: a pump-driven
   // prefetch stream performs no per-call heap allocation.
   std::vector<PageId>& want = prefetch_want_;
@@ -366,7 +366,7 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
       // Fields are set BEFORE the mapping publishes: a latched reader can
       // only find the frame once it is a fully-formed pending entry.
       TableShard& sh = ShardFor(f.pid);
-      std::lock_guard<std::mutex> lk(sh.mu);
+      MutexLock lk(&sh.mu);
       sh.table.Put(f.pid, fidx[k]);
     }
     issued += run;
@@ -382,11 +382,11 @@ uint32_t BufferPool::Prefetch(std::span<const PageId> pids, PageClass cls) {
 }
 
 Status BufferPool::FlushPage(PageId pid) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   TableShard& sh = ShardFor(pid);
   uint32_t fi = 0;
   {
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     const uint32_t* entry = sh.table.Find(pid);
     if (entry == nullptr) return Status::NotFound("page not resident");
     fi = *entry;
@@ -398,13 +398,13 @@ Status BufferPool::FlushPage(PageId pid) {
 }
 
 bool BufferPool::Discard(PageId pid) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   TableShard& sh = ShardFor(pid);
   uint32_t fi = 0;
   {
     // The pins check and the unmap must be one latched step, or a hit
     // could pin the page in between.
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     const uint32_t* entry = sh.table.Find(pid);
     if (entry == nullptr) return false;
     fi = *entry;
@@ -461,7 +461,7 @@ Status BufferPool::FlushFrame(uint32_t frame, uint64_t* counter) {
 }
 
 Status BufferPool::FlushPhasePages(uint64_t* flushed) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   const bool old_phase = !current_phase_;
   // Frame-ordered bitmap sweep: walk the dirty bitmap word-at-a-time and
   // flush qualifying frames in frame order — no victims vector, no sort.
@@ -492,7 +492,7 @@ Status BufferPool::FlushPhasePages(uint64_t* flushed) {
 }
 
 Status BufferPool::FlushAllDirty(uint64_t* flushed) {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   uint64_t n = 0;
   for (size_t w = 0; w < dirty_bits_.size(); w++) {
     uint64_t bits = dirty_bits_[w];
@@ -517,7 +517,7 @@ Status BufferPool::FlushAllDirty(uint64_t* flushed) {
 
 void BufferPool::CollectDirtyPages(
     std::vector<std::pair<PageId, Lsn>>* out) const {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   out->clear();
   for (const Frame& f : frames_) {
     if (f.state == FrameState::kLoaded && f.dirty) {
@@ -529,14 +529,14 @@ void BufferPool::CollectDirtyPages(
 
 Status BufferPool::LazyWriterTick() {
   if (dirty_watermark_ == 0) return Status::OK();
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   while (dirty_count_ > dirty_watermark_ && !dirty_fifo_.empty()) {
     const auto [pid, seq] = dirty_fifo_.front();
     dirty_fifo_.pop_front();
     TableShard& sh = ShardFor(pid);
     uint32_t fi = 0;
     {
-      std::lock_guard<std::mutex> lk(sh.mu);
+      MutexLock lk(&sh.mu);
       const uint32_t* entry = sh.table.Find(pid);
       if (entry == nullptr) continue;  // evicted since
       fi = *entry;
@@ -602,7 +602,7 @@ Status BufferPool::EvictSomeFrame(uint32_t* out) {
           } else {
             if (f.prefetched) stats_.prefetch_wasted++;
             {
-              std::lock_guard<std::mutex> lk(sh.mu);
+              MutexLock lk(&sh.mu);
               sh.table.Erase(f.pid);
             }
             f = Frame();
@@ -610,14 +610,14 @@ Status BufferPool::EvictSomeFrame(uint32_t* out) {
             return Status::OK();
           }
         }
-        std::lock_guard<std::mutex> lk(sh.mu);
+        MutexLock lk(&sh.mu);
         f.state = FrameState::kLoaded;
         loaded_count_++;
       }
       if (f.state != FrameState::kLoaded) continue;
       {
         TableShard& sh = ShardFor(f.pid);
-        std::lock_guard<std::mutex> lk(sh.mu);
+        MutexLock lk(&sh.mu);
         if (f.pins > 0) continue;
         if (f.ref) {
           f.ref = false;
@@ -639,7 +639,7 @@ Status BufferPool::EvictSomeFrame(uint32_t* out) {
     // device never take pool latches, so this cannot deadlock).
     Frame& victim = frames_[dirty_candidate];
     TableShard& sh = ShardFor(victim.pid);
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(&sh.mu);
     if (victim.state != FrameState::kLoaded || victim.pins > 0 ||
         !victim.dirty) {
       continue;  // raced with a hit; sweep again
@@ -668,7 +668,7 @@ void BufferPool::Unpin(uint32_t frame, PageId pid) {
   // to `pid`; the shard latch covers the pin-count update against
   // concurrent hits on the same shard.
   TableShard& sh = ShardFor(pid);
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(&sh.mu);
   Frame& f = frames_[frame];
   assert(f.pins > 0);
   f.pins--;
@@ -694,10 +694,10 @@ void BufferPool::MarkDirtyInternal(uint32_t frame, Lsn lsn) {
 }
 
 void BufferPool::Reset() {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   assert(pinned_count_ == 0);
   for (auto& sp : shards_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    MutexLock lk(&sp->mu);
     sp->table.Clear();
   }
   dirty_fifo_.clear();
@@ -715,10 +715,10 @@ void BufferPool::Reset() {
 }
 
 const BufferPool::Stats& BufferPool::stats() const {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   merged_stats_ = stats_;
   for (const auto& sp : shards_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    MutexLock lk(&sp->mu);
     merged_stats_.gets += sp->gets;
     merged_stats_.hits += sp->hits;
   }
@@ -726,10 +726,10 @@ const BufferPool::Stats& BufferPool::stats() const {
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> pool_lk(miss_mu_);
+  MutexLock pool_lk(&miss_mu_);
   stats_ = Stats();
   for (auto& sp : shards_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    MutexLock lk(&sp->mu);
     sp->gets = 0;
     sp->hits = 0;
   }

@@ -55,10 +55,10 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/options.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -249,13 +249,19 @@ class BufferPool {
   /// Pid of the most recent unrepaired checksum failure, cleared on read.
   /// The engine uses this to distinguish media corruption from other
   /// Corruption statuses (e.g. structural B-tree checks) and to target a
-  /// remote repair before retrying.
+  /// remote repair before retrying. Latched: the failing reader records the
+  /// pid under miss_mu_, and with the engine gate held shared, several
+  /// readers can fail (and the engine poll) concurrently.
   PageId TakeCorruptPage() {
+    MutexLock lk(&miss_mu_);
     const PageId p = last_corrupt_pid_;
     last_corrupt_pid_ = kInvalidPageId;
     return p;
   }
-  PageId last_corrupt_pid() const { return last_corrupt_pid_; }
+  PageId last_corrupt_pid() const {
+    MutexLock lk(&miss_mu_);
+    return last_corrupt_pid_;
+  }
 
  private:
   friend class PageHandle;
@@ -287,10 +293,10 @@ class BufferPool {
   /// the latched hit path bumps. Each table is sized for the full frame
   /// count so a skewed pid hash can never overflow a shard.
   struct TableShard {
-    mutable std::mutex mu;
-    PageTable table;
-    uint64_t gets = 0;
-    uint64_t hits = 0;
+    mutable Mutex mu;
+    PageTable table GUARDED_BY(mu);
+    uint64_t gets GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
     explicit TableShard(uint64_t cap) : table(cap) {}
   };
   static constexpr size_t kTableShards = 16;
@@ -304,37 +310,40 @@ class BufferPool {
 
   /// Slow path of Get (demand miss or pending-prefetch claim); serializes
   /// on miss_mu_.
-  Status GetSlow(PageId pid, PageClass cls, PageHandle* handle);
+  Status GetSlow(PageId pid, PageClass cls, PageHandle* handle)
+      EXCLUDES(miss_mu_);
 
   /// Find a frame to (re)use; evicts if necessary. Busy when every frame is
   /// pinned or pending; a dirty eviction can also surface a write IOError.
   /// Caller holds miss_mu_ and no shard latch.
-  Status AllocFrame(uint32_t* out);
+  Status AllocFrame(uint32_t* out) REQUIRES(miss_mu_);
 
   /// Evict the loaded, unpinned frame chosen by the clock sweep, flushing it
   /// first if dirty. Clean frames are preferred. Same contract as
   /// AllocFrame.
-  Status EvictSomeFrame(uint32_t* out);
+  Status EvictSomeFrame(uint32_t* out) REQUIRES(miss_mu_);
 
   /// Remove a clean, unpinned, loaded frame from the mapping table.
   /// Caller holds miss_mu_ and `sh.mu` (the frame's pid maps to `sh`).
-  void EvictFrame(uint32_t frame, TableShard& sh);
+  void EvictFrame(uint32_t frame, TableShard& sh)
+      REQUIRES(miss_mu_, sh.mu);
 
   /// Stamp the checksum and write the frame out, retrying transient device
   /// errors with exponential backoff. On success clears the dirty bit and
   /// fires the flush callback; on exhaustion the frame stays dirty.
-  Status FlushFrame(uint32_t frame, uint64_t* counter);
+  Status FlushFrame(uint32_t frame, uint64_t* counter) REQUIRES(miss_mu_);
 
   /// Demand-read `pid` into `dest` with transient-error retry/backoff; the
   /// clock ends at the final attempt's completion (plus backoff waits).
-  Status ReadPageWithRetry(PageId pid, bool sorted, uint8_t* dest);
+  Status ReadPageWithRetry(PageId pid, bool sorted, uint8_t* dest)
+      REQUIRES(miss_mu_);
 
   /// CRC-check freshly read-in bytes; on mismatch attempt callback repair.
   /// Corruption (and last_corrupt_pid_ set) when unrepairable.
-  Status VerifyOrRepair(PageId pid, uint8_t* data);
+  Status VerifyOrRepair(PageId pid, uint8_t* data) REQUIRES(miss_mu_);
 
   /// Count a retry and advance sim time by base * 2^attempt.
-  void Backoff(uint32_t attempt);
+  void Backoff(uint32_t attempt) REQUIRES(miss_mu_);
 
   void Unpin(uint32_t frame, PageId pid);
   void MarkDirtyInternal(uint32_t frame, Lsn lsn);
@@ -346,33 +355,42 @@ class BufferPool {
   const uint32_t max_batch_pages_;
 
   std::vector<uint8_t> arena_;
+  /// NOT annotated: frames_ is dual-guarded — identity fields are written
+  /// by miss_mu_ holders, hit-mutable fields (pins, ref, cls) under the
+  /// pid's shard latch, and MarkDirtyInternal runs mutator-serialized under
+  /// the engine's exclusive forward gate. No single capability expresses
+  /// that, so the contract lives in the comment up top (and under TSan).
   std::vector<Frame> frames_;
-  std::vector<uint32_t> free_frames_;
+  std::vector<uint32_t> free_frames_ GUARDED_BY(miss_mu_);
   /// Sharded pid -> frame map (see the concurrency note up top).
   std::array<std::unique_ptr<TableShard>, kTableShards> shards_;
   /// Serializes the structural slow path: misses, prefetch, eviction,
   /// flush sweeps, Discard, Reset. Always taken BEFORE any shard latch.
-  mutable std::mutex miss_mu_;
+  mutable Mutex miss_mu_;
+  /// Dirty bookkeeping (dirty_fifo_, dirty_bits_, next_dirty_seq_,
+  /// current_phase_) is NOT annotated for the same reason as frames_:
+  /// MarkDirtyInternal mutates it gate-serialized without miss_mu_, while
+  /// the flush sweeps mutate it under miss_mu_.
   std::deque<std::pair<PageId, uint64_t>> dirty_fifo_;  ///< (pid, dirty_seq).
   /// One bit per frame, set while the frame is dirty. FlushPhasePages /
   /// FlushAllDirty sweep it word-at-a-time in frame order instead of
   /// materializing and sorting a victims vector per checkpoint.
   std::vector<uint64_t> dirty_bits_;
   /// Prefetch() scratch reused across calls (dedup list + reserved frames).
-  std::vector<PageId> prefetch_want_;
-  std::vector<uint32_t> prefetch_fidx_;
+  std::vector<PageId> prefetch_want_ GUARDED_BY(miss_mu_);
+  std::vector<uint32_t> prefetch_fidx_ GUARDED_BY(miss_mu_);
 
   std::atomic<uint64_t> loaded_count_{0};
   std::atomic<uint64_t> dirty_count_{0};
   std::atomic<uint64_t> pinned_count_{0};
   uint64_t next_dirty_seq_ = 1;
   uint64_t dirty_watermark_ = 0;
-  uint32_t clock_hand_ = 0;
+  uint32_t clock_hand_ GUARDED_BY(miss_mu_) = 0;
   bool current_phase_ = false;
   bool callbacks_enabled_ = true;
   uint32_t retry_limit_ = 0;       ///< Extra attempts after the first.
   double backoff_base_ms_ = 0;     ///< Backoff = base * 2^attempt.
-  PageId last_corrupt_pid_ = kInvalidPageId;
+  PageId last_corrupt_pid_ GUARDED_BY(miss_mu_) = kInvalidPageId;
 
   FlushCallback flush_cb_;
   DirtyCallback dirty_cb_;
@@ -380,8 +398,10 @@ class BufferPool {
   StableLsnProvider stable_lsn_;
   RepairCallback repair_cb_;
 
-  Stats stats_;  ///< Slow-path counters; gets/hits live in the shards.
-  mutable Stats merged_stats_;  ///< stats() scratch (shards folded in).
+  /// Slow-path counters; gets/hits live in the shards.
+  Stats stats_ GUARDED_BY(miss_mu_);
+  /// stats() scratch (shards folded in).
+  mutable Stats merged_stats_ GUARDED_BY(miss_mu_);
 };
 
 }  // namespace deutero

@@ -15,6 +15,7 @@ LogManager::LogManager(SimClock* clock, uint32_t log_page_size,
     : clock_(clock),
       log_page_size_(log_page_size),
       log_page_read_ms_(log_page_read_ms) {
+  MutexLock lk(&grow_mu_);
   buffer_.assign(1, '\0');  // offset 0 pad
   ResetCursors();
 }
@@ -53,11 +54,11 @@ void LogManager::EnterFill() {
     if (!growth_pending_.load(std::memory_order_seq_cst)) return;
     // A grower is quiescing encoders: back out and wait for it to finish.
     if (fillers_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
-      std::lock_guard<std::mutex> lk(grow_mu_);
-      grow_cv_.notify_all();
+      MutexLock lk(&grow_mu_);
+      grow_cv_.NotifyAll();
     }
-    std::unique_lock<std::mutex> lk(grow_mu_);
-    grow_cv_.wait(lk, [&] {
+    MutexLock lk(&grow_mu_);
+    grow_cv_.Wait(&grow_mu_, [&] {
       return !growth_pending_.load(std::memory_order_seq_cst);
     });
   }
@@ -66,14 +67,14 @@ void LogManager::EnterFill() {
 void LogManager::ExitFill() {
   if (fillers_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
       growth_pending_.load(std::memory_order_seq_cst)) {
-    std::lock_guard<std::mutex> lk(grow_mu_);
-    grow_cv_.notify_all();
+    MutexLock lk(&grow_mu_);
+    grow_cv_.NotifyAll();
   }
 }
 
 void LogManager::EnsureCapacity(uint64_t end) {
   if (end <= capacity_.load(std::memory_order_acquire)) return;
-  std::unique_lock<std::mutex> lk(grow_mu_);
+  MutexLock lk(&grow_mu_);
   if (end <= capacity_.load(std::memory_order_acquire)) return;
   // Quiesce: new encoders park in EnterFill, in-flight ones drain (they
   // never block while holding the fill token, so this terminates). Parked
@@ -81,7 +82,7 @@ void LogManager::EnsureCapacity(uint64_t end) {
   // and Publish cannot deadlock growth; its later Publish encodes into the
   // new storage.
   growth_pending_.store(true, std::memory_order_seq_cst);
-  grow_cv_.wait(lk, [&] {
+  grow_cv_.Wait(&grow_mu_, [&] {
     return fillers_.load(std::memory_order_seq_cst) == 0;
   });
   const uint64_t new_cap =
@@ -96,7 +97,7 @@ void LogManager::EnsureCapacity(uint64_t end) {
   base_.store(buffer_.data(), std::memory_order_release);
   capacity_.store(new_cap, std::memory_order_release);
   growth_pending_.store(false, std::memory_order_seq_cst);
-  grow_cv_.notify_all();
+  grow_cv_.NotifyAll();
 }
 
 LogManager::Reservation LogManager::Reserve(LogRecordType type,
@@ -132,7 +133,7 @@ void LogManager::Publish(const Reservation& r, const char* payload) {
 }
 
 void LogManager::NoteAppendStats(LogRecordType type, uint32_t payload_len) {
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(&stats_mu_);
   stats_.records_appended++;
   stats_.bytes_appended += kFrameSize + payload_len;
   stats_.by_type[static_cast<size_t>(type)]++;
@@ -183,7 +184,7 @@ bool LogManager::Flush() {
     }
   }
   if (advanced) {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(&stats_mu_);
     stats_.flushes++;
   }
   return advanced;
@@ -209,7 +210,7 @@ void LogManager::AppendShipped(Slice raw_bytes) {
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
+  MutexLock lk(&stats_mu_);
   stats_.bytes_appended += raw_bytes.size();
 }
 
@@ -228,6 +229,7 @@ Status LogManager::ViewRecordAt(Lsn lsn, LogRecordView* out) {
 void LogManager::Crash() {
   // Caller contract: no reservation in flight (appenders quiesced).
   assert(filled_through() == next_lsn());
+  MutexLock lk(&grow_mu_);
   generation_.fetch_add(1, std::memory_order_release);
   buffer_.resize(stable_end());
   ResetCursors();
@@ -268,6 +270,7 @@ Status LogManager::ReadRecordAt(Lsn lsn, LogRecord* out, bool charge_io) {
 }
 
 LogManager::Snapshot LogManager::TakeSnapshot() const {
+  MutexLock lk(&grow_mu_);
   Snapshot snap;
   snap.stable_log = buffer_.substr(0, stable_end());
   snap.master = master_;
@@ -275,6 +278,7 @@ LogManager::Snapshot LogManager::TakeSnapshot() const {
 }
 
 void LogManager::RestoreSnapshot(const Snapshot& snap) {
+  MutexLock lk(&grow_mu_);
   generation_.fetch_add(1, std::memory_order_release);
   buffer_ = snap.stable_log;
   master_ = snap.master;

@@ -27,11 +27,10 @@
 #include <array>
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -203,15 +202,18 @@ class LogManager {
   Snapshot TakeSnapshot() const;
   void RestoreSnapshot(const Snapshot& snap);
 
-  const Stats& stats() const { return stats_; }
+  // Unlatched reference to the counters, for quiesced reads only (tests,
+  // post-pass reporting). The analysis cannot express "no appender is
+  // live"; StatsSnapshot() is the latched form for concurrent use.
+  const Stats& stats() const NO_THREAD_SAFETY_ANALYSIS { return stats_; }
   /// Copy of the counters taken under the stats mutex — the form to use
   /// while appender threads are live (stats() is for quiesced reads).
   Stats StatsSnapshot() const {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(&stats_mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lk(stats_mu_);
+    MutexLock lk(&stats_mu_);
     stats_ = Stats();
   }
 
@@ -277,14 +279,15 @@ class LogManager {
   uint32_t ClaimSlot();
   /// Grow committed capacity to cover [0, end), quiescing in-flight
   /// Publish() encoders first. Bumps the generation if storage moved.
-  void EnsureCapacity(uint64_t end);
+  void EnsureCapacity(uint64_t end) EXCLUDES(grow_mu_);
   /// Encoder token around raw-byte writes; growth waits for zero holders.
-  void EnterFill();
-  void ExitFill();
-  void NoteAppendStats(LogRecordType type, uint32_t payload_len);
+  void EnterFill() EXCLUDES(grow_mu_);
+  void ExitFill() EXCLUDES(grow_mu_);
+  void NoteAppendStats(LogRecordType type, uint32_t payload_len)
+      EXCLUDES(stats_mu_);
   /// Single-threaded reset of all cursors to the buffer's current size
   /// (constructor, Crash, RestoreSnapshot).
-  void ResetCursors();
+  void ResetCursors() REQUIRES(grow_mu_);
 
   SimClock* clock_;
   const uint32_t log_page_size_;
@@ -292,9 +295,10 @@ class LogManager {
 
   /// buffer_[offset] is the log byte at LSN == offset; offset 0 is a pad so
   /// that kInvalidLsn (0) can never address a record. buffer_ members are
-  /// only touched quiesced (growth, crash, snapshot); the concurrent fill
-  /// path goes through base_/capacity_ so TSan sees no std::string races.
-  std::string buffer_;
+  /// only touched under grow_mu_ (growth, crash, snapshot — all cold); the
+  /// concurrent fill path goes through base_/capacity_ so TSan sees no
+  /// std::string races.
+  std::string buffer_ GUARDED_BY(grow_mu_);
   std::atomic<char*> base_{nullptr};
   std::atomic<uint64_t> capacity_{0};  ///< Committed writable frontier.
 
@@ -308,14 +312,15 @@ class LogManager {
 
   // Growth quiesce: EnsureCapacity sets growth_pending_, waits for
   // fillers_ == 0, resizes, publishes base_/capacity_, clears the flag.
-  std::mutex grow_mu_;
-  std::condition_variable grow_cv_;
+  // mutable: TakeSnapshot() is logically const but reads buffer_ under it.
+  mutable Mutex grow_mu_;
+  CondVar grow_cv_;
   std::atomic<uint64_t> fillers_{0};
   std::atomic<bool> growth_pending_{false};
 
   MasterRecord master_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  mutable Mutex stats_mu_;
+  Stats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace deutero

@@ -151,9 +151,11 @@ bool ConcurrentDriver::RunOneTxn(ThreadState* ts, const Table& table) {
     }
     if (!st.ok()) {
       // Busy = wait-die death: abort and try the next transaction.
-      // Anything else means the engine crashed under us.
+      // Anything else means the engine crashed under us. The abort is
+      // best-effort either way: against a crashed engine it fails, and
+      // recovery rolls the transaction back from the log instead.
       const bool crashed = !st.IsBusy();
-      txn.Abort();
+      (void)txn.Abort();
       return !crashed;
     }
     record(key, before, after);
@@ -182,8 +184,9 @@ bool ConcurrentDriver::RunOneTxn(ThreadState* ts, const Table& table) {
               "txn read lost key " + std::to_string(rk));
         }
       } else {
+        // Same best-effort abort as the write path above.
         const bool crashed = !rs.IsBusy();
-        txn.Abort();
+        (void)txn.Abort();
         return !crashed;
       }
     }
@@ -369,7 +372,7 @@ Status ConcurrentDriver::VerifyScan(Engine* engine,
     first = false;
     expect = k + 1;
     n++;
-    c.Next();
+    DEUTERO_RETURN_NOT_OK(c.Next());
   }
   for (; expect <= hi; expect++) {
     if (!ExpectedLive(expect).empty()) {

@@ -2,6 +2,8 @@
 // checkpoint phase flipping, the WAL rule, the lazy writer, and prefetch.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -380,6 +382,63 @@ TEST_F(BufferPoolTest, CorruptReadSurfacesCorruptionAndRecordsPid) {
   // The failed Get left no half-loaded frame behind: the pool still works.
   PageHandle h3;
   ASSERT_TRUE(pool_.Get(6, PageClass::kData, &h3).ok());
+}
+
+// Regression: last_corrupt_pid_/TakeCorruptPage() used to read and clear
+// the corrupt-page slot with NO latch, racing the miss path writing it
+// under miss_mu_ — the thread-safety annotation sweep (PR 10) flagged the
+// unguarded access. Concurrent readers tripping the corrupt page while
+// another thread drains TakeCorruptPage() must race-free observe either
+// the corrupt pid or the cleared sentinel, never a torn value (TSan in CI
+// proves the "race-free" half).
+TEST_F(BufferPoolTest, CorruptPidHandoffIsLatchedAcrossThreads) {
+  PageHandle h;
+  ASSERT_TRUE(pool_.Get(5, PageClass::kData, &h).ok());
+  h.MarkDirty(11);
+  h.Release();
+  ASSERT_TRUE(pool_.FlushPage(5).ok());
+  pool_.Reset();
+  // The flip stays on stable storage (no repair callback), so every
+  // fresh Get of page 5 re-trips verification and re-records the pid.
+  disk_.CorruptStableByteForTest(5, kPageHeaderSize + 3, 0x10);
+
+  constexpr int kReaders = 3;
+  constexpr int kItersPerReader = 200;
+  std::atomic<bool> bad_value{false};
+  std::atomic<uint64_t> taken{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; t++) {
+    threads.emplace_back([this, &bad_value] {
+      for (int i = 0; i < kItersPerReader; i++) {
+        PageHandle ph;
+        if (!pool_.Get(5, PageClass::kData, &ph).IsCorruption()) {
+          bad_value.store(true);
+        }
+      }
+    });
+  }
+  threads.emplace_back([this, &bad_value, &taken] {
+    for (int i = 0; i < kReaders * kItersPerReader; i++) {
+      const PageId peek = pool_.last_corrupt_pid();
+      if (peek != kInvalidPageId && peek != 5u) bad_value.store(true);
+      const PageId got = pool_.TakeCorruptPage();
+      if (got == 5u) {
+        taken.fetch_add(1);
+      } else if (got != kInvalidPageId) {
+        bad_value.store(true);
+      }
+    }
+  });
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad_value.load());
+  // The readers re-recorded the pid on every failed Get; the drainer must
+  // have seen it at least once, and a final take drains whatever is left.
+  const PageId last = pool_.TakeCorruptPage();
+  EXPECT_TRUE(last == 5u || last == kInvalidPageId);
+  if (last == 5u) taken.fetch_add(1);
+  EXPECT_GE(taken.load(), 1u);
+  EXPECT_EQ(pool_.TakeCorruptPage(), kInvalidPageId);
 }
 
 TEST_F(BufferPoolTest, RepairCallbackRebuildsCorruptPage) {

@@ -67,6 +67,28 @@ TEST(EngineTest, CrashDropsUnflushedLogTail) {
   EXPECT_EQ(v, V(*e, 3, 0));  // the unlogged update evaporated
 }
 
+// Regression: Engine::Recover(method, nullptr) crashed with a null deref —
+// RecoveryManager::Recover zeroes *stats unconditionally, and the engine
+// passed the caller's pointer straight through even though the parameter
+// is documented optional elsewhere (the standby's recovery path already
+// carried its own local). Found during the [[nodiscard]]/annotation sweep
+// (PR 10); the engine now substitutes a local when the caller passes none.
+TEST(EngineTest, RecoverWithNullStatsSucceeds) {
+  std::unique_ptr<Engine> e;
+  ASSERT_OK(Engine::Open(SmallOptions(), &e));
+  TxnId t;
+  ASSERT_OK(e->Begin(&t));
+  ASSERT_OK(e->Update(t, 3, V(*e, 3, 1)));
+  ASSERT_OK(e->Commit(t));
+  e->SimulateCrash();
+  ASSERT_OK(e->Recover(RecoveryMethod::kLog2, nullptr));
+  std::string v;
+  ASSERT_OK(e->Read(3, &v));
+  EXPECT_EQ(v, V(*e, 3, 1));
+  // The phase breakdown still lands in EngineStats off the internal local.
+  EXPECT_GT(e->Stats().recovery_total_ms, 0.0);
+}
+
 TEST(EngineTest, SnapshotRequiresCrashedState) {
   std::unique_ptr<Engine> e;
   ASSERT_OK(Engine::Open(SmallOptions(), &e));

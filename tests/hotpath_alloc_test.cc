@@ -38,6 +38,16 @@ std::atomic<uint64_t> g_alloc_count{0};
 
 // Replacement global allocation functions (C++ [replacement.functions]).
 // Counting happens on every path the standard library can take.
+//
+// GCC's middle end inlines the std::free() below into `new`/`delete`
+// expressions (e.g. gtest's test factories) and then pairs it against
+// `operator new`, flagging -Wmismatched-new-delete at -O2 even though every
+// replacement operator new here allocates with malloc/aligned_alloc. The
+// pairing is consistent by construction, so silence the false positive for
+// this TU (which exists precisely to replace the global allocator).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(std::size_t n) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;

@@ -66,7 +66,7 @@ struct StateImage {
 };
 
 StateImage CaptureState(Engine* e) {
-  e->dc().pool().FlushAllDirty();
+  EXPECT_OK(e->dc().pool().FlushAllDirty());
   StateImage s;
   s.free_list = e->dc().allocator().free_list();
   SimDisk& d = e->dc().disk();
